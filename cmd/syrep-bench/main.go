@@ -1,0 +1,212 @@
+// Command syrep-bench regenerates the evaluation artefacts of the SyRep
+// paper (Section V) on the built-in topology suite: the cactus plots of
+// Figure 7a/7c, the runtime-ratio plots of Figure 7b/7d, the
+// size-versus-runtime scatters of Figures 8 and 9, the reduction-effect
+// table of Figure 5, and the per-method summary reported in the text.
+//
+// Usage:
+//
+//	syrep-bench -fig all                # everything (slow)
+//	syrep-bench -fig 7a -timeout 5s    # one figure
+//	syrep-bench -fig 7a -max-nodes 24  # smaller suite for laptops
+//	syrep-bench -zoo-dir path/to/zoo   # use the real Topology Zoo dataset
+//	syrep-bench -csv results.csv       # dump raw data for plotting
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"syrep/internal/benchmark"
+	"syrep/internal/core"
+	"syrep/internal/topozoo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "syrep-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("syrep-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|all")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-instance timeout (paper: 20 min)")
+	maxNodes := fs.Int("max-nodes", 28, "largest generated instance")
+	seedsPerSize := fs.Int("seeds", 1, "generated instances per size")
+	zooDir := fs.String("zoo-dir", "", "directory of real Topology Zoo .graphml files (optional)")
+	csvPath := fs.String("csv", "", "also write raw results as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite, err := buildSuite(*zooDir, *maxNodes, *seedsPerSize)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "suite: %d instances, per-instance timeout %s\n\n", len(suite), *timeout)
+
+	ctx := context.Background()
+	switch *fig {
+	case "5":
+		return fig5(w, suite)
+	case "7a":
+		return fig7(ctx, w, suite, 2, *timeout, *csvPath, false)
+	case "7b":
+		return fig7(ctx, w, suite, 2, *timeout, *csvPath, true)
+	case "7c":
+		return fig7(ctx, w, suite, 3, *timeout, *csvPath, false)
+	case "7d":
+		return fig7(ctx, w, suite, 3, *timeout, *csvPath, true)
+	case "8", "9":
+		return fig89(ctx, w, suite, *timeout, *csvPath, *fig == "8")
+	case "all":
+		if err := fig5(w, suite); err != nil {
+			return err
+		}
+		for _, k := range []int{2, 3} {
+			results := runAll(ctx, suite, k, *timeout)
+			if err := renderAll(w, results, k); err != nil {
+				return err
+			}
+			if *csvPath != "" {
+				if err := appendCSV(*csvPath, results); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+}
+
+func buildSuite(zooDir string, maxNodes, seeds int) ([]topozoo.Instance, error) {
+	if zooDir != "" {
+		return topozoo.LoadGraphMLDir(zooDir)
+	}
+	all := topozoo.Suite(topozoo.SuiteConfig{
+		MinNodes:     8,
+		MaxNodes:     maxNodes,
+		Step:         4,
+		SeedsPerSize: seeds,
+	})
+	// -max-nodes caps the embedded networks too, so small runs stay small.
+	out := all[:0]
+	for _, inst := range all {
+		if inst.Net.NumNodes() <= maxNodes {
+			out = append(out, inst)
+		}
+	}
+	return out, nil
+}
+
+func runAll(ctx context.Context, suite []topozoo.Instance, k int, timeout time.Duration) []benchmark.Result {
+	return benchmark.Run(ctx, suite, benchmark.Config{K: k, Timeout: timeout})
+}
+
+func fig5(w io.Writer, suite []topozoo.Instance) error {
+	fmt.Fprintln(w, "== Figure 5: effect of the structural reduction rules ==")
+	if err := benchmark.WriteReductionEffects(w, suite); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fig7(ctx context.Context, w io.Writer, suite []topozoo.Instance, k int, timeout time.Duration, csvPath string, ratio bool) error {
+	results := runAll(ctx, suite, k, timeout)
+	if csvPath != "" {
+		if err := appendCSV(csvPath, results); err != nil {
+			return err
+		}
+	}
+	if ratio {
+		fmt.Fprintf(w, "== Figure 7%s: combined/baseline runtime ratios (k=%d) ==\n", figLetter(k, true), k)
+		if err := benchmark.WriteRatios(w, results, core.Combined, core.Baseline); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "== Figure 7%s: cactus plot (k=%d) ==\n", figLetter(k, false), k)
+		if err := benchmark.WriteCactus(w, results,
+			[]core.Strategy{core.Baseline, core.HeuristicOnly, core.ReductionOnly, core.Combined}); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	return benchmark.WriteSummary(w, results)
+}
+
+func figLetter(k int, ratio bool) string {
+	switch {
+	case k == 2 && !ratio:
+		return "a"
+	case k == 2 && ratio:
+		return "b"
+	case k == 3 && !ratio:
+		return "c"
+	default:
+		return "d"
+	}
+}
+
+func fig89(ctx context.Context, w io.Writer, suite []topozoo.Instance, timeout time.Duration, csvPath string, byEdges bool) error {
+	figName, axis := "9", "nodes"
+	if byEdges {
+		figName, axis = "8", "edges"
+	}
+	for _, k := range []int{2, 3} {
+		results := runAll(ctx, suite, k, timeout)
+		if csvPath != "" {
+			if err := appendCSV(csvPath, results); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "== Figure %s: %s vs runtime (combined, k=%d) ==\n", figName, axis, k)
+		if err := benchmark.WriteScatter(w, results, core.Combined, byEdges); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func renderAll(w io.Writer, results []benchmark.Result, k int) error {
+	fmt.Fprintf(w, "== Figure 7 (k=%d): cactus ==\n", k)
+	if err := benchmark.WriteCactus(w, results,
+		[]core.Strategy{core.Baseline, core.HeuristicOnly, core.ReductionOnly, core.Combined}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== Figure 7 (k=%d): combined/baseline ratios ==\n", k)
+	if err := benchmark.WriteRatios(w, results, core.Combined, core.Baseline); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== Figure 8 (k=%d): edges vs runtime (combined) ==\n", k)
+	if err := benchmark.WriteScatter(w, results, core.Combined, true); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== Figure 9 (k=%d): nodes vs runtime (combined) ==\n", k)
+	if err := benchmark.WriteScatter(w, results, core.Combined, false); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== Summary (k=%d) ==\n", k)
+	if err := benchmark.WriteSummary(w, results); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+func appendCSV(path string, results []benchmark.Result) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return benchmark.WriteCSV(f, results)
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+// tinyArgs keeps every invocation laptop-quick: the smallest generated
+// ladder only (no embedded networks is not possible — Suite always includes
+// them — so use a short timeout instead).
+func tinyArgs(extra ...string) []string {
+	base := []string{"-timeout", "2s", "-max-nodes", "8", "-seeds", "1"}
+	return append(base, extra...)
+}
+
+func TestFig5(t *testing.T) {
+	out, err := runBench(t, "-fig", "5", "-max-nodes", "16", "-seeds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5", "BizNet", "aggN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	out, err := runBench(t, tinyArgs("-fig", "7a")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 7a", "rank", "combined", "solved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7dRatio(t *testing.T) {
+	out, err := runBench(t, tinyArgs("-fig", "7d")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 7d") || !strings.Contains(out, "ratio") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestFig8WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	out, err := runBench(t, tinyArgs("-fig", "8", "-csv", csv)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "edges vs runtime") {
+		t.Errorf("output:\n%s", out)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "instance,") {
+		t.Errorf("csv header: %q", string(data[:40]))
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := runBench(t, "-fig", "42"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestZooDirMissing(t *testing.T) {
+	if _, err := runBench(t, "-fig", "5", "-zoo-dir", "/no/such/dir"); err == nil {
+		t.Error("missing zoo dir accepted")
+	}
+}

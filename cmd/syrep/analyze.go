@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"syrep/internal/network"
+	"syrep/internal/quality"
+	"syrep/internal/verify"
+)
+
+// cmdAnalyze reports the quantitative profile of a routing table: maximum
+// achieved resilience, worst-case path stretch over all scenarios, and
+// failure-free link load.
+func cmdAnalyze(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	routingPath := fs.String("routing", "", "routing table JSON")
+	maxK := fs.Int("max-k", 3, "largest resilience level to probe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	r, err := loadRouting(net, *routingPath)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	k, err := verify.MaxResilience(ctx, r, *maxK)
+	if err != nil {
+		return err
+	}
+	switch {
+	case k < 0:
+		fmt.Fprintln(w, "resilience: routing fails even without failures")
+	case k == *maxK:
+		fmt.Fprintf(w, "resilience: perfectly %d-resilient (probe limit)\n", k)
+	default:
+		fmt.Fprintf(w, "resilience: perfectly %d-resilient (fails at k=%d)\n", k, k+1)
+	}
+
+	probe := k
+	if probe < 0 {
+		probe = 0
+	}
+	worst, at, allDelivered, err := quality.WorstStretch(ctx, r, probe)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "worst-case stretch over |F| <= %d: %.2f", probe, worst)
+	if worst > 1 && !at.Empty() {
+		fmt.Fprintf(w, " (under %v)", at)
+	}
+	fmt.Fprintln(w)
+	if !allDelivered {
+		fmt.Fprintln(w, "warning: some connected sources were undelivered during the stretch sweep")
+	}
+
+	load := quality.Load(r, network.NewEdgeSet(net.NumRealEdges()))
+	fmt.Fprintf(w, "failure-free link load (every node sends 1 unit to %s):\n",
+		net.NodeName(r.Dest()))
+	for e, l := range load.PerEdge {
+		if l == 0 {
+			continue
+		}
+		marker := ""
+		if network.EdgeID(e) == load.MaxEdge {
+			marker = "  <- max"
+		}
+		fmt.Fprintf(w, "  %-10s %3d%s\n", net.EdgeName(network.EdgeID(e)), l, marker)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Command syrep synthesises, verifies, repairs and reduces fast re-route
+// forwarding tables, mirroring the SyRep prototype's command-line workflow.
+//
+// Usage:
+//
+//	syrep list
+//	syrep show       -topo <name|file.graphml>
+//	syrep reduce     -topo <...> [-dest <node>] [-rule sound|aggressive]
+//	syrep synthesize -topo <...> [-dest <node>] [-k N] [-strategy S] [-o table.json]
+//	syrep verify     -topo <...> -routing table.json [-k N]
+//	syrep repair     -topo <...> -routing table.json [-k N] [-o repaired.json]
+//	syrep analyze    -topo <...> -routing table.json [-max-k N]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"syrep/internal/core"
+	"syrep/internal/network"
+	"syrep/internal/reduce"
+	"syrep/internal/routing"
+	"syrep/internal/topozoo"
+	"syrep/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "syrep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(w)
+	case "show":
+		return cmdShow(args[1:], w)
+	case "reduce":
+		return cmdReduce(args[1:], w)
+	case "synthesize":
+		return cmdSynthesize(args[1:], w)
+	case "verify":
+		return cmdVerify(args[1:], w)
+	case "repair":
+		return cmdRepair(args[1:], w)
+	case "analyze":
+		return cmdAnalyze(args[1:], w)
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: syrep <list|show|reduce|synthesize|verify|repair|analyze> [flags]")
+}
+
+// loadTopology resolves -topo: an embedded instance name or a GraphML file.
+func loadTopology(name string) (*network.Network, error) {
+	if strings.HasSuffix(name, ".graphml") {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		base := strings.TrimSuffix(name[strings.LastIndex(name, "/")+1:], ".graphml")
+		return topozoo.ParseGraphML(f, base)
+	}
+	for _, inst := range topozoo.Embedded() {
+		if strings.EqualFold(inst.Name, name) {
+			return inst.Net, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q (run 'syrep list')", name)
+}
+
+func resolveDest(net *network.Network, destName string) (network.NodeID, error) {
+	if destName == "" {
+		return 0, nil
+	}
+	d := net.NodeByName(destName)
+	if d == network.NoNode {
+		return 0, fmt.Errorf("unknown destination node %q", destName)
+	}
+	return d, nil
+}
+
+func cmdList(w io.Writer) error {
+	fmt.Fprintf(w, "%-12s %6s %6s %6s\n", "name", "nodes", "edges", "conn")
+	for _, inst := range topozoo.Embedded() {
+		fmt.Fprintf(w, "%-12s %6d %6d %6d\n",
+			inst.Name, inst.Net.NumNodes(), inst.Net.NumRealEdges(), inst.Net.EdgeConnectivity())
+	}
+	return nil
+}
+
+func cmdShow(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, net)
+	for _, e := range net.RealEdges() {
+		u, v := net.Endpoints(e)
+		fmt.Fprintf(w, "  %-8s %s -- %s\n", net.EdgeName(e), net.NodeName(u), net.NodeName(v))
+	}
+	return nil
+}
+
+func cmdReduce(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("reduce", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	dest := fs.String("dest", "", "destination node (default: first node)")
+	rule := fs.String("rule", "aggressive", "reduction rule: sound|aggressive")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	d, err := resolveDest(net, *dest)
+	if err != nil {
+		return err
+	}
+	var r reduce.Rule
+	switch *rule {
+	case "sound":
+		r = reduce.Sound
+	case "aggressive":
+		r = reduce.Aggressive
+	default:
+		return fmt.Errorf("unknown rule %q", *rule)
+	}
+	rd, err := reduce.Apply(net, d, r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %d nodes / %d edges -> %d nodes / %d edges (%d removed, rule %s)\n",
+		net.Name(), net.NumNodes(), net.NumRealEdges(),
+		rd.Reduced.NumNodes(), rd.Reduced.NumRealEdges(), rd.NumRemoved(), r)
+	return nil
+}
+
+func cmdSynthesize(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("synthesize", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	dest := fs.String("dest", "", "destination node (default: first node)")
+	k := fs.Int("k", 2, "resilience level")
+	strategy := fs.String("strategy", "combined", "baseline|heuristic|reduction|combined")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-run timeout")
+	out := fs.String("o", "", "write the routing table as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	d, err := resolveDest(net, *dest)
+	if err != nil {
+		return err
+	}
+	s, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	r, rep, err := core.Synthesize(context.Background(), net, d, *k, core.Options{
+		Strategy: s,
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "synthesised perfectly %d-resilient routing to %s in %s (strategy %s)\n",
+		*k, net.NodeName(d), rep.Elapsed.Round(time.Millisecond), rep.Strategy)
+	if rep.Reduced {
+		fmt.Fprintf(w, "  reduction removed %d nodes; repair used: reduced=%v expanded=%v\n",
+			rep.NodesRemoved, rep.ReducedRepairUsed, rep.ExpansionRepairUsed)
+	}
+	return emitRouting(w, r, *out)
+}
+
+func cmdVerify(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	routingPath := fs.String("routing", "", "routing table JSON")
+	k := fs.Int("k", 2, "resilience level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	r, err := loadRouting(net, *routingPath)
+	if err != nil {
+		return err
+	}
+	rep, err := verify.Check(context.Background(), r, *k, verify.Options{})
+	if err != nil {
+		return err
+	}
+	if rep.Resilient {
+		fmt.Fprintf(w, "routing is perfectly %d-resilient (%d scenarios, %d traces)\n",
+			*k, rep.Scenarios, rep.Traces)
+		return nil
+	}
+	fmt.Fprintf(w, "routing is NOT perfectly %d-resilient: %d failing deliveries\n",
+		*k, len(rep.Failing))
+	for i, f := range rep.Failing {
+		if i >= 10 {
+			fmt.Fprintf(w, "  ... and %d more\n", len(rep.Failing)-10)
+			break
+		}
+		fmt.Fprintf(w, "  from %s under %v: %s\n",
+			net.NodeName(f.Source), f.Failed, f.Outcome)
+	}
+	fmt.Fprintf(w, "suspicious entries: %d\n", len(rep.Suspicious()))
+	return nil
+}
+
+func cmdRepair(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	routingPath := fs.String("routing", "", "routing table JSON")
+	k := fs.Int("k", 2, "resilience level")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-run timeout")
+	out := fs.String("o", "", "write the repaired table as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	r, err := loadRouting(net, *routingPath)
+	if err != nil {
+		return err
+	}
+	outcome, err := core.Repair(context.Background(), r, *k, core.Options{Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+	if outcome.AlreadyResilient {
+		fmt.Fprintf(w, "routing is already perfectly %d-resilient; nothing to repair\n", *k)
+	} else {
+		fmt.Fprintf(w, "repaired: %d suspicious entries removed, %d entries changed\n",
+			outcome.Removed, len(outcome.Changed))
+	}
+	return emitRouting(w, outcome.Routing, *out)
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "baseline":
+		return core.Baseline, nil
+	case "heuristic":
+		return core.HeuristicOnly, nil
+	case "reduction":
+		return core.ReductionOnly, nil
+	case "combined":
+		return core.Combined, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func loadRouting(net *network.Network, path string) (*routing.Routing, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -routing table.json")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return routing.Unmarshal(data, net)
+}
+
+func emitRouting(w io.Writer, r *routing.Routing, path string) error {
+	if path == "" {
+		fmt.Fprint(w, r)
+		return nil
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "routing written to %s\n", path)
+	return nil
+}

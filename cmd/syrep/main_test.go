@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCmd(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Abilene", "BizNet", "nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShow(t *testing.T) {
+	out, err := runCmd(t, "show", "-topo", "Abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Denver") || !strings.Contains(out, "--") {
+		t.Errorf("show output unexpected:\n%s", out)
+	}
+}
+
+func TestReduceCommand(t *testing.T) {
+	out, err := runCmd(t, "reduce", "-topo", "BizNet", "-rule", "aggressive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "removed, rule aggressive") {
+		t.Errorf("reduce output unexpected:\n%s", out)
+	}
+	if _, err := runCmd(t, "reduce", "-topo", "BizNet", "-rule", "nope"); err == nil {
+		t.Error("bad rule accepted")
+	}
+}
+
+func TestSynthesizeVerifyRepairRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	table := filepath.Join(dir, "table.json")
+
+	out, err := runCmd(t, "synthesize", "-topo", "Arpanet1970", "-k", "1",
+		"-strategy", "combined", "-o", table)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if !strings.Contains(out, "perfectly 1-resilient") {
+		t.Errorf("synthesize output:\n%s", out)
+	}
+	if _, err := os.Stat(table); err != nil {
+		t.Fatalf("table not written: %v", err)
+	}
+
+	out, err = runCmd(t, "verify", "-topo", "Arpanet1970", "-routing", table, "-k", "1")
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(out, "is perfectly 1-resilient") {
+		t.Errorf("verify output:\n%s", out)
+	}
+
+	// Repairing an already-resilient table is a no-op.
+	out, err = runCmd(t, "repair", "-topo", "Arpanet1970", "-routing", table, "-k", "1")
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if !strings.Contains(out, "already perfectly 1-resilient") {
+		t.Errorf("repair output:\n%s", out)
+	}
+}
+
+func TestVerifyDetectsNonResilience(t *testing.T) {
+	dir := t.TempDir()
+	table := filepath.Join(dir, "t.json")
+	if _, err := runCmd(t, "synthesize", "-topo", "Arpanet1970", "-k", "0",
+		"-strategy", "heuristic", "-o", table); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "verify", "-topo", "Arpanet1970", "-routing", table, "-k", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic table may or may not be 3-resilient; the command must
+	// report one of the two verdicts cleanly.
+	if !strings.Contains(out, "resilient") {
+		t.Errorf("verify output lacks verdict:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := [][]string{
+		{},
+		{"frobnicate"},
+		{"show", "-topo", "NoSuchTopology"},
+		{"synthesize", "-topo", "Abilene", "-strategy", "warp"},
+		{"synthesize", "-topo", "Abilene", "-dest", "Atlantis"},
+		{"verify", "-topo", "Abilene"},
+		{"verify", "-topo", "Abilene", "-routing", "/nonexistent.json"},
+	}
+	for _, args := range tests {
+		if _, err := runCmd(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestLoadTopologyGraphML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.graphml")
+	doc := `<graphml><graph>
+	  <node id="0"/><node id="1"/><node id="2"/>
+	  <edge source="0" target="1"/><edge source="1" target="2"/>
+	  <edge source="2" target="0"/>
+	</graph></graphml>`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "show", "-topo", path)
+	if err != nil {
+		t.Fatalf("show graphml: %v", err)
+	}
+	if !strings.Contains(out, "3 nodes") {
+		t.Errorf("graphml show output:\n%s", out)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	table := filepath.Join(dir, "t.json")
+	if _, err := runCmd(t, "synthesize", "-topo", "Arpanet1970", "-k", "1",
+		"-o", table); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "analyze", "-topo", "Arpanet1970", "-routing", table, "-max-k", "2")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{"resilience:", "worst-case stretch", "link load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCmd(t, "analyze", "-topo", "Arpanet1970"); err == nil {
+		t.Error("analyze without routing accepted")
+	}
+}

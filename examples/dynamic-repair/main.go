@@ -1,0 +1,130 @@
+// Dynamic-repair demonstrates the paper's Section VII outlook: when the
+// network changes (a link is added), the repair method fills in the routing
+// entries around the change while preserving the rest of the data plane —
+// instead of re-synthesising everything from scratch.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"syrep"
+	"syrep/internal/encode"
+	"syrep/internal/routing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	const k = 2
+
+	// The original network: a 6-node ring with one chord.
+	build := func(withNewLink bool) (*syrep.Network, error) {
+		b := syrep.NewBuilder("dyn")
+		names := []string{"d", "a", "b", "c", "e", "f"}
+		ids := make([]syrep.NodeID, len(names))
+		for i, n := range names {
+			ids[i] = b.AddNode(n)
+		}
+		for i := range ids {
+			b.AddNamedEdge(fmt.Sprintf("ring%d", i), ids[i], ids[(i+1)%len(ids)])
+		}
+		b.AddNamedEdge("chord0", ids[1], ids[4]) // a - e
+		if withNewLink {
+			b.AddNamedEdge("newlink", ids[2], ids[5]) // b - f
+		}
+		net, err := b.Build()
+		return net, err
+	}
+
+	oldNet, err := build(false)
+	if err != nil {
+		return err
+	}
+	dest := oldNet.NodeByName("d")
+
+	oldRouting, _, err := syrep.Synthesize(ctx, oldNet, dest, k, syrep.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original network: %d nodes, %d edges; 2-resilient table with %d entries\n",
+		oldNet.NumNodes(), oldNet.NumRealEdges(), oldRouting.NumEntries())
+
+	// The network gains the link b-f. Port the table by name (edge names
+	// are stable), then punch holes only where the change matters: the new
+	// link's own in-edge entries and every entry at its two endpoints.
+	newNet, err := build(true)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(oldRouting)
+	if err != nil {
+		return err
+	}
+	ported, err := routing.Unmarshal(data, newNet)
+	if err != nil {
+		return err
+	}
+
+	nb := newNet.NodeByName("b")
+	nf := newNet.NodeByName("f")
+	var punched int
+	for _, key := range ported.AllKeys() {
+		if key.At != nb && key.At != nf {
+			continue
+		}
+		if err := ported.PunchHole(key.In, key.At, k+1); err != nil {
+			return err
+		}
+		punched++
+	}
+	fmt.Printf("after adding link b-f: re-synthesising %d entries at the endpoints, keeping %d\n",
+		punched, ported.NumEntries())
+
+	sol, err := encode.Solve(ctx, ported, k, encode.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("updated table perfectly 2-resilient?", syrep.Resilient(sol.Routing, k))
+
+	// How invasive was the update? Count entries that differ from the
+	// ported original (holes excluded — they had to change).
+	changed := 0
+	for _, key := range sol.Routing.Keys() {
+		newPrio, _ := sol.Routing.Get(key.In, key.At)
+		oldPrio, ok := oldPortedEntry(data, newNet, key)
+		if !ok || !equal(newPrio, oldPrio) {
+			changed++
+		}
+	}
+	fmt.Printf("entries differing from the pre-change table: %d of %d\n",
+		changed, sol.Routing.NumEntries())
+	return nil
+}
+
+func oldPortedEntry(data []byte, net *syrep.Network, key routing.Key) ([]syrep.EdgeID, bool) {
+	r, err := routing.Unmarshal(data, net)
+	if err != nil {
+		return nil, false
+	}
+	return r.Get(key.In, key.At)
+}
+
+func equal(a, b []syrep.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+// Traffic-profile demonstrates the quality analyses the paper motivates
+// (Section IV-A: default paths can be chosen to minimise "stretch or
+// congestion"; Section VII: utilisation-aware synthesis as future work):
+// synthesise a 2-resilient table for Abilene, then profile worst-case path
+// stretch and failure-free link load, and show how load shifts when the
+// busiest link fails.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"syrep"
+	"syrep/internal/network"
+	"syrep/internal/quality"
+	"syrep/internal/topozoo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	var abilene topozoo.Instance
+	for _, inst := range topozoo.Embedded() {
+		if inst.Name == "Abilene" {
+			abilene = inst
+		}
+	}
+	net := abilene.Net
+	dest := net.NodeByName("NewYork")
+
+	r, rep, err := syrep.Synthesize(ctx, net, dest, 2, syrep.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Abilene: perfectly 2-resilient routing to NewYork in %s\n\n",
+		rep.Elapsed.Round(1000))
+
+	// Worst-case stretch across every <=2-failure scenario.
+	worst, at, allDelivered, err := quality.WorstStretch(ctx, r, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worst-case stretch over all |F| <= 2: %.2f (under %v, allDelivered=%v)\n\n",
+		worst, at, allDelivered)
+
+	// Failure-free load profile.
+	none := network.NewEdgeSet(net.NumRealEdges())
+	base := quality.Load(r, none)
+	fmt.Println("failure-free link load (1 unit per source):")
+	printLoad(net, base)
+
+	// Fail the busiest link and watch the traffic shift.
+	F := network.EdgeSetOf(net.NumRealEdges(), base.MaxEdge)
+	shifted := quality.Load(r, F)
+	fmt.Printf("\nafter failing the busiest link %s:\n", net.EdgeName(base.MaxEdge))
+	printLoad(net, shifted)
+	fmt.Printf("\nundelivered sources after the failure: %d (0 = the table re-routes everyone)\n",
+		shifted.Undelivered)
+	return nil
+}
+
+func printLoad(net *syrep.Network, rep *quality.LoadReport) {
+	for e, l := range rep.PerEdge {
+		if l == 0 {
+			continue
+		}
+		u, v := net.Endpoints(network.EdgeID(e))
+		marker := ""
+		if network.EdgeID(e) == rep.MaxEdge {
+			marker = "  <- max"
+		}
+		fmt.Printf("  %-24s %2d%s\n",
+			net.NodeName(u)+" - "+net.NodeName(v), l, marker)
+	}
+}

@@ -1,0 +1,3 @@
+module syrep
+
+go 1.22

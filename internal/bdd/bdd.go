@@ -1,0 +1,253 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// in pure Go, following Bryant's classic algorithms. It is the symbolic
+// engine behind SyRep's routing synthesis and repair (Section III-A of the
+// paper), playing the role CUDD plays for the authors' prototype.
+//
+// A Manager owns a hash-consed node store with a fixed variable order (the
+// order in which variables are created). All operations return canonical
+// nodes: two Refs are equal iff they denote the same Boolean function.
+//
+// Memory management: callers protect BDDs they want to survive garbage
+// collection with Ref/Deref; GC sweeps everything unreachable from protected
+// nodes. Operations that would grow the store past the configured node limit
+// abort; wrap top-level symbolic computations in Protect to receive that
+// condition as an error instead of a panic.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ref references a BDD node inside its Manager. The constants False and True
+// are the terminal nodes. Refs are only meaningful with the Manager that
+// produced them.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// Var identifies a BDD variable (also its level in the fixed order).
+type Var int32
+
+const terminalLevel = Var(math.MaxInt32)
+
+// ErrNodeLimit is reported by Protect when a symbolic computation exceeds
+// the Manager's node limit even after garbage collection.
+var ErrNodeLimit = errors.New("bdd: node limit exceeded")
+
+type node struct {
+	level     Var
+	low, high Ref
+}
+
+type uniqueKey struct {
+	level     Var
+	low, high Ref
+}
+
+// Manager owns BDD nodes and caches.
+type Manager struct {
+	nodes    []node
+	unique   map[uniqueKey]Ref
+	free     []Ref // recycled node slots
+	varNames []string
+
+	cache     map[cacheKey]Ref
+	protected map[Ref]int
+
+	nodeLimit   int // hard cap on live nodes (0 = unlimited)
+	gcThreshold int // try GC when live nodes exceed this
+	overflowed  bool
+
+	// var2level / level2var implement dynamic variable reordering (see
+	// reorder.go); empty slices mean the identity permutation.
+	var2level []Var
+	level2var []Var
+
+	// Stats counts operations for benchmarking and tuning.
+	Stats Stats
+}
+
+// Stats aggregates operation counters.
+type Stats struct {
+	MkCalls    int64
+	CacheHits  int64
+	CacheMiss  int64
+	GCs        int64
+	NodesFreed int64
+	Reorders   int64
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// NodeLimit caps live BDD nodes; 0 means unlimited. When the limit is
+	// hit, the Manager garbage-collects; if still over, the current
+	// operation aborts (see Protect).
+	NodeLimit int
+	// InitialCapacity pre-sizes the node store.
+	InitialCapacity int
+}
+
+// New returns a Manager with default configuration.
+func New() *Manager { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns a Manager tuned by cfg.
+func NewWithConfig(cfg Config) *Manager {
+	capacity := cfg.InitialCapacity
+	if capacity < 1024 {
+		capacity = 1024
+	}
+	m := &Manager{
+		nodes:       make([]node, 2, capacity),
+		unique:      make(map[uniqueKey]Ref, capacity),
+		cache:       make(map[cacheKey]Ref, capacity),
+		protected:   make(map[Ref]int),
+		nodeLimit:   cfg.NodeLimit,
+		gcThreshold: 1 << 16,
+	}
+	m.nodes[False] = node{level: terminalLevel, low: False, high: False}
+	m.nodes[True] = node{level: terminalLevel, low: True, high: True}
+	return m
+}
+
+// NewVar declares the next variable in the order and returns it.
+func (m *Manager) NewVar(name string) Var {
+	v := Var(len(m.varNames))
+	if name == "" {
+		name = fmt.Sprintf("x%d", v)
+	}
+	m.varNames = append(m.varNames, name)
+	return v
+}
+
+// NewVars declares n consecutive variables with a common prefix.
+func (m *Manager) NewVars(prefix string, n int) []Var {
+	out := make([]Var, n)
+	for i := range out {
+		out[i] = m.NewVar(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// NumVars returns the number of declared variables.
+func (m *Manager) NumVars() int { return len(m.varNames) }
+
+// VarName returns the display name of v.
+func (m *Manager) VarName(v Var) string {
+	if int(v) < len(m.varNames) {
+		return m.varNames[v]
+	}
+	return fmt.Sprintf("x%d", v)
+}
+
+// levelName returns the display name of the variable at a level.
+func (m *Manager) levelName(l Var) string { return m.VarName(m.levelToVar(l)) }
+
+// NumNodes returns the number of live nodes, terminals included.
+func (m *Manager) NumNodes() int { return len(m.nodes) - len(m.free) }
+
+// Level returns the variable of the node (terminalLevel for constants).
+func (m *Manager) level(f Ref) Var { return m.nodes[f].level }
+
+// IsTerminal reports whether f is True or False.
+func IsTerminal(f Ref) bool { return f == True || f == False }
+
+// VarOf returns the top variable of f; calling it on a terminal is a
+// programming error.
+func (m *Manager) VarOf(f Ref) Var {
+	if IsTerminal(f) {
+		panic("bdd: VarOf on terminal")
+	}
+	return m.levelToVar(m.nodes[f].level)
+}
+
+// Low returns the low (else) child of f.
+func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
+
+// High returns the high (then) child of f.
+func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
+
+// VarRef returns the BDD for the single variable v.
+func (m *Manager) VarRef(v Var) Ref { return m.mk(m.varToLevel(v), False, True) }
+
+// NVarRef returns the BDD for the negation of variable v.
+func (m *Manager) NVarRef(v Var) Ref { return m.mk(m.varToLevel(v), True, False) }
+
+// Lit returns the literal v or ¬v depending on positive.
+func (m *Manager) Lit(v Var, positive bool) Ref {
+	if positive {
+		return m.VarRef(v)
+	}
+	return m.NVarRef(v)
+}
+
+// mk returns the canonical node (level, low, high), applying the reduction
+// rules (low == high elimination, hash-consing).
+func (m *Manager) mk(level Var, low, high Ref) Ref {
+	m.Stats.MkCalls++
+	if low == high {
+		return low
+	}
+	key := uniqueKey{level: level, low: low, high: high}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	if m.nodeLimit > 0 && m.NumNodes() >= m.nodeLimit {
+		m.overflowed = true
+		panic(bddOverflow{})
+	}
+	var r Ref
+	if n := len(m.free); n > 0 {
+		r = m.free[n-1]
+		m.free = m.free[:n-1]
+		m.nodes[r] = node{level: level, low: low, high: high}
+	} else {
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	}
+	m.unique[key] = r
+	return r
+}
+
+// bddOverflow is the panic payload for node-limit aborts; Protect converts
+// it to ErrNodeLimit.
+type bddOverflow struct{}
+
+// Protect runs fn, converting a node-limit abort into ErrNodeLimit. All
+// top-level symbolic computations that may blow up should run under
+// Protect.
+func (m *Manager) Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bddOverflow); ok {
+				err = ErrNodeLimit
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// Overflowed reports whether the Manager has ever hit its node limit.
+func (m *Manager) Overflowed() bool { return m.overflowed }
+
+// Ref protects f (and its descendants) from garbage collection. Calls nest.
+func (m *Manager) Ref(f Ref) Ref {
+	m.protected[f]++
+	return f
+}
+
+// Deref removes one protection from f.
+func (m *Manager) Deref(f Ref) {
+	if c := m.protected[f]; c > 1 {
+		m.protected[f] = c - 1
+	} else {
+		delete(m.protected, f)
+	}
+}

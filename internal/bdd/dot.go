@@ -1,0 +1,58 @@
+package bdd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders f as a Graphviz digraph in the style of the paper's
+// Figure 2b: solid arrows for the high (1) branch, dotted arrows for the low
+// (0) branch, square terminals.
+func (m *Manager) WriteDOT(w io.Writer, f Ref, title string) error {
+	seen := make(map[Ref]bool)
+	var order []Ref
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if !IsTerminal(g) {
+			n := m.nodes[g]
+			walk(n.low)
+			walk(n.high)
+		}
+		order = append(order, g)
+	}
+	walk(f)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", title); err != nil {
+		return err
+	}
+	for _, g := range order {
+		if IsTerminal(g) {
+			val := 0
+			if g == True {
+				val = 1
+			}
+			if _, err := fmt.Fprintf(w, "  n%d [shape=box,label=\"%d\"];\n", g, val); err != nil {
+				return err
+			}
+			continue
+		}
+		n := m.nodes[g]
+		if _, err := fmt.Fprintf(w, "  n%d [shape=circle,label=%q];\n", g, m.levelName(n.level)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [style=dotted];\n", g, n.low); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", g, n.high); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

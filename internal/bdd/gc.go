@@ -1,0 +1,57 @@
+package bdd
+
+// Garbage collection: mark from protected roots, sweep everything else.
+// Refs of live nodes are stable across GC; freed slots are recycled by mk.
+// The operation cache is cleared because it may reference freed nodes.
+//
+// GC must only run between top-level operations: intermediate results held
+// on the Go stack during a recursion are not protected. The Manager never
+// garbage-collects implicitly for that reason.
+
+// GC frees every node unreachable from protected roots and returns the
+// number of freed nodes.
+func (m *Manager) GC() int {
+	m.Stats.GCs++
+	marked := make([]bool, len(m.nodes))
+	marked[False] = true
+	marked[True] = true
+	var mark func(Ref)
+	mark = func(f Ref) {
+		if marked[f] {
+			return
+		}
+		marked[f] = true
+		n := m.nodes[f]
+		mark(n.low)
+		mark(n.high)
+	}
+	for f := range m.protected {
+		mark(f)
+	}
+
+	// Sweep: rebuild the unique table, recycle dead slots.
+	freedBefore := len(m.free)
+	inFree := make([]bool, len(m.nodes))
+	for _, f := range m.free {
+		inFree[f] = true
+	}
+	for key, ref := range m.unique {
+		if !marked[ref] {
+			delete(m.unique, key)
+			if !inFree[ref] {
+				m.free = append(m.free, ref)
+				inFree[ref] = true
+			}
+		}
+	}
+	m.cache = make(map[cacheKey]Ref, 1024)
+	freed := len(m.free) - freedBefore
+	m.Stats.NodesFreed += int64(freed)
+	return freed
+}
+
+// ClearCache drops the operation cache without freeing nodes. Useful to
+// bound memory between independent problem instances sharing a Manager.
+func (m *Manager) ClearCache() {
+	m.cache = make(map[cacheKey]Ref, 1024)
+}

@@ -1,0 +1,257 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// quick_test.go cross-checks the BDD engine against a brute-force
+// truth-table oracle on randomly generated formulae. This is the canonical
+// way to gain confidence in a hash-consed BDD implementation: canonicity
+// bugs show up as semantic divergence or pointer inequality between
+// equivalent formulae.
+
+const quickVars = 6
+
+// formula is a random propositional formula over quickVars variables.
+type formula struct {
+	op       int // 0..7: Apply ops; 8: not; 9: var; 10: const
+	variable Var
+	constant bool
+	l, r     *formula
+}
+
+func randFormula(rng *rand.Rand, depth int) *formula {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(6) == 0 {
+			return &formula{op: 10, constant: rng.Intn(2) == 0}
+		}
+		return &formula{op: 9, variable: Var(rng.Intn(quickVars))}
+	}
+	if rng.Intn(5) == 0 {
+		return &formula{op: 8, l: randFormula(rng, depth-1)}
+	}
+	return &formula{
+		op: rng.Intn(8),
+		l:  randFormula(rng, depth-1),
+		r:  randFormula(rng, depth-1),
+	}
+}
+
+func (f *formula) eval(assign uint) bool {
+	bit := func(v Var) bool { return assign&(1<<uint(v)) != 0 }
+	switch f.op {
+	case 8:
+		return !f.l.eval(assign)
+	case 9:
+		return bit(f.variable)
+	case 10:
+		return f.constant
+	}
+	a, b := f.l.eval(assign), f.r.eval(assign)
+	switch Op(f.op + 1) {
+	case OpAnd:
+		return a && b
+	case OpOr:
+		return a || b
+	case OpXor:
+		return a != b
+	case OpNand:
+		return !(a && b)
+	case OpNor:
+		return !(a || b)
+	case OpImp:
+		return !a || b
+	case OpBiimp:
+		return a == b
+	case OpDiff:
+		return a && !b
+	}
+	panic("unreachable")
+}
+
+func (f *formula) build(m *Manager) Ref {
+	switch f.op {
+	case 8:
+		return m.Not(f.l.build(m))
+	case 9:
+		return m.VarRef(f.variable)
+	case 10:
+		if f.constant {
+			return True
+		}
+		return False
+	}
+	return m.Apply(Op(f.op+1), f.l.build(m), f.r.build(m))
+}
+
+func assignmentFromBits(bits uint) Assignment {
+	a := make(Assignment, quickVars)
+	for v := Var(0); v < quickVars; v++ {
+		a[v] = bits&(1<<uint(v)) != 0
+	}
+	return a
+}
+
+func TestQuickSemanticsAgainstTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New()
+	m.NewVars("x", quickVars)
+	for round := 0; round < 300; round++ {
+		f := randFormula(rng, 5)
+		ref := f.build(m)
+		for bits := uint(0); bits < 1<<quickVars; bits++ {
+			if m.Eval(ref, assignmentFromBits(bits)) != f.eval(bits) {
+				t.Fatalf("round %d: BDD disagrees with truth table at %06b", round, bits)
+			}
+		}
+	}
+}
+
+func TestQuickCanonicityEquivalentFormulae(t *testing.T) {
+	// Two random formulae with the same truth table must map to the same Ref.
+	rng := rand.New(rand.NewSource(7))
+	m := New()
+	m.NewVars("x", quickVars)
+	byTable := make(map[uint64]Ref)
+	for round := 0; round < 500; round++ {
+		f := randFormula(rng, 4)
+		ref := f.build(m)
+		var table uint64
+		for bits := uint(0); bits < 1<<quickVars; bits++ {
+			if f.eval(bits) {
+				table |= 1 << bits
+			}
+		}
+		if prev, ok := byTable[table]; ok {
+			if prev != ref {
+				t.Fatalf("round %d: equivalent formulae got different Refs", round)
+			}
+		} else {
+			byTable[table] = ref
+		}
+	}
+}
+
+func TestQuickSatCountAgainstTruthTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := New()
+	m.NewVars("x", quickVars)
+	for round := 0; round < 200; round++ {
+		f := randFormula(rng, 4)
+		ref := f.build(m)
+		want := 0
+		for bits := uint(0); bits < 1<<quickVars; bits++ {
+			if f.eval(bits) {
+				want++
+			}
+		}
+		if got := m.SatCount(ref); got != float64(want) {
+			t.Fatalf("round %d: SatCount = %v, want %d", round, got, want)
+		}
+	}
+}
+
+func TestQuickQuantifiersAgainstExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New()
+	xs := m.NewVars("x", quickVars)
+	for round := 0; round < 150; round++ {
+		f := randFormula(rng, 4).build(m)
+		v := xs[rng.Intn(quickVars)]
+		cube := m.NewCube(v)
+		f0 := m.Restrict(f, map[Var]bool{v: false})
+		f1 := m.Restrict(f, map[Var]bool{v: true})
+		if m.Exists(f, cube) != m.Or(f0, f1) {
+			t.Fatalf("round %d: ∃ differs from Shannon expansion", round)
+		}
+		if m.ForAll(f, cube) != m.And(f0, f1) {
+			t.Fatalf("round %d: ∀ differs from Shannon expansion", round)
+		}
+	}
+}
+
+func TestQuickAllSatExactCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := New()
+	m.NewVars("x", quickVars)
+	for round := 0; round < 100; round++ {
+		f := randFormula(rng, 4)
+		ref := f.build(m)
+		// Expand AllSat paths to full assignments and compare sets.
+		got := make(map[uint]bool)
+		m.AllSat(ref, func(a Assignment) bool {
+			// Enumerate don't-cares.
+			var free []Var
+			var base uint
+			for v := Var(0); v < quickVars; v++ {
+				if val, ok := a[v]; ok {
+					if val {
+						base |= 1 << uint(v)
+					}
+				} else {
+					free = append(free, v)
+				}
+			}
+			for comb := uint(0); comb < 1<<len(free); comb++ {
+				bits := base
+				for i, v := range free {
+					if comb&(1<<uint(i)) != 0 {
+						bits |= 1 << uint(v)
+					}
+				}
+				if got[bits] {
+					t.Fatalf("round %d: assignment %06b covered twice", round, bits)
+				}
+				got[bits] = true
+			}
+			return true
+		})
+		for bits := uint(0); bits < 1<<quickVars; bits++ {
+			if got[bits] != f.eval(bits) {
+				t.Fatalf("round %d: AllSat cover mismatch at %06b", round, bits)
+			}
+		}
+	}
+}
+
+func TestQuickGCPreservesProtected(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	m := New()
+	m.NewVars("x", quickVars)
+	type kept struct {
+		f     *formula
+		ref   Ref
+		table uint64
+	}
+	var keep []kept
+	for round := 0; round < 50; round++ {
+		f := randFormula(rng, 5)
+		ref := f.build(m)
+		if round%5 == 0 {
+			m.Ref(ref)
+			var table uint64
+			for bits := uint(0); bits < 1<<quickVars; bits++ {
+				if f.eval(bits) {
+					table |= 1 << bits
+				}
+			}
+			keep = append(keep, kept{f: f, ref: ref, table: table})
+		}
+		if round%10 == 9 {
+			m.GC()
+			for _, k := range keep {
+				for bits := uint(0); bits < 1<<quickVars; bits++ {
+					want := k.table&(1<<bits) != 0
+					if m.Eval(k.ref, assignmentFromBits(bits)) != want {
+						t.Fatalf("round %d: protected BDD corrupted by GC", round)
+					}
+				}
+				// Rebuilding must be canonical with the protected copy.
+				if k.f.build(m) != k.ref {
+					t.Fatalf("round %d: canonicity broken after GC", round)
+				}
+			}
+		}
+	}
+}

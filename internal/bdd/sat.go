@@ -1,0 +1,160 @@
+package bdd
+
+import (
+	"math"
+	"sort"
+)
+
+// Assignment maps variables to truth values; variables absent from the map
+// are "don't care".
+type Assignment map[Var]bool
+
+// Eval evaluates f under a total (or sufficient) assignment; missing
+// variables default to false.
+func (m *Manager) Eval(f Ref, a Assignment) bool {
+	for !IsTerminal(f) {
+		n := m.nodes[f]
+		if a[m.levelToVar(n.level)] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// variables declared in the Manager, as a float64 (counts can exceed uint64
+// for many variables).
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := make(map[Ref]float64)
+	total := m.satCount(f, memo)
+	// satCount computes the count relative to the subtree's top level; scale
+	// by 2^level of the root.
+	var rootLevel Var
+	if IsTerminal(f) {
+		rootLevel = Var(m.NumVars())
+	} else {
+		rootLevel = m.level(f)
+	}
+	return total * math.Pow(2, float64(rootLevel))
+}
+
+// satCount returns the satisfying count of the subtree assuming its top node
+// is at its own level; children counts are scaled by the level gaps.
+func (m *Manager) satCount(f Ref, memo map[Ref]float64) float64 {
+	if f == False {
+		return 0
+	}
+	if f == True {
+		return 1
+	}
+	if c, ok := memo[f]; ok {
+		return c
+	}
+	n := m.nodes[f]
+	c := m.satCount(n.low, memo)*m.gap(n.level, n.low) +
+		m.satCount(n.high, memo)*m.gap(n.level, n.high)
+	memo[f] = c
+	return c
+}
+
+// gap returns 2^(levels skipped between parent and child).
+func (m *Manager) gap(parent Var, child Ref) float64 {
+	childLevel := Var(m.NumVars())
+	if !IsTerminal(child) {
+		childLevel = m.level(child)
+	}
+	return math.Pow(2, float64(childLevel-parent-1))
+}
+
+// AnySat returns one satisfying assignment of f (nil when f is False). Only
+// variables on the chosen path appear in the result; others are don't-care.
+func (m *Manager) AnySat(f Ref) Assignment {
+	if f == False {
+		return nil
+	}
+	a := make(Assignment)
+	for !IsTerminal(f) {
+		n := m.nodes[f]
+		if n.low != False {
+			a[m.levelToVar(n.level)] = false
+			f = n.low
+		} else {
+			a[m.levelToVar(n.level)] = true
+			f = n.high
+		}
+	}
+	return a
+}
+
+// AllSat invokes fn for every satisfying path of f with the partial
+// assignment of that path (don't-care variables omitted). fn must not retain
+// the map. Iteration stops early when fn returns false; AllSat reports
+// whether iteration ran to completion.
+func (m *Manager) AllSat(f Ref, fn func(Assignment) bool) bool {
+	a := make(Assignment)
+	return m.allSat(f, a, fn)
+}
+
+func (m *Manager) allSat(f Ref, a Assignment, fn func(Assignment) bool) bool {
+	switch f {
+	case False:
+		return true
+	case True:
+		return fn(a)
+	}
+	n := m.nodes[f]
+	v := m.levelToVar(n.level)
+	a[v] = false
+	if !m.allSat(n.low, a, fn) {
+		return false
+	}
+	a[v] = true
+	if !m.allSat(n.high, a, fn) {
+		return false
+	}
+	delete(a, v)
+	return true
+}
+
+// Support returns the variables f depends on, ascending.
+func (m *Manager) Support(f Ref) []Var {
+	seen := make(map[Ref]bool)
+	vars := make(map[Var]bool)
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if IsTerminal(g) || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		vars[m.levelToVar(n.level)] = true
+		walk(n.low)
+		walk(n.high)
+	}
+	walk(f)
+	out := make([]Var, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeCount returns the number of distinct nodes in f's DAG, terminals
+// excluded.
+func (m *Manager) NodeCount(f Ref) int {
+	seen := make(map[Ref]bool)
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if IsTerminal(g) || seen[g] {
+			return
+		}
+		seen[g] = true
+		walk(m.nodes[g].low)
+		walk(m.nodes[g].high)
+	}
+	walk(f)
+	return len(seen)
+}

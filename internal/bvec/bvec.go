@@ -1,0 +1,146 @@
+// Package bvec provides fixed-width symbolic bit-vectors over BDD variables.
+// The SyRep encoding represents edges, nodes and priority-list parameters as
+// binary-encoded integers (Section III-A: "any finite set S can be
+// represented by ceil(log |S|) Boolean variables"); bvec supplies the
+// comparison and membership predicates the encoding needs.
+package bvec
+
+import (
+	"fmt"
+
+	"syrep/internal/bdd"
+)
+
+// Vec is a little-endian vector of BDD variables: Bits[0] is the least
+// significant bit.
+type Vec struct {
+	m    *bdd.Manager
+	bits []bdd.Var
+}
+
+// New allocates width fresh variables named prefix0..prefix{width-1} and
+// returns the vector.
+func New(m *bdd.Manager, prefix string, width int) Vec {
+	return Vec{m: m, bits: m.NewVars(prefix, width)}
+}
+
+// FromVars wraps existing variables (little-endian) as a vector.
+func FromVars(m *bdd.Manager, vars []bdd.Var) Vec {
+	return Vec{m: m, bits: append([]bdd.Var(nil), vars...)}
+}
+
+// Width returns the number of bits.
+func (v Vec) Width() int { return len(v.bits) }
+
+// Bits returns the underlying variables, little-endian. The slice is shared.
+func (v Vec) Bits() []bdd.Var { return v.bits }
+
+// WidthFor returns the number of bits needed to encode values 0..n-1
+// (at least 1).
+func WidthFor(n int) int {
+	w := 1
+	for (1 << w) < n {
+		w++
+	}
+	return w
+}
+
+// EqConst returns the BDD asserting v == c.
+func (v Vec) EqConst(c uint) bdd.Ref {
+	if c>>uint(len(v.bits)) != 0 {
+		return bdd.False // constant not representable
+	}
+	m := v.m
+	r := bdd.True
+	// Conjoin from the most significant (highest variable) down so the BDD
+	// builds bottom-up without intermediate blowup.
+	for i := len(v.bits) - 1; i >= 0; i-- {
+		r = m.And(m.Lit(v.bits[i], c&(1<<uint(i)) != 0), r)
+	}
+	return r
+}
+
+// Eq returns the BDD asserting v == w (bitwise equality). Both vectors must
+// have the same width.
+func (v Vec) Eq(w Vec) bdd.Ref {
+	if len(v.bits) != len(w.bits) {
+		panic(fmt.Sprintf("bvec: width mismatch %d vs %d", len(v.bits), len(w.bits)))
+	}
+	m := v.m
+	r := bdd.True
+	for i := len(v.bits) - 1; i >= 0; i-- {
+		bit := m.Biimp(m.VarRef(v.bits[i]), m.VarRef(w.bits[i]))
+		r = m.And(bit, r)
+	}
+	return r
+}
+
+// MemberOf returns the BDD asserting v ∈ consts.
+func (v Vec) MemberOf(consts []uint) bdd.Ref {
+	m := v.m
+	r := bdd.False
+	for _, c := range consts {
+		r = m.Or(r, v.EqConst(c))
+	}
+	return r
+}
+
+// LessConst returns the BDD asserting v < c (unsigned comparison). It is
+// used to constrain binary-encoded values to a set's cardinality.
+func (v Vec) LessConst(c uint) bdd.Ref {
+	m := v.m
+	if c>>uint(len(v.bits)) != 0 {
+		return bdd.True // every representable value is < c
+	}
+	// LSB-to-MSB accumulation: at each bit, v < c iff the strict decision is
+	// made here (v_i=0, c_i=1) or this bit ties and the lower bits decide.
+	r := bdd.False // empty prefix ties -> not less
+	for i := 0; i < len(v.bits); i++ {
+		ci := c&(1<<uint(i)) != 0
+		vi := m.VarRef(v.bits[i])
+		if ci {
+			// v_i=0 -> strictly less here; v_i=1 -> tie, defer to lower bits.
+			r = m.Or(m.Not(vi), m.And(vi, r))
+		} else {
+			// v_i=1 -> strictly greater here; v_i=0 -> tie.
+			r = m.And(m.Not(vi), r)
+		}
+	}
+	return r
+}
+
+// Decode extracts the integer value of the vector from a satisfying
+// assignment; don't-care bits default to 0.
+func (v Vec) Decode(a bdd.Assignment) uint {
+	var out uint
+	for i, b := range v.bits {
+		if a[b] {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Assign returns the partial assignment mapping the vector's bits to the
+// binary encoding of c.
+func (v Vec) Assign(c uint) map[bdd.Var]bool {
+	out := make(map[bdd.Var]bool, len(v.bits))
+	for i, b := range v.bits {
+		out[b] = c&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+// Interleave allocates two vectors of the given width whose bits alternate
+// in the variable order (a0, b0, a1, b1, ...). Interleaved vectors make
+// Eq BDDs linear-sized and variable renamings order-preserving, which the
+// encode package relies on for its fixpoint computation.
+func Interleave(m *bdd.Manager, prefixA, prefixB string, width int) (Vec, Vec) {
+	a := Vec{m: m, bits: make([]bdd.Var, width)}
+	b := Vec{m: m, bits: make([]bdd.Var, width)}
+	for i := 0; i < width; i++ {
+		a.bits[i] = m.NewVar(fmt.Sprintf("%s%d", prefixA, i))
+		b.bits[i] = m.NewVar(fmt.Sprintf("%s%d", prefixB, i))
+	}
+	return a, b
+}

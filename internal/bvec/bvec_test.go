@@ -1,0 +1,175 @@
+package bvec
+
+import (
+	"testing"
+
+	"syrep/internal/bdd"
+)
+
+func TestWidthFor(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, tt := range tests {
+		if got := WidthFor(tt.n); got != tt.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestEqConstExhaustive(t *testing.T) {
+	m := bdd.New()
+	v := New(m, "v", 3)
+	for c := uint(0); c < 8; c++ {
+		f := v.EqConst(c)
+		for val := uint(0); val < 8; val++ {
+			got := m.Eval(f, assignFor(v, val))
+			if got != (val == c) {
+				t.Errorf("EqConst(%d) at %d = %v", c, val, got)
+			}
+		}
+	}
+	// Unrepresentable constant.
+	if v.EqConst(8) != bdd.False {
+		t.Error("EqConst(8) on 3-bit vec != False")
+	}
+}
+
+func TestEq(t *testing.T) {
+	m := bdd.New()
+	a, b := Interleave(m, "a", "b", 3)
+	f := a.Eq(b)
+	for x := uint(0); x < 8; x++ {
+		for y := uint(0); y < 8; y++ {
+			assign := assignFor(a, x)
+			for k, v := range assignFor(b, y) {
+				assign[k] = v
+			}
+			if got := m.Eval(f, assign); got != (x == y) {
+				t.Errorf("Eq at (%d,%d) = %v", x, y, got)
+			}
+		}
+	}
+}
+
+func TestEqWidthMismatchPanics(t *testing.T) {
+	m := bdd.New()
+	a := New(m, "a", 2)
+	b := New(m, "b", 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	a.Eq(b)
+}
+
+func TestMemberOf(t *testing.T) {
+	m := bdd.New()
+	v := New(m, "v", 3)
+	set := []uint{1, 4, 6}
+	f := v.MemberOf(set)
+	want := map[uint]bool{1: true, 4: true, 6: true}
+	for val := uint(0); val < 8; val++ {
+		if got := m.Eval(f, assignFor(v, val)); got != want[val] {
+			t.Errorf("MemberOf at %d = %v, want %v", val, got, want[val])
+		}
+	}
+	if v.MemberOf(nil) != bdd.False {
+		t.Error("MemberOf(empty) != False")
+	}
+}
+
+func TestLessConstExhaustive(t *testing.T) {
+	m := bdd.New()
+	v := New(m, "v", 4)
+	for c := uint(0); c <= 20; c++ {
+		f := v.LessConst(c)
+		for val := uint(0); val < 16; val++ {
+			if got := m.Eval(f, assignFor(v, val)); got != (val < c) {
+				t.Errorf("LessConst(%d) at %d = %v", c, val, got)
+			}
+		}
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	m := bdd.New()
+	v := New(m, "v", 5)
+	for c := uint(0); c < 32; c += 3 {
+		f := v.EqConst(c)
+		a := m.AnySat(f)
+		if a == nil {
+			t.Fatalf("EqConst(%d) unsatisfiable", c)
+		}
+		if got := v.Decode(a); got != c {
+			t.Errorf("Decode(AnySat(EqConst(%d))) = %d", c, got)
+		}
+	}
+}
+
+func TestAssign(t *testing.T) {
+	m := bdd.New()
+	v := New(m, "v", 3)
+	f := v.EqConst(5)
+	assign := v.Assign(5)
+	if !m.Eval(f, bdd.Assignment(assign)) {
+		t.Error("Assign(5) does not satisfy EqConst(5)")
+	}
+	if m.Eval(f, bdd.Assignment(v.Assign(4))) {
+		t.Error("Assign(4) satisfies EqConst(5)")
+	}
+	// Restricting with Assign turns the predicate into a constant.
+	if m.Restrict(f, v.Assign(5)) != bdd.True {
+		t.Error("Restrict with matching Assign != True")
+	}
+	if m.Restrict(f, v.Assign(2)) != bdd.False {
+		t.Error("Restrict with mismatched Assign != False")
+	}
+}
+
+func TestInterleaveOrdering(t *testing.T) {
+	m := bdd.New()
+	a, b := Interleave(m, "a", "b", 4)
+	if a.Width() != 4 || b.Width() != 4 {
+		t.Fatal("widths wrong")
+	}
+	// Bits must alternate: a0 < b0 < a1 < b1 < ...
+	for i := 0; i < 4; i++ {
+		if a.Bits()[i] != bdd.Var(2*i) || b.Bits()[i] != bdd.Var(2*i+1) {
+			t.Fatalf("interleave layout wrong: a=%v b=%v", a.Bits(), b.Bits())
+		}
+	}
+	// Renaming a -> b is order-preserving, so Replace must work.
+	pairs := make(map[bdd.Var]bdd.Var)
+	for i := 0; i < 4; i++ {
+		pairs[a.Bits()[i]] = b.Bits()[i]
+	}
+	rep := m.NewReplacement(pairs)
+	f := a.EqConst(9)
+	got := m.Replace(f, rep)
+	if got != b.EqConst(9) {
+		t.Error("Replace(a==9) != (b==9)")
+	}
+}
+
+func TestFromVars(t *testing.T) {
+	m := bdd.New()
+	vars := m.NewVars("z", 3)
+	v := FromVars(m, vars)
+	if v.Width() != 3 {
+		t.Fatal("width wrong")
+	}
+	if !m.Eval(v.EqConst(7), bdd.Assignment{vars[0]: true, vars[1]: true, vars[2]: true}) {
+		t.Error("FromVars EqConst wrong")
+	}
+}
+
+// assignFor builds a full assignment setting vec to val.
+func assignFor(v Vec, val uint) bdd.Assignment {
+	a := make(bdd.Assignment)
+	for i, b := range v.Bits() {
+		a[b] = val&(1<<uint(i)) != 0
+	}
+	return a
+}

@@ -1,0 +1,201 @@
+// Package combinatorial implements the memory-hungry alternative to
+// skipping routings that Section II of the SyRep paper contrasts against:
+// combinatorial routing stores one forwarding entry per (in-edge, node,
+// set-of-failed-incident-links) combination (the Plinko approach [34]).
+// Such tables are maximally expressive — any local failover behaviour can be
+// written down — but need exponentially many entries in the node degree,
+// which is precisely why SyRep (and the literature it follows) synthesises
+// skipping tables instead.
+//
+// The package exists to make that trade-off measurable: FromSkipping
+// compiles a skipping routing into the equivalent combinatorial table, and
+// the package-level benchmarks compare entry counts.
+package combinatorial
+
+import (
+	"fmt"
+	"math/bits"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+)
+
+// key identifies one conditional forwarding entry: the packet's in-edge, the
+// node, and the subset of the node's incident links that have failed,
+// encoded as a bitmask over the node's incident-edge list.
+type key struct {
+	in         network.EdgeID
+	at         network.NodeID
+	failedMask uint32
+}
+
+// Table is a combinatorial forwarding table toward a fixed destination.
+type Table struct {
+	net     *network.Network
+	dest    network.NodeID
+	entries map[key]network.EdgeID
+}
+
+// maxDegree bounds the supported node degree (entries per node grow as
+// 2^degree, so beyond this the table is pointless anyway).
+const maxDegree = 30
+
+// FromSkipping expands a hole-free skipping routing into the equivalent
+// combinatorial table: for every entry R(e, v) = (e1, ..., el) and every
+// subset S of v's incident links, the table forwards to the first e_i not in
+// S (no entry when every e_i is in S — the packet is dropped).
+func FromSkipping(r *routing.Routing) (*Table, error) {
+	if r.NumHoles() > 0 {
+		return nil, fmt.Errorf("combinatorial: routing has %d holes", r.NumHoles())
+	}
+	net := r.Network()
+	t := &Table{
+		net:     net,
+		dest:    r.Dest(),
+		entries: make(map[key]network.EdgeID),
+	}
+	for _, k := range r.Keys() {
+		prio, _ := r.Get(k.In, k.At)
+		inc := net.IncidentEdges(k.At)
+		if len(inc) > maxDegree {
+			return nil, fmt.Errorf("combinatorial: node %s degree %d exceeds %d",
+				net.NodeName(k.At), len(inc), maxDegree)
+		}
+		idx := make(map[network.EdgeID]int, len(inc))
+		for i, e := range inc {
+			idx[e] = i
+		}
+		for mask := uint32(0); mask < 1<<len(inc); mask++ {
+			// A packet cannot arrive on a failed link.
+			if !net.IsLoopback(k.In) && mask&(1<<idx[k.In]) != 0 {
+				continue
+			}
+			for _, e := range prio {
+				if mask&(1<<idx[e]) == 0 {
+					t.entries[key{in: k.In, at: k.At, failedMask: mask}] = e
+					break
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// NumEntries returns the number of stored conditional entries — the memory
+// footprint the paper's Section II calls "expensive and often infeasible".
+func (t *Table) NumEntries() int { return len(t.entries) }
+
+// Step resolves one forwarding decision under a failure scenario.
+func (t *Table) Step(failed network.EdgeSet, in network.EdgeID, at network.NodeID) (network.EdgeID, bool) {
+	inc := t.net.IncidentEdges(at)
+	var mask uint32
+	for i, e := range inc {
+		if failed.Has(e) {
+			mask |= 1 << i
+		}
+	}
+	out, ok := t.entries[key{in: in, at: at, failedMask: mask}]
+	return out, ok
+}
+
+// Run follows a packet from source under the scenario, with the same
+// semantics and loop detection as trace.Run.
+func (t *Table) Run(failed network.EdgeSet, source network.NodeID) trace.Result {
+	res := trace.Result{}
+	in := t.net.Loopback(source)
+	at := source
+	res.Edges = append(res.Edges, in)
+	if at == t.dest {
+		res.Outcome = trace.Delivered
+		return res
+	}
+	seen := make(map[key]bool)
+	for {
+		inc := t.net.IncidentEdges(at)
+		var mask uint32
+		for i, e := range inc {
+			if failed.Has(e) {
+				mask |= 1 << i
+			}
+		}
+		k := key{in: in, at: at, failedMask: mask}
+		if seen[k] {
+			res.Outcome = trace.Looped
+			return res
+		}
+		seen[k] = true
+		out, ok := t.entries[k]
+		if !ok {
+			res.Outcome = trace.Dropped
+			return res
+		}
+		res.Used = append(res.Used, routing.Key{In: in, At: at})
+		res.Edges = append(res.Edges, out)
+		at = t.net.Other(out, at)
+		in = out
+		if at == t.dest {
+			res.Outcome = trace.Delivered
+			return res
+		}
+	}
+}
+
+// Resilient verifies perfect k-resilience of the combinatorial table by
+// brute force, mirroring verify.Check for skipping routings.
+func (t *Table) Resilient(k int) bool {
+	net := t.net
+	ok := true
+	net.ForEachScenario(k, func(F network.EdgeSet) bool {
+		reach := net.ReachableWithout(t.dest, F)
+		for _, s := range net.Nodes() {
+			if s == t.dest || !reach[s] {
+				continue
+			}
+			if t.Run(F, s).Outcome != trace.Delivered {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// TheoreticalEntries returns how many conditional entries a full
+// combinatorial table needs for the network (every in-edge × node ×
+// incident-failure subset that the in-edge survives), versus the linear
+// count of a skipping table. It quantifies the paper's Section II argument.
+func TheoreticalEntries(net *network.Network, dest network.NodeID) (combinatorial, skipping int) {
+	for _, v := range net.Nodes() {
+		if v == dest {
+			continue
+		}
+		deg := net.Degree(v)
+		subsets := 1 << deg
+		// Real in-edges cannot themselves be failed: half the subsets each.
+		combinatorial += deg * subsets / 2
+		// The loop-back in-edge sees every subset.
+		combinatorial += subsets
+		// Skipping: one priority list (of at most deg entries) per in-edge.
+		skipping += deg + 1
+	}
+	return combinatorial, skipping
+}
+
+// MaskString renders a failure mask for diagnostics.
+func (t *Table) MaskString(at network.NodeID, mask uint32) string {
+	inc := t.net.IncidentEdges(at)
+	out := "{"
+	first := true
+	for i := 0; i < bits.Len32(mask); i++ {
+		if mask&(1<<i) != 0 {
+			if !first {
+				out += ","
+			}
+			first = false
+			out += t.net.EdgeName(inc[i])
+		}
+	}
+	return out + "}"
+}

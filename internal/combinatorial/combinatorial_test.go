@@ -1,0 +1,157 @@
+package combinatorial_test
+
+import (
+	"strings"
+	"testing"
+
+	"syrep/internal/combinatorial"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+	"syrep/internal/verify"
+)
+
+func fig1Table(t *testing.T) (*network.Network, *routing.Routing, *combinatorial.Table) {
+	t.Helper()
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	tab, err := combinatorial.FromSkipping(r)
+	if err != nil {
+		t.Fatalf("FromSkipping: %v", err)
+	}
+	return n, r, tab
+}
+
+// TestSemanticsMatchSkipping: the compiled combinatorial table produces
+// exactly the same traces as the skipping routing under every scenario with
+// up to 2 failures.
+func TestSemanticsMatchSkipping(t *testing.T) {
+	n, r, tab := fig1Table(t)
+	n.ForEachScenario(2, func(F network.EdgeSet) bool {
+		for _, s := range n.Nodes() {
+			if s == r.Dest() {
+				continue
+			}
+			want := trace.Run(r, F, s)
+			got := tab.Run(F, s)
+			if got.Outcome != want.Outcome {
+				t.Fatalf("src %s F=%v: outcome %v vs skipping %v",
+					n.NodeName(s), F, got.Outcome, want.Outcome)
+			}
+			if len(got.Edges) != len(want.Edges) {
+				t.Fatalf("src %s F=%v: trace length %d vs %d",
+					n.NodeName(s), F, len(got.Edges), len(want.Edges))
+			}
+			for i := range want.Edges {
+				if got.Edges[i] != want.Edges[i] {
+					t.Fatalf("src %s F=%v: trace diverges at %d", n.NodeName(s), F, i)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// TestResilienceMatchesVerifier: the combinatorial verdict equals the
+// skipping verifier's at every k.
+func TestResilienceMatchesVerifier(t *testing.T) {
+	_, r, tab := fig1Table(t)
+	for k := 0; k <= 2; k++ {
+		if got, want := tab.Resilient(k), verify.Resilient(r, k); got != want {
+			t.Errorf("k=%d: combinatorial %v vs skipping %v", k, got, want)
+		}
+	}
+}
+
+func TestEntryCountsAreExponential(t *testing.T) {
+	n, r, tab := fig1Table(t)
+	if tab.NumEntries() <= r.NumEntries() {
+		t.Errorf("combinatorial entries %d not larger than skipping %d",
+			tab.NumEntries(), r.NumEntries())
+	}
+	combo, skip := combinatorial.TheoreticalEntries(n, r.Dest())
+	if combo <= skip {
+		t.Errorf("theoretical: combinatorial %d <= skipping %d", combo, skip)
+	}
+	// v4 has degree 4: its loop-back alone accounts for 16 subsets.
+	if combo < 16 {
+		t.Errorf("theoretical combinatorial %d implausibly small", combo)
+	}
+	t.Logf("Fig1 entries: skipping=%d combinatorial=%d (theoretical %d vs %d)",
+		r.NumEntries(), tab.NumEntries(), skip, combo)
+}
+
+func TestStep(t *testing.T) {
+	n, _, tab := fig1Table(t)
+	v3 := n.NodeByName("v3")
+	none := network.NewEdgeSet(n.NumRealEdges())
+	out, ok := tab.Step(none, n.Loopback(v3), v3)
+	if !ok || out != 1 {
+		t.Errorf("Step(lb_v3) = (%v,%v), want e1", out, ok)
+	}
+	F := network.EdgeSetOf(n.NumRealEdges(), 1)
+	out, ok = tab.Step(F, n.Loopback(v3), v3)
+	if !ok || out != 6 {
+		t.Errorf("Step(lb_v3 | e1 failed) = (%v,%v), want e6", out, ok)
+	}
+	all := network.EdgeSetOf(n.NumRealEdges(), 1, 3, 6)
+	if _, ok := tab.Step(all, n.Loopback(v3), v3); ok {
+		t.Error("Step with all priorities failed returned an entry")
+	}
+}
+
+func TestFromSkippingRejectsHoles(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	v3 := n.NodeByName("v3")
+	if err := r.PunchHole(1, v3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := combinatorial.FromSkipping(r); err == nil {
+		t.Error("FromSkipping accepted a routing with holes")
+	}
+}
+
+func TestNoEntryForArrivingOnFailedLink(t *testing.T) {
+	// Packets cannot arrive on a failed link, so those entries are omitted;
+	// compare against the naive full product to confirm the saving.
+	n, _, tab := fig1Table(t)
+	full := 0
+	for _, v := range n.Nodes() {
+		if v == n.NodeByName("d") {
+			continue
+		}
+		deg := n.Degree(v)
+		full += (deg + 1) * (1 << deg)
+	}
+	if tab.NumEntries() >= full {
+		t.Errorf("entries %d not smaller than naive product %d", tab.NumEntries(), full)
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	n, _, tab := fig1Table(t)
+	v4 := n.NodeByName("v4")
+	// v4's incident edges are e2, e4, e5, e6: mask 0b0101 = {e2, e5}.
+	s := tab.MaskString(v4, 0b0101)
+	if !strings.Contains(s, "e2") || !strings.Contains(s, "e5") {
+		t.Errorf("MaskString = %q", s)
+	}
+	if got := tab.MaskString(v4, 0); got != "{}" {
+		t.Errorf("MaskString(0) = %q", got)
+	}
+}
+
+// TestDroppedSemantics: when every listed priority is failed, the
+// combinatorial table has no entry and the packet drops, same as skipping.
+func TestDroppedSemantics(t *testing.T) {
+	n, r, tab := fig1Table(t)
+	v1 := n.NodeByName("v1")
+	F := network.EdgeSetOf(n.NumRealEdges(), 3, 4)
+	want := trace.Run(r, F, v1)
+	got := tab.Run(F, v1)
+	if want.Outcome != trace.Dropped || got.Outcome != trace.Dropped {
+		t.Errorf("outcomes: skipping %v combinatorial %v, want dropped", want.Outcome, got.Outcome)
+	}
+}

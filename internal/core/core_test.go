@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"syrep/internal/core"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/reduce"
+	"syrep/internal/repair"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+var ctx = context.Background()
+
+// chainRing builds a small 2-edge-connected chain-rich topology.
+func chainRing(t *testing.T, chainLen int) (*network.Network, network.NodeID) {
+	t.Helper()
+	b := network.NewBuilder("chainring")
+	d := b.AddNode("d")
+	na := b.AddNode("a")
+	nb := b.AddNode("b")
+	b.AddEdge(d, na)
+	b.AddEdge(d, nb)
+	b.AddEdge(na, nb)
+	prev := na
+	for i := 0; i < chainLen; i++ {
+		cur := b.AddNode("c" + string(rune('a'+i)))
+		b.AddEdge(prev, cur)
+		prev = cur
+	}
+	b.AddEdge(prev, nb)
+	return b.MustBuild(), d
+}
+
+// TestPipelineFlowAllStrategies: every strategy of Figure 7 produces a
+// verified perfectly 2-resilient routing on the running example.
+func TestPipelineFlowAllStrategies(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	for _, s := range []core.Strategy{core.Baseline, core.HeuristicOnly, core.ReductionOnly, core.Combined} {
+		t.Run(s.String(), func(t *testing.T) {
+			r, rep, err := core.Synthesize(ctx, n, d, 2, core.Options{Strategy: s})
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			if !verify.Resilient(r, 2) {
+				t.Fatal("routing not 2-resilient")
+			}
+			if rep.Strategy != s || rep.K != 2 {
+				t.Errorf("report mismatch: %+v", rep)
+			}
+			if rep.Elapsed <= 0 {
+				t.Error("elapsed not recorded")
+			}
+		})
+	}
+}
+
+// TestPipelineFlowChainTopology exercises the reduction path for real: the
+// chain ring shrinks under the aggressive rule and the expansion gets
+// repaired when needed.
+func TestPipelineFlowChainTopology(t *testing.T) {
+	n, d := chainRing(t, 6)
+	r, rep, err := core.Synthesize(ctx, n, d, 2, core.Options{Strategy: core.Combined})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !verify.Resilient(r, 2) {
+		t.Fatal("routing not 2-resilient")
+	}
+	if !rep.Reduced || rep.NodesRemoved == 0 {
+		t.Errorf("reduction not applied: %+v", rep)
+	}
+	if !r.Complete() {
+		t.Error("routing incomplete")
+	}
+}
+
+func TestPipelineSoundReduction(t *testing.T) {
+	n, d := chainRing(t, 6)
+	r, rep, err := core.Synthesize(ctx, n, d, 2, core.Options{
+		Strategy:  core.Combined,
+		Reduction: reduce.Sound,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !verify.Resilient(r, 2) {
+		t.Fatal("routing not 2-resilient")
+	}
+	if rep.NodesRemoved != 4 {
+		t.Errorf("NodesRemoved = %d, want 4", rep.NodesRemoved)
+	}
+}
+
+func TestSynthesizeTimeout(t *testing.T) {
+	n, d := chainRing(t, 6)
+	_, _, err := core.Synthesize(ctx, n, d, 3, core.Options{
+		Strategy: core.Baseline,
+		Timeout:  time.Nanosecond,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestSynthesizeUnknownStrategy(t *testing.T) {
+	n := papernet.Figure1()
+	_, _, err := core.Synthesize(ctx, n, 0, 2, core.Options{Strategy: core.Strategy(42)})
+	if err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	tests := []struct {
+		s    core.Strategy
+		want string
+	}{
+		{core.Baseline, "baseline"},
+		{core.HeuristicOnly, "heuristic"},
+		{core.ReductionOnly, "reduction"},
+		{core.Combined, "combined"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+	if core.Strategy(9).String() == "" {
+		t.Error("unknown Strategy.String empty")
+	}
+}
+
+// TestCoreRepair: the standalone repair entry point fortifies Figure 1b.
+func TestCoreRepair(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	out, err := core.Repair(ctx, r, 2, core.Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !verify.Resilient(out.Routing, 2) {
+		t.Fatal("repaired routing not 2-resilient")
+	}
+}
+
+// TestCoreRepairUnsolvable: a repair that cannot succeed maps to
+// ErrUnsolvable.
+func TestCoreRepairUnsolvable(t *testing.T) {
+	// Reuse the unrepairable square from the repair package tests.
+	b := network.NewBuilder("square")
+	d := b.AddNode("d")
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	z := b.AddNode("z")
+	f0 := b.AddEdge(d, x)
+	f1 := b.AddEdge(d, z)
+	f2 := b.AddEdge(x, y)
+	f3 := b.AddEdge(y, z)
+	n := b.MustBuild()
+
+	r := papernetSquareRouting(n, d, f0, f1, f2, f3, x, y, z)
+	_, err := core.Repair(ctx, r, 1, core.Options{})
+	if !errors.Is(err, core.ErrUnsolvable) {
+		t.Errorf("err = %v, want ErrUnsolvable", err)
+	}
+}
+
+func papernetSquareRouting(n *network.Network, d network.NodeID,
+	f0, f1, f2, f3 network.EdgeID, x, y, z network.NodeID) *routing.Routing {
+	r := routing.New(n, d)
+	r.MustSet(n.Loopback(x), x, []network.EdgeID{f0, f2})
+	r.MustSet(f2, x, []network.EdgeID{f0})
+	r.MustSet(f0, x, []network.EdgeID{f2, f0})
+	r.MustSet(n.Loopback(z), z, []network.EdgeID{f1, f3})
+	r.MustSet(f3, z, []network.EdgeID{f1})
+	r.MustSet(f1, z, []network.EdgeID{f3, f1})
+	r.MustSet(n.Loopback(y), y, []network.EdgeID{f2, f3})
+	r.MustSet(f2, y, []network.EdgeID{f3, f2})
+	r.MustSet(f3, y, []network.EdgeID{f2, f3})
+	return r
+}
+
+func TestSkipFinalVerify(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	r, _, err := core.Synthesize(ctx, n, d, 1, core.Options{
+		Strategy:        core.HeuristicOnly,
+		SkipFinalVerify: true,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	// The pipeline's own invariants still guarantee resilience.
+	if !verify.Resilient(r, 1) {
+		t.Error("routing not 1-resilient despite SkipFinalVerify")
+	}
+}
+
+func TestReductionOnlySoundRule(t *testing.T) {
+	n, d := chainRing(t, 5)
+	r, rep, err := core.Synthesize(ctx, n, d, 1, core.Options{
+		Strategy:  core.ReductionOnly,
+		Reduction: reduce.Sound,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !verify.Resilient(r, 1) {
+		t.Fatal("routing not 1-resilient")
+	}
+	if !rep.Reduced {
+		t.Error("reduction not reported")
+	}
+}
+
+func TestRepairGradualViaCore(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	out, err := core.Repair(ctx, r, 2, core.Options{RepairStrategy: repair.Gradual})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !verify.Resilient(out.Routing, 2) {
+		t.Fatal("gradual core repair not 2-resilient")
+	}
+}

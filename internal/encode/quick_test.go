@@ -1,0 +1,115 @@
+package encode_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"syrep/internal/encode"
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// TestQuickEnginesAgreeRandom cross-checks the scenario-expansion engine
+// against the paper-literal symbolic engine on random small instances: for
+// random networks, destinations, hole sets and k, both engines must accept
+// exactly the same set of hole fillings (or both report unrepairability).
+func TestQuickEnginesAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	rounds := 0
+	for rounds < 12 {
+		net := randomSmallNet(rng)
+		if !net.Connected() {
+			continue
+		}
+		dest := network.NodeID(rng.Intn(net.NumNodes()))
+		base, err := heuristic.Generate(net, dest)
+		if err != nil {
+			continue
+		}
+		k := 1 + rng.Intn(2)
+
+		// Punch 1-2 random holes.
+		keys := base.AllKeys()
+		if len(keys) == 0 {
+			continue
+		}
+		holes := 1 + rng.Intn(2)
+		r := base.Clone()
+		for h := 0; h < holes; h++ {
+			key := keys[rng.Intn(len(keys))]
+			if err := r.PunchHole(key.In, key.At, k+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rounds++
+
+		symFillings, symErr := symbolicFillings(r, k)
+		scenFillings, scenErr := scenarioFillings(r, k)
+
+		if (symErr == nil) != (scenErr == nil) {
+			t.Fatalf("round %d (%s dest=%d k=%d): symbolic err=%v scenario err=%v",
+				rounds, net.Name(), dest, k, symErr, scenErr)
+		}
+		if symErr != nil {
+			continue // both unrepairable: agreement
+		}
+		if len(symFillings) != len(scenFillings) {
+			t.Fatalf("round %d (%s dest=%d k=%d): %d symbolic vs %d scenario fillings",
+				rounds, net.Name(), dest, k, len(symFillings), len(scenFillings))
+		}
+		for key := range symFillings {
+			if !scenFillings[key] {
+				t.Fatalf("round %d: filling only in symbolic engine: %s", rounds, key)
+			}
+		}
+	}
+}
+
+func symbolicFillings(r *routing.Routing, k int) (map[string]bool, error) {
+	sym, err := encode.BuildSymbolic(ctx, r, k, encode.Options{})
+	if err != nil {
+		return nil, err
+	}
+	fs := sym.Enumerate(0)
+	if len(fs) == 0 {
+		return nil, encode.ErrUnrepairable
+	}
+	return fillingSet(fs), nil
+}
+
+func scenarioFillings(r *routing.Routing, k int) (map[string]bool, error) {
+	fs, err := encode.Enumerate(ctx, r, k, encode.Options{}, 0)
+	if err != nil {
+		if errors.Is(err, encode.ErrUnrepairable) {
+			return nil, encode.ErrUnrepairable
+		}
+		return nil, err
+	}
+	return fillingSet(fs), nil
+}
+
+// randomSmallNet builds a network with 3-4 nodes and 3-6 edges (parallel
+// edges allowed), small enough for the symbolic engine's Γ enumeration.
+func randomSmallNet(rng *rand.Rand) *network.Network {
+	b := network.NewBuilder("rand-small")
+	nodes := 3 + rng.Intn(2)
+	ids := make([]network.NodeID, nodes)
+	for i := range ids {
+		ids[i] = b.AddNode(string(rune('a' + i)))
+	}
+	// A spanning cycle keeps most samples connected.
+	for i := 0; i < nodes; i++ {
+		b.AddEdge(ids[i], ids[(i+1)%nodes])
+	}
+	extra := rng.Intn(3)
+	for i := 0; i < extra; i++ {
+		u := rng.Intn(nodes)
+		v := rng.Intn(nodes)
+		if u != v {
+			b.AddEdge(ids[u], ids[v])
+		}
+	}
+	return b.MustBuild()
+}

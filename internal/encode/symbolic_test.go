@@ -1,0 +1,210 @@
+package encode_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"syrep/internal/encode"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+// TestSymbolicFigure2 reproduces the paper's Figure 2 with the literal
+// symbolic-failure encoding: exactly six perfectly 2-resilient orderings.
+func TestSymbolicFigure2(t *testing.T) {
+	n := papernet.Figure2()
+	d := n.NodeByName("d")
+	v1 := n.NodeByName("v1")
+	r := routing.New(n, d)
+	if err := r.PunchHole(n.Loopback(v1), v1, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	sym, err := encode.BuildSymbolic(context.Background(), r, 2, encode.Options{})
+	if err != nil {
+		t.Fatalf("BuildSymbolic: %v", err)
+	}
+	if got := sym.NumSolutions(); got != 6 {
+		t.Errorf("NumSolutions = %v, want 6", got)
+	}
+	fillings := sym.Enumerate(0)
+	if len(fillings) != 6 {
+		t.Fatalf("Enumerate = %d fillings, want 6", len(fillings))
+	}
+	key := routing.Key{In: n.Loopback(v1), At: v1}
+	seen := make(map[string]bool)
+	for _, f := range fillings {
+		var names []string
+		for _, e := range f[key] {
+			names = append(names, n.EdgeName(e))
+		}
+		seen[strings.Join(names, ",")] = true
+	}
+	want := []string{
+		"e0,e1,e2", "e0,e2,e1", "e1,e0,e2", "e1,e2,e0", "e2,e0,e1", "e2,e1,e0",
+	}
+	var got []string
+	for k := range seen {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Errorf("fillings = %v, want all six permutations", got)
+	}
+	if sym.Iterations == 0 {
+		t.Error("fixpoint iterations not recorded")
+	}
+}
+
+// TestSymbolicAgreesWithScenarioEngine: on the running example repair, both
+// engines must accept exactly the same set of hole fillings.
+func TestSymbolicAgreesWithScenarioEngine(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	punchSuspicious(t, n, r, 2)
+
+	sym, err := encode.BuildSymbolic(ctx, r, 2, encode.Options{})
+	if err != nil {
+		t.Fatalf("BuildSymbolic: %v", err)
+	}
+	symFillings := sym.Enumerate(0)
+
+	scenFillings, err := encode.Enumerate(ctx, r, 2, encode.Options{}, 0)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+
+	symSet := fillingSet(symFillings)
+	scenSet := fillingSet(scenFillings)
+	if len(symSet) != len(scenSet) {
+		t.Fatalf("engine disagreement: symbolic %d vs scenario %d fillings",
+			len(symSet), len(scenSet))
+	}
+	for k := range symSet {
+		if !scenSet[k] {
+			t.Errorf("filling accepted by symbolic but not scenario engine: %s", k)
+		}
+	}
+}
+
+func fillingSet(fs []encode.Filling) map[string]bool {
+	out := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		var keys []routing.Key
+		for k := range f {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].At != keys[j].At {
+				return keys[i].At < keys[j].At
+			}
+			return keys[i].In < keys[j].In
+		})
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k.String())
+			sb.WriteString("=")
+			for _, e := range f[k] {
+				sb.WriteString(network.EdgeID(e).String())
+			}
+			sb.WriteString(";")
+		}
+		out[sb.String()] = true
+	}
+	return out
+}
+
+// TestSymbolicVerifierOracle: with no holes, P is constant and must agree
+// with the brute-force verifier.
+func TestSymbolicVerifierOracle(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+
+	for k := 0; k <= 2; k++ {
+		sym, err := encode.BuildSymbolic(ctx, r, k, encode.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		symResilient := sym.NumSolutions() > 0
+		bruteResilient := verify.Resilient(r, k)
+		if symResilient != bruteResilient {
+			t.Errorf("k=%d: symbolic=%v brute-force=%v", k, symResilient, bruteResilient)
+		}
+	}
+}
+
+// TestSolveSymbolicRepair: end-to-end symbolic repair of the running
+// example.
+func TestSolveSymbolicRepair(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	punchSuspicious(t, n, r, 2)
+
+	sol, err := encode.SolveSymbolic(ctx, r, 2, encode.Options{})
+	if err != nil {
+		t.Fatalf("SolveSymbolic: %v", err)
+	}
+	rep, err := verify.Check(ctx, sol.Routing, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resilient {
+		t.Errorf("symbolic repair not 2-resilient: %v", rep.Failing)
+	}
+}
+
+func TestSolveSymbolicUnrepairable(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	_, err := encode.SolveSymbolic(ctx, r, 2, encode.Options{})
+	if !errors.Is(err, encode.ErrUnrepairable) {
+		t.Errorf("err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestSymbolicNegativeK(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	if _, err := encode.BuildSymbolic(ctx, r, -2, encode.Options{}); err == nil {
+		t.Error("BuildSymbolic(-2) succeeded")
+	}
+}
+
+func TestSymbolicK0(t *testing.T) {
+	// k = 0: no failure vectors at all; the routing only needs to deliver on
+	// the intact network.
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	r := routing.New(n, d)
+	for _, key := range r.AllKeys() {
+		if err := r.PunchHole(key.In, key.At, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := encode.SolveSymbolic(ctx, r, 0, encode.Options{})
+	if err != nil {
+		t.Fatalf("SolveSymbolic(k=0): %v", err)
+	}
+	rep, err := verify.Check(ctx, sol.Routing, 0, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resilient {
+		t.Errorf("k=0 synthesis failed: %v", rep.Failing)
+	}
+}
+
+func TestSymbolicContextCancellation(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := encode.BuildSymbolic(cctx, r, 2, encode.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

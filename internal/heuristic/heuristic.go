@@ -1,0 +1,258 @@
+// Package heuristic implements the fast routing generator of Section IV-A
+// of the SyRep paper: default (shortest) paths toward the destination, node
+// levels, mlevel edges, backup edges, and the skipping-table construction
+// that puts the default edge first, backup edges next, remaining edges
+// after, and the arrival edge last.
+//
+// The construction runs in polynomial time and empirically produces
+// close-to-resilient tables; SyRep's repair engine then fixes the few
+// ill-defined entries.
+package heuristic
+
+import (
+	"fmt"
+	"math"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// Info carries the analysis artefacts of the heuristic: default edges,
+// default paths, levels and backup edges. It is exposed so that tests and
+// examples can reproduce the paper's Figure 3.
+type Info struct {
+	Dest network.NodeID
+	// DefaultEdge is e_v, the primary next-hop of each node (NoEdge for the
+	// destination).
+	DefaultEdge []network.EdgeID
+	// Dist is the hop distance of each node to the destination.
+	Dist []int
+	// Post lists post(v): the nodes on the default path from v to the
+	// destination, inclusive of both endpoints.
+	Post [][]network.NodeID
+	// Pre lists pre(v): the nodes whose default path contains v (including
+	// v itself).
+	Pre [][]network.NodeID
+	// MLevel is the minimum level of each node (paper Sec. IV-A); the
+	// destination has MLevel 0 by convention.
+	MLevel []int
+	// MLevelEdges lists the edges achieving MLevel at each node.
+	MLevelEdges [][]network.EdgeID
+	// Backups lists the backup edges of each node, ascending by edge id.
+	Backups [][]network.EdgeID
+}
+
+// Analyze computes the heuristic's structural artefacts for net and dest.
+// It fails when some node cannot reach the destination.
+func Analyze(net *network.Network, dest network.NodeID) (*Info, error) {
+	parent, dist := net.ShortestPathTree(dest)
+	for _, v := range net.Nodes() {
+		if dist[v] < 0 {
+			return nil, fmt.Errorf("heuristic: node %s cannot reach destination %s",
+				net.NodeName(v), net.NodeName(dest))
+		}
+	}
+	nv := net.NumNodes()
+	info := &Info{
+		Dest:        dest,
+		DefaultEdge: parent,
+		Dist:        dist,
+		Post:        make([][]network.NodeID, nv),
+		Pre:         make([][]network.NodeID, nv),
+		MLevel:      make([]int, nv),
+		MLevelEdges: make([][]network.EdgeID, nv),
+		Backups:     make([][]network.EdgeID, nv),
+	}
+
+	inPost := make([][]bool, nv) // inPost[v][u]: u ∈ post(v)
+	for _, v := range net.Nodes() {
+		info.Post[v] = net.DefaultPath(v, dest, parent)
+		inPost[v] = make([]bool, nv)
+		for _, u := range info.Post[v] {
+			inPost[v][u] = true
+		}
+	}
+	for _, u := range net.Nodes() {
+		for _, v := range info.Post[u] {
+			info.Pre[v] = append(info.Pre[v], u)
+		}
+	}
+
+	// Levels: level of v via edge e={v,v'} is |defaultPath(v') ∩ post(v)|.
+	// The node's own default edge e_v is not an alternative and is excluded
+	// (the paper's walkthrough counts only e6 as v3's mlevel edge, not its
+	// default e1).
+	for _, v := range net.Nodes() {
+		if v == dest {
+			continue
+		}
+		best := math.MaxInt
+		var bestEdges []network.EdgeID
+		for _, e := range net.IncidentEdges(v) {
+			if e == parent[v] {
+				continue
+			}
+			w := net.Other(e, v)
+			lvl := 0
+			for _, u := range info.Post[w] {
+				if inPost[v][u] {
+					lvl++
+				}
+			}
+			switch {
+			case lvl < best:
+				best = lvl
+				bestEdges = []network.EdgeID{e}
+			case lvl == best:
+				bestEdges = append(bestEdges, e)
+			}
+		}
+		info.MLevel[v] = best
+		info.MLevelEdges[v] = bestEdges
+	}
+
+	// Backup edges (paper Sec. IV-A): if v itself has the smallest mlevel in
+	// pre(v), its backups are its mlevel edges; otherwise they are the
+	// default edges e_{v'} of children v' whose subtree pre(v') contains a
+	// smallest-mlevel node of pre(v).
+	for _, v := range net.Nodes() {
+		if v == dest {
+			continue
+		}
+		minML := math.MaxInt
+		for _, u := range info.Pre[v] {
+			if u != dest && info.MLevel[u] < minML {
+				minML = info.MLevel[u]
+			}
+		}
+		if info.MLevel[v] == minML {
+			info.Backups[v] = append([]network.EdgeID(nil), info.MLevelEdges[v]...)
+			continue
+		}
+		inSubtree := make(map[network.NodeID]bool, len(info.Pre[v]))
+		for _, u := range info.Pre[v] {
+			inSubtree[u] = true
+		}
+		var backups []network.EdgeID
+		seen := make(map[network.EdgeID]bool)
+		for _, u := range info.Pre[v] {
+			if u == v {
+				continue
+			}
+			ev := parent[u]
+			if net.Other(ev, u) != v || seen[ev] {
+				continue // e_u not incident to v, or already taken
+			}
+			// u is a direct child of v; does pre(u) hold a min-mlevel node?
+			for _, w := range info.Pre[u] {
+				if w != dest && info.MLevel[w] == minML {
+					backups = append(backups, ev)
+					seen[ev] = true
+					break
+				}
+			}
+		}
+		sortEdges(backups)
+		info.Backups[v] = backups
+	}
+	return info, nil
+}
+
+// Generate builds the heuristic skipping routing of Section IV-A: for every
+// node v != dest and in-edge e,
+//
+//	R(e, v)   = (e_v, backups..., rest..., e)   when e != e_v
+//	R(e_v, v) = (backups..., rest..., e_v)
+//
+// with backup edges and remaining edges in ascending edge-id order (the
+// paper leaves the order arbitrary). The arrival edge is appended as the
+// last resort except for loop-back arrivals, which cannot re-forward to
+// themselves.
+func Generate(net *network.Network, dest network.NodeID) (*routing.Routing, error) {
+	info, err := Analyze(net, dest)
+	if err != nil {
+		return nil, err
+	}
+	return generate(net, dest, info, false)
+}
+
+// Generate1Resilient builds the restricted variant that keeps only the
+// first backup edge: (e_v, b_1, e) — proven perfectly 1-resilient in [26].
+func Generate1Resilient(net *network.Network, dest network.NodeID) (*routing.Routing, error) {
+	info, err := Analyze(net, dest)
+	if err != nil {
+		return nil, err
+	}
+	return generate(net, dest, info, true)
+}
+
+// GenerateWithInfo is Generate for callers that already ran Analyze.
+func GenerateWithInfo(net *network.Network, info *Info) (*routing.Routing, error) {
+	return generate(net, info.Dest, info, false)
+}
+
+func generate(net *network.Network, dest network.NodeID, info *Info, firstBackupOnly bool) (*routing.Routing, error) {
+	r := routing.New(net, dest)
+	for _, v := range net.Nodes() {
+		if v == dest {
+			continue
+		}
+		ev := info.DefaultEdge[v]
+		backups := info.Backups[v]
+		if firstBackupOnly && len(backups) > 1 {
+			backups = backups[:1]
+		}
+
+		inEdges := append([]network.EdgeID(nil), net.IncidentEdges(v)...)
+		inEdges = append(inEdges, net.Loopback(v))
+		for _, in := range inEdges {
+			prio := buildList(net, v, in, ev, backups, firstBackupOnly)
+			if err := r.Set(in, v, prio); err != nil {
+				return nil, fmt.Errorf("heuristic: %w", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// buildList assembles one priority list per the construction rules.
+func buildList(net *network.Network, v network.NodeID, in, ev network.EdgeID,
+	backups []network.EdgeID, skipRest bool) []network.EdgeID {
+
+	var prio []network.EdgeID
+	used := make(map[network.EdgeID]bool)
+	add := func(e network.EdgeID) {
+		if !used[e] {
+			used[e] = true
+			prio = append(prio, e)
+		}
+	}
+	isLB := net.IsLoopback(in)
+	if in != ev {
+		add(ev)
+	}
+	for _, b := range backups {
+		if b != in || isLB {
+			add(b)
+		}
+	}
+	if !skipRest {
+		for _, e := range net.IncidentEdges(v) {
+			if e != ev && (e != in || isLB) {
+				add(e)
+			}
+		}
+	}
+	if !isLB {
+		add(in) // bounce back to the sender as the very last resort
+	}
+	return prio
+}
+
+func sortEdges(edges []network.EdgeID) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j] < edges[j-1]; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}

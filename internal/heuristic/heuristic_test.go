@@ -1,0 +1,273 @@
+package heuristic_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/verify"
+)
+
+func fig1Analysis(t *testing.T) (*network.Network, *heuristic.Info) {
+	t.Helper()
+	n := papernet.Figure1()
+	info, err := heuristic.Analyze(n, papernet.Figure1Dest(n))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return n, info
+}
+
+// TestDefaultPathsRunningExample reproduces Figure 3: the default next-hop
+// edges of the running example.
+func TestDefaultPathsRunningExample(t *testing.T) {
+	n, info := fig1Analysis(t)
+	want := map[string]network.EdgeID{"v1": 3, "v2": 0, "v3": 1, "v4": 2}
+	for name, e := range want {
+		v := n.NodeByName(name)
+		if info.DefaultEdge[v] != e {
+			t.Errorf("default edge of %s = e%d, want e%d", name, info.DefaultEdge[v], e)
+		}
+	}
+	if info.DefaultEdge[n.NodeByName("d")] != network.NoEdge {
+		t.Error("destination has a default edge")
+	}
+}
+
+func TestPostSets(t *testing.T) {
+	n, info := fig1Analysis(t)
+	v1 := n.NodeByName("v1")
+	got := info.Post[v1]
+	wantNames := []string{"v1", "v3", "d"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("post(v1) = %v, want %v", got, wantNames)
+	}
+	for i, name := range wantNames {
+		if n.NodeName(got[i]) != name {
+			t.Fatalf("post(v1)[%d] = %s, want %s", i, n.NodeName(got[i]), name)
+		}
+	}
+}
+
+func TestPreSets(t *testing.T) {
+	n, info := fig1Analysis(t)
+	v3 := n.NodeByName("v3")
+	// pre(v3) = {v3, v1}: v1's default path goes through v3.
+	names := make(map[string]bool)
+	for _, u := range info.Pre[v3] {
+		names[n.NodeName(u)] = true
+	}
+	if len(names) != 2 || !names["v3"] || !names["v1"] {
+		t.Errorf("pre(v3) = %v, want {v1, v3}", names)
+	}
+	// pre(d) contains every node.
+	if len(info.Pre[n.NodeByName("d")]) != n.NumNodes() {
+		t.Errorf("pre(d) = %v, want all nodes", info.Pre[n.NodeByName("d")])
+	}
+}
+
+// TestMLevels checks the levels discussed in the paper's Section IV-A
+// walkthrough: mlevel(v3)=1 via e6 only; e3 has level 2 at v3.
+func TestMLevels(t *testing.T) {
+	n, info := fig1Analysis(t)
+	v3 := n.NodeByName("v3")
+	if info.MLevel[v3] != 1 {
+		t.Errorf("mlevel(v3) = %d, want 1", info.MLevel[v3])
+	}
+	if len(info.MLevelEdges[v3]) != 1 || info.MLevelEdges[v3][0] != 6 {
+		t.Errorf("mlevel edges of v3 = %v, want [e6]", info.MLevelEdges[v3])
+	}
+	v4 := n.NodeByName("v4")
+	if info.MLevel[v4] != 1 {
+		t.Errorf("mlevel(v4) = %d, want 1", info.MLevel[v4])
+	}
+	if len(info.MLevelEdges[v4]) != 3 {
+		t.Errorf("mlevel edges of v4 = %v, want {e4,e5,e6}", info.MLevelEdges[v4])
+	}
+}
+
+// TestBackupEdges checks the backup-edge walkthrough of Section IV-A: e6 is
+// the only backup of v3 (e3 is not), and both e4 and e5 (plus e6) are
+// backups of v4.
+func TestBackupEdges(t *testing.T) {
+	n, info := fig1Analysis(t)
+	tests := []struct {
+		node string
+		want []network.EdgeID
+	}{
+		{"v1", []network.EdgeID{4}},
+		{"v2", []network.EdgeID{5}},
+		{"v3", []network.EdgeID{6}},
+		{"v4", []network.EdgeID{4, 5, 6}},
+	}
+	for _, tt := range tests {
+		v := n.NodeByName(tt.node)
+		got := info.Backups[v]
+		if len(got) != len(tt.want) {
+			t.Errorf("backups(%s) = %v, want %v", tt.node, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("backups(%s) = %v, want %v", tt.node, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+// TestHeuristicTableMatchesFig1b: the generated table is exactly the
+// paper's Figure 1b (with ascending-id ordering among backups, which matches
+// the paper's choice R(e6,v4) = (e2, e4, e5, ...)).
+func TestHeuristicTableMatchesFig1b(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	got, err := heuristic.Generate(n, d)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	want := papernet.Figure1bRouting(n)
+	if !got.Equal(want) {
+		t.Errorf("heuristic table differs from Figure 1b:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHeuristicFig1Resilience: the generated table is perfectly 1-resilient
+// but not 2-resilient, as the paper demonstrates.
+func TestHeuristicFig1Resilience(t *testing.T) {
+	n := papernet.Figure1()
+	r, err := heuristic.Generate(n, papernet.Figure1Dest(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.Resilient(r, 1) {
+		t.Error("heuristic table not 1-resilient")
+	}
+	if verify.Resilient(r, 2) {
+		t.Error("heuristic table unexpectedly 2-resilient")
+	}
+}
+
+// TestGenerate1Resilient: the restricted single-backup variant is perfectly
+// 1-resilient (guaranteed by [26]).
+func TestGenerate1Resilient(t *testing.T) {
+	n := papernet.Figure1()
+	r, err := heuristic.Generate1Resilient(n, papernet.Figure1Dest(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verify.Resilient(r, 1) {
+		t.Error("restricted heuristic not 1-resilient on Figure 1")
+	}
+}
+
+// TestGenerate1ResilientRandom2Connected: property test of the [26]
+// guarantee on random 2-edge-connected graphs.
+func TestGenerate1ResilientRandom2Connected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for round := 0; round < 25; round++ {
+		n := randomTwoConnected(rng, 5+rng.Intn(6))
+		for _, dest := range []network.NodeID{0, network.NodeID(n.NumNodes() - 1)} {
+			r, err := heuristic.Generate1Resilient(n, dest)
+			if err != nil {
+				t.Fatalf("round %d: Generate1Resilient: %v", round, err)
+			}
+			rep, err := verify.Check(context.Background(), r, 1, verify.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Resilient {
+				t.Fatalf("round %d dest %d: not 1-resilient; failures: %v\nrouting:\n%s",
+					round, dest, rep.Failing, r)
+			}
+		}
+	}
+}
+
+// TestGenerateCompleteAndValid: the full heuristic emits a complete,
+// well-formed table on random connected graphs.
+func TestGenerateCompleteAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		n := randomTwoConnected(rng, 4+rng.Intn(8))
+		r, err := heuristic.Generate(n, 0)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !r.Complete() {
+			t.Fatalf("round %d: incomplete table", round)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// The full heuristic is at least 0-resilient (delivers with no
+		// failures) on connected graphs.
+		if !verify.Resilient(r, 0) {
+			t.Fatalf("round %d: not 0-resilient", round)
+		}
+	}
+}
+
+func TestAnalyzeDisconnected(t *testing.T) {
+	b := network.NewBuilder("disc")
+	b.AddNode("a")
+	b.AddNode("b")
+	c := b.AddNode("c")
+	b.AddEdge(0, c)
+	n := b.MustBuild()
+	if _, err := heuristic.Analyze(n, 0); err == nil {
+		t.Error("Analyze on disconnected network succeeded")
+	}
+	if _, err := heuristic.Generate(n, 0); err == nil {
+		t.Error("Generate on disconnected network succeeded")
+	}
+}
+
+// TestInEdgeLast: for real in-edges, the arrival edge is the last resort.
+func TestInEdgeLast(t *testing.T) {
+	n := papernet.Figure1()
+	r, err := heuristic.Generate(n, papernet.Figure1Dest(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := n.NodeByName("v4")
+	prio, ok := r.Get(6, v4)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if prio[len(prio)-1] != 6 {
+		t.Errorf("R(e6,v4) = %v: in-edge not last", prio)
+	}
+	// Loop-back arrivals never contain the loop-back edge.
+	lb, _ := r.Get(n.Loopback(v4), v4)
+	for _, e := range lb {
+		if n.IsLoopback(e) {
+			t.Errorf("R(lb_v4,v4) = %v contains a loop-back", lb)
+		}
+	}
+}
+
+// randomTwoConnected builds a ring of size nodes plus random chords: rings
+// are 2-edge-connected, chords only help.
+func randomTwoConnected(rng *rand.Rand, size int) *network.Network {
+	b := network.NewBuilder("rand")
+	ids := make([]network.NodeID, size)
+	for i := 0; i < size; i++ {
+		ids[i] = b.AddNode("n" + string(rune('A'+i)))
+	}
+	for i := 0; i < size; i++ {
+		b.AddEdge(ids[i], ids[(i+1)%size])
+	}
+	chords := rng.Intn(size)
+	for c := 0; c < chords; c++ {
+		u := rng.Intn(size)
+		v := rng.Intn(size)
+		if u != v {
+			b.AddEdge(ids[u], ids[v])
+		}
+	}
+	return b.MustBuild()
+}

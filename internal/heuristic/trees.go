@@ -1,0 +1,119 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// GenerateTreeBased builds a skipping routing from a family of spanning
+// trees, in the spirit of the arborescence-based fast re-route schemes the
+// paper cites as related work (Chiesa et al.) and of Grafting, which the
+// paper names as a heuristic whose tables SyRep can repair: each node's
+// priority list tries its parent edge in tree 1, then tree 2, and so on,
+// with the remaining incident edges and finally the arrival edge as last
+// resorts.
+//
+// The trees are BFS trees toward dest with rotated edge preference, so they
+// diversify backup directions without requiring arc-disjointness. The
+// resulting tables are deliberately *not* guaranteed resilient — they are a
+// realistic third-party input for the repair engine.
+func GenerateTreeBased(net *network.Network, dest network.NodeID, trees int) (*routing.Routing, error) {
+	if trees < 1 {
+		return nil, fmt.Errorf("heuristic: tree count %d < 1", trees)
+	}
+	parents := make([][]network.EdgeID, trees)
+	for t := range parents {
+		parent, dist := rotatedBFS(net, dest, t)
+		for _, v := range net.Nodes() {
+			if dist[v] < 0 {
+				return nil, fmt.Errorf("heuristic: node %s cannot reach destination %s",
+					net.NodeName(v), net.NodeName(dest))
+			}
+		}
+		parents[t] = parent
+	}
+
+	r := routing.New(net, dest)
+	for _, v := range net.Nodes() {
+		if v == dest {
+			continue
+		}
+		// The per-node preference order: parent edges of the trees, then
+		// the remaining incident edges.
+		var pref []network.EdgeID
+		seen := make(map[network.EdgeID]bool)
+		for t := 0; t < trees; t++ {
+			e := parents[t][v]
+			if !seen[e] {
+				seen[e] = true
+				pref = append(pref, e)
+			}
+		}
+		for _, e := range net.IncidentEdges(v) {
+			if !seen[e] {
+				seen[e] = true
+				pref = append(pref, e)
+			}
+		}
+
+		inEdges := append([]network.EdgeID(nil), net.IncidentEdges(v)...)
+		inEdges = append(inEdges, net.Loopback(v))
+		for _, in := range inEdges {
+			isLB := net.IsLoopback(in)
+			var prio []network.EdgeID
+			for _, e := range pref {
+				if e != in || isLB {
+					prio = append(prio, e)
+				}
+			}
+			if !isLB {
+				prio = append(prio, in)
+			}
+			if err := r.Set(in, v, prio); err != nil {
+				return nil, fmt.Errorf("heuristic: %w", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// rotatedBFS computes a shortest-path tree toward dest whose tie-breaking
+// rotates with round: where a node has several shortest-path parents, round
+// r picks the r-th (mod count), so successive rounds genuinely differ on
+// graphs with equal-length alternatives.
+func rotatedBFS(net *network.Network, dest network.NodeID, round int) (parent []network.EdgeID, dist []int) {
+	parent = make([]network.EdgeID, net.NumNodes())
+	dist = make([]int, net.NumNodes())
+	for i := range parent {
+		parent[i] = network.NoEdge
+		dist[i] = -1
+	}
+	dist[dest] = 0
+	queue := []network.NodeID{dest}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range net.IncidentEdges(v) {
+			w := net.Other(e, v)
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for _, w := range net.Nodes() {
+		if w == dest || dist[w] < 0 {
+			continue
+		}
+		var cands []network.EdgeID
+		for _, e := range net.IncidentEdges(w) {
+			if dist[net.Other(e, w)] == dist[w]-1 {
+				cands = append(cands, e)
+			}
+		}
+		parent[w] = cands[round%len(cands)]
+	}
+	return parent, dist
+}

@@ -1,0 +1,110 @@
+package heuristic_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/repair"
+	"syrep/internal/verify"
+)
+
+func TestGenerateTreeBasedBasics(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	r, err := heuristic.GenerateTreeBased(n, d, 2)
+	if err != nil {
+		t.Fatalf("GenerateTreeBased: %v", err)
+	}
+	if !r.Complete() {
+		t.Error("tree-based table incomplete")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Delivers on the intact network.
+	if !verify.Resilient(r, 0) {
+		t.Error("tree-based table not 0-resilient")
+	}
+}
+
+func TestGenerateTreeBasedValidation(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	if _, err := heuristic.GenerateTreeBased(n, d, 0); err == nil {
+		t.Error("tree count 0 accepted")
+	}
+	// Disconnected network.
+	b := network.NewBuilder("disc")
+	b.AddNode("a")
+	b.AddNode("b")
+	disc := b.MustBuild()
+	if _, err := heuristic.GenerateTreeBased(disc, 0, 2); err == nil {
+		t.Error("disconnected network accepted")
+	}
+}
+
+// TestTreeBasedTablesAreRepairable plays the paper's Grafting scenario: a
+// third-party heuristic's table is fed to SyRep's repair and comes out
+// perfectly resilient.
+func TestTreeBasedTablesAreRepairable(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	for _, trees := range []int{1, 2, 3} {
+		r, err := heuristic.GenerateTreeBased(n, d, trees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 2; k++ {
+			out, err := repair.Repair(context.Background(), r, k, repair.Options{Escalate: true})
+			if err != nil {
+				if errors.Is(err, repair.ErrUnrepairable) {
+					t.Errorf("trees=%d k=%d: unrepairable", trees, k)
+					continue
+				}
+				t.Fatal(err)
+			}
+			if !verify.Resilient(out.Routing, k) {
+				t.Errorf("trees=%d k=%d: repair output not resilient", trees, k)
+			}
+		}
+	}
+}
+
+func TestTreeBasedDiversity(t *testing.T) {
+	// Node b sits at distance 2 with two shortest-path parents (via a and
+	// via c) and a third edge to x, so the second tree must promote the
+	// alternative parent ahead of the remaining edge.
+	bld := network.NewBuilder("tie")
+	d := bld.AddNode("d")
+	a := bld.AddNode("a")
+	c := bld.AddNode("c")
+	b := bld.AddNode("b")
+	x := bld.AddNode("x")
+	bld.AddEdge(d, a) // e0
+	bld.AddEdge(d, c) // e1
+	bld.AddEdge(a, b) // e2
+	bld.AddEdge(b, x) // e3
+	bld.AddEdge(c, b) // e4
+	bld.AddEdge(a, x) // e5
+	n := bld.MustBuild()
+
+	one, err := heuristic.GenerateTreeBased(n, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := heuristic.GenerateTreeBased(n, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Equal(two) {
+		t.Error("1-tree and 2-tree tables are identical; rotation has no effect")
+	}
+	prio, _ := two.Get(n.Loopback(b), b)
+	if len(prio) != 3 || prio[0] != 2 || prio[1] != 4 {
+		t.Errorf("R(lb_b, b) = %v, want (e2, e4, e3)", prio)
+	}
+}

@@ -1,0 +1,119 @@
+package network
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// EdgeSet is a set of edge ids implemented as a bitset. It is the
+// representation of failure scenarios F ⊆ E. Use NewEdgeSet to size the set
+// for a given network.
+type EdgeSet struct {
+	words []uint64
+}
+
+// NewEdgeSet returns an empty set able to hold edge ids below capacity.
+func NewEdgeSet(capacity int) EdgeSet {
+	return EdgeSet{words: make([]uint64, (capacity+63)/64)}
+}
+
+// EdgeSetOf returns a set containing exactly the given edges.
+func EdgeSetOf(capacity int, edges ...EdgeID) EdgeSet {
+	s := NewEdgeSet(capacity)
+	for _, e := range edges {
+		s.Add(e)
+	}
+	return s
+}
+
+// Add inserts e into the set.
+func (s EdgeSet) Add(e EdgeID) { s.words[e>>6] |= 1 << (uint(e) & 63) }
+
+// Remove deletes e from the set.
+func (s EdgeSet) Remove(e EdgeID) { s.words[e>>6] &^= 1 << (uint(e) & 63) }
+
+// Has reports whether e is in the set.
+func (s EdgeSet) Has(e EdgeID) bool {
+	w := int(e >> 6)
+	if w < 0 || w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(e)&63)) != 0
+}
+
+// Len returns the number of edges in the set.
+func (s EdgeSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s EdgeSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s EdgeSet) Clone() EdgeSet {
+	return EdgeSet{words: append([]uint64(nil), s.words...)}
+}
+
+// SubsetOf reports whether every edge of s is also in t.
+func (s EdgeSet) SubsetOf(t EdgeSet) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same edges.
+func (s EdgeSet) Equal(t EdgeSet) bool {
+	return s.SubsetOf(t) && t.SubsetOf(s)
+}
+
+// Edges returns the members in ascending order.
+func (s EdgeSet) Edges() []EdgeID {
+	var out []EdgeID
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, EdgeID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the set as "{e1,e4}" using raw ids.
+func (s EdgeSet) String() string {
+	edges := s.Edges()
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = "e" + strconv.Itoa(int(e))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Key returns a canonical comparable key for use in maps.
+func (s EdgeSet) Key() string {
+	edges := s.Edges()
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = strconv.Itoa(int(e))
+	}
+	return strings.Join(parts, ",")
+}

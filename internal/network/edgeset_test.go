@@ -1,0 +1,165 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet(100)
+	if !s.Empty() {
+		t.Error("new set is not empty")
+	}
+	s.Add(3)
+	s.Add(64)
+	s.Add(99)
+	if s.Empty() {
+		t.Error("set with members reports Empty")
+	}
+	if got, want := s.Len(), 3; got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	for _, e := range []EdgeID{3, 64, 99} {
+		if !s.Has(e) {
+			t.Errorf("Has(%d) = false", e)
+		}
+	}
+	for _, e := range []EdgeID{0, 63, 65, 98} {
+		if s.Has(e) {
+			t.Errorf("Has(%d) = true", e)
+		}
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Has(64) after Remove = true")
+	}
+	if got, want := s.Len(), 2; got != want {
+		t.Errorf("Len after remove = %d, want %d", got, want)
+	}
+}
+
+func TestEdgeSetHasOutOfRange(t *testing.T) {
+	s := NewEdgeSet(10)
+	if s.Has(1000) {
+		t.Error("Has(out of range) = true")
+	}
+}
+
+func TestEdgeSetCloneIsIndependent(t *testing.T) {
+	s := EdgeSetOf(10, 1, 2)
+	c := s.Clone()
+	c.Add(5)
+	if s.Has(5) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Has(1) || !c.Has(2) {
+		t.Error("clone lost members")
+	}
+}
+
+func TestEdgeSetSubsetEqual(t *testing.T) {
+	a := EdgeSetOf(128, 1, 70)
+	b := EdgeSetOf(128, 1, 70, 100)
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b = false")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a = true")
+	}
+	if a.Equal(b) {
+		t.Error("a == b")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("a != clone(a)")
+	}
+	// Sets with different capacities but same members are equal.
+	small := EdgeSetOf(10, 1)
+	big := EdgeSetOf(200, 1)
+	if !small.Equal(big) || !big.Equal(small) {
+		t.Error("capacity affects Equal")
+	}
+}
+
+func TestEdgeSetEdgesOrdered(t *testing.T) {
+	s := EdgeSetOf(130, 129, 0, 64, 7)
+	got := s.Edges()
+	want := []EdgeID{0, 7, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgeSetStringsAndKeys(t *testing.T) {
+	s := EdgeSetOf(10, 4, 1)
+	if got, want := s.String(), "{e1,e4}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := s.Key(), "1,4"; got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got, want := NewEdgeSet(10).String(), "{}"; got != want {
+		t.Errorf("empty String = %q, want %q", got, want)
+	}
+}
+
+// Property: Add/Remove/Has agree with a reference map implementation.
+func TestEdgeSetQuickAgainstMap(t *testing.T) {
+	const capacity = 150
+	f := func(ops []uint16) bool {
+		s := NewEdgeSet(capacity)
+		ref := make(map[EdgeID]bool)
+		for _, op := range ops {
+			e := EdgeID(op % capacity)
+			if op%2 == 0 {
+				s.Add(e)
+				ref[e] = true
+			} else {
+				s.Remove(e)
+				delete(ref, e)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for e := EdgeID(0); e < capacity; e++ {
+			if s.Has(e) != ref[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: subset relation matches the definition on random sets.
+func TestEdgeSetQuickSubset(t *testing.T) {
+	const capacity = 90
+	f := func(aBits, bBits []uint8) bool {
+		a, b := NewEdgeSet(capacity), NewEdgeSet(capacity)
+		for _, x := range aBits {
+			a.Add(EdgeID(x) % capacity)
+		}
+		for _, x := range bBits {
+			b.Add(EdgeID(x) % capacity)
+		}
+		want := true
+		for _, e := range a.Edges() {
+			if !b.Has(e) {
+				want = false
+				break
+			}
+		}
+		return a.SubsetOf(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}

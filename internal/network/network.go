@@ -1,0 +1,266 @@
+// Package network models communication networks as undirected multigraphs
+// with implicit loop-back edges, following Definition 1 of the SyRep paper
+// (Györgyi et al., DSN 2024).
+//
+// A Network is immutable once built. Nodes and edges are identified by dense
+// integer ids so that other packages can index slices by them. Every node v
+// has exactly one loop-back edge lb_v that models packets arriving at (or
+// originating in) v; loop-backs are created automatically by the Builder and
+// are never part of failure scenarios.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node (router) in a Network.
+type NodeID int32
+
+// EdgeID identifies an edge (link) in a Network. Loop-back edges have ids in
+// the range [NumRealEdges, NumEdges).
+type EdgeID int32
+
+// None is the sentinel for "no node" / "no edge".
+const (
+	NoNode NodeID = -1
+	NoEdge EdgeID = -1
+)
+
+// String renders the raw node id as "n3".
+func (v NodeID) String() string { return fmt.Sprintf("n%d", int32(v)) }
+
+// String renders the raw edge id as "e5".
+func (e EdgeID) String() string { return fmt.Sprintf("e%d", int32(e)) }
+
+type edge struct {
+	u, v NodeID // u == v for loop-backs
+	name string
+}
+
+// Network is an undirected multigraph G = (V, E, r) with loop-back edges.
+// The zero value is not usable; construct networks with a Builder.
+type Network struct {
+	name      string
+	nodeNames []string
+	edges     []edge     // real edges first, then one loop-back per node
+	realEdges int        // number of non-loop-back edges
+	incident  [][]EdgeID // per node: incident real edges (both endpoints), sorted
+}
+
+// Name returns the (possibly empty) name of the network.
+func (n *Network) Name() string { return n.name }
+
+// NumNodes returns |V|.
+func (n *Network) NumNodes() int { return len(n.nodeNames) }
+
+// NumRealEdges returns the number of non-loop-back edges.
+func (n *Network) NumRealEdges() int { return n.realEdges }
+
+// NumEdges returns the number of all edges including loop-backs.
+func (n *Network) NumEdges() int { return len(n.edges) }
+
+// NodeName returns the display name of node v.
+func (n *Network) NodeName(v NodeID) string { return n.nodeNames[v] }
+
+// NodeByName returns the node with the given name, or NoNode.
+func (n *Network) NodeByName(name string) NodeID {
+	for i, s := range n.nodeNames {
+		if s == name {
+			return NodeID(i)
+		}
+	}
+	return NoNode
+}
+
+// EdgeName returns the display name of edge e (loop-backs are named "lb_v").
+func (n *Network) EdgeName(e EdgeID) string { return n.edges[e].name }
+
+// Endpoints returns the two endpoints of e; they are equal for loop-backs.
+func (n *Network) Endpoints(e EdgeID) (NodeID, NodeID) {
+	ed := n.edges[e]
+	return ed.u, ed.v
+}
+
+// IsLoopback reports whether e is a loop-back edge.
+func (n *Network) IsLoopback(e EdgeID) bool { return int(e) >= n.realEdges }
+
+// Loopback returns the loop-back edge lb_v of node v.
+func (n *Network) Loopback(v NodeID) EdgeID { return EdgeID(n.realEdges + int(v)) }
+
+// LoopbackOwner returns the node v such that e == lb_v. It reports ok=false
+// when e is not a loop-back.
+func (n *Network) LoopbackOwner(e EdgeID) (NodeID, bool) {
+	if !n.IsLoopback(e) {
+		return NoNode, false
+	}
+	return NodeID(int(e) - n.realEdges), true
+}
+
+// Incident reports whether node v is an endpoint of edge e (loop-backs
+// included).
+func (n *Network) Incident(e EdgeID, v NodeID) bool {
+	ed := n.edges[e]
+	return ed.u == v || ed.v == v
+}
+
+// Other returns the endpoint of e opposite to v. For loop-backs it returns v
+// itself. It panics if v is not an endpoint of e; callers are expected to
+// validate ids at the boundary.
+func (n *Network) Other(e EdgeID, v NodeID) NodeID {
+	ed := n.edges[e]
+	switch v {
+	case ed.u:
+		return ed.v
+	case ed.v:
+		return ed.u
+	}
+	panic(fmt.Sprintf("network: node %d is not an endpoint of edge %d", v, e))
+}
+
+// IncidentEdges returns the real (non-loop-back) edges incident to v, in
+// ascending edge-id order. The returned slice is shared; callers must not
+// modify it.
+func (n *Network) IncidentEdges(v NodeID) []EdgeID { return n.incident[v] }
+
+// Degree returns the number of real edges incident to v (parallel edges
+// counted individually).
+func (n *Network) Degree(v NodeID) int { return len(n.incident[v]) }
+
+// Nodes returns all node ids in ascending order.
+func (n *Network) Nodes() []NodeID {
+	out := make([]NodeID, n.NumNodes())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// RealEdges returns all non-loop-back edge ids in ascending order.
+func (n *Network) RealEdges() []EdgeID {
+	out := make([]EdgeID, n.realEdges)
+	for i := range out {
+		out[i] = EdgeID(i)
+	}
+	return out
+}
+
+// String renders a short human-readable summary.
+func (n *Network) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %q: %d nodes, %d edges", n.name, n.NumNodes(), n.NumRealEdges())
+	return b.String()
+}
+
+// Builder incrementally constructs a Network.
+type Builder struct {
+	name      string
+	nodeNames []string
+	byName    map[string]NodeID
+	edges     []edge
+	err       error
+}
+
+// NewBuilder returns a Builder for a network with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a node with the given name and returns its id. Adding a
+// duplicate name records an error surfaced by Build.
+func (b *Builder) AddNode(name string) NodeID {
+	if _, dup := b.byName[name]; dup {
+		b.fail(fmt.Errorf("duplicate node name %q", name))
+		return NoNode
+	}
+	id := NodeID(len(b.nodeNames))
+	b.nodeNames = append(b.nodeNames, name)
+	b.byName[name] = id
+	return id
+}
+
+// Node returns the id for name, adding the node if it does not exist yet.
+func (b *Builder) Node(name string) NodeID {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	return b.AddNode(name)
+}
+
+// AddEdge adds an undirected edge between u and v and returns its id.
+// Parallel edges are allowed (the model is a multigraph); self-loops are not,
+// because loop-backs are implicit.
+func (b *Builder) AddEdge(u, v NodeID) EdgeID {
+	return b.AddNamedEdge(fmt.Sprintf("e%d", len(b.edges)), u, v)
+}
+
+// AddNamedEdge adds an undirected edge with an explicit display name.
+func (b *Builder) AddNamedEdge(name string, u, v NodeID) EdgeID {
+	if u == v {
+		b.fail(fmt.Errorf("edge %q: self-loop on node %d (loop-backs are implicit)", name, u))
+		return NoEdge
+	}
+	if !b.validNode(u) || !b.validNode(v) {
+		b.fail(fmt.Errorf("edge %q: endpoint out of range (%d, %d)", name, u, v))
+		return NoEdge
+	}
+	id := EdgeID(len(b.edges))
+	b.edges = append(b.edges, edge{u: u, v: v, name: name})
+	return id
+}
+
+// AddLink adds an edge between the nodes with the given names, creating the
+// nodes as needed.
+func (b *Builder) AddLink(uName, vName string) EdgeID {
+	return b.AddEdge(b.Node(uName), b.Node(vName))
+}
+
+func (b *Builder) validNode(v NodeID) bool {
+	return v >= 0 && int(v) < len(b.nodeNames)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalises the network, appending the implicit loop-back edges.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, fmt.Errorf("network %q: %w", b.name, b.err)
+	}
+	if len(b.nodeNames) == 0 {
+		return nil, fmt.Errorf("network %q: no nodes", b.name)
+	}
+	n := &Network{
+		name:      b.name,
+		nodeNames: append([]string(nil), b.nodeNames...),
+		edges:     make([]edge, 0, len(b.edges)+len(b.nodeNames)),
+		realEdges: len(b.edges),
+		incident:  make([][]EdgeID, len(b.nodeNames)),
+	}
+	n.edges = append(n.edges, b.edges...)
+	for v, name := range b.nodeNames {
+		n.edges = append(n.edges, edge{u: NodeID(v), v: NodeID(v), name: "lb_" + name})
+	}
+	for id, e := range b.edges {
+		n.incident[e.u] = append(n.incident[e.u], EdgeID(id))
+		n.incident[e.v] = append(n.incident[e.v], EdgeID(id))
+	}
+	for _, inc := range n.incident {
+		sort.Slice(inc, func(i, j int) bool { return inc[i] < inc[j] })
+	}
+	return n, nil
+}
+
+// MustBuild is Build for tests and embedded topologies that are known valid;
+// it panics on error.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

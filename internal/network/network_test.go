@@ -1,0 +1,363 @@
+package network
+
+import (
+	"testing"
+)
+
+// runningExample builds the 5-node network of Figure 1 in the paper:
+//
+//	e0={v2,d}, e1={v3,d}, e2={v4,d}, e3={v1,v3}, e4={v1,v4},
+//	e5={v2,v4}, e6={v3,v4}
+//
+// Node ids are assigned in the order d, v1, v2, v3, v4.
+func runningExample(t testing.TB) *Network {
+	t.Helper()
+	b := NewBuilder("fig1")
+	d := b.AddNode("d")
+	v1 := b.AddNode("v1")
+	v2 := b.AddNode("v2")
+	v3 := b.AddNode("v3")
+	v4 := b.AddNode("v4")
+	b.AddNamedEdge("e0", v2, d)
+	b.AddNamedEdge("e1", v3, d)
+	b.AddNamedEdge("e2", v4, d)
+	b.AddNamedEdge("e3", v1, v3)
+	b.AddNamedEdge("e4", v1, v4)
+	b.AddNamedEdge("e5", v2, v4)
+	b.AddNamedEdge("e6", v3, v4)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return n
+}
+
+func TestBuilderBasics(t *testing.T) {
+	n := runningExample(t)
+	if got, want := n.NumNodes(), 5; got != want {
+		t.Errorf("NumNodes = %d, want %d", got, want)
+	}
+	if got, want := n.NumRealEdges(), 7; got != want {
+		t.Errorf("NumRealEdges = %d, want %d", got, want)
+	}
+	if got, want := n.NumEdges(), 12; got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if !n.Connected() {
+		t.Error("Connected = false, want true")
+	}
+}
+
+func TestLoopbacks(t *testing.T) {
+	n := runningExample(t)
+	for _, v := range n.Nodes() {
+		lb := n.Loopback(v)
+		if !n.IsLoopback(lb) {
+			t.Errorf("IsLoopback(lb_%d) = false", v)
+		}
+		u, w := n.Endpoints(lb)
+		if u != v || w != v {
+			t.Errorf("Endpoints(lb_%d) = (%d,%d), want (%d,%d)", v, u, w, v, v)
+		}
+		owner, ok := n.LoopbackOwner(lb)
+		if !ok || owner != v {
+			t.Errorf("LoopbackOwner(lb_%d) = (%d,%v)", v, owner, ok)
+		}
+		if n.Other(lb, v) != v {
+			t.Errorf("Other(lb_%d, %d) != %d", v, v, v)
+		}
+	}
+	if _, ok := n.LoopbackOwner(0); ok {
+		t.Error("LoopbackOwner(real edge) reported ok")
+	}
+	if got := n.EdgeName(n.Loopback(0)); got != "lb_d" {
+		t.Errorf("EdgeName(lb_d) = %q", got)
+	}
+}
+
+func TestIncidence(t *testing.T) {
+	n := runningExample(t)
+	v4 := n.NodeByName("v4")
+	inc := n.IncidentEdges(v4)
+	want := []EdgeID{2, 4, 5, 6}
+	if len(inc) != len(want) {
+		t.Fatalf("IncidentEdges(v4) = %v, want %v", inc, want)
+	}
+	for i := range want {
+		if inc[i] != want[i] {
+			t.Fatalf("IncidentEdges(v4) = %v, want %v", inc, want)
+		}
+	}
+	if got, want := n.Degree(v4), 4; got != want {
+		t.Errorf("Degree(v4) = %d, want %d", got, want)
+	}
+	if got := n.Other(6, v4); got != n.NodeByName("v3") {
+		t.Errorf("Other(e6, v4) = %d, want v3", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(b *Builder)
+	}{
+		{"duplicate node", func(b *Builder) { b.AddNode("x"); b.AddNode("x") }},
+		{"self loop", func(b *Builder) { v := b.AddNode("x"); b.AddEdge(v, v) }},
+		{"bad endpoint", func(b *Builder) { b.AddNode("x"); b.AddEdge(0, 7) }},
+		{"no nodes", func(b *Builder) {}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := NewBuilder("bad")
+			tt.build(b)
+			if _, err := b.Build(); err == nil {
+				t.Error("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	n := runningExample(t)
+	if got := n.NodeByName("v3"); got != 3 {
+		t.Errorf("NodeByName(v3) = %d, want 3", got)
+	}
+	if got := n.NodeByName("nope"); got != NoNode {
+		t.Errorf("NodeByName(nope) = %d, want NoNode", got)
+	}
+	if got := n.NodeName(0); got != "d" {
+		t.Errorf("NodeName(0) = %q, want d", got)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	b := NewBuilder("multi")
+	u := b.AddNode("u")
+	v := b.AddNode("v")
+	e1 := b.AddEdge(u, v)
+	e2 := b.AddEdge(u, v)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if e1 == e2 {
+		t.Fatal("parallel edges share an id")
+	}
+	if got, want := n.Degree(u), 2; got != want {
+		t.Errorf("Degree(u) = %d, want %d", got, want)
+	}
+	if n.EdgeConnectivity() != 2 {
+		t.Errorf("EdgeConnectivity = %d, want 2", n.EdgeConnectivity())
+	}
+}
+
+func TestConnectedWithout(t *testing.T) {
+	n := runningExample(t)
+	d := n.NodeByName("d")
+	v3 := n.NodeByName("v3")
+	tests := []struct {
+		name   string
+		failed []EdgeID
+		want   bool
+	}{
+		{"no failures", nil, true},
+		{"e1 fails", []EdgeID{1}, true},
+		{"e1,e2 fail (Fig 1c)", []EdgeID{1, 2}, true},
+		{"e1,e3,e6 fail", []EdgeID{1, 3, 6}, false},
+		{"all v3 edges fail", []EdgeID{1, 3, 6}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			F := EdgeSetOf(n.NumRealEdges(), tt.failed...)
+			if got := n.ConnectedWithout(v3, d, F); got != tt.want {
+				t.Errorf("ConnectedWithout(v3,d,%v) = %v, want %v", F, got, tt.want)
+			}
+		})
+	}
+	if !n.ConnectedWithout(d, d, NewEdgeSet(7)) {
+		t.Error("node not connected to itself")
+	}
+}
+
+func TestReachableWithout(t *testing.T) {
+	n := runningExample(t)
+	d := n.NodeByName("d")
+	F := EdgeSetOf(n.NumRealEdges(), 1, 3, 6) // isolate v3
+	reach := n.ReachableWithout(d, F)
+	for _, v := range n.Nodes() {
+		want := n.NodeName(v) != "v3"
+		if reach[v] != want {
+			t.Errorf("reach[%s] = %v, want %v", n.NodeName(v), reach[v], want)
+		}
+	}
+}
+
+func TestShortestPathTree(t *testing.T) {
+	n := runningExample(t)
+	d := n.NodeByName("d")
+	parent, dist := n.ShortestPathTree(d)
+	wantDist := map[string]int{"d": 0, "v1": 2, "v2": 1, "v3": 1, "v4": 1}
+	for name, want := range wantDist {
+		v := n.NodeByName(name)
+		if dist[v] != want {
+			t.Errorf("dist[%s] = %d, want %d", name, dist[v], want)
+		}
+	}
+	// Default edges match Figure 3: e_v2=e0, e_v3=e1, e_v4=e2, e_v1=e3
+	// (v1 ties between e3 via v3 and e4 via v4; the smaller edge id wins).
+	wantParent := map[string]EdgeID{"v1": 3, "v2": 0, "v3": 1, "v4": 2}
+	for name, want := range wantParent {
+		v := n.NodeByName(name)
+		if parent[v] != want {
+			t.Errorf("parentEdge[%s] = %d, want %d", name, parent[v], want)
+		}
+	}
+	if parent[d] != NoEdge {
+		t.Errorf("parentEdge[d] = %d, want NoEdge", parent[d])
+	}
+}
+
+func TestDefaultPath(t *testing.T) {
+	n := runningExample(t)
+	d := n.NodeByName("d")
+	parent, _ := n.ShortestPathTree(d)
+	v1 := n.NodeByName("v1")
+	path := n.DefaultPath(v1, d, parent)
+	want := []string{"v1", "v3", "d"}
+	if len(path) != len(want) {
+		t.Fatalf("DefaultPath(v1) = %v, want %v", path, want)
+	}
+	for i, name := range want {
+		if n.NodeName(path[i]) != name {
+			t.Fatalf("DefaultPath(v1)[%d] = %s, want %s", i, n.NodeName(path[i]), name)
+		}
+	}
+	if got := n.DefaultPath(d, d, parent); len(got) != 1 || got[0] != d {
+		t.Errorf("DefaultPath(d) = %v, want [d]", got)
+	}
+}
+
+func TestDefaultPathUnreachable(t *testing.T) {
+	b := NewBuilder("disc")
+	a := b.AddNode("a")
+	b.AddNode("b")
+	c := b.AddNode("c")
+	b.AddEdge(a, c)
+	n := b.MustBuild()
+	parent, dist := n.ShortestPathTree(a)
+	bn := n.NodeByName("b")
+	if dist[bn] != -1 {
+		t.Errorf("dist[b] = %d, want -1", dist[bn])
+	}
+	if got := n.DefaultPath(bn, a, parent); got != nil {
+		t.Errorf("DefaultPath(b) = %v, want nil", got)
+	}
+}
+
+func TestForEachScenario(t *testing.T) {
+	n := runningExample(t)
+	for k := 0; k <= 3; k++ {
+		count := 0
+		seen := make(map[string]bool)
+		ok := n.ForEachScenario(k, func(F EdgeSet) bool {
+			count++
+			if F.Len() > k {
+				t.Fatalf("scenario %v exceeds k=%d", F, k)
+			}
+			key := F.Key()
+			if seen[key] {
+				t.Fatalf("scenario %v enumerated twice", F)
+			}
+			seen[key] = true
+			return true
+		})
+		if !ok {
+			t.Fatalf("k=%d: iteration reported early stop", k)
+		}
+		if want := n.CountScenarios(k); count != want {
+			t.Errorf("k=%d: enumerated %d scenarios, want %d", k, count, want)
+		}
+	}
+}
+
+func TestForEachScenarioEarlyStop(t *testing.T) {
+	n := runningExample(t)
+	count := 0
+	ok := n.ForEachScenario(2, func(F EdgeSet) bool {
+		count++
+		return count < 5
+	})
+	if ok {
+		t.Error("iteration did not report early stop")
+	}
+	if count != 5 {
+		t.Errorf("fn called %d times, want 5", count)
+	}
+}
+
+func TestCountScenarios(t *testing.T) {
+	n := runningExample(t) // 7 edges
+	tests := []struct{ k, want int }{
+		{0, 1},
+		{1, 8},        // 1 + 7
+		{2, 29},       // 1 + 7 + 21
+		{3, 64},       // 1 + 7 + 21 + 35
+		{100, 1 << 7}, // all subsets
+	}
+	for _, tt := range tests {
+		if got := n.CountScenarios(tt.k); got != tt.want {
+			t.Errorf("CountScenarios(%d) = %d, want %d", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestEdgeConnectivity(t *testing.T) {
+	n := runningExample(t)
+	if got := n.EdgeConnectivity(); got != 2 {
+		t.Errorf("EdgeConnectivity(fig1) = %d, want 2", got)
+	}
+
+	// A path graph has connectivity 1.
+	b := NewBuilder("path")
+	a := b.AddNode("a")
+	c := b.AddNode("b")
+	e := b.AddNode("c")
+	b.AddEdge(a, c)
+	b.AddEdge(c, e)
+	p := b.MustBuild()
+	if got := p.EdgeConnectivity(); got != 1 {
+		t.Errorf("EdgeConnectivity(path) = %d, want 1", got)
+	}
+
+	// K4 has connectivity 3.
+	b2 := NewBuilder("k4")
+	var vs []NodeID
+	for i := 0; i < 4; i++ {
+		vs = append(vs, b2.AddNode(string(rune('a'+i))))
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b2.AddEdge(vs[i], vs[j])
+		}
+	}
+	k4 := b2.MustBuild()
+	if got := k4.EdgeConnectivity(); got != 3 {
+		t.Errorf("EdgeConnectivity(K4) = %d, want 3", got)
+	}
+
+	// Disconnected graph has connectivity 0.
+	b3 := NewBuilder("disc")
+	b3.AddNode("a")
+	b3.AddNode("b")
+	disc := b3.MustBuild()
+	if got := disc.EdgeConnectivity(); got != 0 {
+		t.Errorf("EdgeConnectivity(disconnected) = %d, want 0", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	n := runningExample(t)
+	if got := n.String(); got == "" {
+		t.Error("String() is empty")
+	}
+}

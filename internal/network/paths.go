@@ -1,0 +1,258 @@
+package network
+
+// This file implements the graph queries used across SyRep: reachability
+// under failure scenarios (the paper's Γ predicate), shortest-path trees
+// toward a destination, scenario enumeration, and edge-connectivity.
+
+// ConnectedWithout reports whether s and t are connected in G∖F, i.e. the
+// paper's Γ(s, F, t). Loop-back edges are never usable for moving between
+// nodes, so they are ignored regardless of F.
+func (n *Network) ConnectedWithout(s, t NodeID, failed EdgeSet) bool {
+	if s == t {
+		return true
+	}
+	visited := make([]bool, n.NumNodes())
+	queue := []NodeID{s}
+	visited[s] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range n.incident[v] {
+			if failed.Has(e) {
+				continue
+			}
+			w := n.Other(e, v)
+			if visited[w] {
+				continue
+			}
+			if w == t {
+				return true
+			}
+			visited[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return false
+}
+
+// ReachableWithout returns, for every node, whether it can reach t in G∖F.
+func (n *Network) ReachableWithout(t NodeID, failed EdgeSet) []bool {
+	visited := make([]bool, n.NumNodes())
+	queue := []NodeID{t}
+	visited[t] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range n.incident[v] {
+			if failed.Has(e) {
+				continue
+			}
+			w := n.Other(e, v)
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return visited
+}
+
+// Connected reports whether the whole network is connected.
+func (n *Network) Connected() bool {
+	reach := n.ReachableWithout(0, NewEdgeSet(n.NumRealEdges()))
+	for _, ok := range reach {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestPathTree computes a BFS tree toward dest. For every node v != dest
+// it returns the first edge of a shortest path from v to dest (the "default
+// next-hop edge" e_v of Section IV-A) and the hop distance. Ties are broken
+// deterministically by preferring smaller edge ids, so that the heuristic
+// generator is reproducible. dist[dest] == 0 and parentEdge[dest] == NoEdge.
+// Unreachable nodes get dist -1.
+func (n *Network) ShortestPathTree(dest NodeID) (parentEdge []EdgeID, dist []int) {
+	parentEdge = make([]EdgeID, n.NumNodes())
+	dist = make([]int, n.NumNodes())
+	for i := range parentEdge {
+		parentEdge[i] = NoEdge
+		dist[i] = -1
+	}
+	dist[dest] = 0
+	queue := []NodeID{dest}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range n.incident[v] {
+			w := n.Other(e, v)
+			switch {
+			case dist[w] == -1:
+				dist[w] = dist[v] + 1
+				parentEdge[w] = e
+				queue = append(queue, w)
+			case dist[w] == dist[v]+1 && e < parentEdge[w]:
+				// Deterministic tie-break among equally short paths.
+				parentEdge[w] = e
+			}
+		}
+	}
+	return parentEdge, dist
+}
+
+// DefaultPath returns the node sequence of the default path from v to dest
+// (inclusive of both), following the given shortest-path tree. It returns nil
+// when v cannot reach dest.
+func (n *Network) DefaultPath(v, dest NodeID, parentEdge []EdgeID) []NodeID {
+	if parentEdge[v] == NoEdge && v != dest {
+		return nil
+	}
+	path := []NodeID{v}
+	for v != dest {
+		e := parentEdge[v]
+		v = n.Other(e, v)
+		path = append(path, v)
+		if len(path) > n.NumNodes() {
+			return nil // defensive: malformed tree
+		}
+	}
+	return path
+}
+
+// ForEachScenario invokes fn for every failure scenario F over the real
+// edges with |F| <= k, including the empty scenario, in a deterministic
+// depth-first lexicographic order ({} before {e0} before {e0,e1} before
+// {e1}, ...). The EdgeSet passed to fn is reused between calls; fn must
+// Clone it to retain it. Iteration stops early when fn returns false, in
+// which case ForEachScenario returns false.
+func (n *Network) ForEachScenario(k int, fn func(F EdgeSet) bool) bool {
+	m := n.NumRealEdges()
+	if k > m {
+		k = m
+	}
+	set := NewEdgeSet(m)
+	if !fn(set) {
+		return false
+	}
+	var rec func(start EdgeID, remaining int) bool
+	rec = func(start EdgeID, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		for e := start; int(e) < m; e++ {
+			set.Add(e)
+			if !fn(set) {
+				return false
+			}
+			if !rec(e+1, remaining-1) {
+				return false
+			}
+			set.Remove(e)
+		}
+		return true
+	}
+	return rec(0, k)
+}
+
+// CountScenarios returns the number of failure scenarios with |F| <= k.
+func (n *Network) CountScenarios(k int) int {
+	m := n.NumRealEdges()
+	if k > m {
+		k = m
+	}
+	total := 0
+	binom := 1
+	for i := 0; i <= k; i++ {
+		total += binom
+		binom = binom * (m - i) / (i + 1)
+	}
+	return total
+}
+
+// EdgeConnectivity returns the global edge connectivity λ(G) of the network
+// (minimum number of edges whose removal disconnects it), computed with
+// repeated unit-capacity max-flow between node 0 and every other node. The
+// paper's topologies are small, so the O(V · E · λ) cost is acceptable.
+func (n *Network) EdgeConnectivity() int {
+	if n.NumNodes() < 2 {
+		return 0
+	}
+	min := -1
+	for t := 1; t < n.NumNodes(); t++ {
+		f := n.maxFlow(0, NodeID(t))
+		if min == -1 || f < min {
+			min = f
+		}
+		if min == 0 {
+			return 0
+		}
+	}
+	return min
+}
+
+// maxFlow computes the max number of edge-disjoint paths between s and t
+// using BFS augmentation on unit capacities (Edmonds–Karp).
+func (n *Network) maxFlow(s, t NodeID) int {
+	// used[e] is -1 when edge unused, otherwise the node id the flow leaves
+	// from (direction marker); undirected unit edges carry at most one unit.
+	type dirUse struct {
+		used bool
+		from NodeID
+	}
+	use := make([]dirUse, n.NumRealEdges())
+	flow := 0
+	for {
+		// BFS for an augmenting path; traversing an edge forward if unused,
+		// or backward (cancelling) if used in the opposite direction.
+		prevEdge := make([]EdgeID, n.NumNodes())
+		prevNode := make([]NodeID, n.NumNodes())
+		for i := range prevEdge {
+			prevEdge[i] = NoEdge
+			prevNode[i] = NoNode
+		}
+		prevNode[s] = s
+		queue := []NodeID{s}
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range n.incident[v] {
+				w := n.Other(e, v)
+				u := use[e]
+				// Residual capacity exists if the edge is unused, or if it is
+				// used with flow entering v (we cancel it).
+				if u.used && u.from != w {
+					continue
+				}
+				if prevNode[w] != NoNode {
+					continue
+				}
+				prevNode[w] = v
+				prevEdge[w] = e
+				if w == t {
+					found = true
+					break bfs
+				}
+				queue = append(queue, w)
+			}
+		}
+		if !found {
+			return flow
+		}
+		// Walk back and flip edges.
+		for v := t; v != s; {
+			e := prevEdge[v]
+			u := prevNode[v]
+			if use[e].used {
+				use[e] = dirUse{} // cancelled
+			} else {
+				use[e] = dirUse{used: true, from: u}
+			}
+			v = u
+		}
+		flow++
+	}
+}

@@ -1,0 +1,94 @@
+// Package papernet provides the concrete networks and routing tables used as
+// running examples in the SyRep paper (Figures 1–3). They serve as shared
+// fixtures for tests, examples, and documentation: every artefact here is
+// fully specified by the paper text, so tests against them are golden tests
+// of the reproduction.
+package papernet
+
+import (
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// Figure1 builds the 5-node running example of the paper (Figure 1a):
+//
+//	e0={v2,d}, e1={v3,d}, e2={v4,d}, e3={v1,v3}, e4={v1,v4},
+//	e5={v2,v4}, e6={v3,v4}
+//
+// Node ids are assigned in the order d, v1, v2, v3, v4 so that node ids and
+// edge ids match the paper's names (edge ei has id i).
+func Figure1() *network.Network {
+	b := network.NewBuilder("fig1")
+	d := b.AddNode("d")
+	v1 := b.AddNode("v1")
+	v2 := b.AddNode("v2")
+	v3 := b.AddNode("v3")
+	v4 := b.AddNode("v4")
+	b.AddNamedEdge("e0", v2, d)
+	b.AddNamedEdge("e1", v3, d)
+	b.AddNamedEdge("e2", v4, d)
+	b.AddNamedEdge("e3", v1, v3)
+	b.AddNamedEdge("e4", v1, v4)
+	b.AddNamedEdge("e5", v2, v4)
+	b.AddNamedEdge("e6", v3, v4)
+	return b.MustBuild()
+}
+
+// Figure1Dest returns the destination node d of the running example.
+func Figure1Dest(n *network.Network) network.NodeID { return n.NodeByName("d") }
+
+// Figure1bRouting returns the perfectly 1-resilient (but not 2-resilient)
+// skipping routing of Figure 1b. It is exactly the table produced by the
+// heuristic generator of Section IV-A with the backup-edge ordering choice
+// R(e6, v4) = (e2, e4, e5, ...) that the paper discusses.
+func Figure1bRouting(n *network.Network) *routing.Routing {
+	var (
+		d  = n.NodeByName("d")
+		v1 = n.NodeByName("v1")
+		v2 = n.NodeByName("v2")
+		v3 = n.NodeByName("v3")
+		v4 = n.NodeByName("v4")
+	)
+	_ = d
+	e := func(i int) network.EdgeID { return network.EdgeID(i) }
+	r := routing.New(n, d)
+
+	// v1: default e3, backup e4.
+	r.MustSet(n.Loopback(v1), v1, []network.EdgeID{e(3), e(4)})
+	r.MustSet(e(3), v1, []network.EdgeID{e(4), e(3)})
+	r.MustSet(e(4), v1, []network.EdgeID{e(3), e(4)})
+
+	// v2: default e0, backups {e0, e5}.
+	r.MustSet(n.Loopback(v2), v2, []network.EdgeID{e(0), e(5)})
+	r.MustSet(e(0), v2, []network.EdgeID{e(5), e(0)})
+	r.MustSet(e(5), v2, []network.EdgeID{e(0), e(5)})
+
+	// v3: default e1, backup e6, rest e3.
+	r.MustSet(n.Loopback(v3), v3, []network.EdgeID{e(1), e(6), e(3)})
+	r.MustSet(e(1), v3, []network.EdgeID{e(6), e(3), e(1)})
+	r.MustSet(e(3), v3, []network.EdgeID{e(1), e(6), e(3)})
+	r.MustSet(e(6), v3, []network.EdgeID{e(1), e(3), e(6)})
+
+	// v4: default e2, backups {e4, e5, e6} (paper's ordering choice e4 < e5).
+	r.MustSet(n.Loopback(v4), v4, []network.EdgeID{e(2), e(4), e(5), e(6)})
+	r.MustSet(e(2), v4, []network.EdgeID{e(4), e(5), e(6), e(2)})
+	r.MustSet(e(4), v4, []network.EdgeID{e(2), e(5), e(6), e(4)})
+	r.MustSet(e(5), v4, []network.EdgeID{e(2), e(4), e(6), e(5)})
+	r.MustSet(e(6), v4, []network.EdgeID{e(2), e(4), e(5), e(6)})
+
+	return r
+}
+
+// Figure2 builds the 2-node, 3-parallel-edge network of Figure 2a: nodes d
+// and v1 connected by edges e0, e1, e2. The only table that needs synthesis
+// for destination d is R(lb_v1, v1); all six permutations of (e0, e1, e2)
+// are perfectly 2-resilient.
+func Figure2() *network.Network {
+	b := network.NewBuilder("fig2")
+	d := b.AddNode("d")
+	v1 := b.AddNode("v1")
+	b.AddNamedEdge("e0", v1, d)
+	b.AddNamedEdge("e1", v1, d)
+	b.AddNamedEdge("e2", v1, d)
+	return b.MustBuild()
+}

@@ -1,0 +1,60 @@
+package papernet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	n := papernet.Figure1()
+	if n.NumNodes() != 5 || n.NumRealEdges() != 7 {
+		t.Fatalf("Figure1 = %d nodes / %d edges, want 5/7", n.NumNodes(), n.NumRealEdges())
+	}
+	d := papernet.Figure1Dest(n)
+	if n.NodeName(d) != "d" {
+		t.Errorf("Figure1Dest = %s, want d", n.NodeName(d))
+	}
+	// Edge ids match the paper's names: edge ei has id i.
+	for i := 0; i < n.NumRealEdges(); i++ {
+		want := fmt.Sprintf("e%d", i)
+		if got := n.EdgeName(network.EdgeID(i)); got != want {
+			t.Errorf("edge %d named %q, want %q", i, got, want)
+		}
+	}
+	if n.EdgeConnectivity() != 2 {
+		t.Errorf("Figure1 edge connectivity = %d, want 2 (the paper calls it 2-connected)", n.EdgeConnectivity())
+	}
+}
+
+func TestFigure1bRoutingShape(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	if !r.Complete() {
+		t.Error("Figure1b routing incomplete")
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if r.NumEntries() != 15 {
+		t.Errorf("entries = %d, want 15", r.NumEntries())
+	}
+	// The paper's example entry R(lb_v3, v3) = (e1, e6, e3).
+	v3 := n.NodeByName("v3")
+	prio, ok := r.Get(n.Loopback(v3), v3)
+	if !ok || len(prio) != 3 || prio[0] != 1 || prio[1] != 6 || prio[2] != 3 {
+		t.Errorf("R(lb_v3, v3) = %v, want (e1, e6, e3)", prio)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	n := papernet.Figure2()
+	if n.NumNodes() != 2 || n.NumRealEdges() != 3 {
+		t.Fatalf("Figure2 = %d nodes / %d edges, want 2/3", n.NumNodes(), n.NumRealEdges())
+	}
+	if n.EdgeConnectivity() != 3 {
+		t.Errorf("Figure2 connectivity = %d, want 3 (three parallel links)", n.EdgeConnectivity())
+	}
+}

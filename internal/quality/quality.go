@@ -1,0 +1,179 @@
+// Package quality evaluates quantitative properties of skipping routings
+// beyond pure connectivity: path stretch (route length relative to the
+// shortest possible path under the same failures) and link load (how traffic
+// concentrates on links when every node sends to the destination). The
+// SyRep paper motivates both: Section IV-A notes the default-path choice can
+// minimise "stretch or congestion", and Section VII lists utilisation- and
+// congestion-aware synthesis as future work.
+package quality
+
+import (
+	"context"
+	"fmt"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+)
+
+// StretchReport summarises per-source path stretch under one failure
+// scenario. Stretch of a delivered trace is its hop count divided by the
+// shortest-path distance in G∖F; sources whose packets are not delivered are
+// reported separately.
+type StretchReport struct {
+	// Failed is the failure scenario evaluated.
+	Failed network.EdgeSet
+	// PerSource maps each connected source to its stretch (0 for the
+	// destination itself). Undelivered sources are absent.
+	PerSource map[network.NodeID]float64
+	// Undelivered lists connected sources whose trace did not reach the
+	// destination (the routing is not resilient enough for F).
+	Undelivered []network.NodeID
+	// Max and Mean aggregate PerSource (zero when empty).
+	Max  float64
+	Mean float64
+}
+
+// Stretch evaluates the routing under one failure scenario.
+func Stretch(r *routing.Routing, failed network.EdgeSet) (*StretchReport, error) {
+	net := r.Network()
+	dest := r.Dest()
+	_, dist := distUnder(net, dest, failed)
+
+	rep := &StretchReport{
+		Failed:    failed.Clone(),
+		PerSource: make(map[network.NodeID]float64),
+	}
+	var sum float64
+	for _, s := range net.Nodes() {
+		if s == dest || dist[s] < 0 {
+			continue
+		}
+		res := trace.Run(r, failed, s)
+		if res.Outcome != trace.Delivered {
+			rep.Undelivered = append(rep.Undelivered, s)
+			continue
+		}
+		hops := len(res.Edges) - 1 // exclude the loop-back
+		if dist[s] == 0 {
+			return nil, fmt.Errorf("quality: zero distance for non-destination %d", s)
+		}
+		st := float64(hops) / float64(dist[s])
+		rep.PerSource[s] = st
+		sum += st
+		if st > rep.Max {
+			rep.Max = st
+		}
+	}
+	if len(rep.PerSource) > 0 {
+		rep.Mean = sum / float64(len(rep.PerSource))
+	}
+	return rep, nil
+}
+
+// WorstStretch returns the maximum stretch of any delivered trace over all
+// failure scenarios |F| <= k, along with the scenario achieving it. It also
+// reports whether some connected source went undelivered in any scenario
+// (in which case the routing is not perfectly k-resilient).
+func WorstStretch(ctx context.Context, r *routing.Routing, k int) (worst float64, at network.EdgeSet, allDelivered bool, err error) {
+	net := r.Network()
+	allDelivered = true
+	var ctxErr error
+	net.ForEachScenario(k, func(F network.EdgeSet) bool {
+		if cerr := ctx.Err(); cerr != nil {
+			ctxErr = cerr
+			return false
+		}
+		rep, serr := Stretch(r, F)
+		if serr != nil {
+			ctxErr = serr
+			return false
+		}
+		if len(rep.Undelivered) > 0 {
+			allDelivered = false
+		}
+		if rep.Max > worst {
+			worst = rep.Max
+			at = F.Clone()
+		}
+		return true
+	})
+	if ctxErr != nil {
+		return 0, network.EdgeSet{}, false, ctxErr
+	}
+	return worst, at, allDelivered, nil
+}
+
+// LoadReport counts, per link, how many source traces cross it when every
+// node sends one unit of traffic to the destination under a fixed scenario.
+type LoadReport struct {
+	Failed network.EdgeSet
+	// PerEdge is indexed by real edge id.
+	PerEdge []int
+	// MaxLoad is the largest entry of PerEdge; MaxEdge one of its edges.
+	MaxLoad int
+	MaxEdge network.EdgeID
+	// Undelivered counts sources whose packet did not arrive (their partial
+	// paths still contribute load).
+	Undelivered int
+}
+
+// Load evaluates link utilisation under one failure scenario.
+func Load(r *routing.Routing, failed network.EdgeSet) *LoadReport {
+	net := r.Network()
+	dest := r.Dest()
+	rep := &LoadReport{
+		Failed:  failed.Clone(),
+		PerEdge: make([]int, net.NumRealEdges()),
+		MaxEdge: network.NoEdge,
+	}
+	for _, s := range net.Nodes() {
+		if s == dest {
+			continue
+		}
+		res := trace.Run(r, failed, s)
+		if res.Outcome != trace.Delivered {
+			rep.Undelivered++
+		}
+		for _, e := range res.Edges[1:] { // skip the loop-back
+			if !net.IsLoopback(e) {
+				rep.PerEdge[e]++
+			}
+		}
+	}
+	for e, load := range rep.PerEdge {
+		if load > rep.MaxLoad {
+			rep.MaxLoad = load
+			rep.MaxEdge = network.EdgeID(e)
+		}
+	}
+	return rep
+}
+
+// distUnder computes shortest-path distances toward dest in G∖F.
+func distUnder(net *network.Network, dest network.NodeID, failed network.EdgeSet) (parent []network.EdgeID, dist []int) {
+	parent = make([]network.EdgeID, net.NumNodes())
+	dist = make([]int, net.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = network.NoEdge
+	}
+	dist[dest] = 0
+	queue := []network.NodeID{dest}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range net.IncidentEdges(v) {
+			if failed.Has(e) {
+				continue
+			}
+			w := net.Other(e, v)
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				parent[w] = e
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent, dist
+}

@@ -1,0 +1,197 @@
+package quality_test
+
+import (
+	"context"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/quality"
+	"syrep/internal/routing"
+)
+
+var ctx = context.Background()
+
+func fig1() (*network.Network, *routing.Routing) {
+	n := papernet.Figure1()
+	return n, papernet.Figure1bRouting(n)
+}
+
+func TestStretchNoFailures(t *testing.T) {
+	n, r := fig1()
+	rep, err := quality.Stretch(r, network.NewEdgeSet(n.NumRealEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no failures every default path is shortest: stretch 1 everywhere.
+	if rep.Max != 1 || rep.Mean != 1 {
+		t.Errorf("failure-free stretch max=%v mean=%v, want 1/1", rep.Max, rep.Mean)
+	}
+	if len(rep.PerSource) != 4 {
+		t.Errorf("PerSource has %d entries, want 4", len(rep.PerSource))
+	}
+	if len(rep.Undelivered) != 0 {
+		t.Errorf("Undelivered = %v, want empty", rep.Undelivered)
+	}
+}
+
+func TestStretchUnderSingleFailure(t *testing.T) {
+	n, r := fig1()
+	// Fail e1 = {v3, d}: v3 detours via e6, v4, e2 — 2 hops where the
+	// shortest alternative is also 2 hops, so stretch stays 1.
+	F := network.EdgeSetOf(n.NumRealEdges(), 1)
+	rep, err := quality.Stretch(r, F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := n.NodeByName("v3")
+	if got := rep.PerSource[v3]; got != 1 {
+		t.Errorf("stretch(v3 | e1 failed) = %v, want 1", got)
+	}
+	if rep.Max < 1 {
+		t.Errorf("Max = %v", rep.Max)
+	}
+}
+
+func TestStretchDetectsDetour(t *testing.T) {
+	// Ring d - a - b - c - d: failing the d-a link forces a to travel 3 hops
+	// instead of 1 (stretch 1, since the shortest alternative is also 3) —
+	// so craft a routing that detours even when a shorter path exists:
+	// a 4-cycle with a chord where the routing ignores the chord.
+	bld := network.NewBuilder("detour")
+	d := bld.AddNode("d")
+	a := bld.AddNode("a")
+	b := bld.AddNode("b")
+	c := bld.AddNode("c")
+	e0 := bld.AddEdge(d, a)
+	e1 := bld.AddEdge(a, b)
+	e2 := bld.AddEdge(b, c)
+	e3 := bld.AddEdge(c, d)
+	e4 := bld.AddEdge(b, d) // chord the routing will ignore
+	n := bld.MustBuild()
+
+	r := routing.New(n, d)
+	r.MustSet(n.Loopback(a), a, []network.EdgeID{e0, e1})
+	r.MustSet(n.Loopback(b), b, []network.EdgeID{e2}) // ignores chord e4
+	r.MustSet(n.Loopback(c), c, []network.EdgeID{e3})
+	r.MustSet(e1, b, []network.EdgeID{e2})
+	r.MustSet(e2, c, []network.EdgeID{e3})
+	r.MustSet(e0, a, []network.EdgeID{e1})
+	r.MustSet(e4, b, []network.EdgeID{e1, e2})
+	r.MustSet(e3, c, []network.EdgeID{e2})
+	r.MustSet(e1, a, []network.EdgeID{e0})
+	r.MustSet(e2, b, []network.EdgeID{e4, e1})
+
+	rep, err := quality.Stretch(r, network.NewEdgeSet(n.NumRealEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b is 1 hop from d via the chord but routes b-c-d: stretch 2.
+	nb := n.NodeByName("b")
+	if got := rep.PerSource[nb]; got != 2 {
+		t.Errorf("stretch(b) = %v, want 2", got)
+	}
+	if rep.Max != 2 {
+		t.Errorf("Max = %v, want 2", rep.Max)
+	}
+}
+
+func TestStretchReportsUndelivered(t *testing.T) {
+	n, _ := fig1()
+	d := papernet.Figure1Dest(n)
+	r := routing.New(n, d) // empty: every packet dropped
+	rep, err := quality.Stretch(r, network.NewEdgeSet(n.NumRealEdges()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Undelivered) != 4 {
+		t.Errorf("Undelivered = %v, want all four sources", rep.Undelivered)
+	}
+	if len(rep.PerSource) != 0 || rep.Max != 0 || rep.Mean != 0 {
+		t.Errorf("empty routing produced stretch data: %+v", rep)
+	}
+}
+
+func TestWorstStretch(t *testing.T) {
+	_, r := fig1()
+	worst, at, allDelivered, err := quality.WorstStretch(ctx, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allDelivered {
+		t.Error("Figure 1b is 1-resilient; allDelivered should be true at k=1")
+	}
+	if worst < 1 {
+		t.Errorf("worst stretch = %v, want >= 1", worst)
+	}
+	if worst > 1 && at.Empty() {
+		t.Error("worst > 1 but no scenario recorded")
+	}
+
+	// At k=2 the routing loops somewhere: allDelivered must be false.
+	_, _, allDelivered2, err := quality.WorstStretch(ctx, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allDelivered2 {
+		t.Error("Figure 1b is not 2-resilient; allDelivered should be false at k=2")
+	}
+}
+
+func TestWorstStretchCancellation(t *testing.T) {
+	_, r := fig1()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, _, err := quality.WorstStretch(cctx, r, 2); err == nil {
+		t.Error("cancelled WorstStretch succeeded")
+	}
+}
+
+func TestLoadFailureFree(t *testing.T) {
+	n, r := fig1()
+	rep := quality.Load(r, network.NewEdgeSet(n.NumRealEdges()))
+	if rep.Undelivered != 0 {
+		t.Errorf("Undelivered = %d", rep.Undelivered)
+	}
+	// Default paths: v1->e3->v3->e1->d, v2->e0->d, v3->e1->d, v4->e2->d.
+	want := map[network.EdgeID]int{0: 1, 1: 2, 2: 1, 3: 1}
+	for e, w := range want {
+		if rep.PerEdge[e] != w {
+			t.Errorf("load(e%d) = %d, want %d", e, rep.PerEdge[e], w)
+		}
+	}
+	if rep.MaxLoad != 2 || rep.MaxEdge != 1 {
+		t.Errorf("MaxLoad=%d MaxEdge=%v, want 2/e1", rep.MaxLoad, rep.MaxEdge)
+	}
+}
+
+func TestLoadShiftsUnderFailure(t *testing.T) {
+	n, r := fig1()
+	F := network.EdgeSetOf(n.NumRealEdges(), 1) // e1 fails
+	rep := quality.Load(r, F)
+	if rep.PerEdge[1] != 0 {
+		t.Errorf("failed edge carries load %d", rep.PerEdge[1])
+	}
+	// v3's and v1's traffic detours via v4, raising e2's load.
+	if rep.PerEdge[2] < 2 {
+		t.Errorf("load(e2) = %d, want >= 2 after e1 failure", rep.PerEdge[2])
+	}
+	if rep.Undelivered != 0 {
+		t.Errorf("Undelivered = %d under single failure", rep.Undelivered)
+	}
+}
+
+func TestLoadCountsPartialPathsOfUndelivered(t *testing.T) {
+	n, r := fig1()
+	F := network.EdgeSetOf(n.NumRealEdges(), 1, 2) // the Figure 1c loop
+	rep := quality.Load(r, F)
+	if rep.Undelivered != 3 {
+		t.Errorf("Undelivered = %d, want 3", rep.Undelivered)
+	}
+	// The loop v3-v4-v1-v3 puts load on e6, e4, e3.
+	for _, e := range []network.EdgeID{3, 4, 6} {
+		if rep.PerEdge[e] == 0 {
+			t.Errorf("loop edge e%d carries no load", e)
+		}
+	}
+}

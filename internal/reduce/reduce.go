@@ -1,0 +1,355 @@
+// Package reduce implements the structural reduction rules of Section IV-B
+// of the SyRep paper: chains of degree-2 nodes are contracted into single
+// edges, a resilient routing is computed on the smaller network, and the
+// routing is expanded back to the original network.
+//
+// Two rules are provided. The sound chain-reduction only removes a degree-2
+// node when both its neighbours are degree-2 as well (so every chain keeps
+// two interior nodes), which preserves perfect k-resilience under expansion
+// (Theorem 1). The aggressive chain-reduction removes every degree-2 node
+// whose neighbours are distinct from each other and from the destination;
+// it shrinks typical ISP topologies much further but offers no guarantee —
+// SyRep repairs the expanded routing when it is not resilient.
+package reduce
+
+import (
+	"fmt"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// Rule selects the reduction rule.
+type Rule int
+
+const (
+	// Sound is the chain-reduction of Theorem 1 (resilience-preserving).
+	Sound Rule = iota + 1
+	// Aggressive removes every eligible degree-2 node (no guarantee).
+	Aggressive
+)
+
+// String returns the rule name.
+func (r Rule) String() string {
+	switch r {
+	case Sound:
+		return "sound"
+	case Aggressive:
+		return "aggressive"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// segment is a contracted path of original edges, oriented from endpoint a
+// to endpoint b. Interior nodes (all removed) are listed a-side first;
+// edges[i] connects the i-th to the (i+1)-th node of the path a, interior...,
+// b.
+type segment struct {
+	a, b     network.NodeID
+	edges    []network.EdgeID
+	interior []network.NodeID
+}
+
+// Reduction is the outcome of applying a rule to a network: the reduced
+// network plus the provenance needed to expand routings back.
+type Reduction struct {
+	// Original and Reduced are the input and contracted networks.
+	Original *network.Network
+	Reduced  *network.Network
+	// Rule is the rule that was applied.
+	Rule Rule
+	// Dest is the destination on the original network; DestReduced is its
+	// image (the destination is never removed).
+	Dest        network.NodeID
+	DestReduced network.NodeID
+
+	// segs maps each reduced edge id to its original path.
+	segs []segment
+	// toReduced maps original surviving node ids to reduced ids (NoNode for
+	// removed nodes).
+	toReduced []network.NodeID
+	// toOriginal maps reduced node ids back to original ids.
+	toOriginal []network.NodeID
+	// removed lists the removed original nodes.
+	removed []network.NodeID
+}
+
+// NumRemoved returns how many nodes the reduction eliminated.
+func (rd *Reduction) NumRemoved() int { return len(rd.removed) }
+
+// RemovedNodes returns the removed original node ids.
+func (rd *Reduction) RemovedNodes() []network.NodeID {
+	return append([]network.NodeID(nil), rd.removed...)
+}
+
+// Apply contracts net per the rule, keeping dest intact.
+func Apply(net *network.Network, dest network.NodeID, rule Rule) (*Reduction, error) {
+	if rule != Sound && rule != Aggressive {
+		return nil, fmt.Errorf("reduce: unknown rule %v", rule)
+	}
+	// Live segment graph, initialised with one segment per original edge.
+	segs := make([]segment, 0, net.NumRealEdges())
+	alive := make([]bool, 0, net.NumRealEdges())
+	incident := make([][]int, net.NumNodes()) // node -> live segment indices
+	for _, e := range net.RealEdges() {
+		u, v := net.Endpoints(e)
+		idx := len(segs)
+		segs = append(segs, segment{a: u, b: v, edges: []network.EdgeID{e}})
+		alive = append(alive, true)
+		incident[u] = append(incident[u], idx)
+		incident[v] = append(incident[v], idx)
+	}
+	nodeAlive := make([]bool, net.NumNodes())
+	for i := range nodeAlive {
+		nodeAlive[i] = true
+	}
+
+	otherEnd := func(si int, v network.NodeID) network.NodeID {
+		if segs[si].a == v {
+			return segs[si].b
+		}
+		return segs[si].a
+	}
+	degree := func(v network.NodeID) int { return len(incident[v]) }
+
+	eligible := func(w network.NodeID) bool {
+		if !nodeAlive[w] || w == dest || degree(w) != 2 {
+			return false
+		}
+		s1, s2 := incident[w][0], incident[w][1]
+		if s1 == s2 {
+			return false // both endpoints of one segment: a cycle at w
+		}
+		na, nb := otherEnd(s1, w), otherEnd(s2, w)
+		if na == nb || na == w || nb == w || na == dest || nb == dest {
+			return false
+		}
+		if rule == Sound && (degree(na) != 2 || degree(nb) != 2) {
+			return false
+		}
+		return true
+	}
+
+	removeFromIncident := func(v network.NodeID, si int) {
+		list := incident[v]
+		for i, x := range list {
+			if x == si {
+				incident[v] = append(list[:i], list[i+1:]...)
+				return
+			}
+		}
+	}
+
+	// orient returns the segment content oriented so that it starts at v.
+	orient := func(si int, v network.NodeID) segment {
+		s := segs[si]
+		if s.a == v {
+			return s
+		}
+		rev := segment{a: s.b, b: s.a}
+		for i := len(s.edges) - 1; i >= 0; i-- {
+			rev.edges = append(rev.edges, s.edges[i])
+		}
+		for i := len(s.interior) - 1; i >= 0; i-- {
+			rev.interior = append(rev.interior, s.interior[i])
+		}
+		return rev
+	}
+
+	var removed []network.NodeID
+	for changed := true; changed; {
+		changed = false
+		for w := network.NodeID(0); int(w) < net.NumNodes(); w++ {
+			if !eligible(w) {
+				continue
+			}
+			s1, s2 := incident[w][0], incident[w][1]
+			left := orient(s1, w)  // w ... a-side
+			right := orient(s2, w) // w ... b-side
+			merged := segment{a: left.b, b: right.b}
+			// left oriented w->a; flip to a->w.
+			flip := orient(s1, left.b)
+			merged.edges = append(merged.edges, flip.edges...)
+			merged.interior = append(merged.interior, flip.interior...)
+			merged.interior = append(merged.interior, w)
+			merged.edges = append(merged.edges, right.edges...)
+			merged.interior = append(merged.interior, right.interior...)
+
+			idx := len(segs)
+			segs = append(segs, merged)
+			alive = append(alive, true)
+			alive[s1], alive[s2] = false, false
+			removeFromIncident(merged.a, s1)
+			removeFromIncident(merged.b, s2)
+			incident[merged.a] = append(incident[merged.a], idx)
+			incident[merged.b] = append(incident[merged.b], idx)
+			incident[w] = nil
+			nodeAlive[w] = false
+			removed = append(removed, w)
+			changed = true
+		}
+	}
+
+	// Build the reduced network.
+	b := network.NewBuilder(net.Name() + "-" + rule.String())
+	toReduced := make([]network.NodeID, net.NumNodes())
+	var toOriginal []network.NodeID
+	for v := network.NodeID(0); int(v) < net.NumNodes(); v++ {
+		if nodeAlive[v] {
+			toReduced[v] = b.AddNode(net.NodeName(v))
+			toOriginal = append(toOriginal, v)
+		} else {
+			toReduced[v] = network.NoNode
+		}
+	}
+	var keptSegs []segment
+	for i, s := range segs {
+		if !alive[i] {
+			continue
+		}
+		name := net.EdgeName(s.edges[0])
+		if len(s.edges) > 1 {
+			name = fmt.Sprintf("chain_%s_%s", net.NodeName(s.a), net.NodeName(s.b))
+		}
+		b.AddNamedEdge(name, toReduced[s.a], toReduced[s.b])
+		keptSegs = append(keptSegs, s)
+	}
+	reduced, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("reduce: building reduced network: %w", err)
+	}
+	return &Reduction{
+		Original:    net,
+		Reduced:     reduced,
+		Rule:        rule,
+		Dest:        dest,
+		DestReduced: toReduced[dest],
+		segs:        keptSegs,
+		toReduced:   toReduced,
+		toOriginal:  toOriginal,
+		removed:     removed,
+	}, nil
+}
+
+// edgeAt maps a reduced edge to the original edge of its path incident to
+// the original node v (which must be one of the path's endpoints).
+func (rd *Reduction) edgeAt(reducedEdge network.EdgeID, v network.NodeID) (network.EdgeID, error) {
+	s := rd.segs[reducedEdge]
+	switch v {
+	case s.a:
+		return s.edges[0], nil
+	case s.b:
+		return s.edges[len(s.edges)-1], nil
+	}
+	return network.NoEdge, fmt.Errorf("reduce: node %d is not an endpoint of reduced edge %d", v, reducedEdge)
+}
+
+// Expand lifts a routing on the reduced network back to the original
+// network (Section IV-B): entries of surviving nodes are translated edge by
+// edge; removed chain nodes get pass-through entries plus a loop-back entry
+// whose direction follows the chain endpoint's default (sound rule) or the
+// original shortest path to the destination (aggressive rule).
+//
+// If the reduced routing is perfectly k-resilient and the reduction used
+// the Sound rule, the expanded routing is perfectly k-resilient on the
+// original network (Theorem 1).
+func (rd *Reduction) Expand(r *routing.Routing) (*routing.Routing, error) {
+	if r.Network() != rd.Reduced {
+		return nil, fmt.Errorf("reduce: routing is not on the reduced network")
+	}
+	if r.Dest() != rd.DestReduced {
+		return nil, fmt.Errorf("reduce: routing destination mismatch")
+	}
+	if r.NumHoles() > 0 {
+		return nil, fmt.Errorf("reduce: cannot expand a routing with holes")
+	}
+	orig := rd.Original
+	out := routing.New(orig, rd.Dest)
+
+	// Translate surviving nodes' entries.
+	for _, key := range r.Keys() {
+		prio, _ := r.Get(key.In, key.At)
+		v := rd.toOriginal[key.At]
+		var in network.EdgeID
+		if rd.Reduced.IsLoopback(key.In) {
+			in = orig.Loopback(v)
+		} else {
+			e, err := rd.edgeAt(key.In, v)
+			if err != nil {
+				return nil, err
+			}
+			in = e
+		}
+		mapped := make([]network.EdgeID, 0, len(prio))
+		for _, e := range prio {
+			oe, err := rd.edgeAt(e, v)
+			if err != nil {
+				return nil, err
+			}
+			mapped = append(mapped, oe)
+		}
+		if err := out.Set(in, v, mapped); err != nil {
+			return nil, fmt.Errorf("reduce: expanding entry %v: %w", key, err)
+		}
+	}
+
+	// Synthesise entries for removed chain nodes.
+	parent, _ := orig.ShortestPathTree(rd.Dest)
+	for segID, s := range rd.segs {
+		if len(s.interior) == 0 {
+			continue
+		}
+		towardA, err := rd.chainDirection(r, network.EdgeID(segID), s)
+		if err != nil {
+			return nil, err
+		}
+		// Path nodes: a, interior..., b; edges[i] connects path[i], path[i+1].
+		for j, w := range s.interior {
+			eL := s.edges[j]   // toward a
+			eR := s.edges[j+1] // toward b
+			// Pass-through entries: continue in the travel direction, bounce
+			// back as fallback.
+			if err := out.Set(eL, w, []network.EdgeID{eR, eL}); err != nil {
+				return nil, fmt.Errorf("reduce: chain entry: %w", err)
+			}
+			if err := out.Set(eR, w, []network.EdgeID{eL, eR}); err != nil {
+				return nil, fmt.Errorf("reduce: chain entry: %w", err)
+			}
+			first, second := eR, eL
+			switch rd.Rule {
+			case Sound:
+				if towardA {
+					first, second = eL, eR
+				}
+			case Aggressive:
+				// Follow the original shortest path to the destination.
+				if parent[w] == eL {
+					first, second = eL, eR
+				}
+			}
+			if err := out.Set(orig.Loopback(w), w, []network.EdgeID{first, second}); err != nil {
+				return nil, fmt.Errorf("reduce: chain loop-back entry: %w", err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// chainDirection decides (for the sound rule) whether removed nodes of the
+// segment forward toward endpoint a: true when a's loop-back entry points
+// away from the chain (paper: "the default edge of v1 points to the left").
+func (rd *Reduction) chainDirection(r *routing.Routing, segEdge network.EdgeID, s segment) (bool, error) {
+	if rd.Rule != Sound {
+		return false, nil
+	}
+	aRed := rd.toReduced[s.a]
+	prio, ok := r.Get(rd.Reduced.Loopback(aRed), aRed)
+	if !ok || len(prio) == 0 {
+		return false, fmt.Errorf("reduce: reduced routing lacks a loop-back entry at chain endpoint %s",
+			rd.Original.NodeName(s.a))
+	}
+	// If a forwards into the chain, travel direction is toward b; otherwise
+	// the chain forwards toward a.
+	return prio[0] != segEdge, nil
+}

@@ -1,0 +1,349 @@
+package reduce_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"syrep/internal/encode"
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/reduce"
+	"syrep/internal/repair"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+var ctx = context.Background()
+
+// chainRing builds a 2-edge-connected "ring with a long chain": a dense core
+// (triangle d, a, b with a chord) plus a chain of chainLen nodes connecting
+// a back to b.
+func chainRing(chainLen int) (*network.Network, network.NodeID) {
+	b := network.NewBuilder("chainring")
+	d := b.AddNode("d")
+	na := b.AddNode("a")
+	nb := b.AddNode("b")
+	b.AddEdge(d, na)
+	b.AddEdge(d, nb)
+	b.AddEdge(na, nb)
+	prev := na
+	for i := 0; i < chainLen; i++ {
+		cur := b.AddNode("c" + string(rune('0'+i%10)) + string(rune('a'+i/10)))
+		b.AddEdge(prev, cur)
+		prev = cur
+	}
+	b.AddEdge(prev, nb)
+	return b.MustBuild(), d
+}
+
+func TestSoundReductionKeepsTwoInteriorNodes(t *testing.T) {
+	n, d := chainRing(6) // chain of 6 interior nodes => 7 chain edges
+	rd, err := reduce.Apply(n, d, reduce.Sound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain has anchors a and b (degree 3); the sound rule keeps the two
+	// outermost interior nodes, removing 4.
+	if got := rd.NumRemoved(); got != 4 {
+		t.Errorf("removed %d nodes, want 4", got)
+	}
+	if got, want := rd.Reduced.NumNodes(), n.NumNodes()-4; got != want {
+		t.Errorf("reduced nodes = %d, want %d", got, want)
+	}
+	// Edges: each removal eliminates one edge.
+	if got, want := rd.Reduced.NumRealEdges(), n.NumRealEdges()-4; got != want {
+		t.Errorf("reduced edges = %d, want %d", got, want)
+	}
+	if !rd.Reduced.Connected() {
+		t.Error("reduced network disconnected")
+	}
+}
+
+func TestAggressiveReductionRemovesWholeChain(t *testing.T) {
+	n, d := chainRing(6)
+	rd, err := reduce.Apply(n, d, reduce.Aggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rd.NumRemoved(); got != 6 {
+		t.Errorf("removed %d nodes, want 6 (entire chain)", got)
+	}
+	// The chain collapses into one edge a-b, parallel to the existing one.
+	if got, want := rd.Reduced.NumNodes(), 3; got != want {
+		t.Errorf("reduced nodes = %d, want %d", got, want)
+	}
+	if got, want := rd.Reduced.NumRealEdges(), 4; got != want {
+		t.Errorf("reduced edges = %d, want %d", got, want)
+	}
+}
+
+func TestReductionProtectsDestinationNeighbours(t *testing.T) {
+	// Pure cycle: both rules stop at the triangle around the destination.
+	b := network.NewBuilder("cycle")
+	d := b.AddNode("d")
+	prev := d
+	for i := 0; i < 7; i++ {
+		cur := b.AddNode("x" + string(rune('1'+i)))
+		b.AddEdge(prev, cur)
+		prev = cur
+	}
+	b.AddEdge(prev, d)
+	n := b.MustBuild()
+
+	for _, rule := range []reduce.Rule{reduce.Sound, reduce.Aggressive} {
+		rd, err := reduce.Apply(n, 0, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rd.Reduced.NumNodes(); got != 3 {
+			t.Errorf("%v: reduced cycle to %d nodes, want 3", rule, got)
+		}
+		dRed := rd.Reduced.NodeByName("d")
+		if dRed != rd.DestReduced {
+			t.Errorf("%v: destination mapping broken", rule)
+		}
+	}
+}
+
+func TestNoReductionOnDenseGraph(t *testing.T) {
+	// K4 has no degree-2 nodes: nothing to remove.
+	b := network.NewBuilder("k4")
+	var vs []network.NodeID
+	for i := 0; i < 4; i++ {
+		vs = append(vs, b.AddNode(string(rune('a'+i))))
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(vs[i], vs[j])
+		}
+	}
+	n := b.MustBuild()
+	rd, err := reduce.Apply(n, 0, reduce.Aggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.NumRemoved() != 0 {
+		t.Errorf("removed %d nodes from K4", rd.NumRemoved())
+	}
+	if rd.Reduced.NumRealEdges() != 6 {
+		t.Errorf("reduced K4 edges = %d", rd.Reduced.NumRealEdges())
+	}
+}
+
+func TestApplyUnknownRule(t *testing.T) {
+	n, d := chainRing(3)
+	if _, err := reduce.Apply(n, d, reduce.Rule(0)); err == nil {
+		t.Error("Apply with invalid rule succeeded")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if reduce.Sound.String() != "sound" || reduce.Aggressive.String() != "aggressive" {
+		t.Error("Rule.String broken")
+	}
+	if reduce.Rule(7).String() == "" {
+		t.Error("unknown Rule.String empty")
+	}
+}
+
+// expandResilient computes a k-resilient routing on the reduced network
+// (heuristic, repaired if needed) and expands it.
+func expandResilient(t *testing.T, rd *reduce.Reduction, k int) *routing.Routing {
+	t.Helper()
+	r, err := heuristic.Generate(rd.Reduced, rd.DestReduced)
+	if err != nil {
+		t.Fatalf("heuristic on reduced: %v", err)
+	}
+	out, err := repair.Repair(ctx, r, k, repair.Options{})
+	if err != nil {
+		t.Fatalf("repair on reduced: %v", err)
+	}
+	if !verify.Resilient(out.Routing, k) {
+		t.Fatal("reduced routing not resilient")
+	}
+	expanded, err := rd.Expand(out.Routing)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	return expanded
+}
+
+// TestTheorem1SoundExpansionPreservesResilience is the paper's Theorem 1 as
+// an executable property: a perfectly k-resilient routing on the
+// sound-reduced network expands to a perfectly k-resilient routing on the
+// original.
+func TestTheorem1SoundExpansionPreservesResilience(t *testing.T) {
+	for _, chainLen := range []int{4, 5, 7} {
+		n, d := chainRing(chainLen)
+		rd, err := reduce.Apply(n, d, reduce.Sound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= 2; k++ {
+			expanded := expandResilient(t, rd, k)
+			if !expanded.Complete() {
+				t.Fatalf("chainLen=%d k=%d: expanded routing incomplete", chainLen, k)
+			}
+			rep, err := verify.Check(ctx, expanded, k, verify.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Resilient {
+				t.Errorf("chainLen=%d k=%d: Theorem 1 violated; failures: %v",
+					chainLen, k, rep.Failing)
+			}
+		}
+	}
+}
+
+// TestTheorem1RandomChainGraphs stresses Theorem 1 on random chain-rich
+// 2-edge-connected graphs.
+func TestTheorem1RandomChainGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 8; round++ {
+		n, d := randomChainGraph(rng)
+		rd, err := reduce.Apply(n, d, reduce.Sound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.NumRemoved() == 0 {
+			continue
+		}
+		expanded := expandResilient(t, rd, 1)
+		rep, err := verify.Check(ctx, expanded, 1, verify.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Resilient {
+			t.Errorf("round %d: Theorem 1 violated on %s; failures: %v",
+				round, n.Name(), rep.Failing)
+		}
+	}
+}
+
+// TestAggressiveExpansionRepairable: the aggressive rule offers no
+// guarantee, but the expanded routing must always be repairable back to
+// resilience on these 2-edge-connected instances (the paper observed repair
+// always succeeded).
+func TestAggressiveExpansionRepairable(t *testing.T) {
+	n, d := chainRing(5)
+	rd, err := reduce.Apply(n, d, reduce.Aggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expanded := expandResilient(t, rd, 2)
+	rep, err := verify.Check(ctx, expanded, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilient {
+		return // already resilient, nothing to repair
+	}
+	out, err := repair.Repair(ctx, expanded, 2, repair.Options{})
+	if err != nil {
+		if errors.Is(err, repair.ErrUnrepairable) {
+			t.Fatalf("aggressive expansion unrepairable; failures: %v", rep.Failing)
+		}
+		t.Fatal(err)
+	}
+	if !verify.Resilient(out.Routing, 2) {
+		t.Fatal("repaired expansion not 2-resilient")
+	}
+}
+
+// TestExpandValidation: Expand rejects foreign routings, wrong destinations
+// and holes.
+func TestExpandValidation(t *testing.T) {
+	n, d := chainRing(4)
+	rd, err := reduce.Apply(n, d, reduce.Sound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing on the original network instead of the reduced one.
+	wrong := routing.New(n, d)
+	if _, err := rd.Expand(wrong); err == nil {
+		t.Error("Expand accepted routing on wrong network")
+	}
+	// Wrong destination on the reduced network.
+	other := routing.New(rd.Reduced, rd.DestReduced+1)
+	if _, err := rd.Expand(other); err == nil {
+		t.Error("Expand accepted routing with wrong destination")
+	}
+	// Holes.
+	holey, err := heuristic.Generate(rd.Reduced, rd.DestReduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hk := holey.AllKeys()[0]
+	if err := holey.PunchHole(hk.In, hk.At, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Expand(holey); err == nil {
+		t.Error("Expand accepted routing with holes")
+	}
+}
+
+// TestExpandWithFullSynthesisOnReduced: synthesise from scratch on the
+// reduced network (the pipeline's ReductionOnly strategy) and expand.
+func TestExpandWithFullSynthesisOnReduced(t *testing.T) {
+	n, d := chainRing(6)
+	rd, err := reduce.Apply(n, d, reduce.Aggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := routing.New(rd.Reduced, rd.DestReduced)
+	for _, key := range empty.AllKeys() {
+		if err := empty.PunchHole(key.In, key.At, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := encode.Solve(ctx, empty, 2, encode.Options{})
+	if err != nil {
+		t.Fatalf("full synthesis on reduced: %v", err)
+	}
+	expanded, err := rd.Expand(sol.Routing)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if !expanded.Complete() {
+		t.Error("expanded routing incomplete")
+	}
+	if err := expanded.Validate(); err != nil {
+		t.Errorf("expanded routing invalid: %v", err)
+	}
+}
+
+// randomChainGraph builds a random 2-edge-connected graph with chains: a
+// ring of hubs, chains spliced between random hubs.
+func randomChainGraph(rng *rand.Rand) (*network.Network, network.NodeID) {
+	b := network.NewBuilder("randchain")
+	hubs := 3 + rng.Intn(3)
+	ids := make([]network.NodeID, hubs)
+	for i := range ids {
+		ids[i] = b.AddNode("h" + string(rune('A'+i)))
+	}
+	for i := 0; i < hubs; i++ {
+		b.AddEdge(ids[i], ids[(i+1)%hubs])
+	}
+	chains := 1 + rng.Intn(2)
+	serial := 0
+	for c := 0; c < chains; c++ {
+		u := ids[rng.Intn(hubs)]
+		v := ids[rng.Intn(hubs)]
+		if u == v {
+			v = ids[(rng.Intn(hubs)+1)%hubs]
+		}
+		prev := u
+		hop := 3 + rng.Intn(4)
+		for i := 0; i < hop; i++ {
+			serial++
+			cur := b.AddNode("c" + string(rune('a'+serial%26)) + string(rune('a'+(serial/26)%26)))
+			b.AddEdge(prev, cur)
+			prev = cur
+		}
+		b.AddEdge(prev, v)
+	}
+	return b.MustBuild(), 0
+}

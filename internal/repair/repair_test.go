@@ -1,0 +1,226 @@
+package repair_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/repair"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+var ctx = context.Background()
+
+// TestRepairRunningExample: the paper's headline example — Figure 1b is
+// repaired to perfect 2-resilience, and the change is minimally invasive.
+func TestRepairRunningExample(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+
+	out, err := repair.Repair(ctx, r, 2, repair.Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if out.AlreadyResilient {
+		t.Error("AlreadyResilient = true for a non-2-resilient input")
+	}
+	if !verify.Resilient(out.Routing, 2) {
+		t.Fatalf("repaired routing not 2-resilient:\n%s", out.Routing)
+	}
+	if out.Suspicious != 6 {
+		t.Errorf("Suspicious = %d, want 6", out.Suspicious)
+	}
+	if out.Removed != 6 {
+		t.Errorf("Removed = %d, want 6 (RemoveAll)", out.Removed)
+	}
+	// Minimal invasiveness: only removed entries may change.
+	if len(out.Changed) > out.Removed {
+		t.Errorf("Changed %d entries > removed %d", len(out.Changed), out.Removed)
+	}
+	// The input routing is untouched.
+	if verify.Resilient(r, 2) {
+		t.Error("input routing was modified")
+	}
+}
+
+func TestRepairAlreadyResilient(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	out, err := repair.Repair(ctx, r, 1, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AlreadyResilient {
+		t.Error("AlreadyResilient = false for a 1-resilient input at k=1")
+	}
+	if !out.Routing.Equal(r) {
+		t.Error("already-resilient repair changed the routing")
+	}
+	if len(out.Changed) != 0 {
+		t.Errorf("Changed = %v, want empty", out.Changed)
+	}
+}
+
+func TestRepairGradual(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	out, err := repair.Repair(ctx, r, 2, repair.Options{Strategy: repair.Gradual})
+	if err != nil {
+		t.Fatalf("Repair(Gradual): %v", err)
+	}
+	if !verify.Resilient(out.Routing, 2) {
+		t.Fatal("gradual repair not 2-resilient")
+	}
+	// Gradual should remove at most as many entries as RemoveAll.
+	if out.Removed > out.Suspicious {
+		t.Errorf("Removed %d > Suspicious %d", out.Removed, out.Suspicious)
+	}
+	t.Logf("gradual: removed %d of %d suspicious (widened=%v, changed=%d)",
+		out.Removed, out.Suspicious, out.Widened, len(out.Changed))
+}
+
+// TestRepairUnrepairable is a deterministic witness of the paper's
+// Section III-C incompleteness: entries that DROP packets never fire, so
+// they are never marked suspicious, yet they can make every alternative
+// filling of the suspicious holes fail.
+//
+// Square d-x-y-z-d with deliberately broken concrete entries at x and z:
+// (f2,x) = (f0) drops when f0 fails, (f3,z) = (f1) drops when f1 fails.
+// The only failing delivery is (y, {f0}) and the only fired entry is lb_y,
+// so repair punches just lb_y -- but every filling over {f2, f3} runs into
+// one of the dropping entries under {f0} or {f1}.
+func TestRepairUnrepairable(t *testing.T) {
+	b := network.NewBuilder("square")
+	d := b.AddNode("d")
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	z := b.AddNode("z")
+	f0 := b.AddEdge(d, x)
+	f1 := b.AddEdge(d, z)
+	f2 := b.AddEdge(x, y)
+	f3 := b.AddEdge(y, z)
+	n := b.MustBuild()
+
+	r := routing.New(n, d)
+	r.MustSet(n.Loopback(x), x, []network.EdgeID{f0, f2})
+	r.MustSet(f2, x, []network.EdgeID{f0}) // drops when f0 fails
+	r.MustSet(f0, x, []network.EdgeID{f2, f0})
+	r.MustSet(n.Loopback(z), z, []network.EdgeID{f1, f3})
+	r.MustSet(f3, z, []network.EdgeID{f1}) // drops when f1 fails
+	r.MustSet(f1, z, []network.EdgeID{f3, f1})
+	r.MustSet(n.Loopback(y), y, []network.EdgeID{f2, f3})
+	r.MustSet(f2, y, []network.EdgeID{f3, f2})
+	r.MustSet(f3, y, []network.EdgeID{f2, f3})
+
+	_, err := repair.Repair(ctx, r, 1, repair.Options{})
+	if !errors.Is(err, repair.ErrUnrepairable) {
+		t.Fatalf("err = %v, want ErrUnrepairable", err)
+	}
+	// The gradual strategy reaches the same verdict.
+	_, err = repair.Repair(ctx, r, 1, repair.Options{Strategy: repair.Gradual})
+	if !errors.Is(err, repair.ErrUnrepairable) {
+		t.Fatalf("gradual err = %v, want ErrUnrepairable", err)
+	}
+}
+
+func TestRepairRejectsHoleyInput(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	v3 := n.NodeByName("v3")
+	if err := r.PunchHole(1, v3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repair.Repair(ctx, r, 2, repair.Options{}); err == nil {
+		t.Error("Repair accepted a routing with holes")
+	}
+}
+
+func TestRepairContextCancelled(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := repair.Repair(cctx, r, 2, repair.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if repair.RemoveAll.String() != "remove-all" || repair.Gradual.String() != "gradual" {
+		t.Error("Strategy.String broken")
+	}
+	if repair.Strategy(9).String() == "" {
+		t.Error("unknown Strategy.String empty")
+	}
+}
+
+// TestRepairK3RunningExample: repairing the running example for k=3. The
+// network is only 2-edge-connected, so disconnecting scenarios are excused
+// and a perfectly 3-resilient repair may or may not exist; whatever Repair
+// returns must be correct.
+func TestRepairK3RunningExample(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	out, err := repair.Repair(ctx, r, 3, repair.Options{})
+	if err != nil {
+		if errors.Is(err, repair.ErrUnrepairable) {
+			t.Log("k=3 repair reported unrepairable (acceptable)")
+			return
+		}
+		t.Fatalf("Repair: %v", err)
+	}
+	if !verify.Resilient(out.Routing, 3) {
+		t.Fatal("k=3 repair returned non-3-resilient routing")
+	}
+}
+
+// TestRepairEscalationLevel1 reuses the unrepairable square but enables the
+// escalation ladder: the suspicious set (just lb_y) cannot be fixed, but
+// level 1 also punches the entries at the visited nodes — including the
+// dropping entry (f2, x) that never fired — after which a fix exists.
+func TestRepairEscalationLevel1(t *testing.T) {
+	b := network.NewBuilder("square")
+	d := b.AddNode("d")
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	z := b.AddNode("z")
+	f0 := b.AddEdge(d, x)
+	f1 := b.AddEdge(d, z)
+	f2 := b.AddEdge(x, y)
+	f3 := b.AddEdge(y, z)
+	n := b.MustBuild()
+
+	r := routing.New(n, d)
+	r.MustSet(n.Loopback(x), x, []network.EdgeID{f0, f2})
+	r.MustSet(f2, x, []network.EdgeID{f0}) // drops when f0 fails
+	r.MustSet(f0, x, []network.EdgeID{f2, f0})
+	r.MustSet(n.Loopback(z), z, []network.EdgeID{f1, f3})
+	r.MustSet(f3, z, []network.EdgeID{f1}) // drops when f1 fails
+	r.MustSet(f1, z, []network.EdgeID{f3, f1})
+	r.MustSet(n.Loopback(y), y, []network.EdgeID{f2, f3})
+	r.MustSet(f2, y, []network.EdgeID{f3, f2})
+	r.MustSet(f3, y, []network.EdgeID{f2, f3})
+
+	out, err := repair.Repair(ctx, r, 1, repair.Options{Escalate: true})
+	if err != nil {
+		t.Fatalf("escalated repair failed: %v", err)
+	}
+	if out.EscalationLevel < 1 {
+		t.Errorf("EscalationLevel = %d, want >= 1", out.EscalationLevel)
+	}
+	if !verify.Resilient(out.Routing, 1) {
+		t.Fatal("escalated repair output not 1-resilient")
+	}
+	// Escalation still changes only entries at visited nodes when level 1
+	// suffices: nothing at z or d may differ unless level 2 was needed.
+	if out.EscalationLevel == 1 {
+		for _, key := range out.Changed {
+			if key.At != x && key.At != y {
+				t.Errorf("level-1 escalation changed entry %v outside visited nodes", key)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package routing
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"syrep/internal/network"
+)
+
+// wireRouting is the JSON representation of a Routing. Edges and nodes are
+// referenced by display name so that tables survive edge-id renumbering as
+// long as names are stable.
+type wireRouting struct {
+	Dest    string      `json:"dest"`
+	Entries []wireEntry `json:"entries"`
+	Holes   []wireHole  `json:"holes,omitempty"`
+}
+
+type wireEntry struct {
+	In       string   `json:"in"`
+	At       string   `json:"at"`
+	Priority []string `json:"priority"`
+}
+
+type wireHole struct {
+	In      string `json:"in"`
+	At      string `json:"at"`
+	ListLen int    `json:"listLen"`
+}
+
+// MarshalJSON encodes the routing with node/edge names.
+func (r *Routing) MarshalJSON() ([]byte, error) {
+	w := wireRouting{Dest: r.net.NodeName(r.dest)}
+	for _, k := range r.Keys() {
+		prio := r.entries[k]
+		names := make([]string, len(prio))
+		for i, e := range prio {
+			names[i] = r.net.EdgeName(e)
+		}
+		w.Entries = append(w.Entries, wireEntry{
+			In:       r.net.EdgeName(k.In),
+			At:       r.net.NodeName(k.At),
+			Priority: names,
+		})
+	}
+	for _, h := range r.Holes() {
+		w.Holes = append(w.Holes, wireHole{
+			In:      r.net.EdgeName(h.Key.In),
+			At:      r.net.NodeName(h.Key.At),
+			ListLen: h.ListLen,
+		})
+	}
+	return json.Marshal(w)
+}
+
+// Unmarshal decodes a routing previously produced by MarshalJSON, resolving
+// names against net.
+func Unmarshal(data []byte, net *network.Network) (*Routing, error) {
+	var w wireRouting
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("routing: decode: %w", err)
+	}
+	dest := net.NodeByName(w.Dest)
+	if dest == network.NoNode {
+		return nil, fmt.Errorf("routing: unknown destination node %q", w.Dest)
+	}
+	edgeByName := make(map[string]network.EdgeID, net.NumEdges())
+	for e := 0; e < net.NumEdges(); e++ {
+		edgeByName[net.EdgeName(network.EdgeID(e))] = network.EdgeID(e)
+	}
+	r := New(net, dest)
+	for _, we := range w.Entries {
+		at := net.NodeByName(we.At)
+		if at == network.NoNode {
+			return nil, fmt.Errorf("routing: unknown node %q", we.At)
+		}
+		in, ok := edgeByName[we.In]
+		if !ok {
+			return nil, fmt.Errorf("routing: unknown edge %q", we.In)
+		}
+		prio := make([]network.EdgeID, len(we.Priority))
+		for i, name := range we.Priority {
+			e, ok := edgeByName[name]
+			if !ok {
+				return nil, fmt.Errorf("routing: unknown edge %q", name)
+			}
+			prio[i] = e
+		}
+		if err := r.Set(in, at, prio); err != nil {
+			return nil, err
+		}
+	}
+	for _, wh := range w.Holes {
+		at := net.NodeByName(wh.At)
+		if at == network.NoNode {
+			return nil, fmt.Errorf("routing: unknown node %q", wh.At)
+		}
+		in, ok := edgeByName[wh.In]
+		if !ok {
+			return nil, fmt.Errorf("routing: unknown edge %q", wh.In)
+		}
+		if err := r.PunchHole(in, at, wh.ListLen); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,290 @@
+// Package routing implements skipping routings (Definition 2 of the SyRep
+// paper): partial functions R : E × V ⇀ E* mapping an (in-edge, node) pair to
+// a priority list of out-edges. A packet arriving at node v on edge e is
+// forwarded along the first edge of R(e, v) that is not failed.
+//
+// A Routing may contain holes — keys whose priority list has been removed and
+// is awaiting synthesis by the BDD-based repair engine.
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"syrep/internal/network"
+)
+
+// Key identifies a routing table entry: the in-edge and the node at which
+// the forwarding decision is made.
+type Key struct {
+	In network.EdgeID
+	At network.NodeID
+}
+
+// String renders the key as "(e3, v1)" using raw ids.
+func (k Key) String() string {
+	return fmt.Sprintf("(e%d, n%d)", k.In, k.At)
+}
+
+// Routing is a skipping routing for a single fixed destination. Entries at
+// the destination node itself are not stored: the destination absorbs
+// packets.
+type Routing struct {
+	net     *network.Network
+	dest    network.NodeID
+	entries map[Key][]network.EdgeID
+	holes   map[Key]int // hole -> desired priority-list length
+}
+
+// New returns an empty routing on net toward dest.
+func New(net *network.Network, dest network.NodeID) *Routing {
+	return &Routing{
+		net:     net,
+		dest:    dest,
+		entries: make(map[Key][]network.EdgeID),
+		holes:   make(map[Key]int),
+	}
+}
+
+// Network returns the network the routing is defined on.
+func (r *Routing) Network() *network.Network { return r.net }
+
+// Dest returns the destination node.
+func (r *Routing) Dest() network.NodeID { return r.dest }
+
+// Set installs the priority list for (in, at), replacing any previous entry
+// or hole. It validates Definition 2: every listed edge, as well as the
+// in-edge, must be incident to the node. Entries at the destination are
+// rejected because the destination never forwards.
+func (r *Routing) Set(in network.EdgeID, at network.NodeID, prio []network.EdgeID) error {
+	if at == r.dest {
+		return fmt.Errorf("routing: entry at destination node %d", at)
+	}
+	if !r.net.Incident(in, at) {
+		return fmt.Errorf("routing: in-edge e%d is not incident to node %d", in, at)
+	}
+	for _, e := range prio {
+		if !r.net.Incident(e, at) {
+			return fmt.Errorf("routing: priority edge e%d of entry %v is not incident to node %d",
+				e, Key{In: in, At: at}, at)
+		}
+		if r.net.IsLoopback(e) {
+			return fmt.Errorf("routing: priority list of %v contains loop-back e%d",
+				Key{In: in, At: at}, e)
+		}
+	}
+	k := Key{In: in, At: at}
+	delete(r.holes, k)
+	r.entries[k] = append([]network.EdgeID(nil), prio...)
+	return nil
+}
+
+// MustSet is Set for statically known-valid tables; it panics on error.
+func (r *Routing) MustSet(in network.EdgeID, at network.NodeID, prio []network.EdgeID) {
+	if err := r.Set(in, at, prio); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the priority list for (in, at). The second result is false if
+// the entry is absent or a hole. The returned slice is shared; callers must
+// not modify it.
+func (r *Routing) Get(in network.EdgeID, at network.NodeID) ([]network.EdgeID, bool) {
+	p, ok := r.entries[Key{In: in, At: at}]
+	return p, ok
+}
+
+// Delete removes the entry (and any hole) at the key.
+func (r *Routing) Delete(in network.EdgeID, at network.NodeID) {
+	k := Key{In: in, At: at}
+	delete(r.entries, k)
+	delete(r.holes, k)
+}
+
+// PunchHole removes the entry at the key and marks it as a hole to be filled
+// by synthesis with a priority list of the given length.
+func (r *Routing) PunchHole(in network.EdgeID, at network.NodeID, listLen int) error {
+	if at == r.dest {
+		return fmt.Errorf("routing: hole at destination node %d", at)
+	}
+	if !r.net.Incident(in, at) {
+		return fmt.Errorf("routing: hole in-edge e%d is not incident to node %d", in, at)
+	}
+	if listLen < 1 {
+		return fmt.Errorf("routing: hole list length %d < 1", listLen)
+	}
+	k := Key{In: in, At: at}
+	delete(r.entries, k)
+	r.holes[k] = listLen
+	return nil
+}
+
+// IsHole reports whether the key is currently a hole.
+func (r *Routing) IsHole(in network.EdgeID, at network.NodeID) bool {
+	_, ok := r.holes[Key{In: in, At: at}]
+	return ok
+}
+
+// Holes returns the hole keys with their desired list lengths, sorted for
+// determinism.
+func (r *Routing) Holes() []Hole {
+	out := make([]Hole, 0, len(r.holes))
+	for k, n := range r.holes {
+		out = append(out, Hole{Key: k, ListLen: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].Key, out[j].Key) })
+	return out
+}
+
+// Hole is a routing entry removed for re-synthesis.
+type Hole struct {
+	Key     Key
+	ListLen int
+}
+
+// NumEntries returns the number of concrete entries.
+func (r *Routing) NumEntries() int { return len(r.entries) }
+
+// NumHoles returns the number of holes.
+func (r *Routing) NumHoles() int { return len(r.holes) }
+
+// Keys returns all concrete entry keys, sorted for determinism.
+func (r *Routing) Keys() []Key {
+	out := make([]Key, 0, len(r.entries))
+	for k := range r.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Clone returns an independent deep copy of the routing.
+func (r *Routing) Clone() *Routing {
+	c := New(r.net, r.dest)
+	for k, p := range r.entries {
+		c.entries[k] = append([]network.EdgeID(nil), p...)
+	}
+	for k, n := range r.holes {
+		c.holes[k] = n
+	}
+	return c
+}
+
+// Equal reports whether two routings have identical entries and holes on the
+// same network (pointer identity) and destination.
+func (r *Routing) Equal(o *Routing) bool {
+	if r.net != o.net || r.dest != o.dest ||
+		len(r.entries) != len(o.entries) || len(r.holes) != len(o.holes) {
+		return false
+	}
+	for k, p := range r.entries {
+		q, ok := o.entries[k]
+		if !ok || len(p) != len(q) {
+			return false
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+	}
+	for k, n := range r.holes {
+		if o.holes[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete reports whether the routing has a concrete entry for every
+// (in-edge, node) pair of the network except at the destination. A complete
+// routing never silently drops a packet for lack of a rule (it may still
+// drop when all listed edges fail).
+func (r *Routing) Complete() bool {
+	for _, v := range r.net.Nodes() {
+		if v == r.dest {
+			continue
+		}
+		for _, in := range r.inEdges(v) {
+			if _, ok := r.entries[Key{In: in, At: v}]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// inEdges lists the possible in-edges at v: all incident real edges plus the
+// loop-back.
+func (r *Routing) inEdges(v network.NodeID) []network.EdgeID {
+	inc := r.net.IncidentEdges(v)
+	out := make([]network.EdgeID, 0, len(inc)+1)
+	out = append(out, inc...)
+	out = append(out, r.net.Loopback(v))
+	return out
+}
+
+// AllKeys returns every (in-edge, node) pair that may carry an entry:
+// all pairs (e, v) with v ∈ r(e), v != dest, including loop-back in-edges.
+// Sorted for determinism.
+func (r *Routing) AllKeys() []Key {
+	var out []Key
+	for _, v := range r.net.Nodes() {
+		if v == r.dest {
+			continue
+		}
+		for _, in := range r.inEdges(v) {
+			out = append(out, Key{In: in, At: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// Validate re-checks Definition 2 for every stored entry. It is useful after
+// deserialisation.
+func (r *Routing) Validate() error {
+	for k, prio := range r.entries {
+		if k.At == r.dest {
+			return fmt.Errorf("routing: entry %v at destination", k)
+		}
+		if !r.net.Incident(k.In, k.At) {
+			return fmt.Errorf("routing: entry %v: in-edge not incident", k)
+		}
+		for _, e := range prio {
+			if !r.net.Incident(e, k.At) {
+				return fmt.Errorf("routing: entry %v: edge e%d not incident", k, e)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the routing as a table in the style of Figure 1b.
+func (r *Routing) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "routing to %s (%d entries, %d holes)\n",
+		r.net.NodeName(r.dest), len(r.entries), len(r.holes))
+	for _, k := range r.Keys() {
+		prio := r.entries[k]
+		names := make([]string, len(prio))
+		for i, e := range prio {
+			names[i] = r.net.EdgeName(e)
+		}
+		fmt.Fprintf(&b, "  %-8s @ %-4s -> (%s)\n",
+			r.net.EdgeName(k.In), r.net.NodeName(k.At), strings.Join(names, ", "))
+	}
+	for _, h := range r.Holes() {
+		fmt.Fprintf(&b, "  %-8s @ %-4s -> HOLE[%d]\n",
+			r.net.EdgeName(h.Key.In), r.net.NodeName(h.Key.At), h.ListLen)
+	}
+	return b.String()
+}
+
+func less(a, b Key) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.In < b.In
+}

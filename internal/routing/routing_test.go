@@ -1,0 +1,265 @@
+package routing_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/routing"
+)
+
+func fig1() (*network.Network, network.NodeID) {
+	n := papernet.Figure1()
+	return n, papernet.Figure1Dest(n)
+}
+
+func TestSetGet(t *testing.T) {
+	n, d := fig1()
+	r := routing.New(n, d)
+	v3 := n.NodeByName("v3")
+	if err := r.Set(n.Loopback(v3), v3, []network.EdgeID{1, 6, 3}); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, ok := r.Get(n.Loopback(v3), v3)
+	if !ok {
+		t.Fatal("Get: entry missing")
+	}
+	want := []network.EdgeID{1, 6, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Get = %v, want %v", got, want)
+		}
+	}
+	if r.NumEntries() != 1 {
+		t.Errorf("NumEntries = %d, want 1", r.NumEntries())
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	n, d := fig1()
+	r := routing.New(n, d)
+	v3 := n.NodeByName("v3")
+	v2 := n.NodeByName("v2")
+	tests := []struct {
+		name string
+		in   network.EdgeID
+		at   network.NodeID
+		prio []network.EdgeID
+	}{
+		{"entry at destination", 0, d, []network.EdgeID{0}},
+		{"in-edge not incident", 0 /* e0={v2,d} */, v3, []network.EdgeID{1}},
+		{"priority edge not incident", 1, v3, []network.EdgeID{0}},
+		{"loopback in priority list", 1, v3, []network.EdgeID{n.Loopback(v3)}},
+		{"foreign loopback in-edge", n.Loopback(v2), v3, []network.EdgeID{1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := r.Set(tt.in, tt.at, tt.prio); err == nil {
+				t.Error("Set succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	n, d := fig1()
+	r := routing.New(n, d)
+	v3 := n.NodeByName("v3")
+	r.MustSet(1, v3, []network.EdgeID{6})
+	r.Delete(1, v3)
+	if _, ok := r.Get(1, v3); ok {
+		t.Error("entry survived Delete")
+	}
+}
+
+func TestHoles(t *testing.T) {
+	n, d := fig1()
+	r := routing.New(n, d)
+	v3 := n.NodeByName("v3")
+	v4 := n.NodeByName("v4")
+	r.MustSet(1, v3, []network.EdgeID{6})
+	if err := r.PunchHole(1, v3, 3); err != nil {
+		t.Fatalf("PunchHole: %v", err)
+	}
+	if _, ok := r.Get(1, v3); ok {
+		t.Error("entry survived PunchHole")
+	}
+	if !r.IsHole(1, v3) {
+		t.Error("IsHole = false")
+	}
+	if err := r.PunchHole(6, v4, 2); err != nil {
+		t.Fatalf("PunchHole: %v", err)
+	}
+	holes := r.Holes()
+	if len(holes) != 2 {
+		t.Fatalf("Holes = %v, want 2 entries", holes)
+	}
+	// Sorted by (node, in-edge): v3 before v4.
+	if holes[0].Key.At != v3 || holes[1].Key.At != v4 {
+		t.Errorf("Holes order = %v", holes)
+	}
+	if holes[0].ListLen != 3 || holes[1].ListLen != 2 {
+		t.Errorf("Holes lengths = %v", holes)
+	}
+	// Setting an entry clears the hole.
+	r.MustSet(1, v3, []network.EdgeID{6, 1})
+	if r.IsHole(1, v3) {
+		t.Error("hole survived Set")
+	}
+}
+
+func TestPunchHoleValidation(t *testing.T) {
+	n, d := fig1()
+	r := routing.New(n, d)
+	if err := r.PunchHole(0, d, 2); err == nil {
+		t.Error("PunchHole at destination succeeded")
+	}
+	if err := r.PunchHole(0, n.NodeByName("v3"), 2); err == nil {
+		t.Error("PunchHole with non-incident in-edge succeeded")
+	}
+	if err := r.PunchHole(1, n.NodeByName("v3"), 0); err == nil {
+		t.Error("PunchHole with zero length succeeded")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	n, _ := fig1()
+	r := papernet.Figure1bRouting(n)
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("clone not Equal to original")
+	}
+	v3 := n.NodeByName("v3")
+	c.MustSet(1, v3, []network.EdgeID{3, 6, 1})
+	if r.Equal(c) {
+		t.Error("Equal after divergence")
+	}
+	got, _ := r.Get(1, v3)
+	if got[0] != 6 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqualHoleDifference(t *testing.T) {
+	n, _ := fig1()
+	a := papernet.Figure1bRouting(n)
+	b := a.Clone()
+	v3 := n.NodeByName("v3")
+	if err := b.PunchHole(1, v3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Error("Equal despite hole difference")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	n, _ := fig1()
+	r := papernet.Figure1bRouting(n)
+	if !r.Complete() {
+		t.Error("Figure 1b routing should be complete")
+	}
+	r.Delete(1, n.NodeByName("v3"))
+	if r.Complete() {
+		t.Error("Complete after Delete")
+	}
+}
+
+func TestAllKeys(t *testing.T) {
+	n, _ := fig1()
+	r := papernet.Figure1bRouting(n)
+	keys := r.AllKeys()
+	// Per node v != d: deg(v) + 1 keys. v1:3, v2:3, v3:4, v4:5 = 15.
+	if len(keys) != 15 {
+		t.Errorf("AllKeys returned %d keys, want 15", len(keys))
+	}
+	for _, k := range keys {
+		if k.At == r.Dest() {
+			t.Errorf("AllKeys contains destination key %v", k)
+		}
+		if !n.Incident(k.In, k.At) {
+			t.Errorf("AllKeys key %v not incident", k)
+		}
+	}
+	// Figure 1b routing is complete, so its keys equal AllKeys.
+	if r.NumEntries() != len(keys) {
+		t.Errorf("entries %d != keys %d", r.NumEntries(), len(keys))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n, _ := fig1()
+	r := papernet.Figure1bRouting(n)
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n, _ := fig1()
+	r := papernet.Figure1bRouting(n)
+	v3 := n.NodeByName("v3")
+	if err := r.PunchHole(1, v3, 3); err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	if !strings.Contains(s, "HOLE[3]") {
+		t.Errorf("String lacks hole marker:\n%s", s)
+	}
+	if !strings.Contains(s, "lb_v3") {
+		t.Errorf("String lacks loop-back name:\n%s", s)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n, _ := fig1()
+	r := papernet.Figure1bRouting(n)
+	if err := r.PunchHole(6, n.NodeByName("v4"), 3); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := routing.Unmarshal(data, n)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !r.Equal(back) {
+		t.Errorf("round trip lost information:\n%s\nvs\n%s", r, back)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	n, _ := fig1()
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "{"},
+		{"unknown dest", `{"dest":"zz"}`},
+		{"unknown node", `{"dest":"d","entries":[{"in":"e1","at":"zz","priority":[]}]}`},
+		{"unknown in edge", `{"dest":"d","entries":[{"in":"zz","at":"v3","priority":[]}]}`},
+		{"unknown prio edge", `{"dest":"d","entries":[{"in":"e1","at":"v3","priority":["zz"]}]}`},
+		{"invalid entry", `{"dest":"d","entries":[{"in":"e0","at":"v3","priority":[]}]}`},
+		{"hole at unknown node", `{"dest":"d","holes":[{"in":"e1","at":"zz","listLen":2}]}`},
+		{"hole unknown edge", `{"dest":"d","holes":[{"in":"zz","at":"v3","listLen":2}]}`},
+		{"invalid hole", `{"dest":"d","holes":[{"in":"e0","at":"v3","listLen":2}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := routing.Unmarshal([]byte(tt.data), n); err == nil {
+				t.Error("Unmarshal succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := routing.Key{In: 3, At: 1}
+	if got := k.String(); got != "(e3, n1)" {
+		t.Errorf("Key.String = %q", got)
+	}
+}

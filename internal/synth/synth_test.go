@@ -1,0 +1,55 @@
+package synth_test
+
+import (
+	"context"
+	"testing"
+
+	"syrep/internal/encode"
+	"syrep/internal/papernet"
+	"syrep/internal/synth"
+	"syrep/internal/verify"
+)
+
+func TestBaselineFig1(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	for k := 0; k <= 2; k++ {
+		sol, err := synth.Baseline(context.Background(), n, d, k, encode.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !verify.Resilient(sol.Routing, k) {
+			t.Errorf("k=%d: baseline routing not resilient", k)
+		}
+		if !sol.Routing.Complete() {
+			t.Errorf("k=%d: baseline routing incomplete", k)
+		}
+	}
+}
+
+func TestHolesShape(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	r, err := synth.Holes(n, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEntries() != 0 {
+		t.Errorf("Holes has %d concrete entries", r.NumEntries())
+	}
+	if got, want := r.NumHoles(), 15; got != want {
+		t.Errorf("NumHoles = %d, want %d", got, want)
+	}
+	for _, h := range r.Holes() {
+		if h.ListLen != 3 {
+			t.Errorf("hole %v has list length %d, want 3", h.Key, h.ListLen)
+		}
+	}
+}
+
+func TestHolesNegativeK(t *testing.T) {
+	n := papernet.Figure1()
+	if _, err := synth.Holes(n, papernet.Figure1Dest(n), -1); err == nil {
+		t.Error("Holes(-1) succeeded")
+	}
+}

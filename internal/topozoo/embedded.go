@@ -1,0 +1,172 @@
+package topozoo
+
+import (
+	"sort"
+
+	"syrep/internal/network"
+)
+
+// Embedded topologies: hand-written approximations of well-known Internet
+// Topology Zoo networks, used when the real GraphML dataset is not present.
+// Node sets and adjacency follow the published maps from memory; they are
+// structural stand-ins, not byte-accurate copies (see DESIGN.md).
+
+// Instance is one benchmark workload: a topology plus the destination node
+// routings are synthesised for.
+type Instance struct {
+	Name string
+	Net  *network.Network
+	Dest network.NodeID
+}
+
+// adjacency is a compact topology description: each entry is a link between
+// two named nodes (created on demand).
+type adjacency [][2]string
+
+func buildAdjacency(name string, links adjacency) *network.Network {
+	b := network.NewBuilder(name)
+	for _, l := range links {
+		b.AddLink(l[0], l[1])
+	}
+	return b.MustBuild()
+}
+
+// Embedded returns the embedded topology suite, sorted by name.
+func Embedded() []Instance {
+	defs := map[string]adjacency{
+		// Abilene: the 11-PoP US research backbone (2-edge-connected).
+		"Abilene": {
+			{"NewYork", "Chicago"}, {"NewYork", "WashingtonDC"},
+			{"Chicago", "Indianapolis"}, {"WashingtonDC", "Atlanta"},
+			{"Atlanta", "Indianapolis"}, {"Atlanta", "Houston"},
+			{"Indianapolis", "KansasCity"}, {"KansasCity", "Houston"},
+			{"KansasCity", "Denver"}, {"Houston", "LosAngeles"},
+			{"Denver", "Sunnyvale"}, {"Denver", "Seattle"},
+			{"Sunnyvale", "Seattle"}, {"Sunnyvale", "LosAngeles"},
+		},
+		// Nsfnet: the classic 13-node T1 backbone.
+		"Nsfnet": {
+			{"Seattle", "PaloAlto"}, {"Seattle", "SaltLake"},
+			{"PaloAlto", "SanDiego"}, {"PaloAlto", "SaltLake"},
+			{"SanDiego", "Houston"}, {"SaltLake", "Boulder"},
+			{"Boulder", "Lincoln"}, {"Boulder", "Houston"},
+			{"Lincoln", "Champaign"}, {"Houston", "Atlanta"},
+			{"Champaign", "Pittsburgh"}, {"Atlanta", "Pittsburgh"},
+			{"Atlanta", "CollegePark"}, {"Pittsburgh", "Ithaca"},
+			{"CollegePark", "Ithaca"}, {"CollegePark", "Princeton"},
+			{"Ithaca", "Princeton"}, {"Princeton", "AnnArbor"},
+			{"AnnArbor", "Champaign"},
+		},
+		// Arpanet1970: the early five-ring plus spurs.
+		"Arpanet1970": {
+			{"UCLA", "SRI"}, {"UCLA", "UCSB"}, {"UCLA", "RAND"},
+			{"UCSB", "SRI"}, {"SRI", "Utah"}, {"RAND", "BBN"},
+			{"Utah", "MIT"}, {"BBN", "MIT"}, {"BBN", "Harvard"},
+			{"Harvard", "CMU"}, {"MIT", "Lincoln"}, {"CMU", "Lincoln"},
+		},
+		// BizNet-style: a metro ring with pronounced chains hanging between
+		// hubs — the chain-heavy shape the paper's Figure 5 demonstrates
+		// reduction on.
+		"BizNet": {
+			{"Hub0", "Hub1"}, {"Hub1", "Hub2"}, {"Hub2", "Hub3"},
+			{"Hub3", "Hub0"}, {"Hub0", "Hub2"},
+			// chain A: Hub1 - a1 - a2 - a3 - a4 - Hub3
+			{"Hub1", "a1"}, {"a1", "a2"}, {"a2", "a3"}, {"a3", "a4"}, {"a4", "Hub3"},
+			// chain B: Hub0 - b1 - b2 - b3 - Hub2
+			{"Hub0", "b1"}, {"b1", "b2"}, {"b2", "b3"}, {"b3", "Hub2"},
+			// chain C: Hub1 - c1 - c2 - Hub2
+			{"Hub1", "c1"}, {"c1", "c2"}, {"c2", "Hub2"},
+		},
+		// Cesnet-style: a national research network with a small dense core
+		// and chains to regional sites.
+		"Cesnet": {
+			{"Praha", "Brno"}, {"Praha", "Plzen"}, {"Praha", "HradecKralove"},
+			{"Brno", "Olomouc"}, {"Brno", "Ostrava"}, {"Olomouc", "Ostrava"},
+			{"Plzen", "CeskeBudejovice"}, {"CeskeBudejovice", "Brno"},
+			{"HradecKralove", "Olomouc"}, {"Praha", "UstiNadLabem"},
+			{"UstiNadLabem", "Liberec"}, {"Liberec", "HradecKralove"},
+		},
+		// Renater-style: a ring of rings with chains, larger.
+		"Renater": {
+			{"Paris", "Lyon"}, {"Paris", "Nancy"}, {"Paris", "Rouen"},
+			{"Paris", "Orleans"}, {"Lyon", "Marseille"}, {"Lyon", "Grenoble"},
+			{"Grenoble", "Marseille"}, {"Marseille", "Nice"}, {"Nice", "Genova"},
+			{"Genova", "Lyon"}, {"Nancy", "Strasbourg"}, {"Strasbourg", "Besancon"},
+			{"Besancon", "Lyon"}, {"Rouen", "Caen"}, {"Caen", "Rennes"},
+			{"Rennes", "Nantes"}, {"Nantes", "Bordeaux"}, {"Bordeaux", "Toulouse"},
+			{"Toulouse", "Montpellier"}, {"Montpellier", "Marseille"},
+			{"Orleans", "Tours"}, {"Tours", "Nantes"}, {"Orleans", "Limoges"},
+			{"Limoges", "Toulouse"},
+		},
+		// Garr-style: Italian research network core.
+		"Garr": {
+			{"Milano", "Torino"}, {"Milano", "Bologna"}, {"Torino", "Genova"},
+			{"Genova", "Pisa"}, {"Pisa", "Roma"}, {"Bologna", "Firenze"},
+			{"Firenze", "Roma"}, {"Roma", "Napoli"}, {"Napoli", "Bari"},
+			{"Bari", "Bologna"}, {"Napoli", "Catania"}, {"Catania", "Palermo"},
+			{"Palermo", "Napoli"}, {"Milano", "Padova"}, {"Padova", "Bologna"},
+			{"Padova", "Trieste"}, {"Trieste", "Bologna"},
+		},
+		// Geant-style: the pan-European research core (well-meshed, few
+		// chains).
+		"Geant": {
+			{"London", "Amsterdam"}, {"London", "Paris"}, {"Amsterdam", "Frankfurt"},
+			{"Amsterdam", "Copenhagen"}, {"Paris", "Geneva"}, {"Paris", "Madrid"},
+			{"Frankfurt", "Geneva"}, {"Frankfurt", "Prague"}, {"Frankfurt", "Copenhagen"},
+			{"Geneva", "Milano"}, {"Madrid", "Milano"}, {"Milano", "Vienna"},
+			{"Vienna", "Prague"}, {"Prague", "Warsaw"}, {"Warsaw", "Copenhagen"},
+			{"Vienna", "Budapest"}, {"Budapest", "Zagreb"}, {"Zagreb", "Milano"},
+			{"Budapest", "Warsaw"}, {"Geneva", "London"},
+		},
+		// Sprint-style: US operator backbone, moderately meshed.
+		"Sprint": {
+			{"Seattle", "SanJose"}, {"Seattle", "Chicago"}, {"SanJose", "Anaheim"},
+			{"SanJose", "KansasCity"}, {"Anaheim", "FortWorth"}, {"FortWorth", "KansasCity"},
+			{"FortWorth", "Atlanta"}, {"KansasCity", "Chicago"}, {"Chicago", "NewYork"},
+			{"Chicago", "Cheyenne"}, {"Cheyenne", "Seattle"}, {"Atlanta", "Washington"},
+			{"Washington", "NewYork"}, {"NewYork", "Boston"}, {"Boston", "Chicago"},
+			{"Atlanta", "Orlando"}, {"Orlando", "FortWorth"},
+		},
+		// Uninett-style: Norwegian national network — a long chain-laden
+		// backbone following the coastline, ideal for the reduction rules.
+		"Uninett": {
+			{"Oslo", "Bergen"}, {"Oslo", "Trondheim"}, {"Bergen", "Stavanger"},
+			{"Stavanger", "Kristiansand"}, {"Kristiansand", "Oslo"},
+			{"Trondheim", "Steinkjer"}, {"Steinkjer", "Mosjoen"},
+			{"Mosjoen", "Bodo"}, {"Bodo", "Narvik"}, {"Narvik", "Tromso"},
+			{"Tromso", "Alta"}, {"Alta", "Hammerfest"}, {"Hammerfest", "Kirkenes"},
+			{"Kirkenes", "Longyearbyen"}, {"Longyearbyen", "Trondheim"},
+			{"Bergen", "Trondheim"},
+		},
+		// Arnes-style: a small national network with a dense capital region
+		// and short spurs.
+		"Arnes": {
+			{"Ljubljana", "Maribor"}, {"Ljubljana", "Kranj"}, {"Ljubljana", "Koper"},
+			{"Ljubljana", "NovoMesto"}, {"Maribor", "MurskaSobota"},
+			{"MurskaSobota", "Ptuj"}, {"Ptuj", "Maribor"}, {"Maribor", "Celje"},
+			{"Celje", "Ljubljana"}, {"Kranj", "Jesenice"}, {"Jesenice", "NovaGorica"},
+			{"NovaGorica", "Koper"}, {"NovoMesto", "Celje"},
+		},
+		// Aarnet-style: Australian ring with long coastal chains.
+		"Aarnet": {
+			{"Sydney", "Canberra"}, {"Canberra", "Melbourne"},
+			{"Melbourne", "Adelaide"}, {"Adelaide", "Perth"},
+			{"Perth", "Darwin"}, {"Darwin", "Alice"}, {"Alice", "Adelaide"},
+			{"Sydney", "Brisbane"}, {"Brisbane", "Townsville"},
+			{"Townsville", "Cairns"}, {"Cairns", "Darwin"},
+			{"Melbourne", "Hobart"}, {"Hobart", "Sydney"},
+			{"Sydney", "Armidale"}, {"Armidale", "Brisbane"},
+		},
+	}
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Instance, 0, len(names))
+	for _, name := range names {
+		net := buildAdjacency(name, defs[name])
+		out = append(out, Instance{Name: name, Net: net, Dest: 0})
+	}
+	return out
+}

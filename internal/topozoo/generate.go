@@ -1,0 +1,149 @@
+package topozoo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"syrep/internal/network"
+)
+
+// GenConfig parameterises the synthetic Zoo-like generator. The defaults
+// reproduce the structural statistics of typical Topology Zoo networks:
+// mean degree between 2 and 3, a visible share of degree-2 chain nodes, and
+// a 2-edge-connected backbone.
+type GenConfig struct {
+	// Nodes is the total node count (minimum 4).
+	Nodes int
+	// ChainFraction is the share of nodes placed on chains between backbone
+	// hubs (default 0.4).
+	ChainFraction float64
+	// ExtraChordFraction adds chords to the backbone ring as a fraction of
+	// hub count (default 0.5), controlling mean degree.
+	ExtraChordFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Nodes < 4 {
+		c.Nodes = 4
+	}
+	if c.ChainFraction == 0 {
+		c.ChainFraction = 0.4
+	}
+	if c.ExtraChordFraction == 0 {
+		c.ExtraChordFraction = 0.5
+	}
+	return c
+}
+
+// Generate builds a deterministic Zoo-like topology: a backbone ring of
+// hubs with random chords, plus chains of degree-2 nodes spliced between
+// random distinct hubs. The result is connected and 2-edge-connected by
+// construction.
+func Generate(cfg GenConfig) *network.Network {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	chainNodes := int(float64(cfg.Nodes) * cfg.ChainFraction)
+	hubCount := cfg.Nodes - chainNodes
+	if hubCount < 3 {
+		hubCount = 3
+		chainNodes = cfg.Nodes - hubCount
+		if chainNodes < 0 {
+			chainNodes = 0
+		}
+	}
+
+	b := network.NewBuilder(fmt.Sprintf("zoo-n%d-s%d", cfg.Nodes, cfg.Seed))
+	hubs := make([]network.NodeID, hubCount)
+	for i := range hubs {
+		hubs[i] = b.AddNode(fmt.Sprintf("h%d", i))
+	}
+	for i := range hubs {
+		b.AddEdge(hubs[i], hubs[(i+1)%hubCount])
+	}
+	chords := int(float64(hubCount) * cfg.ExtraChordFraction)
+	for c := 0; c < chords; c++ {
+		u := rng.Intn(hubCount)
+		v := rng.Intn(hubCount)
+		if u == v || v == (u+1)%hubCount || u == (v+1)%hubCount {
+			continue // skip self and ring-duplicate chords
+		}
+		b.AddEdge(hubs[u], hubs[v])
+	}
+
+	// Chains: consume chainNodes in runs of 1..4 nodes spliced between two
+	// distinct hubs.
+	serial := 0
+	for chainNodes > 0 {
+		run := 1 + rng.Intn(4)
+		if run > chainNodes {
+			run = chainNodes
+		}
+		chainNodes -= run
+		u := hubs[rng.Intn(hubCount)]
+		v := hubs[rng.Intn(hubCount)]
+		for v == u {
+			v = hubs[rng.Intn(hubCount)]
+		}
+		prev := u
+		for i := 0; i < run; i++ {
+			cur := b.AddNode(fmt.Sprintf("c%d", serial))
+			serial++
+			b.AddEdge(prev, cur)
+			prev = cur
+		}
+		b.AddEdge(prev, v)
+	}
+	return b.MustBuild()
+}
+
+// SuiteConfig controls GeneratedSuite.
+type SuiteConfig struct {
+	// MinNodes/MaxNodes bound the instance sizes (defaults 8 and 40).
+	MinNodes, MaxNodes int
+	// Step is the node-count increment between sizes (default 4).
+	Step int
+	// SeedsPerSize generates several instances per size (default 2).
+	SeedsPerSize int
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if c.MinNodes == 0 {
+		c.MinNodes = 8
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 40
+	}
+	if c.Step == 0 {
+		c.Step = 4
+	}
+	if c.SeedsPerSize == 0 {
+		c.SeedsPerSize = 2
+	}
+	return c
+}
+
+// GeneratedSuite returns a deterministic ladder of synthetic instances
+// covering the configured size range.
+func GeneratedSuite(cfg SuiteConfig) []Instance {
+	cfg = cfg.withDefaults()
+	var out []Instance
+	for n := cfg.MinNodes; n <= cfg.MaxNodes; n += cfg.Step {
+		for s := 0; s < cfg.SeedsPerSize; s++ {
+			net := Generate(GenConfig{Nodes: n, Seed: int64(n*100 + s)})
+			out = append(out, Instance{Name: net.Name(), Net: net, Dest: 0})
+		}
+	}
+	return out
+}
+
+// Suite returns the full benchmark workload: the embedded real topologies
+// plus the generated ladder. This is the stand-in for "all connected
+// networks from the Topology Zoo benchmark".
+func Suite(cfg SuiteConfig) []Instance {
+	out := Embedded()
+	out = append(out, GeneratedSuite(cfg)...)
+	return out
+}

@@ -1,0 +1,151 @@
+// Package topozoo supplies the evaluation workloads of the SyRep paper: the
+// Internet Topology Zoo benchmark. The real dataset is a set of GraphML
+// files; ParseGraphML loads them unchanged when available. Because this
+// repository must be self-contained, the package also embeds hand-written
+// approximations of well-known Zoo topologies and a deterministic generator
+// that mimics the dataset's structural statistics (size range, mean degree,
+// chain content) — see DESIGN.md for the substitution rationale.
+package topozoo
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"syrep/internal/network"
+)
+
+// graphmlDoc mirrors the subset of GraphML the Topology Zoo uses.
+type graphmlDoc struct {
+	XMLName xml.Name     `xml:"graphml"`
+	Keys    []graphmlKey `xml:"key"`
+	Graph   graphmlGraph `xml:"graph"`
+}
+
+type graphmlKey struct {
+	ID   string `xml:"id,attr"`
+	For  string `xml:"for,attr"`
+	Name string `xml:"attr.name,attr"`
+}
+
+type graphmlGraph struct {
+	EdgeDefault string         `xml:"edgedefault,attr"`
+	Nodes       []graphmlNode  `xml:"node"`
+	Edges       []graphmlEdge  `xml:"edge"`
+	Data        []graphmlDatum `xml:"data"`
+}
+
+type graphmlNode struct {
+	ID   string         `xml:"id,attr"`
+	Data []graphmlDatum `xml:"data"`
+}
+
+type graphmlEdge struct {
+	Source string `xml:"source,attr"`
+	Target string `xml:"target,attr"`
+}
+
+type graphmlDatum struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ParseGraphML reads one Topology Zoo GraphML document. Node labels are used
+// as names when present (disambiguated when duplicated); self-loops are
+// dropped (loop-backs are implicit in the network model); parallel edges are
+// preserved (the model is a multigraph).
+func ParseGraphML(r io.Reader, name string) (*network.Network, error) {
+	var doc graphmlDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topozoo: parse graphml: %w", err)
+	}
+	if len(doc.Graph.Nodes) == 0 {
+		return nil, fmt.Errorf("topozoo: graphml %q has no nodes", name)
+	}
+
+	// Find the key that carries node labels, if any.
+	labelKey := ""
+	for _, k := range doc.Keys {
+		if k.For == "node" && strings.EqualFold(k.Name, "label") {
+			labelKey = k.ID
+			break
+		}
+	}
+
+	b := network.NewBuilder(name)
+	byID := make(map[string]network.NodeID, len(doc.Graph.Nodes))
+	usedNames := make(map[string]bool, len(doc.Graph.Nodes))
+	for _, gn := range doc.Graph.Nodes {
+		if _, dup := byID[gn.ID]; dup {
+			return nil, fmt.Errorf("topozoo: duplicate node id %q", gn.ID)
+		}
+		nodeName := gn.ID
+		if labelKey != "" {
+			for _, d := range gn.Data {
+				if d.Key == labelKey && strings.TrimSpace(d.Value) != "" {
+					nodeName = strings.TrimSpace(d.Value)
+					break
+				}
+			}
+		}
+		if usedNames[nodeName] {
+			nodeName = nodeName + "#" + gn.ID
+		}
+		usedNames[nodeName] = true
+		byID[gn.ID] = b.AddNode(nodeName)
+	}
+	for _, ge := range doc.Graph.Edges {
+		u, ok := byID[ge.Source]
+		if !ok {
+			return nil, fmt.Errorf("topozoo: edge references unknown node %q", ge.Source)
+		}
+		v, ok := byID[ge.Target]
+		if !ok {
+			return nil, fmt.Errorf("topozoo: edge references unknown node %q", ge.Target)
+		}
+		if u == v {
+			continue // drop explicit self-loops
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// LoadGraphMLDir loads every *.graphml file of dir as an instance, sorted by
+// file name. Disconnected networks are skipped, matching the paper's "all
+// connected networks from the benchmark".
+func LoadGraphMLDir(dir string) ([]Instance, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("topozoo: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".graphml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []Instance
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("topozoo: %w", err)
+		}
+		net, err := ParseGraphML(f, strings.TrimSuffix(name, ".graphml"))
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if !net.Connected() {
+			continue
+		}
+		out = append(out, Instance{Name: net.Name(), Net: net, Dest: 0})
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package topozoo_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/topozoo"
+)
+
+func TestEmbeddedTopologies(t *testing.T) {
+	instances := topozoo.Embedded()
+	if len(instances) < 8 {
+		t.Fatalf("embedded suite has %d instances, want >= 8", len(instances))
+	}
+	seen := make(map[string]bool)
+	for _, inst := range instances {
+		if seen[inst.Name] {
+			t.Errorf("duplicate instance %q", inst.Name)
+		}
+		seen[inst.Name] = true
+		if !inst.Net.Connected() {
+			t.Errorf("%s: not connected", inst.Name)
+		}
+		if inst.Net.NumNodes() < 4 {
+			t.Errorf("%s: only %d nodes", inst.Name, inst.Net.NumNodes())
+		}
+		if int(inst.Dest) >= inst.Net.NumNodes() {
+			t.Errorf("%s: destination out of range", inst.Name)
+		}
+	}
+	// Abilene is the canonical 11-node/14-edge backbone and 2-edge-connected.
+	for _, inst := range instances {
+		if inst.Name != "Abilene" {
+			continue
+		}
+		if inst.Net.NumNodes() != 11 || inst.Net.NumRealEdges() != 14 {
+			t.Errorf("Abilene: %d nodes / %d edges, want 11/14",
+				inst.Net.NumNodes(), inst.Net.NumRealEdges())
+		}
+		if inst.Net.EdgeConnectivity() != 2 {
+			t.Errorf("Abilene edge connectivity = %d, want 2", inst.Net.EdgeConnectivity())
+		}
+	}
+}
+
+func TestBizNetIsChainHeavy(t *testing.T) {
+	for _, inst := range topozoo.Embedded() {
+		if inst.Name != "BizNet" {
+			continue
+		}
+		deg2 := 0
+		for _, v := range inst.Net.Nodes() {
+			if inst.Net.Degree(v) == 2 {
+				deg2++
+			}
+		}
+		if deg2 < 6 {
+			t.Errorf("BizNet has only %d degree-2 nodes; the Figure 5 demo needs chains", deg2)
+		}
+		return
+	}
+	t.Fatal("BizNet missing from embedded suite")
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := topozoo.Generate(topozoo.GenConfig{Nodes: 20, Seed: 7})
+	b := topozoo.Generate(topozoo.GenConfig{Nodes: 20, Seed: 7})
+	if a.NumNodes() != b.NumNodes() || a.NumRealEdges() != b.NumRealEdges() {
+		t.Error("same seed produced different topologies")
+	}
+	for e := 0; e < a.NumRealEdges(); e++ {
+		au, av := a.Endpoints(network.EdgeID(e))
+		bu, bv := b.Endpoints(network.EdgeID(e))
+		if au != bu || av != bv {
+			t.Fatalf("edge %d differs between runs", e)
+		}
+	}
+	c := topozoo.Generate(topozoo.GenConfig{Nodes: 20, Seed: 8})
+	if c.NumRealEdges() == a.NumRealEdges() {
+		// Different seeds usually differ; edges equal is possible but the
+		// endpoints should not all match.
+		same := true
+		for e := 0; e < a.NumRealEdges(); e++ {
+			au, av := a.Endpoints(network.EdgeID(e))
+			cu, cv := c.Endpoints(network.EdgeID(e))
+			if au != cu || av != cv {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical topologies")
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	for _, nodes := range []int{8, 16, 32, 64, 120} {
+		net := topozoo.Generate(topozoo.GenConfig{Nodes: nodes, Seed: 1})
+		if net.NumNodes() != nodes {
+			t.Errorf("Nodes=%d: generated %d nodes", nodes, net.NumNodes())
+		}
+		if !net.Connected() {
+			t.Errorf("Nodes=%d: disconnected", nodes)
+		}
+		if got := net.EdgeConnectivity(); got < 2 {
+			t.Errorf("Nodes=%d: edge connectivity %d, want >= 2", nodes, got)
+		}
+		meanDeg := 2 * float64(net.NumRealEdges()) / float64(net.NumNodes())
+		if meanDeg < 2.0 || meanDeg > 3.5 {
+			t.Errorf("Nodes=%d: mean degree %.2f outside Zoo-like range", nodes, meanDeg)
+		}
+	}
+}
+
+func TestGenerateTinyClamped(t *testing.T) {
+	net := topozoo.Generate(topozoo.GenConfig{Nodes: 1, Seed: 1})
+	if net.NumNodes() < 3 {
+		t.Errorf("tiny config produced %d nodes", net.NumNodes())
+	}
+	if !net.Connected() {
+		t.Error("tiny network disconnected")
+	}
+}
+
+func TestGeneratedSuite(t *testing.T) {
+	suite := topozoo.GeneratedSuite(topozoo.SuiteConfig{MinNodes: 8, MaxNodes: 16, Step: 4, SeedsPerSize: 2})
+	if len(suite) != 6 {
+		t.Fatalf("suite size = %d, want 6", len(suite))
+	}
+	names := make(map[string]bool)
+	for _, inst := range suite {
+		if names[inst.Name] {
+			t.Errorf("duplicate name %q", inst.Name)
+		}
+		names[inst.Name] = true
+	}
+}
+
+func TestSuiteCombines(t *testing.T) {
+	all := topozoo.Suite(topozoo.SuiteConfig{MinNodes: 8, MaxNodes: 12, Step: 4})
+	if len(all) != len(topozoo.Embedded())+4 {
+		t.Errorf("Suite size = %d", len(all))
+	}
+}
+
+const sampleGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="label" attr.type="string" for="node" id="d33"/>
+  <graph edgedefault="undirected">
+    <node id="0"><data key="d33">Vienna</data></node>
+    <node id="1"><data key="d33">Graz</data></node>
+    <node id="2"><data key="d33">Linz</data></node>
+    <node id="3"><data key="d33">Vienna</data></node>
+    <edge source="0" target="1"/>
+    <edge source="1" target="2"/>
+    <edge source="2" target="0"/>
+    <edge source="0" target="3"/>
+    <edge source="3" target="1"/>
+    <edge source="2" target="2"/>
+  </graph>
+</graphml>`
+
+func TestParseGraphML(t *testing.T) {
+	net, err := topozoo.ParseGraphML(strings.NewReader(sampleGraphML), "sample")
+	if err != nil {
+		t.Fatalf("ParseGraphML: %v", err)
+	}
+	if net.NumNodes() != 4 {
+		t.Errorf("nodes = %d, want 4", net.NumNodes())
+	}
+	// Self-loop dropped: 5 real edges.
+	if net.NumRealEdges() != 5 {
+		t.Errorf("edges = %d, want 5", net.NumRealEdges())
+	}
+	if net.NodeByName("Vienna") < 0 {
+		t.Error("label-based name missing")
+	}
+	// Duplicate label disambiguated.
+	if net.NodeByName("Vienna#3") < 0 {
+		t.Error("duplicate label not disambiguated")
+	}
+}
+
+func TestParseGraphMLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "<graphml"},
+		{"no nodes", `<graphml><graph edgedefault="undirected"></graph></graphml>`},
+		{"dup node id", `<graphml><graph><node id="0"/><node id="0"/></graph></graphml>`},
+		{"unknown source", `<graphml><graph><node id="0"/><edge source="9" target="0"/></graph></graphml>`},
+		{"unknown target", `<graphml><graph><node id="0"/><edge source="0" target="9"/></graph></graphml>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := topozoo.ParseGraphML(strings.NewReader(tt.doc), tt.name); err == nil {
+				t.Error("parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestLoadGraphMLDir(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/a.graphml", sampleGraphML)
+	writeFile(t, dir+"/skip.txt", "not graphml")
+	// Disconnected network: skipped.
+	writeFile(t, dir+"/b.graphml", `<graphml><graph>
+	  <node id="0"/><node id="1"/><node id="2"/>
+	  <edge source="0" target="1"/>
+	</graph></graphml>`)
+	instances, err := topozoo.LoadGraphMLDir(dir)
+	if err != nil {
+		t.Fatalf("LoadGraphMLDir: %v", err)
+	}
+	if len(instances) != 1 || instances[0].Name != "a" {
+		t.Errorf("instances = %v, want just 'a'", instances)
+	}
+	if _, err := topozoo.LoadGraphMLDir(dir + "/nope"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+)
+
+func fixture(t *testing.T) (*network.Network, *routing.Routing) {
+	t.Helper()
+	n := papernet.Figure1()
+	return n, papernet.Figure1bRouting(n)
+}
+
+func edgeSeq(t *testing.T, n *network.Network, res trace.Result) string {
+	t.Helper()
+	parts := make([]string, len(res.Edges))
+	for i, e := range res.Edges {
+		parts[i] = n.EdgeName(e)
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestNoFailureDelivery(t *testing.T) {
+	n, r := fixture(t)
+	none := network.NewEdgeSet(n.NumRealEdges())
+	for _, src := range []string{"v1", "v2", "v3", "v4"} {
+		res := trace.Run(r, none, n.NodeByName(src))
+		if res.Outcome != trace.Delivered {
+			t.Errorf("from %s: outcome %v, want delivered (%s)", src, res.Outcome, res.Format(n))
+		}
+	}
+}
+
+// The paper's worked example: under F = {e1, e6} the longest trace from v3
+// is (lb_v3, e3, e4, e2) and delivers.
+func TestPaperTraceE1E6(t *testing.T) {
+	n, r := fixture(t)
+	F := network.EdgeSetOf(n.NumRealEdges(), 1, 6)
+	res := trace.Run(r, F, n.NodeByName("v3"))
+	if res.Outcome != trace.Delivered {
+		t.Fatalf("outcome %v, want delivered (%s)", res.Outcome, res.Format(n))
+	}
+	if got, want := edgeSeq(t, n, res), "lb_v3,e3,e4,e2"; got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+// The paper's Figure 1c: under F = {e1, e2} the trace from v3 loops through
+// (lb_v3, e6, e4, e3, e6, ...).
+func TestPaperLoopE1E2(t *testing.T) {
+	n, r := fixture(t)
+	F := network.EdgeSetOf(n.NumRealEdges(), 1, 2)
+	res := trace.Run(r, F, n.NodeByName("v3"))
+	if res.Outcome != trace.Looped {
+		t.Fatalf("outcome %v, want looped (%s)", res.Outcome, res.Format(n))
+	}
+	if got, want := edgeSeq(t, n, res), "lb_v3,e6,e4,e3,e6"; got != want {
+		t.Errorf("trace = %s, want %s (loop closes back on e6)", got, want)
+	}
+	// The paper highlights that starting from v1 or v4 has a similar effect.
+	for _, src := range []string{"v1", "v4"} {
+		res := trace.Run(r, F, n.NodeByName(src))
+		if res.Outcome != trace.Looped {
+			t.Errorf("from %s: outcome %v, want looped", src, res.Outcome)
+		}
+	}
+	// v2 still delivers via e0.
+	res2 := trace.Run(r, F, n.NodeByName("v2"))
+	if res2.Outcome != trace.Delivered {
+		t.Errorf("from v2: outcome %v, want delivered", res2.Outcome)
+	}
+}
+
+// Entries used along the three looping traces of Figure 1 are exactly the
+// six suspicious entries highlighted in Figure 1b.
+func TestUsedEntriesMatchSuspicious(t *testing.T) {
+	n, r := fixture(t)
+	F := network.EdgeSetOf(n.NumRealEdges(), 1, 2)
+	used := make(map[routing.Key]bool)
+	for _, src := range []string{"v1", "v3", "v4"} {
+		res := trace.Run(r, F, n.NodeByName(src))
+		if res.Outcome != trace.Looped {
+			t.Fatalf("from %s: outcome %v", src, res.Outcome)
+		}
+		for _, k := range res.Used {
+			used[k] = true
+		}
+	}
+	var (
+		v1 = n.NodeByName("v1")
+		v3 = n.NodeByName("v3")
+		v4 = n.NodeByName("v4")
+	)
+	want := []routing.Key{
+		{In: n.Loopback(v1), At: v1},
+		{In: n.Loopback(v3), At: v3},
+		{In: n.Loopback(v4), At: v4},
+		{In: 3, At: v3},
+		{In: 4, At: v1},
+		{In: 6, At: v4},
+	}
+	if len(used) != len(want) {
+		t.Errorf("used %d entries, want %d: %v", len(used), len(want), used)
+	}
+	for _, k := range want {
+		if !used[k] {
+			t.Errorf("entry %v not marked as used", k)
+		}
+	}
+}
+
+func TestSourceIsDestination(t *testing.T) {
+	n, r := fixture(t)
+	res := trace.Run(r, network.NewEdgeSet(n.NumRealEdges()), r.Dest())
+	if res.Outcome != trace.Delivered {
+		t.Errorf("outcome %v, want delivered", res.Outcome)
+	}
+	if len(res.Edges) != 1 || len(res.Used) != 0 {
+		t.Errorf("trace from destination = %v", res)
+	}
+}
+
+func TestDropWhenAllEdgesFail(t *testing.T) {
+	n, r := fixture(t)
+	// Fail everything incident to v1 so its entry cannot forward.
+	F := network.EdgeSetOf(n.NumRealEdges(), 3, 4)
+	res := trace.Run(r, F, n.NodeByName("v1"))
+	if res.Outcome != trace.Dropped {
+		t.Errorf("outcome %v, want dropped (%s)", res.Outcome, res.Format(n))
+	}
+}
+
+func TestDropOnMissingEntry(t *testing.T) {
+	n, _ := fixture(t)
+	d := papernet.Figure1Dest(n)
+	r := routing.New(n, d) // empty routing
+	res := trace.Run(r, network.NewEdgeSet(n.NumRealEdges()), n.NodeByName("v3"))
+	if res.Outcome != trace.Dropped {
+		t.Errorf("outcome %v, want dropped", res.Outcome)
+	}
+}
+
+func TestHitHole(t *testing.T) {
+	n, r := fixture(t)
+	v3 := n.NodeByName("v3")
+	if err := r.PunchHole(n.Loopback(v3), v3, 3); err != nil {
+		t.Fatal(err)
+	}
+	res := trace.Run(r, network.NewEdgeSet(n.NumRealEdges()), v3)
+	if res.Outcome != trace.HitHole {
+		t.Errorf("outcome %v, want hit-hole", res.Outcome)
+	}
+	// A hole further along the path is also reported.
+	r2 := papernet.Figure1bRouting(n)
+	v4 := n.NodeByName("v4")
+	if err := r2.PunchHole(6, v4, 3); err != nil {
+		t.Fatal(err)
+	}
+	F := network.EdgeSetOf(n.NumRealEdges(), 1) // v3 -> e6 -> v4 hits hole
+	res2 := trace.Run(r2, F, v3)
+	if res2.Outcome != trace.HitHole {
+		t.Errorf("outcome %v, want hit-hole (%s)", res2.Outcome, res2.Format(n))
+	}
+}
+
+func TestStep(t *testing.T) {
+	n, r := fixture(t)
+	v3 := n.NodeByName("v3")
+	none := network.NewEdgeSet(n.NumRealEdges())
+
+	out, st := trace.Step(r, none, n.Loopback(v3), v3)
+	if st != trace.StepForwarded || out != 1 {
+		t.Errorf("Step(lb_v3) = (%d,%v), want (1,forwarded)", out, st)
+	}
+	F := network.EdgeSetOf(n.NumRealEdges(), 1)
+	out, st = trace.Step(r, F, n.Loopback(v3), v3)
+	if st != trace.StepForwarded || out != 6 {
+		t.Errorf("Step(lb_v3|e1 failed) = (%d,%v), want (6,forwarded)", out, st)
+	}
+	all := network.EdgeSetOf(n.NumRealEdges(), 1, 3, 6)
+	if _, st = trace.Step(r, all, n.Loopback(v3), v3); st != trace.StepDropped {
+		t.Errorf("Step with all edges failed = %v, want dropped", st)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    trace.Outcome
+		want string
+	}{
+		{trace.Delivered, "delivered"},
+		{trace.Dropped, "dropped"},
+		{trace.Looped, "looped"},
+		{trace.HitHole, "hit-hole"},
+		{trace.Outcome(0), "Outcome(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Outcome(%d).String = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	n, r := fixture(t)
+	F := network.EdgeSetOf(n.NumRealEdges(), 1, 2)
+	res := trace.Run(r, F, n.NodeByName("v3"))
+	s := res.Format(n)
+	if !strings.Contains(s, "lb_v3") || !strings.Contains(s, "...") {
+		t.Errorf("Format = %q", s)
+	}
+	if !res.DeliveredOK() == false {
+		t.Errorf("DeliveredOK on looped trace")
+	}
+}

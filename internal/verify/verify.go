@@ -1,0 +1,311 @@
+// Package verify implements brute-force verification of perfect
+// k-resilience (Section III-B of the SyRep paper). For small k, it
+// systematically enumerates every failure scenario |F| <= k and follows the
+// trace from every source node; failing deliveries are recorded together
+// with the routing entries that fired along their traces, which become the
+// *suspicious* entries fed to the repair engine.
+package verify
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+)
+
+// FailingDelivery is a pair (source, F) such that the packet starting at
+// source is not delivered under failure scenario F even though source and
+// destination remain connected in G∖F (Section III-B).
+type FailingDelivery struct {
+	Source  network.NodeID
+	Failed  network.EdgeSet
+	Outcome trace.Outcome
+	// Used are the routing entries that fired along the failing trace.
+	Used []routing.Key
+	// Visited are the nodes the failing trace passed through (including the
+	// node where it was dropped or looped), deduplicated.
+	Visited []network.NodeID
+}
+
+// Report summarises a verification run.
+type Report struct {
+	// K is the resilience level that was checked.
+	K int
+	// Resilient is true when the routing is perfectly K-resilient.
+	Resilient bool
+	// Failing lists the failing deliveries found. When pruning is enabled,
+	// subsumed failures (same source, superset scenario, no new entries) are
+	// omitted per Section III-C.
+	Failing []FailingDelivery
+	// Scenarios is the number of failure scenarios examined.
+	Scenarios int
+	// Traces is the number of traces followed.
+	Traces int
+}
+
+// Suspicious returns the union of routing entries that fired along failing
+// traces, sorted deterministically. These are the entries the repair engine
+// removes and re-synthesises.
+func (rep *Report) Suspicious() []routing.Key {
+	seen := make(map[routing.Key]bool)
+	for _, f := range rep.Failing {
+		for _, k := range f.Used {
+			seen[k] = true
+		}
+	}
+	out := make([]routing.Key, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].In < out[j].In
+	})
+	return out
+}
+
+// Options configures verification.
+type Options struct {
+	// MaxFailures caps the number of failing deliveries collected; 0 means
+	// collect all. Verification still determines resilience exactly — the
+	// cap only bounds the report size.
+	MaxFailures int
+	// Prune enables the subsumption rule of Section III-C: a failing
+	// delivery (v, F2) is dropped when an already-recorded (v, F1) with
+	// F1 ⊆ F2 used the same entries.
+	Prune bool
+	// Parallel enables concurrent scenario evaluation across GOMAXPROCS
+	// workers.
+	Parallel bool
+	// StopAtFirst stops at the first failing delivery. The resulting
+	// report is still correct about Resilient.
+	StopAtFirst bool
+}
+
+// Resilient reports whether r is perfectly k-resilient. It is a convenience
+// wrapper around Check that stops at the first counterexample.
+func Resilient(r *routing.Routing, k int) bool {
+	rep, err := Check(context.Background(), r, k, Options{StopAtFirst: true})
+	return err == nil && rep.Resilient
+}
+
+// Check verifies perfect k-resilience of r per Definition 4: for every
+// failure scenario F with |F| <= k and every source s still connected to the
+// destination in G∖F, the trace from s must deliver. Traces that reach a
+// hole count as failing (their behaviour is undefined).
+//
+// ctx cancellation aborts the run with ctx.Err().
+func Check(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("verify: negative resilience level %d", k)
+	}
+	if opts.Parallel {
+		return checkParallel(ctx, r, k, opts)
+	}
+	return checkSequential(ctx, r, k, opts)
+}
+
+func checkSequential(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	rep := &Report{K: k, Resilient: true}
+	n := r.Network()
+	dest := r.Dest()
+	var ctxErr error
+	n.ForEachScenario(k, func(F network.EdgeSet) bool {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return false
+		}
+		rep.Scenarios++
+		reach := n.ReachableWithout(dest, F)
+		for _, s := range n.Nodes() {
+			if s == dest || !reach[s] {
+				continue
+			}
+			rep.Traces++
+			res := trace.Run(r, F, s)
+			if res.Outcome == trace.Delivered {
+				continue
+			}
+			rep.Resilient = false
+			rep.record(FailingDelivery{
+				Source:  s,
+				Failed:  F.Clone(),
+				Outcome: res.Outcome,
+				Used:    res.Used,
+				Visited: visitedNodes(n, s, res.Edges),
+			}, opts)
+			if opts.StopAtFirst {
+				return false
+			}
+		}
+		return true
+	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return rep, nil
+}
+
+// record appends a failing delivery, applying the subsumption rule and the
+// collection cap.
+func (rep *Report) record(f FailingDelivery, opts Options) {
+	if opts.Prune {
+		for _, prev := range rep.Failing {
+			if prev.Source == f.Source && prev.Failed.SubsetOf(f.Failed) && sameEntries(prev.Used, f.Used) {
+				return
+			}
+		}
+	}
+	if opts.MaxFailures > 0 && len(rep.Failing) >= opts.MaxFailures {
+		return
+	}
+	rep.Failing = append(rep.Failing, f)
+}
+
+// visitedNodes reconstructs the node sequence of a trace (deduplicated,
+// in first-visit order). edges[0] is the source's loop-back.
+func visitedNodes(n *network.Network, source network.NodeID, edges []network.EdgeID) []network.NodeID {
+	seen := make(map[network.NodeID]bool, len(edges)+1)
+	out := []network.NodeID{source}
+	seen[source] = true
+	v := source
+	for _, e := range edges[1:] {
+		v = n.Other(e, v)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sameEntries(a, b []routing.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[routing.Key]bool, len(a))
+	for _, k := range a {
+		set[k] = true
+	}
+	for _, k := range b {
+		if !set[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkParallel distributes scenarios over workers. Scenario enumeration is
+// cheap relative to tracing, so every worker enumerates all scenarios and
+// processes its share by index modulo the worker count.
+func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	n := r.Network()
+	dest := r.Dest()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partial struct {
+		failing   []FailingDelivery
+		scenarios int
+		traces    int
+	}
+	parts := make([]partial, workers)
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+		once sync.Once
+	)
+	halt := func() { once.Do(func() { close(stop) }) }
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx := -1
+			n.ForEachScenario(k, func(F network.EdgeSet) bool {
+				idx++
+				if idx%workers != w {
+					return true
+				}
+				select {
+				case <-stop:
+					return false
+				default:
+				}
+				if ctx.Err() != nil {
+					halt()
+					return false
+				}
+				parts[w].scenarios++
+				reach := n.ReachableWithout(dest, F)
+				for _, s := range n.Nodes() {
+					if s == dest || !reach[s] {
+						continue
+					}
+					parts[w].traces++
+					res := trace.Run(r, F, s)
+					if res.Outcome == trace.Delivered {
+						continue
+					}
+					parts[w].failing = append(parts[w].failing, FailingDelivery{
+						Source:  s,
+						Failed:  F.Clone(),
+						Outcome: res.Outcome,
+						Used:    res.Used,
+						Visited: visitedNodes(n, s, res.Edges),
+					})
+					if opts.StopAtFirst {
+						halt()
+						return false
+					}
+				}
+				return true
+			})
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{K: k, Resilient: true}
+	for _, p := range parts {
+		rep.Scenarios += p.scenarios
+		rep.Traces += p.traces
+		for _, f := range p.failing {
+			rep.Resilient = false
+			rep.record(f, opts)
+		}
+	}
+	if len(rep.Failing) > 0 {
+		rep.Resilient = false
+	}
+	return rep, nil
+}
+
+// MaxResilience returns the largest k <= limit for which r is perfectly
+// k-resilient, checking k = 0, 1, ... in turn. It returns -1 when even k=0
+// fails (the routing does not deliver on the intact network).
+func MaxResilience(ctx context.Context, r *routing.Routing, limit int) (int, error) {
+	best := -1
+	for k := 0; k <= limit; k++ {
+		rep, err := Check(ctx, r, k, Options{StopAtFirst: true})
+		if err != nil {
+			return best, err
+		}
+		if !rep.Resilient {
+			return best, nil
+		}
+		best = k
+	}
+	return best, nil
+}

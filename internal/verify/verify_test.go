@@ -1,0 +1,333 @@
+package verify_test
+
+import (
+	"context"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+	"syrep/internal/verify"
+)
+
+func fig1Routing(t *testing.T) (*network.Network, *routing.Routing) {
+	t.Helper()
+	n := papernet.Figure1()
+	return n, papernet.Figure1bRouting(n)
+}
+
+// repairedFig1Routing applies the paper's repair outcome: the second
+// priority of R(e6, v4) becomes e5, which the paper states yields a
+// perfectly 2-resilient routing.
+func repairedFig1Routing(t *testing.T) (*network.Network, *routing.Routing) {
+	t.Helper()
+	n, r := fig1Routing(t)
+	v4 := n.NodeByName("v4")
+	r.MustSet(6, v4, []network.EdgeID{2, 5, 4, 6})
+	return n, r
+}
+
+func TestFig1bIsPerfectly1Resilient(t *testing.T) {
+	_, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 1, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resilient {
+		t.Fatalf("Figure 1b routing should be 1-resilient; failures: %v", rep.Failing)
+	}
+	if rep.Scenarios != 8 { // {} + 7 single failures
+		t.Errorf("Scenarios = %d, want 8", rep.Scenarios)
+	}
+}
+
+func TestFig1bIsNot2Resilient(t *testing.T) {
+	n, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilient {
+		t.Fatal("Figure 1b routing should not be 2-resilient")
+	}
+	// The paper: (v1,F), (v3,F), (v4,F) with F={e1,e2} are exactly all
+	// failing deliveries with up to 2 failed links.
+	if len(rep.Failing) != 3 {
+		t.Fatalf("got %d failing deliveries, want 3: %v", len(rep.Failing), rep.Failing)
+	}
+	wantF := network.EdgeSetOf(n.NumRealEdges(), 1, 2)
+	srcs := make(map[string]bool)
+	for _, f := range rep.Failing {
+		if !f.Failed.Equal(wantF) {
+			t.Errorf("failing scenario %v, want %v", f.Failed, wantF)
+		}
+		if f.Outcome != trace.Looped {
+			t.Errorf("outcome %v, want looped", f.Outcome)
+		}
+		srcs[n.NodeName(f.Source)] = true
+	}
+	for _, s := range []string{"v1", "v3", "v4"} {
+		if !srcs[s] {
+			t.Errorf("missing failing delivery from %s", s)
+		}
+	}
+}
+
+func TestSuspiciousEntries(t *testing.T) {
+	n, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sus := rep.Suspicious()
+	if len(sus) != 6 {
+		t.Fatalf("got %d suspicious entries, want 6 (paper Fig 1b): %v", len(sus), sus)
+	}
+	var (
+		v1 = n.NodeByName("v1")
+		v3 = n.NodeByName("v3")
+		v4 = n.NodeByName("v4")
+	)
+	want := map[routing.Key]bool{
+		{In: n.Loopback(v1), At: v1}: true,
+		{In: n.Loopback(v3), At: v3}: true,
+		{In: n.Loopback(v4), At: v4}: true,
+		{In: 3, At: v3}:              true,
+		{In: 4, At: v1}:              true,
+		{In: 6, At: v4}:              true,
+	}
+	for _, k := range sus {
+		if !want[k] {
+			t.Errorf("unexpected suspicious entry %v", k)
+		}
+	}
+}
+
+func TestRepairedFig1Is2Resilient(t *testing.T) {
+	_, r := repairedFig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resilient {
+		t.Fatalf("repaired routing should be 2-resilient; failures: %v", rep.Failing)
+	}
+}
+
+func TestResilientHelper(t *testing.T) {
+	_, r := fig1Routing(t)
+	if !verify.Resilient(r, 1) {
+		t.Error("Resilient(r,1) = false")
+	}
+	if verify.Resilient(r, 2) {
+		t.Error("Resilient(r,2) = true")
+	}
+}
+
+func TestMaxResilience(t *testing.T) {
+	_, r := fig1Routing(t)
+	got, err := verify.MaxResilience(context.Background(), r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("MaxResilience(Fig1b) = %d, want 1", got)
+	}
+
+	_, rep := repairedFig1Routing(t)
+	got, err = verify.MaxResilience(context.Background(), rep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("MaxResilience(repaired, limit 2) = %d, want 2", got)
+	}
+}
+
+func TestMaxResilienceEmptyRouting(t *testing.T) {
+	n := papernet.Figure1()
+	r := routing.New(n, papernet.Figure1Dest(n))
+	got, err := verify.MaxResilience(context.Background(), r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != -1 {
+		t.Errorf("MaxResilience(empty) = %d, want -1", got)
+	}
+}
+
+func TestStopAtFirst(t *testing.T) {
+	_, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 2, verify.Options{StopAtFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilient {
+		t.Error("Resilient = true")
+	}
+	if len(rep.Failing) != 1 {
+		t.Errorf("Failing = %d entries, want 1", len(rep.Failing))
+	}
+}
+
+func TestMaxFailuresCap(t *testing.T) {
+	_, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 2, verify.Options{MaxFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failing) != 2 {
+		t.Errorf("Failing = %d entries, want capped at 2", len(rep.Failing))
+	}
+	if rep.Resilient {
+		t.Error("Resilient = true despite failures")
+	}
+}
+
+func TestPruneSubsumption(t *testing.T) {
+	// A 5-cycle d-a-b-c-e-d with a chord a-e, and a deliberately broken
+	// routing in which node a bounces packets from b straight back, causing
+	// a loop from source b whenever e0={d,a} fails. Every superset scenario
+	// {e0, x} that keeps b connected replays the same trace with the same
+	// entries, so Section III-C subsumption must collapse them.
+	b := network.NewBuilder("prune")
+	d := b.AddNode("d")
+	a := b.AddNode("a")
+	bb := b.AddNode("b")
+	c := b.AddNode("c")
+	e := b.AddNode("e")
+	e0 := b.AddEdge(d, a)
+	e1 := b.AddEdge(a, bb)
+	e2 := b.AddEdge(bb, c)
+	e3 := b.AddEdge(c, e)
+	e4 := b.AddEdge(e, d)
+	e5 := b.AddEdge(a, e)
+	n := b.MustBuild()
+
+	r := routing.New(n, d)
+	r.MustSet(n.Loopback(a), a, []network.EdgeID{e0, e5})
+	r.MustSet(n.Loopback(bb), bb, []network.EdgeID{e1})
+	r.MustSet(n.Loopback(c), c, []network.EdgeID{e3})
+	r.MustSet(n.Loopback(e), e, []network.EdgeID{e4, e5})
+	r.MustSet(e1, a, []network.EdgeID{e0, e1}) // bounce back to b when e0 fails
+	r.MustSet(e1, bb, []network.EdgeID{e1})    // and b bounces it back again
+	r.MustSet(e2, c, []network.EdgeID{e3})
+	r.MustSet(e3, e, []network.EdgeID{e4, e5})
+	r.MustSet(e5, e, []network.EdgeID{e4})
+	r.MustSet(e5, a, []network.EdgeID{e0, e1})
+	r.MustSet(e2, bb, []network.EdgeID{e1})
+	r.MustSet(e4, e, []network.EdgeID{e3, e5})
+	r.MustSet(e0, a, []network.EdgeID{e1, e5})
+	r.MustSet(e3, c, []network.EdgeID{e2})
+
+	full, err := verify.Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := verify.Check(context.Background(), r, 2, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Resilient {
+		t.Fatal("pruned run lost the non-resilience verdict")
+	}
+	if len(pruned.Failing) >= len(full.Failing) {
+		t.Errorf("pruned %d >= full %d failing deliveries", len(pruned.Failing), len(full.Failing))
+	}
+	// Subsumption must not lose suspicious-entry coverage.
+	fullSus := full.Suspicious()
+	prunedSus := make(map[routing.Key]bool)
+	for _, k := range pruned.Suspicious() {
+		prunedSus[k] = true
+	}
+	for _, k := range fullSus {
+		if !prunedSus[k] {
+			t.Errorf("pruning lost suspicious entry %v", k)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	_, r := fig1Routing(t)
+	seq, err := verify.Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := verify.Check(context.Background(), r, 2, verify.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Resilient != par.Resilient {
+		t.Errorf("parallel Resilient = %v, sequential = %v", par.Resilient, seq.Resilient)
+	}
+	if seq.Scenarios != par.Scenarios {
+		t.Errorf("parallel Scenarios = %d, sequential = %d", par.Scenarios, seq.Scenarios)
+	}
+	if len(seq.Failing) != len(par.Failing) {
+		t.Errorf("parallel Failing = %d, sequential = %d", len(par.Failing), len(seq.Failing))
+	}
+}
+
+func TestHolesCountAsFailures(t *testing.T) {
+	n, r := fig1Routing(t)
+	v3 := n.NodeByName("v3")
+	if err := r.PunchHole(n.Loopback(v3), v3, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Check(context.Background(), r, 0, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilient {
+		t.Error("routing with reachable hole reported resilient")
+	}
+	if len(rep.Failing) == 0 || rep.Failing[0].Outcome != trace.HitHole {
+		t.Errorf("Failing = %v, want hit-hole outcome", rep.Failing)
+	}
+}
+
+func TestNegativeK(t *testing.T) {
+	_, r := fig1Routing(t)
+	if _, err := verify.Check(context.Background(), r, -1, verify.Options{}); err == nil {
+		t.Error("Check(-1) succeeded")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	_, r := fig1Routing(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := verify.Check(ctx, r, 2, verify.Options{}); err == nil {
+		t.Error("cancelled Check succeeded")
+	}
+	if _, err := verify.Check(ctx, r, 2, verify.Options{Parallel: true}); err == nil {
+		t.Error("cancelled parallel Check succeeded")
+	}
+}
+
+func TestZeroResilienceOfEmptyScenario(t *testing.T) {
+	_, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 0, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resilient || rep.Scenarios != 1 {
+		t.Errorf("k=0: resilient=%v scenarios=%d", rep.Resilient, rep.Scenarios)
+	}
+}
+
+func TestDisconnectedSourcesAreSkipped(t *testing.T) {
+	// v3 isolated by {e1,e3,e6}: no delivery required from v3.
+	n, r := fig1Routing(t)
+	rep, err := verify.Check(context.Background(), r, 3, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failing {
+		if !n.ConnectedWithout(f.Source, r.Dest(), f.Failed) {
+			t.Errorf("failing delivery from disconnected source %s under %v",
+				n.NodeName(f.Source), f.Failed)
+		}
+	}
+}

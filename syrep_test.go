@@ -1,0 +1,120 @@
+package syrep_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep"
+	"syrep/internal/papernet"
+)
+
+var ctx = context.Background()
+
+// buildTriangleWithChord builds a small 2-edge-connected network through the
+// public API only.
+func buildPublicNet(t *testing.T) (*syrep.Network, syrep.NodeID) {
+	t.Helper()
+	b := syrep.NewBuilder("pub")
+	d := b.AddNode("d")
+	a := b.AddNode("a")
+	c := b.AddNode("c")
+	e := b.AddNode("e")
+	b.AddEdge(d, a)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	b.AddEdge(c, e)
+	b.AddEdge(e, d)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return net, d
+}
+
+func TestPublicSynthesize(t *testing.T) {
+	net, d := buildPublicNet(t)
+	r, rep, err := syrep.Synthesize(ctx, net, d, 2, syrep.Options{})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !syrep.Resilient(r, 2) {
+		t.Error("routing not 2-resilient")
+	}
+	if rep.Strategy != syrep.Combined {
+		t.Errorf("default strategy = %v, want Combined", rep.Strategy)
+	}
+}
+
+func TestPublicStrategies(t *testing.T) {
+	net, d := buildPublicNet(t)
+	for _, s := range []syrep.Strategy{syrep.Baseline, syrep.HeuristicOnly, syrep.ReductionOnly, syrep.Combined} {
+		r, _, err := syrep.Synthesize(ctx, net, d, 1, syrep.Options{Strategy: s})
+		if err != nil {
+			t.Errorf("%v: %v", s, err)
+			continue
+		}
+		if !syrep.Resilient(r, 1) {
+			t.Errorf("%v: routing not 1-resilient", s)
+		}
+	}
+}
+
+func TestPublicRepairRunningExample(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	out, err := syrep.Repair(ctx, r, 2, syrep.Options{})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !syrep.Resilient(out.Routing, 2) {
+		t.Error("repaired routing not 2-resilient")
+	}
+	if len(out.Changed) == 0 {
+		t.Error("repair reported no changed entries")
+	}
+}
+
+func TestPublicVerify(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	rep, err := syrep.Verify(ctx, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resilient {
+		t.Error("Figure 1b reported 2-resilient")
+	}
+	if len(rep.Suspicious()) != 6 {
+		t.Errorf("suspicious entries = %d, want 6", len(rep.Suspicious()))
+	}
+}
+
+func TestPublicMaxResilience(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	got, err := syrep.MaxResilience(ctx, r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("MaxResilience = %d, want 1", got)
+	}
+}
+
+func TestPublicNewRouting(t *testing.T) {
+	net, d := buildPublicNet(t)
+	r := syrep.NewRouting(net, d)
+	if r.NumEntries() != 0 {
+		t.Error("new routing not empty")
+	}
+	// Empty routing is not even 0-resilient; Repair escalates... the
+	// standalone Repair (paper semantics, no escalation) reports
+	// ErrUnsolvable because the packet is dropped with no firing entries.
+	_, err := syrep.Repair(ctx, r, 0, syrep.Options{})
+	if err == nil {
+		t.Error("Repair of empty routing succeeded without entries")
+	} else if !errors.Is(err, syrep.ErrUnsolvable) {
+		t.Errorf("err = %v, want ErrUnsolvable", err)
+	}
+}
