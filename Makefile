@@ -1,0 +1,32 @@
+# Development targets. CI (.github/workflows/ci.yml) runs exactly these, so
+# a green `make check` locally means a green gate.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet lint fuzz-short check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# syrep-lint runs go vet itself unless -no-vet is given; keep the two targets
+# separate so `make lint` reports only the custom analyzers.
+lint:
+	$(GO) run ./cmd/syrep-lint -no-vet ./...
+
+# The go tool rejects -fuzz patterns matching more than one target, so each
+# fuzzer gets its own invocation.
+fuzz-short:
+	$(GO) test ./internal/bdd -fuzz=FuzzMk -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bdd -fuzz=FuzzApplyGC -fuzztime=$(FUZZTIME)
+
+check: build vet lint test race

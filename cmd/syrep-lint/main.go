@@ -1,0 +1,144 @@
+// Command syrep-lint runs SyRep's custom static analyzers — bddref,
+// maporder, protecterr — alongside `go vet`, in the spirit of an x/tools
+// multichecker but with zero dependencies outside the standard library and
+// the go tool.
+//
+// Usage:
+//
+//	go run ./cmd/syrep-lint [flags] [packages]
+//
+// Packages default to ./... . The command exits non-zero when vet fails or
+// any analyzer reports a finding, so it can gate CI directly. Individual
+// findings are suppressed in source with
+//
+//	//syreplint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line above it; the reason is mandatory by
+// convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"syrep/internal/analysis"
+	"syrep/internal/analysis/bddref"
+	"syrep/internal/analysis/maporder"
+	"syrep/internal/analysis/protecterr"
+)
+
+var analyzers = []*analysis.Analyzer{
+	bddref.Analyzer,
+	maporder.Analyzer,
+	protecterr.Analyzer,
+}
+
+func main() {
+	var (
+		noVet = flag.Bool("no-vet", false, "skip the go vet pass")
+		list  = flag.Bool("list", false, "list the custom analyzers and exit")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: syrep-lint [flags] [packages]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syrep-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*noVet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	diags, err := run(".", patterns, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "syrep-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if failed || len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// finding is a resolved diagnostic ready for printing.
+type finding struct {
+	Position string
+	Analyzer string
+	Message  string
+}
+
+// run loads the packages matched by patterns in dir and applies the selected
+// analyzers, returning findings in package, then position, order.
+func run(dir string, patterns []string, selected []*analysis.Analyzer) ([]finding, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []finding
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, selected)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			out = append(out, finding{
+				Position: d.Position(pkg.Fset).String(),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

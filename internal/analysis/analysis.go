@@ -1,0 +1,163 @@
+// Package analysis is a dependency-free re-implementation of the core of
+// golang.org/x/tools/go/analysis, just large enough to host SyRep's custom
+// static checkers (see the sibling packages bddref, maporder and protecterr).
+//
+// The repo deliberately has no external module dependencies, so instead of
+// pulling in x/tools this package defines the same Analyzer/Pass/Diagnostic
+// shape over the standard library's go/ast and go/types, plus a loader
+// (load.go) that type-checks packages using `go list -export` metadata and
+// the toolchain's export data. Analyzers written against this API port to
+// the real x/tools API mechanically should the dependency ever be allowed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //syreplint:ignore comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Reportf. The error return is for operational failures, not
+	// findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions of Files back to file/line/column.
+	Fset *token.FileSet
+	// Files is the parsed syntax of the package (test files excluded).
+	Files []*ast.File
+	// Pkg and TypesInfo are the type-checked package and its use/def maps.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	ignores     map[string][]ignoreDirective // filename -> directives
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Position resolves the diagnostic's file position via fset.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// Reportf records a finding unless a //syreplint:ignore directive covers it.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if pass.ignored(pos) {
+		return
+	}
+	pass.diagnostics = append(pass.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: pass.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in position order.
+func (pass *Pass) Diagnostics() []Diagnostic {
+	out := append([]Diagnostic(nil), pass.diagnostics...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// ignoreDirective is a parsed //syreplint:ignore comment. It suppresses the
+// named analyzers (or all, when names is empty) on its own line and the line
+// directly below it.
+type ignoreDirective struct {
+	line  int
+	names []string
+}
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//syreplint:ignore maporder NewCube sorts and dedups the collected vars
+//
+// The first word after "ignore" is a comma-separated analyzer list; the rest
+// of the line documents why suppression is sound and is mandatory by
+// convention (the analyzers do not enforce the prose, reviewers do).
+const ignorePrefix = "//syreplint:ignore"
+
+// buildIgnores scans the files' comments once per pass.
+func (pass *Pass) buildIgnores() {
+	pass.ignores = make(map[string][]ignoreDirective)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				var names []string
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					names = strings.Split(fields[0], ",")
+				}
+				p := pass.Fset.Position(c.Pos())
+				pass.ignores[p.Filename] = append(pass.ignores[p.Filename], ignoreDirective{
+					line:  p.Line,
+					names: names,
+				})
+			}
+		}
+	}
+}
+
+// ignored reports whether a directive suppresses this analyzer at pos.
+func (pass *Pass) ignored(pos token.Pos) bool {
+	if pass.ignores == nil {
+		pass.buildIgnores()
+	}
+	p := pass.Fset.Position(pos)
+	for _, d := range pass.ignores[p.Filename] {
+		if p.Line != d.line && p.Line != d.line+1 {
+			continue
+		}
+		if len(d.names) == 0 {
+			return true
+		}
+		for _, n := range d.names {
+			if n == pass.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to the package and returns the combined
+// findings in position order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		out = append(out, pass.Diagnostics()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}

@@ -1,0 +1,192 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against // want comments, mirroring the x/tools package of the
+// same name closely enough that the fixtures would port unchanged.
+//
+// Fixtures live under <testdata>/src/<importpath>/. Imports inside fixtures
+// are resolved from <testdata>/src only — the harness never consults GOPATH,
+// the module, or the network — so every imported package (including stand-ins
+// for fmt, sort and the repo's own bdd/verify/... packages) must have a stub
+// in the fixture tree. Stubs only need the declarations the fixtures touch.
+//
+// Expectations are written on the offending line:
+//
+//	table[k] = ref // want `bdd\.Ref stored into a map`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that must
+// match one diagnostic reported on that line. Lines without a want comment
+// must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"syrep/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package and reports mismatches
+// between diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	imp := &fixtureImporter{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*types.Package),
+	}
+	for _, path := range pkgPaths {
+		runOne(t, imp, a, path)
+	}
+}
+
+func runOne(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path string) {
+	t.Helper()
+	files, info, tpkg, err := imp.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      imp.fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: running on %s: %v", a.Name, path, err)
+	}
+	checkWants(t, imp.fset, files, pass.Diagnostics(), path)
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, pkg string) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllString(text[i+len("want "):], -1) {
+					var pat string
+					if strings.HasPrefix(m, "`") {
+						pat = strings.Trim(m, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, m, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: [%s] %s", pkg, p.Filename, p.Line, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: missing diagnostic at %s:%d matching %q", pkg, w.file, w.line, w.text)
+		}
+	}
+}
+
+// fixtureImporter type-checks fixture packages from source, resolving every
+// import from the same fixture tree.
+type fixtureImporter struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+// Import satisfies types.Importer for the fixtures' own imports.
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	_, _, pkg, err := imp.load(path)
+	return pkg, err
+}
+
+func (imp *fixtureImporter) load(path string) ([]*ast.File, *types.Info, *types.Package, error) {
+	dir := filepath.Join(imp.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("fixture package %q: %w (stub it under testdata/src)", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("fixture package %q: no Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(imp.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, imp.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %q: %w", path, err)
+	}
+	imp.pkgs[path] = tpkg
+	return files, info, tpkg, nil
+}

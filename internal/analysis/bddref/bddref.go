@@ -1,0 +1,379 @@
+// Package bddref checks the manual memory-safety protocol of the pure-Go
+// BDD engine (syrep/internal/bdd). The engine's garbage collector frees
+// every node unreachable from roots protected with Manager.Ref; a bdd.Ref
+// held anywhere else is silently invalidated by Manager.GC(). The Go
+// compiler cannot see this — a Ref is just an int32 — so this analyzer
+// enforces the two rules the bdd package documents:
+//
+//  1. In a function that (directly) runs Manager.GC or Manager.Reorder, a
+//     bdd.Ref value must not be stored into a struct field, map, or slice
+//     (it escapes the current call and outlives the collection) unless the
+//     store is the result of Manager.Ref, which protects it.
+//
+//  2. A function must not call Manager.GC while one of its own unprotected
+//     bdd.Ref locals is still live — assigned before the GC call and read
+//     after it without an intervening reassignment.
+//
+// Functions that never collect are exempt: the engine guarantees that no
+// implicit GC happens inside a top-level operation, so plain stores there
+// are safe. Methods of bdd.Manager itself are exempt too — the engine has
+// to manipulate raw node slots to implement collection and reordering.
+//
+// The check is intra-procedural and position-based (with a refinement for
+// reads looping back over a GC inside the same for statement); it will not
+// see a GC buried in a callee. It is a tripwire for the common shapes of
+// this bug class, not a proof of absence.
+package bddref
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"syrep/internal/analysis"
+)
+
+// Analyzer is the bddref analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "bddref",
+	Doc:  "reports bdd.Ref values that may dangle across Manager.GC or Manager.Reorder",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.ReceiverIsNamed(fn, "bdd", "Manager") {
+				continue // the engine's own internals
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// gcCall is one Manager.GC / Manager.Reorder call site inside the function.
+type gcCall struct {
+	pos  token.Pos
+	name string
+	// loop is the innermost enclosing for/range statement, if any; reads
+	// anywhere in its body can follow the GC on a later iteration.
+	loop ast.Node
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	gcs := collectGCs(pass, fn.Body)
+	if len(gcs) == 0 {
+		return
+	}
+
+	checkEscapes(pass, fn, gcs[0].name)
+	checkLiveLocals(pass, fn, gcs)
+}
+
+// collectGCs finds direct Manager.GC/Reorder calls, remembering the
+// innermost enclosing loop of each.
+func collectGCs(pass *analysis.Pass, body *ast.BlockStmt) []gcCall {
+	var gcs []gcCall
+	var loops []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			ast.Inspect(loopBody(n), func(m ast.Node) bool { return walk(m) })
+			loops = loops[:len(loops)-1]
+			// Children already visited with loop context; also visit the
+			// loop's init/cond/post outside that context is unnecessary for
+			// this check.
+			return false
+		case *ast.CallExpr:
+			if pass.MethodCallOn(n, "bdd", "Manager", "GC", "Reorder") {
+				g := gcCall{pos: n.Pos(), name: callName(n)}
+				if len(loops) > 0 {
+					g.loop = loops[len(loops)-1]
+				}
+				gcs = append(gcs, g)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return gcs
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "GC"
+}
+
+// checkEscapes implements rule 1: no unprotected Ref may be stored into a
+// struct field, map, or slice anywhere in a collecting function.
+func checkEscapes(pass *analysis.Pass, fn *ast.FuncDecl, gcName string) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos,
+			"bdd.Ref stored into %s in a function that runs Manager.%s; the node can be collected — protect it with Manager.Ref first",
+			what, gcName)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // n-to-1 assignment: no Ref-typed component to pair
+				}
+				rhs := n.Rhs[i]
+				if !isUnprotectedRef(pass, rhs) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						report(n.Pos(), "struct field "+l.Sel.Name)
+					}
+				case *ast.IndexExpr:
+					report(n.Pos(), indexKind(pass, l))
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args[1:] {
+						if isUnprotectedRef(pass, arg) {
+							report(arg.Pos(), "a slice via append")
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isUnprotectedRef(pass, v) {
+					report(v.Pos(), "a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isUnprotectedRef reports whether e is a bdd.Ref value that is neither a
+// constant (True/False are never collected) nor freshly protected by a
+// Manager.Ref call.
+func isUnprotectedRef(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil || !analysis.IsNamedType(t, "bdd", "Ref") {
+		return false
+	}
+	if pass.IsConstExpr(e) {
+		return false
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if pass.MethodCallOn(call, "bdd", "Manager", "Ref") {
+			return false
+		}
+	}
+	return true
+}
+
+func indexKind(pass *analysis.Pass, idx *ast.IndexExpr) string {
+	t := pass.TypeOf(idx.X)
+	if t == nil {
+		return "an indexed collection"
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "a map"
+	case *types.Slice, *types.Array:
+		return "a slice"
+	}
+	return "an indexed collection"
+}
+
+// refLocal tracks one bdd.Ref-typed local (or parameter) of the function.
+type refLocal struct {
+	obj       types.Object
+	assigns   []token.Pos // definitions and reassignments
+	reads     []token.Pos // uses that are not assignment targets
+	protected []token.Pos // positions where the local was passed to Manager.Ref
+}
+
+// checkLiveLocals implements rule 2.
+func checkLiveLocals(pass *analysis.Pass, fn *ast.FuncDecl, gcs []gcCall) {
+	locals := collectRefLocals(pass, fn)
+	for _, g := range gcs {
+		for _, l := range locals {
+			if firstBefore(l.protected, g.pos) {
+				continue
+			}
+			if !firstBefore(l.assigns, g.pos) {
+				continue // never assigned before the GC: not live yet
+			}
+			read, ok := liveReadAfter(l, g)
+			if !ok {
+				continue
+			}
+			pass.Reportf(g.pos,
+				"Manager.%s() with unprotected bdd.Ref local %q still live (read at %s); protect it with Manager.Ref or move the collection",
+				g.name, l.obj.Name(), pass.Fset.Position(read))
+		}
+	}
+}
+
+// firstBefore reports whether any position precedes p.
+func firstBefore(positions []token.Pos, p token.Pos) bool {
+	for _, q := range positions {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}
+
+// liveReadAfter finds a read of l that can observe the GC at g: a read
+// positioned after the call with no intervening reassignment, or — when the
+// GC sits inside a loop — any read in that loop's body not preceded (within
+// the body) by a reassignment.
+func liveReadAfter(l refLocal, g gcCall) (token.Pos, bool) {
+	for _, r := range l.reads {
+		if r <= g.pos {
+			continue
+		}
+		killed := false
+		for _, a := range l.assigns {
+			if a > g.pos && a < r {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			return r, true
+		}
+	}
+	if g.loop != nil {
+		start, end := g.loop.Pos(), g.loop.End()
+		for _, r := range l.reads {
+			if r < start || r > end || r > g.pos {
+				continue // later reads were handled above
+			}
+			// A read earlier in the loop body sees the GC via the back
+			// edge unless every path reassigns first; approximate with
+			// "some assignment in the body precedes the read".
+			killed := false
+			for _, a := range l.assigns {
+				if a >= start && a < r {
+					killed = true
+					break
+				}
+			}
+			if !killed {
+				return r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// collectRefLocals gathers the function's bdd.Ref-typed variables with
+// their assignment, read, and protection positions.
+func collectRefLocals(pass *analysis.Pass, fn *ast.FuncDecl) []refLocal {
+	byObj := make(map[types.Object]*refLocal)
+	ordered := []*refLocal{}
+	get := func(obj types.Object) *refLocal {
+		if obj == nil || !analysis.IsNamedType(obj.Type(), "bdd", "Ref") {
+			return nil
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return nil
+		}
+		l, ok := byObj[obj]
+		if !ok {
+			l = &refLocal{obj: obj}
+			byObj[obj] = l
+			ordered = append(ordered, l)
+		}
+		return l
+	}
+
+	// Assignment targets are writes; every other identifier use is a read.
+	// A write is recorded at the *end* of its statement, because in
+	// `acc = m.And(acc, ...)` the rhs read of acc happens before the store:
+	// position-wise the read must not count as killed by its own statement.
+	writeEnd := make(map[*ast.Ident]token.Pos)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					writeEnd[id] = n.End()
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				writeEnd[id] = n.End()
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Defs[n]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[n]
+			}
+			l := get(obj)
+			if l == nil {
+				return true
+			}
+			if end, ok := writeEnd[n]; ok {
+				l.assigns = append(l.assigns, end)
+			} else if pass.TypesInfo.Defs[n] != nil {
+				// Parameters and range variables: treated as assigned at
+				// their declaration position.
+				l.assigns = append(l.assigns, n.Pos())
+			} else {
+				l.reads = append(l.reads, n.Pos())
+			}
+		case *ast.CallExpr:
+			if pass.MethodCallOn(n, "bdd", "Manager", "Ref") && len(n.Args) == 1 {
+				if id, ok := n.Args[0].(*ast.Ident); ok {
+					if l := get(pass.TypesInfo.Uses[id]); l != nil {
+						l.protected = append(l.protected, n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	out := make([]refLocal, len(ordered))
+	for i, l := range ordered {
+		out[i] = *l
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package bddref_test
+
+import (
+	"testing"
+
+	"syrep/internal/analysis/analysistest"
+	"syrep/internal/analysis/bddref"
+)
+
+func TestBDDRef(t *testing.T) {
+	analysistest.Run(t, "testdata", bddref.Analyzer, "a")
+}

@@ -1,0 +1,22 @@
+// Package bdd is a fixture stub of syrep/internal/bdd: just enough surface
+// for the analyzers, which identify the real package by name, not path.
+package bdd
+
+type Ref int32
+
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type Manager struct{}
+
+func New(vars int) *Manager          { return &Manager{} }
+func (m *Manager) Ref(f Ref) Ref     { return f }
+func (m *Manager) Deref(f Ref)       {}
+func (m *Manager) GC()               {}
+func (m *Manager) Reorder(limit int) {}
+func (m *Manager) VarRef(v int) Ref  { return True }
+func (m *Manager) And(a, b Ref) Ref  { return a }
+
+func (m *Manager) Protect(fn func() error) error { return fn() }

@@ -1,0 +1,212 @@
+// Package maporder flags map iterations whose order leaks into output.
+//
+// Go randomises map iteration order on purpose. SyRep's contract is stronger
+// than most programs': synthesising the same topology twice must produce
+// byte-identical routing tables, or operators cannot diff tables across runs
+// and the repair pipeline cannot cache verification results. A `for k := range
+// m` whose body appends to a slice that outlives the loop, or writes output
+// directly, bakes the random order into the result unless the collected
+// values are sorted afterwards.
+//
+// The analyzer reports:
+//
+//   - appends inside a map-range body to a slice declared outside the loop,
+//     unless a call later in the same function whose name contains "sort"
+//     or "Sort" mentions that slice (the sort-after idiom: collect, then
+//     canonicalise);
+//   - direct output writes inside a map-range body (fmt.Print*/Fprint*,
+//     print/println, or any call on a value whose type name contains
+//     "Writer" or "Builder").
+//
+// Bodies that only aggregate order-insensitively (count, sum, max, insert
+// into another map) are not flagged. Genuinely order-independent collection
+// (e.g. feeding a function that sorts internally) is suppressed with
+// //syreplint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"syrep/internal/analysis"
+)
+
+// Analyzer is the maporder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "reports map-range loops whose nondeterministic order escapes into slices or output",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fn, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target, ok := appendTarget(pass, call); ok {
+			if obj := pass.TypesInfo.Uses[target]; obj != nil {
+				if declaredOutside(obj, rng) && !sortedLater(pass, fn, obj, rng.End()) {
+					pass.Reportf(call.Pos(),
+						"append to %q inside range over map bakes in nondeterministic iteration order; sort the keys first or sort %q after the loop",
+						target.Name, target.Name)
+				}
+			}
+			return true
+		}
+		if what, ok := outputCall(pass, call); ok {
+			pass.Reportf(call.Pos(),
+				"%s inside range over map writes output in nondeterministic iteration order; iterate sorted keys instead",
+				what)
+		}
+		return true
+	})
+}
+
+// appendTarget matches `x = append(x, ...)` — append's first argument names
+// the slice being grown — and returns the identifier of the slice: the plain
+// variable, or the field name when the target is a selector like m.free.
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr) (*ast.Ident, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false
+	}
+	switch target := call.Args[0].(type) {
+	case *ast.Ident:
+		return target, true
+	case *ast.SelectorExpr:
+		return target.Sel, true
+	}
+	return nil, false
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement — an append to a loop-local scratch slice that also dies inside
+// the loop cannot leak order. Struct fields always qualify.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedLater reports whether, after the loop ends, the function calls
+// something sort-like mentioning obj — e.g. sort.Slice(out, ...) or
+// sort.Strings(names) or routing.SortKeys(keys).
+func sortedLater(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object, after token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(calleeName(call)), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					mentions = true
+					return false
+				}
+				return true
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		// Include the package/receiver part so `sort.Slice` matches even
+		// though the method name alone ("Slice") does not contain "sort".
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// outputCall reports whether call writes program output: fmt printing,
+// the print/println builtins, or a method on an io.Writer-ish receiver.
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if pkg, name, ok := pass.PackageFuncCall(call); ok {
+		if pkg == "fmt" && strings.HasPrefix(name, "Print") {
+			return "fmt." + name, true
+		}
+		if pkg == "fmt" && strings.HasPrefix(name, "Fprint") {
+			return "fmt." + name, true
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "print" || id.Name == "println" {
+				return id.Name, true
+			}
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if strings.HasPrefix(sel.Sel.Name, "Write") || sel.Sel.Name == "Print" {
+			if t := pass.TypeOf(sel.X); t != nil {
+				name := t.String()
+				if strings.Contains(name, "Writer") || strings.Contains(name, "Builder") || strings.Contains(name, "File") {
+					return "write to " + shortType(name), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+func shortType(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimPrefix(name, "*")
+}

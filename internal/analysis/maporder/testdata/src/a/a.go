@@ -1,0 +1,97 @@
+// Fixtures for the maporder analyzer.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collecting map keys without sorting: the classic nondeterminism bug.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+// Collect-then-sort is the blessed idiom: no report.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice also counts, even though the method name alone is "Slice".
+func collectSortSlice(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Printing inside a map range emits output in random order.
+func printDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}
+
+type logWriter struct{}
+
+func (w *logWriter) WriteString(s string) (int, error) { return len(s), nil }
+
+// Writing to a writer-ish receiver counts as output too.
+func writeDirect(m map[string]int, w *logWriter) {
+	for k := range m {
+		w.WriteString(k) // want `write to a\.logWriter inside range over map`
+	}
+}
+
+// A loop-local scratch slice dies inside the iteration: order cannot leak.
+func localScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		doubled := []int{}
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// Order-insensitive aggregation is fine.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Ranging over a slice is never flagged.
+func sliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Suppression: the consumer canonicalises internally.
+func suppressed(m map[string]int) []string {
+	var pairs []string
+	for k := range m {
+		//syreplint:ignore maporder canonicalise() sorts and dedups its input
+		pairs = append(pairs, k)
+	}
+	return canonicalise(pairs)
+}
+
+func canonicalise(s []string) []string { return s }

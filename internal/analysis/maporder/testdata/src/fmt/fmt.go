@@ -1,0 +1,6 @@
+// Package fmt is a fixture stub: the analyzer matches by package name.
+package fmt
+
+func Println(args ...any) (int, error)              { return 0, nil }
+func Printf(format string, args ...any) (int, error) { return 0, nil }
+func Sprintf(format string, args ...any) string      { return "" }

@@ -1,0 +1,7 @@
+// Package sort is a fixture stub: the analyzer matches sort-after calls by
+// callee name.
+package sort
+
+func Strings(s []string)                     {}
+func Ints(s []int)                           {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,12 @@
+package protecterr_test
+
+import (
+	"testing"
+
+	"syrep/internal/analysis/analysistest"
+	"syrep/internal/analysis/protecterr"
+)
+
+func TestProtectErr(t *testing.T) {
+	analysistest.Run(t, "testdata", protecterr.Analyzer, "a")
+}

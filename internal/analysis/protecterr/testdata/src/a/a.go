@@ -1,0 +1,56 @@
+// Fixtures for the protecterr analyzer.
+package a
+
+import (
+	"bdd"
+	"verify"
+)
+
+// Discarded critical calls as bare statements.
+func dropped(m *bdd.Manager) {
+	m.Protect(func() error { return nil }) // want `result of Manager\.Protect dropped`
+	verify.Check(1)                        // want `result of verify\.Check dropped`
+}
+
+// The blank identifier swallowing the error component.
+func blankAssigned() {
+	r, _ := verify.Check(1) // want `error result of verify\.Check assigned to blank identifier`
+	_ = r
+	_, _ = verify.MaxResilience(2) // want `error result of verify\.MaxResilience assigned to blank identifier`
+}
+
+// go / defer silently discard the return value too.
+func goAndDefer(m *bdd.Manager) {
+	work := func() error { return nil }
+	go m.Protect(work)    // want `result of Manager\.Protect dropped by go statement`
+	defer m.Protect(work) // want `result of Manager\.Protect dropped by defer`
+}
+
+// Properly handled calls: no reports.
+func handled(m *bdd.Manager) error {
+	if err := m.Protect(func() error { return nil }); err != nil {
+		return err
+	}
+	r, err := verify.Check(1)
+	if err != nil {
+		return err
+	}
+	_ = r
+	n, err := verify.MaxResilience(3)
+	_ = n
+	return err
+}
+
+// Non-critical calls may be dropped freely.
+func nonCritical(m *bdd.Manager) {
+	m.NumNodes()
+	helper()
+}
+
+func helper() error { return nil }
+
+// Suppression for a deliberate drop.
+func suppressed(m *bdd.Manager) {
+	//syreplint:ignore protecterr best-effort warm-up; failure is retried below
+	m.Protect(func() error { return nil })
+}

@@ -1,0 +1,12 @@
+// Package bdd is a fixture stub: the analyzer matches Manager.Protect by
+// receiver package name and type.
+package bdd
+
+type Ref int32
+
+type Manager struct{}
+
+func New(vars int) *Manager { return &Manager{} }
+
+func (m *Manager) Protect(fn func() error) error { return fn() }
+func (m *Manager) NumNodes() int                 { return 0 }

@@ -1,0 +1,7 @@
+// Package verify is a fixture stub of syrep/internal/verify.
+package verify
+
+type Result struct{ Resilient bool }
+
+func Check(k int) (Result, error)      { return Result{}, nil }
+func MaxResilience(k int) (int, error) { return 0, nil }

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Helpers shared by the SyRep analyzers. Identification is by package *name*
+// plus object name (not full import path) so that analysistest fixtures can
+// stub the real packages under short import paths.
+
+// IsNamedType reports whether t (after pointer indirection) is the named
+// type pkgName.typeName.
+func IsNamedType(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// TypeOf returns the type of e per the pass's type information (nil when
+// unknown).
+func (pass *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// IsConstExpr reports whether e evaluated to a compile-time constant (e.g.
+// bdd.True / bdd.False).
+func (pass *Pass) IsConstExpr(e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// MethodCallOn resolves call as a method invocation and reports whether the
+// receiver is recvPkg.recvType and the method name is one of names. It
+// understands both m.GC() selector calls and (bdd.Manager).GC(m) method
+// expressions.
+func (pass *Pass) MethodCallOn(call *ast.CallExpr, recvPkg, recvType string, names ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if !IsNamedType(sig.Recv().Type(), recvPkg, recvType) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageFuncCall resolves call as a package-level function invocation and
+// returns the defining package name and function name (ok=false for method
+// calls, builtins, and calls through function-typed variables).
+func (pass *Pass) PackageFuncCall(call *ast.CallExpr) (pkgName, funcName string, ok bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", "", false
+	}
+	fn, isFunc := pass.TypesInfo.Uses[id].(*types.Func)
+	if !isFunc || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Name(), fn.Name(), true
+}
+
+// ReceiverIsNamed reports whether decl is a method whose receiver is
+// pkgName.typeName (used to skip the BDD engine's own internals).
+func (pass *Pass) ReceiverIsNamed(decl *ast.FuncDecl, pkgName, typeName string) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypeOf(decl.Recv.List[0].Type)
+	return t != nil && IsNamedType(t, pkgName, typeName)
+}

@@ -1,5 +1,7 @@
 package bdd
 
+import "sort"
+
 // Garbage collection: mark from protected roots, sweep everything else.
 // Refs of live nodes are stable across GC; freed slots are recycled by mk.
 // The operation cache is cleared because it may reference freed nodes.
@@ -15,35 +17,48 @@ func (m *Manager) GC() int {
 	marked := make([]bool, len(m.nodes))
 	marked[False] = true
 	marked[True] = true
-	var mark func(Ref)
-	mark = func(f Ref) {
-		if marked[f] {
-			return
+	// Mark with an explicit stack: a chain-shaped BDD is as deep as it has
+	// levels, and recursion would overflow the goroutine stack long before
+	// the node table fills.
+	stack := make([]Ref, 0, 128)
+	push := func(f Ref) {
+		if !marked[f] {
+			marked[f] = true
+			stack = append(stack, f)
 		}
-		marked[f] = true
-		n := m.nodes[f]
-		mark(n.low)
-		mark(n.high)
 	}
 	for f := range m.protected {
-		mark(f)
+		push(f)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := m.nodes[f]
+		push(n.low)
+		push(n.high)
 	}
 
-	// Sweep: rebuild the unique table, recycle dead slots.
+	// Sweep: rebuild the unique table, recycle dead slots. The dead slots
+	// are discovered in map order; sort them before they join the free list
+	// so mk recycles Refs in the same order every run — otherwise two
+	// identical synthesis runs diverge in Ref numbering after the first GC.
 	freedBefore := len(m.free)
 	inFree := make([]bool, len(m.nodes))
 	for _, f := range m.free {
 		inFree[f] = true
 	}
+	var swept []Ref
 	for key, ref := range m.unique {
 		if !marked[ref] {
 			delete(m.unique, key)
 			if !inFree[ref] {
-				m.free = append(m.free, ref)
+				swept = append(swept, ref)
 				inFree[ref] = true
 			}
 		}
 	}
+	sort.Slice(swept, func(i, j int) bool { return swept[i] < swept[j] })
+	m.free = append(m.free, swept...)
 	m.cache = make(map[cacheKey]Ref, 1024)
 	freed := len(m.free) - freedBefore
 	m.Stats.NodesFreed += int64(freed)

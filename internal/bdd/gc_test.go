@@ -1,0 +1,75 @@
+package bdd
+
+import "testing"
+
+// TestGCDeepChain guards the explicit-stack mark phase: a conjunction of n
+// variables is a chain n nodes deep, and a recursive mark would overflow the
+// goroutine stack long before realistic table sizes. Built top-down so each
+// And touches only the chain head (O(1) per step).
+func TestGCDeepChain(t *testing.T) {
+	const depth = 200000
+	m, vars := newMgr(t, depth)
+
+	acc := True
+	for i := depth - 1; i >= 0; i-- {
+		acc = m.And(m.VarRef(vars[i]), acc)
+	}
+	m.Ref(acc)
+
+	// The intermediate single-variable nodes are garbage now.
+	before := m.NumNodes()
+	freed := m.GC()
+	if freed == 0 {
+		t.Fatalf("GC freed nothing; %d nodes live before", before)
+	}
+
+	// The protected chain must have survived intact.
+	f := acc
+	for i := 0; i < depth; i++ {
+		if IsTerminal(f) {
+			t.Fatalf("chain truncated at level %d", i)
+		}
+		if got := m.VarOf(f); got != vars[i] {
+			t.Fatalf("chain node %d has var %d, want %d", i, got, vars[i])
+		}
+		if m.Low(f) != False {
+			t.Fatalf("chain node %d: low branch corrupted", i)
+		}
+		f = m.High(f)
+	}
+	if f != True {
+		t.Fatalf("chain does not end in True")
+	}
+
+	// A second GC with nothing newly dead must be a no-op.
+	if freed := m.GC(); freed != 0 {
+		t.Fatalf("idle GC freed %d nodes", freed)
+	}
+}
+
+// TestGCFreeOrderDeterministic pins the sorted free list: after identical
+// build/GC sequences, two managers must recycle slots in the same order and
+// therefore assign identical Refs to identical subsequent operations.
+func TestGCFreeOrderDeterministic(t *testing.T) {
+	build := func() []Ref {
+		m, vars := newMgr(t, 16)
+		// Create garbage spread across the unique table.
+		for i := 0; i < 15; i++ {
+			m.Or(m.VarRef(vars[i]), m.VarRef(vars[i+1]))
+		}
+		keep := m.Ref(m.And(m.VarRef(vars[0]), m.VarRef(vars[8])))
+		m.GC()
+		// Recycled slots are handed out by mk in free-list order.
+		out := []Ref{keep}
+		for i := 0; i < 10; i++ {
+			out = append(out, m.Xor(m.VarRef(vars[i]), m.VarRef(vars[15-i])))
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at op %d: Ref %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -477,6 +477,7 @@ func (m *Manager) Restrict(f Ref, assignment map[Var]bool) Ref {
 	vars := make([]Var, 0, len(assignment))
 	for v, val := range assignment {
 		byLevel[m.varToLevel(v)] = val
+		//syreplint:ignore maporder NewCube below sorts and dedups its arguments
 		vars = append(vars, v)
 	}
 	cube := m.NewCube(vars...)
@@ -570,6 +571,7 @@ func (m *Manager) NewReplacement(pairs map[Var]Var) Replacement {
 	cube := make([]Var, 0, len(pairs)*2)
 	for f, t := range pairs {
 		to[m.varToLevel(f)] = m.varToLevel(t)
+		//syreplint:ignore maporder NewCube below sorts and dedups its arguments
 		cube = append(cube, f, t)
 	}
 	c := m.NewCube(cube...)

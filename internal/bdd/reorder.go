@@ -1,5 +1,7 @@
 package bdd
 
+import "sort"
+
 // Dynamic variable reordering (Rudell's sifting), the feature CUDD provides
 // the SyRep authors' prototype. Reordering changes where each variable sits
 // in the order while preserving every node's Boolean function and keeping
@@ -72,6 +74,12 @@ func (m *Manager) swapLevels(x Var) {
 			lower = append(lower, ref)
 		}
 	}
+	// The phase-3 rewrites call mk() per collected slot, allocating fresh
+	// nodes; iterating in map order would make those allocations — and hence
+	// every Ref the caller sees afterwards — differ run to run. Sort so a
+	// given DAG always reorders identically.
+	sort.Slice(upper, func(i, j int) bool { return upper[i] < upper[j] })
+	sort.Slice(lower, func(i, j int) bool { return lower[i] < lower[j] })
 	// Remove stale keys: after the swap, "level x" means a different
 	// variable, so every entry at x and y is rekeyed below.
 	for _, r := range upper {

@@ -278,7 +278,14 @@ func Ratios(results []Result, a, b core.Strategy) []RatioPoint {
 			Ratio:    float64(p.ra.Elapsed) / float64(rb),
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Ratio < out[j].Ratio })
+	// Tie-break on the instance name: out was collected in map order, and a
+	// ratio-only comparator would leave equal ratios in that random order.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ratio != out[j].Ratio {
+			return out[i].Ratio < out[j].Ratio
+		}
+		return out[i].Instance < out[j].Instance
+	})
 	return out
 }
 

@@ -108,6 +108,9 @@ func (s *Symbolic) build(ctx context.Context) error {
 		}
 		s.Holes = append(s.Holes, sh)
 	}
+	// The fixpoint loop below GCs under node pressure; domains must survive
+	// until the Γ conjunction at the end.
+	m.Ref(domains)
 
 	// failed(e) := ⋁_t f̄_t = e, for a concrete real edge e.
 	failed := func(e network.EdgeID) bdd.Ref {
@@ -243,6 +246,7 @@ func (s *Symbolic) build(ctx context.Context) error {
 	}
 	m.Deref(transition)
 	m.Deref(d)
+	m.Deref(domains)
 	s.P = m.Ref(p)
 	return nil
 }
