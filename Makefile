@@ -3,8 +3,10 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# Seed budget for the deterministic fault-injection sweep (faults target).
+FAULTSEEDS ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test race vet lint fuzz-short check
+.PHONY: build test race vet lint fuzz-short faults check
 
 build:
 	$(GO) build ./...
@@ -29,4 +31,11 @@ fuzz-short:
 	$(GO) test ./internal/bdd -fuzz=FuzzMk -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bdd -fuzz=FuzzApplyGC -fuzztime=$(FUZZTIME)
 
-check: build vet lint test race
+# Deterministic fault-injection sweep under the race detector: the full
+# matrix (every fault point x kind x strategy) plus a seed-driven sample,
+# with the goroutine-leak check active. Widen coverage with
+# FAULTSEEDS=1,2,...,N.
+faults:
+	SYREP_FAULT_SEEDS=$(FAULTSEEDS) $(GO) test -race -run 'TestFaultMatrix|TestSeededFaults|TestCancellationLatencyBounded' ./internal/resilience/...
+
+check: build vet lint test race faults

@@ -91,7 +91,7 @@ func BenchmarkAblationNoReduction(b *testing.B) {
 // synthesising every entry from scratch (all variables symbolic).
 func BenchmarkAblationRepairVsResynthesis(b *testing.B) {
 	inst := ablationInstance()
-	h, err := heuristic.Generate(inst.Net, inst.Dest)
+	h, err := heuristic.Generate(context.Background(), inst.Net, inst.Dest)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -176,7 +176,7 @@ func BenchmarkVerifyAbileneK2(b *testing.B) {
 			abilene = inst
 		}
 	}
-	r, err := heuristic.Generate(abilene.Net, abilene.Dest)
+	r, err := heuristic.Generate(context.Background(), abilene.Net, abilene.Dest)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func BenchmarkHeuristicGenerate(b *testing.B) {
 	net := topozoo.Generate(topozoo.GenConfig{Nodes: 60, Seed: 5})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := heuristic.Generate(net, 0); err != nil {
+		if _, err := heuristic.Generate(context.Background(), net, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -202,7 +202,7 @@ func BenchmarkReduceAggressive(b *testing.B) {
 	net := topozoo.Generate(topozoo.GenConfig{Nodes: 80, Seed: 5})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := reduce.Apply(net, 0, reduce.Aggressive); err != nil {
+		if _, err := reduce.Apply(context.Background(), net, 0, reduce.Aggressive); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,4 +1,4 @@
-// Command syrep-lint runs SyRep's custom static analyzers — bddref,
+// Command syrep-lint runs SyRep's custom static analyzers — bddref, ctxpoll,
 // maporder, protecterr — alongside `go vet`, in the spirit of an x/tools
 // multichecker but with zero dependencies outside the standard library and
 // the go tool.
@@ -26,12 +26,14 @@ import (
 
 	"syrep/internal/analysis"
 	"syrep/internal/analysis/bddref"
+	"syrep/internal/analysis/ctxpoll"
 	"syrep/internal/analysis/maporder"
 	"syrep/internal/analysis/protecterr"
 )
 
 var analyzers = []*analysis.Analyzer{
 	bddref.Analyzer,
+	ctxpoll.Analyzer,
 	maporder.Analyzer,
 	protecterr.Analyzer,
 }

@@ -147,7 +147,7 @@ func cmdReduce(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown rule %q", *rule)
 	}
-	rd, err := reduce.Apply(net, d, r)
+	rd, err := reduce.Apply(context.Background(), net, d, r)
 	if err != nil {
 		return err
 	}
@@ -185,6 +185,12 @@ func cmdSynthesize(args []string, w io.Writer) error {
 		Timeout:  *timeout,
 	})
 	if err != nil {
+		if p, ok := core.AsPartial(err); ok {
+			printPartial(w, p)
+			if werr := emitRouting(w, p.Routing, *out); werr != nil {
+				return werr
+			}
+		}
 		return err
 	}
 	fmt.Fprintf(w, "synthesised perfectly %d-resilient routing to %s in %s (strategy %s)\n",
@@ -255,6 +261,12 @@ func cmdRepair(args []string, w io.Writer) error {
 	}
 	outcome, err := core.Repair(context.Background(), r, *k, core.Options{Timeout: *timeout})
 	if err != nil {
+		if p, ok := core.AsPartial(err); ok {
+			printPartial(w, p)
+			if werr := emitRouting(w, p.Routing, *out); werr != nil {
+				return werr
+			}
+		}
 		return err
 	}
 	if outcome.AlreadyResilient {
@@ -264,6 +276,19 @@ func cmdRepair(args []string, w io.Writer) error {
 			outcome.Removed, len(outcome.Changed))
 	}
 	return emitRouting(w, outcome.Routing, *out)
+}
+
+// printPartial summarises an anytime-supervisor partial result: the run ran
+// out of budget or hit a fault, but still salvaged a complete (if not fully
+// resilient) routing that the caller may deploy or re-repair later.
+func printPartial(w io.Writer, p *core.Partial) {
+	fmt.Fprintf(w, "degraded: run cut short in stage %q (%v)\n",
+		p.Degradation.Stage, p.Degradation.Cause)
+	if p.ResidualUnknown {
+		fmt.Fprintln(w, "  salvaged routing with unknown residual (certification also cut short)")
+	} else {
+		fmt.Fprintf(w, "  salvaged routing with %d residual failing deliveries\n", len(p.Residual))
+	}
 }
 
 func parseStrategy(s string) (core.Strategy, error) {

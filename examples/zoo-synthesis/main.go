@@ -47,11 +47,11 @@ func run() error {
 		if inst.Name != "BizNet" {
 			continue
 		}
-		sound, err := reduce.Apply(inst.Net, inst.Dest, reduce.Sound)
+		sound, err := reduce.Apply(ctx, inst.Net, inst.Dest, reduce.Sound)
 		if err != nil {
 			return err
 		}
-		aggro, err := reduce.Apply(inst.Net, inst.Dest, reduce.Aggressive)
+		aggro, err := reduce.Apply(ctx, inst.Net, inst.Dest, reduce.Aggressive)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"syrep/internal/analysis/analysistest"
+	"syrep/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpoll.Analyzer, "repair", "util")
+}

@@ -1,0 +1,10 @@
+// Package context stubs the standard library for the ctxpoll fixtures; only
+// the declarations the fixtures touch are present.
+package context
+
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+func Background() Context { return nil }

@@ -1,0 +1,76 @@
+// Package repair is a ctxpoll fixture named after a pipeline package.
+package repair
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func infiniteNoPoll() {
+	n := 0
+	for { // want `unbounded for \{...\} loop never polls a context`
+		n++
+		if n > 10 {
+			break
+		}
+	}
+}
+
+func condNoPoll(busy bool) {
+	for busy { // want `unbounded for cond \{...\} loop never polls a context`
+		busy = false
+	}
+}
+
+func pollsErr(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+func pollsErrInCond(ctx context.Context) {
+	for ctx.Err() == nil {
+	}
+}
+
+func selectsDone(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+func delegates(ctx context.Context) error {
+	for {
+		if err := work(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+func counterLoop() int {
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += i
+	}
+	return total
+}
+
+func rangeLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func boundedDrain(queue []int) {
+	//syreplint:ignore ctxpoll drains a queue of at most len(queue) items
+	for len(queue) > 0 {
+		queue = queue[1:]
+	}
+}

@@ -1,0 +1,13 @@
+// Package util is outside the pipeline allowlist: its loops are not the
+// supervisor's concern and must produce no diagnostics.
+package util
+
+func spin() {
+	n := 0
+	for {
+		n++
+		if n > 10 {
+			break
+		}
+	}
+}

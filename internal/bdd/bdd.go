@@ -237,6 +237,21 @@ func (m *Manager) Protect(fn func() error) (err error) {
 // Overflowed reports whether the Manager has ever hit its node limit.
 func (m *Manager) Overflowed() bool { return m.overflowed }
 
+// IsOverflow reports whether a recovered panic value is the engine's
+// internal node-limit abort. Supervisors that recover panics at a package
+// boundary use it to map an overflow that escaped a Protect region back to
+// ErrNodeLimit instead of treating it as a bug.
+func IsOverflow(v any) bool {
+	_, ok := v.(bddOverflow)
+	return ok
+}
+
+// NumProtected returns the number of distinct refs currently protected from
+// garbage collection. The encode engine's steady state keeps at most two
+// protected refs between scenarios; fault-injection tests assert the count
+// returns to that level on every exit path.
+func (m *Manager) NumProtected() int { return len(m.protected) }
+
 // Ref protects f (and its descendants) from garbage collection. Calls nest.
 func (m *Manager) Ref(f Ref) Ref {
 	m.protected[f]++

@@ -35,6 +35,17 @@ type Result struct {
 	// MemOut reports BDD node-limit exhaustion (the analogue of the
 	// paper's 128 GB memory limit).
 	MemOut bool
+	// Partial reports that a timed-out or memed-out run still salvaged a
+	// usable routing via the anytime supervisor — "timeout with a partial
+	// routing" versus "timeout with nothing".
+	Partial bool
+	// Residual counts the failing deliveries of the salvaged partial
+	// routing (0 means only certification was cut short; -1 means the run
+	// died before the routing could be priced). Meaningful only when
+	// Partial is set.
+	Residual int
+	// DegradedStage names the pipeline stage a partial run died in.
+	DegradedStage string
 	// RepairUsed reports whether the BDD repair stage ran (paper: "repair
 	// was initiated only for 41 networks").
 	RepairUsed bool
@@ -109,6 +120,17 @@ func runOne(ctx context.Context, inst topozoo.Instance, m core.Strategy, cfg Con
 	default:
 		res.Err = err.Error()
 	}
+	if p, ok := core.AsPartial(err); ok {
+		res.Partial = true
+		res.DegradedStage = string(p.Degradation.Stage)
+		if p.ResidualUnknown {
+			res.Residual = -1
+			res.Err += " (partial: unpriced routing)"
+		} else {
+			res.Residual = len(p.Residual)
+			res.Err += fmt.Sprintf(" (partial: %d residual)", len(p.Residual))
+		}
+	}
 	return res
 }
 
@@ -116,11 +138,14 @@ func runOne(ctx context.Context, inst topozoo.Instance, m core.Strategy, cfg Con
 // numbers ("the baseline solved 120 instances while our combined method
 // solved 167; repair was initiated for 41 networks").
 type Summary struct {
-	Method      core.Strategy
-	Solved      int
-	TimedOut    int
-	MemOut      int
-	Unsolvable  int
+	Method     core.Strategy
+	Solved     int
+	TimedOut   int
+	MemOut     int
+	Unsolvable int
+	// Partials counts the timed-out or memed-out runs that still salvaged a
+	// usable routing — the anytime supervisor's consolation wins.
+	Partials    int
 	RepairsUsed int
 	TotalTime   time.Duration
 }
@@ -150,6 +175,9 @@ func Summarise(results []Result) []Summary {
 		default:
 			s.Unsolvable++
 		}
+		if r.Partial {
+			s.Partials++
+		}
 	}
 	out := make([]Summary, 0, len(order))
 	for _, m := range order {
@@ -160,14 +188,14 @@ func Summarise(results []Result) []Summary {
 
 // WriteSummary renders the per-method totals.
 func WriteSummary(w io.Writer, results []Result) error {
-	if _, err := fmt.Fprintf(w, "%-10s %7s %8s %7s %11s %8s %12s\n",
-		"method", "solved", "timeout", "memout", "unsolvable", "repairs", "total-time"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-10s %7s %8s %7s %11s %8s %8s %12s\n",
+		"method", "solved", "timeout", "memout", "unsolvable", "partial", "repairs", "total-time"); err != nil {
 		return err
 	}
 	for _, s := range Summarise(results) {
-		if _, err := fmt.Fprintf(w, "%-10s %7d %8d %7d %11d %8d %12s\n",
-			s.Method, s.Solved, s.TimedOut, s.MemOut, s.Unsolvable, s.RepairsUsed,
-			s.TotalTime.Round(time.Millisecond)); err != nil {
+		if _, err := fmt.Fprintf(w, "%-10s %7d %8d %7d %11d %8d %8d %12s\n",
+			s.Method, s.Solved, s.TimedOut, s.MemOut, s.Unsolvable, s.Partials,
+			s.RepairsUsed, s.TotalTime.Round(time.Millisecond)); err != nil {
 			return err
 		}
 	}
@@ -373,11 +401,11 @@ func ReductionEffects(instances []topozoo.Instance) ([]ReductionEffect, error) {
 			Nodes:    inst.Net.NumNodes(),
 			Edges:    inst.Net.NumRealEdges(),
 		}
-		sound, err := reduce.Apply(inst.Net, inst.Dest, reduce.Sound)
+		sound, err := reduce.Apply(context.Background(), inst.Net, inst.Dest, reduce.Sound)
 		if err != nil {
 			return nil, err
 		}
-		aggro, err := reduce.Apply(inst.Net, inst.Dest, reduce.Aggressive)
+		aggro, err := reduce.Apply(context.Background(), inst.Net, inst.Dest, reduce.Aggressive)
 		if err != nil {
 			return nil, err
 		}
@@ -414,12 +442,13 @@ func WriteReductionEffects(w io.Writer, instances []topozoo.Instance) error {
 
 // WriteCSV emits the raw results as CSV for external plotting.
 func WriteCSV(w io.Writer, results []Result) error {
-	if _, err := fmt.Fprintln(w, "instance,nodes,edges,method,k,solved,timedout,repair,elapsed_us,err"); err != nil {
+	if _, err := fmt.Fprintln(w, "instance,nodes,edges,method,k,solved,timedout,partial,residual,stage,repair,elapsed_us,err"); err != nil {
 		return err
 	}
 	for _, r := range results {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%t,%t,%t,%d,%q\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%t,%t,%t,%d,%s,%t,%d,%q\n",
 			r.Instance, r.Nodes, r.Edges, r.Method, r.K, r.Solved, r.TimedOut,
+			r.Partial, r.Residual, r.DegradedStage,
 			r.RepairUsed, r.Elapsed.Microseconds(), r.Err); err != nil {
 			return err
 		}

@@ -61,10 +61,12 @@ func (v Vec) EqConst(c uint) bdd.Ref {
 }
 
 // Eq returns the BDD asserting v == w (bitwise equality). Both vectors must
-// have the same width.
-func (v Vec) Eq(w Vec) bdd.Ref {
+// have the same width; mismatched widths are a caller error reported as a
+// returned error rather than a panic, since vector widths can derive from
+// caller-supplied set sizes.
+func (v Vec) Eq(w Vec) (bdd.Ref, error) {
 	if len(v.bits) != len(w.bits) {
-		panic(fmt.Sprintf("bvec: width mismatch %d vs %d", len(v.bits), len(w.bits)))
+		return bdd.False, fmt.Errorf("bvec: width mismatch %d vs %d", len(v.bits), len(w.bits))
 	}
 	m := v.m
 	r := bdd.True
@@ -72,7 +74,7 @@ func (v Vec) Eq(w Vec) bdd.Ref {
 		bit := m.Biimp(m.VarRef(v.bits[i]), m.VarRef(w.bits[i]))
 		r = m.And(bit, r)
 	}
-	return r
+	return r, nil
 }
 
 // MemberOf returns the BDD asserting v ∈ consts.

@@ -38,7 +38,10 @@ func TestEqConstExhaustive(t *testing.T) {
 func TestEq(t *testing.T) {
 	m := bdd.New()
 	a, b := Interleave(m, "a", "b", 3)
-	f := a.Eq(b)
+	f, err := a.Eq(b)
+	if err != nil {
+		t.Fatalf("Eq: %v", err)
+	}
 	for x := uint(0); x < 8; x++ {
 		for y := uint(0); y < 8; y++ {
 			assign := assignFor(a, x)
@@ -52,16 +55,13 @@ func TestEq(t *testing.T) {
 	}
 }
 
-func TestEqWidthMismatchPanics(t *testing.T) {
+func TestEqWidthMismatchErrors(t *testing.T) {
 	m := bdd.New()
 	a := New(m, "a", 2)
 	b := New(m, "b", 3)
-	defer func() {
-		if recover() == nil {
-			t.Error("width mismatch did not panic")
-		}
-	}()
-	a.Eq(b)
+	if _, err := a.Eq(b); err == nil {
+		t.Error("width mismatch did not return an error")
+	}
 }
 
 func TestMemberOf(t *testing.T) {

@@ -6,264 +6,64 @@
 //
 // alongside the baseline (full BDD synthesis from scratch, as in [26]) and
 // the single-technique strategies the paper evaluates in Figure 7.
+//
+// The pipeline itself lives in internal/resilience, which supervises every
+// run as an anytime computation: per-stage deadline budgets, a node-limit
+// escalation ladder, checkpointing with typed *resilience.Partial results
+// on timeout or memout, and panic-to-error conversion at the boundary.
+// This package re-exports the supervisor under its historical names so that
+// existing callers keep working unchanged.
 package core
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"time"
 
-	"syrep/internal/encode"
-	"syrep/internal/heuristic"
 	"syrep/internal/network"
-	"syrep/internal/reduce"
 	"syrep/internal/repair"
+	"syrep/internal/resilience"
 	"syrep/internal/routing"
-	"syrep/internal/synth"
-	"syrep/internal/verify"
 )
 
 // Strategy selects how Synthesize computes the routing.
-type Strategy int
+type Strategy = resilience.Strategy
 
+// Synthesis strategies (paper Figure 7).
 const (
-	// Baseline is full BDD synthesis from scratch on the original network
-	// (the SyPer approach of [26]).
-	Baseline Strategy = iota + 1
-	// HeuristicOnly runs the heuristic generator on the original network
-	// and repairs it.
-	HeuristicOnly
-	// ReductionOnly reduces the network aggressively, synthesises from
-	// scratch on the reduced network, expands, and repairs.
-	ReductionOnly
-	// Combined is the full SyRep pipeline: aggressive reduction + heuristic
-	// + repair on the reduced network, expansion, then repair on the
-	// original network. This is the paper's headline method.
-	Combined
+	Baseline      = resilience.Baseline
+	HeuristicOnly = resilience.HeuristicOnly
+	ReductionOnly = resilience.ReductionOnly
+	Combined      = resilience.Combined
 )
 
-// String returns the strategy name as used in the paper's plots.
-func (s Strategy) String() string {
-	switch s {
-	case Baseline:
-		return "baseline"
-	case HeuristicOnly:
-		return "heuristic"
-	case ReductionOnly:
-		return "reduction"
-	case Combined:
-		return "combined"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
-}
-
 // ErrUnsolvable is returned when the selected strategy cannot produce a
-// perfectly k-resilient routing for the instance (which may still be
-// solvable by another strategy, or genuinely have no solution).
-var ErrUnsolvable = errors.New("core: strategy could not produce a perfectly k-resilient routing")
+// perfectly k-resilient routing for the instance.
+var ErrUnsolvable = resilience.ErrUnsolvable
 
 // Options configures a synthesis run.
-type Options struct {
-	// Strategy defaults to Combined.
-	Strategy Strategy
-	// Timeout bounds the run (0 = none); on expiry the run returns
-	// context.DeadlineExceeded.
-	Timeout time.Duration
-	// Reduction selects the reduction rule for strategies that reduce
-	// (default Aggressive, as in the paper's architecture).
-	Reduction reduce.Rule
-	// Encode tunes the BDD engine.
-	Encode encode.Options
-	// RepairStrategy selects the suspicious-entry removal policy.
-	RepairStrategy repair.Strategy
-	// SkipFinalVerify disables the final independent verification pass
-	// (the pipeline's own invariants make it redundant; it is kept on by
-	// default as a safety net).
-	SkipFinalVerify bool
-}
-
-func (o Options) withDefaults() Options {
-	if o.Strategy == 0 {
-		o.Strategy = Combined
-	}
-	if o.Reduction == 0 {
-		o.Reduction = reduce.Aggressive
-	}
-	return o
-}
+type Options = resilience.Options
 
 // Report describes a synthesis run for the benchmark harness.
-type Report struct {
-	Strategy Strategy
-	K        int
-	// Elapsed is the wall-clock time of the run.
-	Elapsed time.Duration
-	// Reduced tells whether a structural reduction was applied, and its
-	// effect.
-	Reduced               bool
-	NodesRemoved          int
-	ReducedRepairUsed     bool
-	ExpansionRepairUsed   bool
-	ExpansionResilient    bool
-	HeuristicWasResilient bool
-}
+type Report = resilience.Report
+
+// Partial is the typed anytime result returned (as an error) when a run hits
+// its deadline or memory budget after checkpointing a usable routing.
+type Partial = resilience.Partial
+
+// AsPartial extracts the anytime supervisor's typed partial result from an
+// error chain.
+func AsPartial(err error) (*Partial, bool) { return resilience.AsPartial(err) }
 
 // Synthesize produces a perfectly k-resilient routing for dest on net using
 // the configured strategy. The returned routing is always re-verified
-// unless SkipFinalVerify is set.
+// unless SkipFinalVerify is set. On timeout or memout the error may be a
+// *Partial carrying the best checkpointed routing.
 func Synthesize(ctx context.Context, net *network.Network, dest network.NodeID, k int, opts Options) (*routing.Routing, *Report, error) {
-	opts = opts.withDefaults()
-	if opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-		defer cancel()
-	}
-	start := time.Now()
-	rep := &Report{Strategy: opts.Strategy, K: k}
-
-	var (
-		r   *routing.Routing
-		err error
-	)
-	switch opts.Strategy {
-	case Baseline:
-		r, err = runBaseline(ctx, net, dest, k, opts)
-	case HeuristicOnly:
-		r, err = runHeuristic(ctx, net, dest, k, opts, rep)
-	case ReductionOnly:
-		r, err = runReduction(ctx, net, dest, k, opts, rep)
-	case Combined:
-		r, err = runCombined(ctx, net, dest, k, opts, rep)
-	default:
-		return nil, nil, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
-	}
-	rep.Elapsed = time.Since(start)
-	if err != nil {
-		return nil, rep, err
-	}
-
-	if !opts.SkipFinalVerify {
-		ok, verr := verify.Check(ctx, r, k, verify.Options{StopAtFirst: true})
-		if verr != nil {
-			return nil, rep, verr
-		}
-		if !ok.Resilient {
-			return nil, rep, fmt.Errorf("core: internal error: produced routing failed final verification")
-		}
-	}
-	return r, rep, nil
+	return resilience.Synthesize(ctx, net, dest, k, opts)
 }
 
 // Repair fortifies an existing routing to perfect k-resilience — the
 // paper's standalone repair use case (an operator's existing data plane is
 // minimally modified).
 func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (*repair.Outcome, error) {
-	opts = opts.withDefaults()
-	if opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-		defer cancel()
-	}
-	out, err := repair.Repair(ctx, r, k, repair.Options{
-		Strategy: opts.RepairStrategy,
-		Encode:   opts.Encode,
-	})
-	if err != nil {
-		if errors.Is(err, repair.ErrUnrepairable) {
-			return nil, fmt.Errorf("%w: %v", ErrUnsolvable, err)
-		}
-		return nil, err
-	}
-	return out, nil
-}
-
-func runBaseline(ctx context.Context, net *network.Network, dest network.NodeID, k int, opts Options) (*routing.Routing, error) {
-	sol, err := synth.Baseline(ctx, net, dest, k, opts.Encode)
-	if err != nil {
-		if errors.Is(err, encode.ErrUnrepairable) {
-			return nil, fmt.Errorf("%w: no perfectly %d-resilient routing", ErrUnsolvable, k)
-		}
-		return nil, err
-	}
-	return sol.Routing, nil
-}
-
-func runHeuristic(ctx context.Context, net *network.Network, dest network.NodeID, k int, opts Options, rep *Report) (*routing.Routing, error) {
-	h, err := heuristic.Generate(net, dest)
-	if err != nil {
-		return nil, err
-	}
-	out, err := repair.Repair(ctx, h, k, repair.Options{Strategy: opts.RepairStrategy, Escalate: true, Encode: opts.Encode})
-	if err != nil {
-		if errors.Is(err, repair.ErrUnrepairable) {
-			return nil, fmt.Errorf("%w: heuristic routing unrepairable", ErrUnsolvable)
-		}
-		return nil, err
-	}
-	rep.HeuristicWasResilient = out.AlreadyResilient
-	return out.Routing, nil
-}
-
-func runReduction(ctx context.Context, net *network.Network, dest network.NodeID, k int, opts Options, rep *Report) (*routing.Routing, error) {
-	rd, err := reduce.Apply(net, dest, opts.Reduction)
-	if err != nil {
-		return nil, err
-	}
-	rep.Reduced = true
-	rep.NodesRemoved = rd.NumRemoved()
-
-	sol, err := synth.Baseline(ctx, rd.Reduced, rd.DestReduced, k, opts.Encode)
-	if err != nil {
-		if errors.Is(err, encode.ErrUnrepairable) {
-			return nil, fmt.Errorf("%w: reduced network unsynthesisable", ErrUnsolvable)
-		}
-		return nil, err
-	}
-	return expandAndRepair(ctx, rd, sol.Routing, k, opts, rep)
-}
-
-func runCombined(ctx context.Context, net *network.Network, dest network.NodeID, k int, opts Options, rep *Report) (*routing.Routing, error) {
-	rd, err := reduce.Apply(net, dest, opts.Reduction)
-	if err != nil {
-		return nil, err
-	}
-	rep.Reduced = true
-	rep.NodesRemoved = rd.NumRemoved()
-
-	h, err := heuristic.Generate(rd.Reduced, rd.DestReduced)
-	if err != nil {
-		return nil, err
-	}
-	out, err := repair.Repair(ctx, h, k, repair.Options{Strategy: opts.RepairStrategy, Escalate: true, Encode: opts.Encode})
-	if err != nil {
-		if errors.Is(err, repair.ErrUnrepairable) {
-			return nil, fmt.Errorf("%w: reduced heuristic routing unrepairable", ErrUnsolvable)
-		}
-		return nil, err
-	}
-	rep.HeuristicWasResilient = out.AlreadyResilient
-	rep.ReducedRepairUsed = !out.AlreadyResilient
-	return expandAndRepair(ctx, rd, out.Routing, k, opts, rep)
-}
-
-// expandAndRepair lifts the reduced routing to the original network and
-// repairs it there if the expansion lost resilience (always possible with
-// the aggressive rule).
-func expandAndRepair(ctx context.Context, rd *reduce.Reduction, reduced *routing.Routing, k int, opts Options, rep *Report) (*routing.Routing, error) {
-	expanded, err := rd.Expand(reduced)
-	if err != nil {
-		return nil, err
-	}
-	out, err := repair.Repair(ctx, expanded, k, repair.Options{Strategy: opts.RepairStrategy, Escalate: true, Encode: opts.Encode})
-	if err != nil {
-		if errors.Is(err, repair.ErrUnrepairable) {
-			return nil, fmt.Errorf("%w: expanded routing unrepairable", ErrUnsolvable)
-		}
-		return nil, err
-	}
-	rep.ExpansionResilient = out.AlreadyResilient
-	rep.ExpansionRepairUsed = !out.AlreadyResilient
-	return out.Routing, nil
+	return resilience.Repair(ctx, r, k, opts)
 }

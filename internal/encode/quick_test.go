@@ -1,6 +1,7 @@
 package encode_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func TestQuickEnginesAgreeRandom(t *testing.T) {
 			continue
 		}
 		dest := network.NodeID(rng.Intn(net.NumNodes()))
-		base, err := heuristic.Generate(net, dest)
+		base, err := heuristic.Generate(context.Background(), net, dest)
 		if err != nil {
 			continue
 		}

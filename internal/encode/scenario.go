@@ -43,10 +43,13 @@ import (
 // incomplete: a different (larger) hole set may still succeed.
 var ErrUnrepairable = errors.New("encode: no hole assignment achieves k-resilience")
 
+// DefaultNodeLimit is the node budget used when Options.NodeLimit is zero.
+const DefaultNodeLimit = 4 << 20
+
 // Options tunes the scenario engine.
 type Options struct {
-	// NodeLimit caps BDD nodes (0 = default 4M). Exceeding it aborts with
-	// bdd.ErrNodeLimit.
+	// NodeLimit caps BDD nodes (0 = DefaultNodeLimit). Exceeding it aborts
+	// with bdd.ErrNodeLimit.
 	NodeLimit int
 	// GCThreshold triggers a garbage collection between scenarios when the
 	// node count exceeds it (0 = default 256k).
@@ -54,13 +57,20 @@ type Options struct {
 	// DisableReorder switches off dynamic variable reordering (sifting).
 	// By default the engine sifts, like the paper's CUDD backend, as a
 	// recovery step when a scenario's conjunction exhausts the node limit,
-	// then retries the scenario once.
+	// then retries the scenario once. This cheap in-scenario retry is rung 0
+	// of the node-limit escalation ladder; the resilience supervisor layers
+	// bigger-limit and reduced-scope rungs above it.
 	DisableReorder bool
+	// ManagerHook, when set, observes the BDD manager of every solve right
+	// after creation. It exists for tests (e.g. fault injection asserting
+	// that no protected refs leak on any exit path) and must not retain the
+	// manager past the solve.
+	ManagerHook func(*bdd.Manager)
 }
 
 func (o Options) withDefaults() Options {
 	if o.NodeLimit == 0 {
-		o.NodeLimit = 4 << 20
+		o.NodeLimit = DefaultNodeLimit
 	}
 	if o.GCThreshold == 0 {
 		o.GCThreshold = 256 << 10
@@ -137,6 +147,9 @@ func Solve(ctx context.Context, r *routing.Routing, k int, opts Options) (*Solut
 		opts:   opts,
 		ctx:    ctx,
 		holeAt: make(map[routing.Key]*hole),
+	}
+	if opts.ManagerHook != nil {
+		opts.ManagerHook(s.m)
 	}
 	var sol *Solution
 	err := s.m.Protect(func() error {
@@ -567,6 +580,9 @@ func Enumerate(ctx context.Context, r *routing.Routing, k int, opts Options, max
 		opts:   opts,
 		ctx:    ctx,
 		holeAt: make(map[routing.Key]*hole),
+	}
+	if opts.ManagerHook != nil {
+		opts.ManagerHook(s.m)
 	}
 	var out []Filling
 	err := s.m.Protect(func() error {

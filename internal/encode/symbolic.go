@@ -58,6 +58,9 @@ func BuildSymbolic(ctx context.Context, r *routing.Routing, k int, opts Options)
 	}
 	opts = opts.withDefaults()
 	m := bdd.NewWithConfig(bdd.Config{NodeLimit: opts.NodeLimit})
+	if opts.ManagerHook != nil {
+		opts.ManagerHook(m)
+	}
 	s := &Symbolic{M: m, r: r, k: k}
 	err := m.Protect(func() error { return s.build(ctx) })
 	if err != nil {
@@ -121,12 +124,16 @@ func (s *Symbolic) build(ctx context.Context) error {
 		return out
 	}
 	// failedVec(x̄) := ⋁_t f̄_t = x̄, for a symbolic slot.
-	failedVec := func(x bvec.Vec) bdd.Ref {
+	failedVec := func(x bvec.Vec) (bdd.Ref, error) {
 		out := bdd.False
 		for _, fv := range fvecs {
-			out = m.Or(out, x.Eq(fv))
+			eq, err := x.Eq(fv)
+			if err != nil {
+				return bdd.False, err
+			}
+			out = m.Or(out, eq)
 		}
-		return out
+		return out, nil
 	}
 
 	holeAt := make(map[routing.Key]*SymbolicHole)
@@ -153,7 +160,11 @@ func (s *Symbolic) build(ctx context.Context) error {
 				for i, slot := range h.Slots {
 					sel = m.Or(sel, m.And(prefix, slot.EqConst(uint(o))))
 					if i+1 < len(h.Slots) {
-						prefix = m.And(prefix, failedVec(slot))
+						fv, err := failedVec(slot)
+						if err != nil {
+							return err
+						}
+						prefix = m.And(prefix, fv)
 					}
 				}
 				move := m.AndN(

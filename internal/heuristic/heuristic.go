@@ -10,6 +10,7 @@
 package heuristic
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -43,8 +44,10 @@ type Info struct {
 }
 
 // Analyze computes the heuristic's structural artefacts for net and dest.
-// It fails when some node cannot reach the destination.
-func Analyze(net *network.Network, dest network.NodeID) (*Info, error) {
+// It fails when some node cannot reach the destination, and returns ctx.Err()
+// promptly on cancellation (the level and backup computations are the
+// O(|V|·|E|·path) part of the heuristic).
+func Analyze(ctx context.Context, net *network.Network, dest network.NodeID) (*Info, error) {
 	parent, dist := net.ShortestPathTree(dest)
 	for _, v := range net.Nodes() {
 		if dist[v] < 0 {
@@ -83,6 +86,9 @@ func Analyze(net *network.Network, dest network.NodeID) (*Info, error) {
 	// (the paper's walkthrough counts only e6 as v3's mlevel edge, not its
 	// default e1).
 	for _, v := range net.Nodes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if v == dest {
 			continue
 		}
@@ -116,6 +122,9 @@ func Analyze(net *network.Network, dest network.NodeID) (*Info, error) {
 	// default edges e_{v'} of children v' whose subtree pre(v') contains a
 	// smallest-mlevel node of pre(v).
 	for _, v := range net.Nodes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if v == dest {
 			continue
 		}
@@ -168,32 +177,35 @@ func Analyze(net *network.Network, dest network.NodeID) (*Info, error) {
 // paper leaves the order arbitrary). The arrival edge is appended as the
 // last resort except for loop-back arrivals, which cannot re-forward to
 // themselves.
-func Generate(net *network.Network, dest network.NodeID) (*routing.Routing, error) {
-	info, err := Analyze(net, dest)
+func Generate(ctx context.Context, net *network.Network, dest network.NodeID) (*routing.Routing, error) {
+	info, err := Analyze(ctx, net, dest)
 	if err != nil {
 		return nil, err
 	}
-	return generate(net, dest, info, false)
+	return generate(ctx, net, dest, info, false)
 }
 
 // Generate1Resilient builds the restricted variant that keeps only the
 // first backup edge: (e_v, b_1, e) — proven perfectly 1-resilient in [26].
-func Generate1Resilient(net *network.Network, dest network.NodeID) (*routing.Routing, error) {
-	info, err := Analyze(net, dest)
+func Generate1Resilient(ctx context.Context, net *network.Network, dest network.NodeID) (*routing.Routing, error) {
+	info, err := Analyze(ctx, net, dest)
 	if err != nil {
 		return nil, err
 	}
-	return generate(net, dest, info, true)
+	return generate(ctx, net, dest, info, true)
 }
 
 // GenerateWithInfo is Generate for callers that already ran Analyze.
-func GenerateWithInfo(net *network.Network, info *Info) (*routing.Routing, error) {
-	return generate(net, info.Dest, info, false)
+func GenerateWithInfo(ctx context.Context, net *network.Network, info *Info) (*routing.Routing, error) {
+	return generate(ctx, net, info.Dest, info, false)
 }
 
-func generate(net *network.Network, dest network.NodeID, info *Info, firstBackupOnly bool) (*routing.Routing, error) {
+func generate(ctx context.Context, net *network.Network, dest network.NodeID, info *Info, firstBackupOnly bool) (*routing.Routing, error) {
 	r := routing.New(net, dest)
 	for _, v := range net.Nodes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if v == dest {
 			continue
 		}

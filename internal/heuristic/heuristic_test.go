@@ -14,7 +14,7 @@ import (
 func fig1Analysis(t *testing.T) (*network.Network, *heuristic.Info) {
 	t.Helper()
 	n := papernet.Figure1()
-	info, err := heuristic.Analyze(n, papernet.Figure1Dest(n))
+	info, err := heuristic.Analyze(context.Background(), n, papernet.Figure1Dest(n))
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -125,7 +125,7 @@ func TestBackupEdges(t *testing.T) {
 func TestHeuristicTableMatchesFig1b(t *testing.T) {
 	n := papernet.Figure1()
 	d := papernet.Figure1Dest(n)
-	got, err := heuristic.Generate(n, d)
+	got, err := heuristic.Generate(context.Background(), n, d)
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -139,7 +139,7 @@ func TestHeuristicTableMatchesFig1b(t *testing.T) {
 // but not 2-resilient, as the paper demonstrates.
 func TestHeuristicFig1Resilience(t *testing.T) {
 	n := papernet.Figure1()
-	r, err := heuristic.Generate(n, papernet.Figure1Dest(n))
+	r, err := heuristic.Generate(context.Background(), n, papernet.Figure1Dest(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestHeuristicFig1Resilience(t *testing.T) {
 // 1-resilient (guaranteed by [26]).
 func TestGenerate1Resilient(t *testing.T) {
 	n := papernet.Figure1()
-	r, err := heuristic.Generate1Resilient(n, papernet.Figure1Dest(n))
+	r, err := heuristic.Generate1Resilient(context.Background(), n, papernet.Figure1Dest(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestGenerate1ResilientRandom2Connected(t *testing.T) {
 	for round := 0; round < 25; round++ {
 		n := randomTwoConnected(rng, 5+rng.Intn(6))
 		for _, dest := range []network.NodeID{0, network.NodeID(n.NumNodes() - 1)} {
-			r, err := heuristic.Generate1Resilient(n, dest)
+			r, err := heuristic.Generate1Resilient(context.Background(), n, dest)
 			if err != nil {
 				t.Fatalf("round %d: Generate1Resilient: %v", round, err)
 			}
@@ -193,7 +193,7 @@ func TestGenerateCompleteAndValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for round := 0; round < 20; round++ {
 		n := randomTwoConnected(rng, 4+rng.Intn(8))
-		r, err := heuristic.Generate(n, 0)
+		r, err := heuristic.Generate(context.Background(), n, 0)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -218,10 +218,10 @@ func TestAnalyzeDisconnected(t *testing.T) {
 	c := b.AddNode("c")
 	b.AddEdge(0, c)
 	n := b.MustBuild()
-	if _, err := heuristic.Analyze(n, 0); err == nil {
+	if _, err := heuristic.Analyze(context.Background(), n, 0); err == nil {
 		t.Error("Analyze on disconnected network succeeded")
 	}
-	if _, err := heuristic.Generate(n, 0); err == nil {
+	if _, err := heuristic.Generate(context.Background(), n, 0); err == nil {
 		t.Error("Generate on disconnected network succeeded")
 	}
 }
@@ -229,7 +229,7 @@ func TestAnalyzeDisconnected(t *testing.T) {
 // TestInEdgeLast: for real in-edges, the arrival edge is the last resort.
 func TestInEdgeLast(t *testing.T) {
 	n := papernet.Figure1()
-	r, err := heuristic.Generate(n, papernet.Figure1Dest(n))
+	r, err := heuristic.Generate(context.Background(), n, papernet.Figure1Dest(n))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -92,6 +92,7 @@ func rotatedBFS(net *network.Network, dest network.NodeID, round int) (parent []
 	}
 	dist[dest] = 0
 	queue := []network.NodeID{dest}
+	//syreplint:ignore ctxpoll BFS enqueues each node at most once, so the drain is bounded by |V|
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]

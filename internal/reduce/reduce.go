@@ -13,6 +13,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 
 	"syrep/internal/network"
@@ -83,8 +84,10 @@ func (rd *Reduction) RemovedNodes() []network.NodeID {
 	return append([]network.NodeID(nil), rd.removed...)
 }
 
-// Apply contracts net per the rule, keeping dest intact.
-func Apply(net *network.Network, dest network.NodeID, rule Rule) (*Reduction, error) {
+// Apply contracts net per the rule, keeping dest intact. Cancellation is
+// polled once per contraction sweep and once per node inside a sweep, so a
+// reduction on a large topology aborts promptly with ctx.Err().
+func Apply(ctx context.Context, net *network.Network, dest network.NodeID, rule Rule) (*Reduction, error) {
 	if rule != Sound && rule != Aggressive {
 		return nil, fmt.Errorf("reduce: unknown rule %v", rule)
 	}
@@ -160,7 +163,13 @@ func Apply(net *network.Network, dest network.NodeID, rule Rule) (*Reduction, er
 	var removed []network.NodeID
 	for changed := true; changed; {
 		changed = false
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for w := network.NodeID(0); int(w) < net.NumNodes(); w++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if !eligible(w) {
 				continue
 			}

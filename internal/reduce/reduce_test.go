@@ -40,7 +40,7 @@ func chainRing(chainLen int) (*network.Network, network.NodeID) {
 
 func TestSoundReductionKeepsTwoInteriorNodes(t *testing.T) {
 	n, d := chainRing(6) // chain of 6 interior nodes => 7 chain edges
-	rd, err := reduce.Apply(n, d, reduce.Sound)
+	rd, err := reduce.Apply(context.Background(), n, d, reduce.Sound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestSoundReductionKeepsTwoInteriorNodes(t *testing.T) {
 
 func TestAggressiveReductionRemovesWholeChain(t *testing.T) {
 	n, d := chainRing(6)
-	rd, err := reduce.Apply(n, d, reduce.Aggressive)
+	rd, err := reduce.Apply(context.Background(), n, d, reduce.Aggressive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestReductionProtectsDestinationNeighbours(t *testing.T) {
 	n := b.MustBuild()
 
 	for _, rule := range []reduce.Rule{reduce.Sound, reduce.Aggressive} {
-		rd, err := reduce.Apply(n, 0, rule)
+		rd, err := reduce.Apply(context.Background(), n, 0, rule)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func TestNoReductionOnDenseGraph(t *testing.T) {
 		}
 	}
 	n := b.MustBuild()
-	rd, err := reduce.Apply(n, 0, reduce.Aggressive)
+	rd, err := reduce.Apply(context.Background(), n, 0, reduce.Aggressive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestNoReductionOnDenseGraph(t *testing.T) {
 
 func TestApplyUnknownRule(t *testing.T) {
 	n, d := chainRing(3)
-	if _, err := reduce.Apply(n, d, reduce.Rule(0)); err == nil {
+	if _, err := reduce.Apply(context.Background(), n, d, reduce.Rule(0)); err == nil {
 		t.Error("Apply with invalid rule succeeded")
 	}
 }
@@ -152,7 +152,7 @@ func TestRuleString(t *testing.T) {
 // (heuristic, repaired if needed) and expands it.
 func expandResilient(t *testing.T, rd *reduce.Reduction, k int) *routing.Routing {
 	t.Helper()
-	r, err := heuristic.Generate(rd.Reduced, rd.DestReduced)
+	r, err := heuristic.Generate(context.Background(), rd.Reduced, rd.DestReduced)
 	if err != nil {
 		t.Fatalf("heuristic on reduced: %v", err)
 	}
@@ -177,7 +177,7 @@ func expandResilient(t *testing.T, rd *reduce.Reduction, k int) *routing.Routing
 func TestTheorem1SoundExpansionPreservesResilience(t *testing.T) {
 	for _, chainLen := range []int{4, 5, 7} {
 		n, d := chainRing(chainLen)
-		rd, err := reduce.Apply(n, d, reduce.Sound)
+		rd, err := reduce.Apply(context.Background(), n, d, reduce.Sound)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +204,7 @@ func TestTheorem1RandomChainGraphs(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for round := 0; round < 8; round++ {
 		n, d := randomChainGraph(rng)
-		rd, err := reduce.Apply(n, d, reduce.Sound)
+		rd, err := reduce.Apply(context.Background(), n, d, reduce.Sound)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -229,7 +229,7 @@ func TestTheorem1RandomChainGraphs(t *testing.T) {
 // always succeeded).
 func TestAggressiveExpansionRepairable(t *testing.T) {
 	n, d := chainRing(5)
-	rd, err := reduce.Apply(n, d, reduce.Aggressive)
+	rd, err := reduce.Apply(context.Background(), n, d, reduce.Aggressive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestAggressiveExpansionRepairable(t *testing.T) {
 // and holes.
 func TestExpandValidation(t *testing.T) {
 	n, d := chainRing(4)
-	rd, err := reduce.Apply(n, d, reduce.Sound)
+	rd, err := reduce.Apply(context.Background(), n, d, reduce.Sound)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestExpandValidation(t *testing.T) {
 		t.Error("Expand accepted routing with wrong destination")
 	}
 	// Holes.
-	holey, err := heuristic.Generate(rd.Reduced, rd.DestReduced)
+	holey, err := heuristic.Generate(context.Background(), rd.Reduced, rd.DestReduced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestExpandValidation(t *testing.T) {
 // reduced network (the pipeline's ReductionOnly strategy) and expand.
 func TestExpandWithFullSynthesisOnReduced(t *testing.T) {
 	n, d := chainRing(6)
-	rd, err := reduce.Apply(n, d, reduce.Aggressive)
+	rd, err := reduce.Apply(context.Background(), n, d, reduce.Aggressive)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,11 @@ type Options struct {
 	// Verify tunes the verification passes. Prune is always enabled for the
 	// internal passes (subsumed failing deliveries add no information).
 	Verify verify.Options
+	// Report, when non-nil, is a verification report for the input routing
+	// at the requested k, produced with Prune enabled. Repair then skips its
+	// own initial verification pass — the resilience supervisor uses this to
+	// avoid verifying the same routing twice.
+	Report *verify.Report
 }
 
 // Outcome reports a successful repair.
@@ -108,9 +113,13 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (*Outc
 	vOpts := opts.Verify
 	vOpts.Prune = true
 
-	rep, err := verify.Check(ctx, r, k, vOpts)
-	if err != nil {
-		return nil, err
+	rep := opts.Report
+	if rep == nil {
+		var err error
+		rep, err = verify.Check(ctx, r, k, vOpts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if rep.Resilient {
 		return &Outcome{Routing: r.Clone(), AlreadyResilient: true}, nil
@@ -118,6 +127,9 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (*Outc
 	suspicious := rep.Suspicious()
 
 	tryHoles := func(holes []routing.Key) (*Outcome, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		punched := r.Clone()
 		for _, key := range holes {
 			if err := punched.PunchHole(key.In, key.At, k+1); err != nil {
@@ -139,7 +151,10 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (*Outc
 
 	widened := false
 	if opts.Strategy == Gradual {
-		subset := hittingSet(rep)
+		subset, err := hittingSet(ctx, rep)
+		if err != nil {
+			return nil, err
+		}
 		if len(subset) < len(suspicious) {
 			out, err := tryHoles(subset)
 			switch {
@@ -210,8 +225,9 @@ func visitedNodeEntries(r *routing.Routing, rep *verify.Report) []routing.Key {
 
 // hittingSet greedily selects entries so that every failing delivery has at
 // least one of its firing entries removed (the paper's necessary condition
-// for repairability).
-func hittingSet(rep *verify.Report) []routing.Key {
+// for repairability). The greedy loop runs one round per selected entry and
+// polls ctx each round, so cancellation on a large failing set is prompt.
+func hittingSet(ctx context.Context, rep *verify.Report) ([]routing.Key, error) {
 	uncovered := make([]map[routing.Key]bool, 0, len(rep.Failing))
 	for _, f := range rep.Failing {
 		set := make(map[routing.Key]bool, len(f.Used))
@@ -224,6 +240,9 @@ func hittingSet(rep *verify.Report) []routing.Key {
 	}
 	var out []routing.Key
 	for len(uncovered) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		counts := make(map[routing.Key]int)
 		for _, set := range uncovered {
 			for k := range set {
@@ -248,7 +267,7 @@ func hittingSet(rep *verify.Report) []routing.Key {
 		uncovered = next
 	}
 	sortKeys(out)
-	return out
+	return out, nil
 }
 
 // diffEntries lists the keys whose priority list changed between a and b.

@@ -1,0 +1,159 @@
+// Package faultinject is the deterministic fault-injection harness for the
+// resilience supervisor. It implements resilience.Hook with scripted faults
+// keyed by pipeline stage: forced cancellation, node-limit exhaustion, and
+// arbitrary injected stage errors. Plans are derived from integer seeds so a
+// failing run is reproducible from its seed alone.
+//
+// The harness is test infrastructure: production code never imports it.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"syrep/internal/bdd"
+	"syrep/internal/resilience"
+)
+
+// Kind selects what a fault does when its stage is entered.
+type Kind int
+
+const (
+	// Cancel cancels the run's context and then lets the stage proceed, so
+	// the pipeline discovers the cancellation through its own polling. This
+	// exercises the cancellation-latency path rather than the hook-error
+	// path.
+	Cancel Kind = iota + 1
+	// NodeLimit makes the stage fail with bdd.ErrNodeLimit, exactly like BDD
+	// node-budget exhaustion, exercising the supervisor's escalation ladder.
+	NodeLimit
+	// Error makes the stage fail with an arbitrary error (Fault.Err, or
+	// ErrInjected when unset), exercising the hard-fault path.
+	Error
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Cancel:
+		return "cancel"
+	case NodeLimit:
+		return "nodelimit"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns every fault kind, for matrix tests.
+func Kinds() []Kind { return []Kind{Cancel, NodeLimit, Error} }
+
+// ErrInjected is the default error of an Error-kind fault.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Fault is one scripted fault: when the supervisor enters Stage, fire Kind.
+type Fault struct {
+	// Stage is the fault point (one of resilience.FaultPoints()).
+	Stage resilience.Stage
+	// Kind is what to do there.
+	Kind Kind
+	// Times caps how often the fault fires (0 = every time). A NodeLimit
+	// fault with Times == 1 forces exactly one ladder escalation; with a
+	// large Times it exhausts the ladder into a memout.
+	Times int
+	// Err overrides ErrInjected for Error-kind faults.
+	Err error
+}
+
+// Injector implements resilience.Hook by replaying scripted faults. It is
+// safe for concurrent use and records every stage it observes, so tests can
+// assert fault-point coverage.
+type Injector struct {
+	mu      sync.Mutex
+	faults  []Fault
+	fired   []int
+	cancel  func()
+	visited []resilience.Stage
+}
+
+// New builds an injector replaying the given faults. Faults targeting the
+// same stage fire in order of appearance (each consuming its own Times).
+func New(faults ...Fault) *Injector {
+	return &Injector{faults: faults, fired: make([]int, len(faults))}
+}
+
+// BindCancel supplies the context.CancelFunc that Cancel-kind faults invoke.
+// It must be called before the run starts when the plan contains a Cancel
+// fault; At panics otherwise, which the supervisor surfaces as a
+// *resilience.PanicError (making the harness misuse loud, not silent).
+func (in *Injector) BindCancel(cancel func()) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.cancel = cancel
+	return in
+}
+
+// At implements resilience.Hook.
+func (in *Injector) At(stage resilience.Stage) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.visited = append(in.visited, stage)
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Stage != stage || (f.Times > 0 && in.fired[i] >= f.Times) {
+			continue
+		}
+		in.fired[i]++
+		switch f.Kind {
+		case Cancel:
+			if in.cancel == nil {
+				panic("faultinject: Cancel fault without BindCancel")
+			}
+			in.cancel()
+			return nil // the stage must discover the cancellation itself
+		case NodeLimit:
+			return bdd.ErrNodeLimit
+		case Error:
+			if f.Err != nil {
+				return f.Err
+			}
+			return ErrInjected
+		default:
+			panic(fmt.Sprintf("faultinject: unknown kind %v", f.Kind))
+		}
+	}
+	return nil
+}
+
+// Visited returns the stages observed so far, in order.
+func (in *Injector) Visited() []resilience.Stage {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]resilience.Stage(nil), in.visited...)
+}
+
+// Fired reports how many times fault i fired.
+func (in *Injector) Fired(i int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[i]
+}
+
+// PlanFromSeed derives one fault deterministically from a seed: a pseudo-
+// random stage, kind, and (for NodeLimit) Times in {1, 100}, chosen so that
+// both the escalation and the exhaustion paths appear across seeds. The same
+// seed always yields the same fault.
+func PlanFromSeed(seed int64) Fault {
+	rng := rand.New(rand.NewSource(seed))
+	points := resilience.FaultPoints()
+	f := Fault{
+		Stage: points[rng.Intn(len(points))],
+		Kind:  Kinds()[rng.Intn(3)],
+	}
+	if f.Kind == NodeLimit && rng.Intn(2) == 0 {
+		f.Times = 1
+	}
+	return f
+}

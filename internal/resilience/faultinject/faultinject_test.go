@@ -1,0 +1,115 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/bdd"
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+)
+
+func TestInjectorFires(t *testing.T) {
+	injected := errors.New("custom")
+	in := faultinject.New(
+		faultinject.Fault{Stage: resilience.StageSynth, Kind: faultinject.NodeLimit, Times: 2},
+		faultinject.Fault{Stage: resilience.StageVerify, Kind: faultinject.Error, Err: injected},
+		faultinject.Fault{Stage: resilience.StageRepair, Kind: faultinject.Error},
+	)
+	if err := in.At(resilience.StageReduce); err != nil {
+		t.Errorf("unfaulted stage returned %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := in.At(resilience.StageSynth); !errors.Is(err, bdd.ErrNodeLimit) {
+			t.Errorf("synth fault %d = %v, want ErrNodeLimit", i, err)
+		}
+	}
+	if err := in.At(resilience.StageSynth); err != nil {
+		t.Errorf("Times-exhausted fault still fired: %v", err)
+	}
+	if err := in.At(resilience.StageVerify); !errors.Is(err, injected) {
+		t.Errorf("verify fault = %v, want the custom error", err)
+	}
+	if err := in.At(resilience.StageRepair); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("repair fault = %v, want ErrInjected", err)
+	}
+	if got := in.Fired(0); got != 2 {
+		t.Errorf("Fired(0) = %d, want 2", got)
+	}
+	want := []resilience.Stage{
+		resilience.StageReduce, resilience.StageSynth, resilience.StageSynth,
+		resilience.StageSynth, resilience.StageVerify, resilience.StageRepair,
+	}
+	got := in.Visited()
+	if len(got) != len(want) {
+		t.Fatalf("Visited() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Visited() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCancelFault(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageHeuristic, Kind: faultinject.Cancel, Times: 1,
+	}).BindCancel(cancel)
+	if err := in.At(resilience.StageHeuristic); err != nil {
+		t.Errorf("Cancel fault must return nil (the stage discovers it), got %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Error("context not cancelled")
+	}
+}
+
+func TestCancelWithoutBindPanics(t *testing.T) {
+	in := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageHeuristic, Kind: faultinject.Cancel,
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("Cancel without BindCancel did not panic")
+		}
+	}()
+	_ = in.At(resilience.StageHeuristic)
+}
+
+// TestPlanFromSeedDeterministic: the whole point of seed-keyed plans is that
+// a failure reproduces from its seed.
+func TestPlanFromSeedDeterministic(t *testing.T) {
+	stages := make(map[resilience.Stage]bool)
+	kinds := make(map[faultinject.Kind]bool)
+	for seed := int64(0); seed < 64; seed++ {
+		a, b := faultinject.PlanFromSeed(seed), faultinject.PlanFromSeed(seed)
+		if a != b {
+			t.Fatalf("seed %d: %+v != %+v", seed, a, b)
+		}
+		if a.Stage == "" || a.Kind == 0 {
+			t.Fatalf("seed %d: incomplete plan %+v", seed, a)
+		}
+		stages[a.Stage] = true
+		kinds[a.Kind] = true
+	}
+	// 64 seeds over 9 stages and 3 kinds should cover everything; if this
+	// ever fails the derivation is biased, not merely unlucky.
+	if len(stages) != len(resilience.FaultPoints()) {
+		t.Errorf("64 seeds covered %d/%d stages", len(stages), len(resilience.FaultPoints()))
+	}
+	if len(kinds) != len(faultinject.Kinds()) {
+		t.Errorf("64 seeds covered %d/%d kinds", len(kinds), len(faultinject.Kinds()))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range faultinject.Kinds() {
+		if k.String() == "" {
+			t.Errorf("Kind(%d).String() empty", int(k))
+		}
+	}
+	if faultinject.Kind(42).String() == "" {
+		t.Error("unknown Kind.String() empty")
+	}
+}

@@ -1,0 +1,52 @@
+package faultinject
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the snapshot level once the test
+// body finishes. Goroutines legitimately wind down asynchronously (e.g. the
+// verifier's worker pool draining after a cancellation), so the check retries
+// for up to a second before declaring a leak, and dumps the surviving stacks
+// so the offender is identifiable.
+func LeakCheck(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d before, %d after; stacks:\n%s",
+				before, after, interestingStacks(string(buf)))
+		}
+	})
+}
+
+// interestingStacks keeps only the goroutines that run project code, so the
+// leak report shows plausible offenders rather than runtime bookkeeping. If
+// nothing matches, the full dump is returned.
+func interestingStacks(dump string) string {
+	var keep []string
+	for _, g := range strings.Split(dump, "\n\n") {
+		if strings.Contains(g, "syrep/internal") {
+			keep = append(keep, g)
+		}
+	}
+	if len(keep) == 0 {
+		return dump
+	}
+	return strings.Join(keep, "\n\n")
+}

@@ -1,0 +1,231 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"syrep/internal/bdd"
+	"syrep/internal/encode"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+	"syrep/internal/routing"
+	"syrep/internal/topozoo"
+	"syrep/internal/verify"
+)
+
+var ctx = context.Background()
+
+var allStrategies = []resilience.Strategy{
+	resilience.Baseline, resilience.HeuristicOnly,
+	resilience.ReductionOnly, resilience.Combined,
+}
+
+// zooInstance fetches an embedded topology by name.
+func zooInstance(t *testing.T, name string) topozoo.Instance {
+	t.Helper()
+	for _, inst := range topozoo.Embedded() {
+		if inst.Name == name {
+			return inst
+		}
+	}
+	t.Fatalf("embedded topology %q not found", name)
+	return topozoo.Instance{}
+}
+
+// runFaulted executes one supervised synthesis with the given faults injected
+// and returns the routing, the injector for coverage inspection, and the
+// error. Managers created by the encode engine are checked for leaked
+// protected refs on every exit path.
+func runFaulted(t *testing.T, net *network.Network, dest network.NodeID,
+	strat resilience.Strategy, k int, faults ...faultinject.Fault) (*routing.Routing, *faultinject.Injector, error) {
+	t.Helper()
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	inj := faultinject.New(faults...).BindCancel(cancel)
+	var mgrs []*bdd.Manager
+	r, _, err := resilience.Synthesize(cctx, net, dest, k, resilience.Options{
+		Strategy: strat,
+		Hook:     inj,
+		Encode: encode.Options{ManagerHook: func(m *bdd.Manager) {
+			mgrs = append(mgrs, m)
+		}},
+	})
+	for i, m := range mgrs {
+		if n := m.NumProtected(); n > 2 {
+			t.Errorf("manager %d leaked protected refs: NumProtected = %d (steady state is <= 2)", i, n)
+		}
+	}
+	return r, inj, err
+}
+
+// assertTrichotomy enforces the supervisor's contract: every run ends in a
+// valid resilient routing, a well-formed *Partial whose routing verifies
+// against its reported residual failures, or a clean typed error — never a
+// corrupted routing or an untyped panic.
+func assertTrichotomy(t *testing.T, r *routing.Routing, err error, k int) {
+	t.Helper()
+	switch {
+	case err == nil:
+		if r == nil {
+			t.Fatal("nil routing with nil error")
+		}
+		if !r.Complete() {
+			t.Error("successful run returned an incomplete routing")
+		}
+		if !verify.Resilient(r, k) {
+			t.Errorf("successful run returned a routing that is not %d-resilient", k)
+		}
+	default:
+		if r != nil {
+			t.Error("routing returned alongside an error")
+		}
+		if p, ok := resilience.AsPartial(err); ok {
+			assertWellFormedPartial(t, p, k)
+		}
+		assertTypedError(t, err)
+	}
+}
+
+// assertWellFormedPartial checks the anytime contract of a *Partial: the
+// routing is present, complete, and — unless the residual is declared
+// unknown — fails exactly the deliveries the Partial reports.
+func assertWellFormedPartial(t *testing.T, p *resilience.Partial, k int) {
+	t.Helper()
+	if p.Routing == nil {
+		t.Fatal("Partial with nil routing")
+	}
+	if !p.Routing.Complete() {
+		t.Error("Partial routing is incomplete (holes leaked out)")
+	}
+	if p.K != k {
+		t.Errorf("Partial.K = %d, want %d", p.K, k)
+	}
+	if p.Degradation.Stage == "" {
+		t.Error("Partial without a degradation stage")
+	}
+	if p.ResidualUnknown {
+		return
+	}
+	vrep, err := verify.Check(ctx, p.Routing, k, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatalf("re-verifying Partial routing: %v", err)
+	}
+	if len(vrep.Failing) != len(p.Residual) {
+		t.Errorf("Partial reports %d residual failures, re-verification finds %d",
+			len(p.Residual), len(vrep.Failing))
+	}
+}
+
+// assertTypedError checks that a failed run died a clean, classifiable death:
+// the error chain reaches one of the supervisor's typed causes and is not an
+// escaped panic.
+func assertTypedError(t *testing.T, err error) {
+	t.Helper()
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		t.Errorf("run ended in an internal panic: %v\n%s", pe, pe.Stack)
+		return
+	}
+	for _, want := range []error{
+		faultinject.ErrInjected,
+		bdd.ErrNodeLimit,
+		context.Canceled,
+		context.DeadlineExceeded,
+		resilience.ErrUnsolvable,
+		resilience.ErrBudget,
+	} {
+		if errors.Is(err, want) {
+			return
+		}
+	}
+	t.Errorf("error is not one of the supervisor's typed causes: %v", err)
+}
+
+// TestFaultMatrix drives every registered fault point through cancellation,
+// node-limit exhaustion, and an injected stage error, under all four
+// strategies, and asserts the trichotomy on each run. Faults at stages a
+// strategy never reaches simply do not fire — those runs must then succeed
+// outright, which the trichotomy also covers. A final check proves the
+// matrix visited every registered fault point at least once.
+func TestFaultMatrix(t *testing.T) {
+	faultinject.LeakCheck(t)
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+
+	covered := make(map[resilience.Stage]bool)
+	for _, strat := range allStrategies {
+		for _, stage := range resilience.FaultPoints() {
+			for _, kind := range faultinject.Kinds() {
+				name := fmt.Sprintf("%s/%s/%s", strat, stage, kind)
+				t.Run(name, func(t *testing.T) {
+					r, inj, err := runFaulted(t, n, d, strat, 2,
+						faultinject.Fault{Stage: stage, Kind: kind})
+					for _, st := range inj.Visited() {
+						covered[st] = true
+					}
+					assertTrichotomy(t, r, err, 2)
+				})
+			}
+		}
+	}
+
+	// Figure 1's heuristic is already resilient on the reduced network, so
+	// the reduced-repair fault point only fires on a larger instance.
+	garr := zooInstance(t, "Garr")
+	for _, kind := range faultinject.Kinds() {
+		t.Run(fmt.Sprintf("garr/combined/%s/%s", resilience.StageRepairReduced, kind), func(t *testing.T) {
+			// A degraded reduced repair falls through to the endgame repair
+			// on the full Garr network, which takes minutes; a second fault
+			// cancels the run there, which both keeps the matrix fast and
+			// exercises the Partial path that assertTrichotomy fully checks.
+			r, inj, err := runFaulted(t, garr.Net, garr.Dest, resilience.Combined, 2,
+				faultinject.Fault{Stage: resilience.StageRepairReduced, Kind: kind},
+				faultinject.Fault{Stage: resilience.StageRepair, Kind: faultinject.Cancel})
+			for _, st := range inj.Visited() {
+				covered[st] = true
+			}
+			assertTrichotomy(t, r, err, 2)
+		})
+	}
+
+	for _, stage := range resilience.FaultPoints() {
+		if !covered[stage] {
+			t.Errorf("fault point %q never visited by the matrix", stage)
+		}
+	}
+}
+
+// TestSeededFaults derives fault plans from integer seeds — the registry of
+// seeds can be widened via SYREP_FAULT_SEEDS (comma-separated) without
+// touching code — and asserts the trichotomy under each. The same seed always
+// produces the same fault, so any failure reproduces from the seed alone.
+func TestSeededFaults(t *testing.T) {
+	faultinject.LeakCheck(t)
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if env := os.Getenv("SYREP_FAULT_SEEDS"); env != "" {
+		seeds = nil
+		for _, f := range strings.Split(env, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("SYREP_FAULT_SEEDS: %v", err)
+			}
+			seeds = append(seeds, s)
+		}
+	}
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	for _, seed := range seeds {
+		fault := faultinject.PlanFromSeed(seed)
+		t.Run(fmt.Sprintf("seed=%d(%s,%s)", seed, fault.Stage, fault.Kind), func(t *testing.T) {
+			r, _, err := runFaulted(t, n, d, resilience.Combined, 2, fault)
+			assertTrichotomy(t, r, err, 2)
+		})
+	}
+}

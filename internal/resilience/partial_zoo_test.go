@@ -1,0 +1,72 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/heuristic"
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+	"syrep/internal/verify"
+)
+
+// TestCombinedPartialBeatsBareHeuristic is the anytime regression test from
+// the issue: a Combined run on a Topology Zoo instance (Garr), killed by the
+// deadline just as the endgame repair starts, must still return a *Partial
+// whose routing strictly reduces the number of failing deliveries compared
+// with the bare heuristic output — i.e. the checkpointed reduced-network
+// repair was not wasted. The kill is injected as a cancellation at the
+// endgame repair stage, which takes the same failOverall path as a deadline
+// expiring there, but deterministically.
+func TestCombinedPartialBeatsBareHeuristic(t *testing.T) {
+	faultinject.LeakCheck(t)
+	const k = 2
+	garr := zooInstance(t, "Garr")
+
+	bare, err := heuristic.Generate(ctx, garr.Net, garr.Dest)
+	if err != nil {
+		t.Fatalf("heuristic: %v", err)
+	}
+	vbare, err := verify.Check(ctx, bare, k, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatalf("verify bare heuristic: %v", err)
+	}
+	if len(vbare.Failing) == 0 {
+		t.Fatal("Garr bare heuristic is resilient; the instance no longer exercises the anytime path")
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageRepair, Kind: faultinject.Cancel,
+	}).BindCancel(cancel)
+	_, rep, serr := resilience.Synthesize(cctx, garr.Net, garr.Dest, k, resilience.Options{
+		Strategy: resilience.Combined,
+		Hook:     inj,
+	})
+	p, ok := resilience.AsPartial(serr)
+	if !ok {
+		t.Fatalf("err = %v, want *Partial", serr)
+	}
+	if !errors.Is(serr, context.Canceled) {
+		t.Errorf("err = %v, want to unwrap to the cancellation", serr)
+	}
+	if p.Degradation.Stage != resilience.StageRepair {
+		t.Errorf("Partial died at %q, want %q", p.Degradation.Stage, resilience.StageRepair)
+	}
+	assertWellFormedPartial(t, p, k)
+	if p.ResidualUnknown {
+		t.Fatal("checkpoint reached the verified endgame; residual must be known")
+	}
+	if len(p.Residual) == 0 {
+		t.Fatal("endgame repair was cut short; residual should be non-empty")
+	}
+	if len(p.Residual) >= len(vbare.Failing) {
+		t.Errorf("Partial residual = %d failing deliveries, want strictly fewer than the bare heuristic's %d",
+			len(p.Residual), len(vbare.Failing))
+	}
+	if !rep.ReducedRepairUsed {
+		t.Error("the improvement should come from the checkpointed reduced-network repair")
+	}
+}

@@ -1,0 +1,311 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"syrep/internal/bdd"
+	"syrep/internal/network"
+	"syrep/internal/papernet"
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+	"syrep/internal/verify"
+)
+
+func TestValidateSynthesize(t *testing.T) {
+	n := papernet.Figure1()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"nil network", func() error {
+			_, _, err := resilience.Synthesize(ctx, nil, 0, 2, resilience.Options{})
+			return err
+		}},
+		{"dest out of range", func() error {
+			_, _, err := resilience.Synthesize(ctx, n, network.NodeID(99), 2, resilience.Options{})
+			return err
+		}},
+		{"negative k", func() error {
+			_, _, err := resilience.Synthesize(ctx, n, 0, -1, resilience.Options{})
+			return err
+		}},
+		{"repair nil routing", func() error {
+			_, err := resilience.Repair(ctx, nil, 2, resilience.Options{})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("invalid input accepted")
+			}
+			var pe *resilience.PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("validation should return an error, not recover a panic: %v", err)
+			}
+		})
+	}
+}
+
+// panicHook panics when the pipeline enters its stage, modelling a bug in an
+// internal package escaping as a panic.
+type panicHook struct{ stage resilience.Stage }
+
+func (h panicHook) At(s resilience.Stage) error {
+	if s == h.stage {
+		panic("boom: injected panic")
+	}
+	return nil
+}
+
+// TestPanicRecovery: a panic escaping the pipeline surfaces as a typed
+// *PanicError naming the stage, never as a raw panic.
+func TestPanicRecovery(t *testing.T) {
+	faultinject.LeakCheck(t)
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	r, _, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Hook:     panicHook{stage: resilience.StageVerify},
+	})
+	if r != nil {
+		t.Error("routing returned alongside a recovered panic")
+	}
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Stage != resilience.StageVerify {
+		t.Errorf("PanicError.Stage = %q, want %q", pe.Stage, resilience.StageVerify)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError without a stack trace")
+	}
+}
+
+// TestLadderEscalation: a single injected node-limit fault makes the repair
+// ladder climb one rung and still succeed, recording the escalation.
+func TestLadderEscalation(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageRepair, Kind: faultinject.NodeLimit, Times: 1,
+	})
+	r, rep, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Hook:     inj,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !verify.Resilient(r, 2) {
+		t.Fatal("routing not 2-resilient after ladder escalation")
+	}
+	if rep.SolveAttempts < 2 {
+		t.Errorf("SolveAttempts = %d, want >= 2 (one failed + one escalated)", rep.SolveAttempts)
+	}
+	if !rep.Degraded() {
+		t.Fatal("escalation not recorded as a degradation")
+	}
+	deg := rep.Degradations[0]
+	if deg.Stage != resilience.StageRepair || !errors.Is(deg.Cause, bdd.ErrNodeLimit) {
+		t.Errorf("degradation = %v, want node-limit at %s", deg, resilience.StageRepair)
+	}
+}
+
+// TestLadderExhaustionYieldsPartial: persistent node-limit faults exhaust the
+// ladder; the run returns a *Partial carrying the checkpointed heuristic
+// routing, and errors.Is still classifies the outcome as a memout.
+func TestLadderExhaustionYieldsPartial(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageRepair, Kind: faultinject.NodeLimit,
+	})
+	r, rep, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Hook:     inj,
+	})
+	if r != nil {
+		t.Error("routing returned alongside a Partial")
+	}
+	if !errors.Is(err, bdd.ErrNodeLimit) {
+		t.Fatalf("err = %v, want to unwrap to bdd.ErrNodeLimit", err)
+	}
+	p, ok := resilience.AsPartial(err)
+	if !ok {
+		t.Fatalf("err = %v, want *Partial", err)
+	}
+	assertWellFormedPartial(t, p, 2)
+	if len(p.Residual) == 0 {
+		t.Error("heuristic routing on Figure 1 needs repair; residual should be non-empty")
+	}
+	if p.Degradation.Attempts != 3 {
+		t.Errorf("Partial after %d attempts, want 3 (full ladder)", p.Degradation.Attempts)
+	}
+	if rep.SolveAttempts != 3 {
+		t.Errorf("SolveAttempts = %d, want 3", rep.SolveAttempts)
+	}
+}
+
+// TestInjectedErrorPricedByGraceVerify: a hard fault at the verify stage
+// leaves an unverified checkpoint; the supervisor prices it with a detached
+// grace verification so the Partial still reports its residual failures.
+func TestInjectedErrorPricedByGraceVerify(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageVerify, Kind: faultinject.Error,
+	})
+	_, _, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Hook:     inj,
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want to unwrap to the injected error", err)
+	}
+	p, ok := resilience.AsPartial(err)
+	if !ok {
+		t.Fatalf("err = %v, want *Partial", err)
+	}
+	if p.ResidualUnknown {
+		t.Fatal("grace verification should have priced the checkpoint")
+	}
+	assertWellFormedPartial(t, p, 2)
+}
+
+// TestFinalVerifyFaultYieldsResilientPartial: killing the run at the final
+// safety-net verification returns a Partial whose checkpoint is the already
+// verified routing — zero residual failures, only certification cut short.
+func TestFinalVerifyFaultYieldsResilientPartial(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageFinalVerify, Kind: faultinject.Error,
+	})
+	_, _, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.Combined,
+		Hook:     inj,
+	})
+	p, ok := resilience.AsPartial(err)
+	if !ok {
+		t.Fatalf("err = %v, want *Partial", err)
+	}
+	if p.ResidualUnknown || len(p.Residual) != 0 {
+		t.Errorf("residual = %d (unknown=%v), want 0 failing deliveries",
+			len(p.Residual), p.ResidualUnknown)
+	}
+	if !verify.Resilient(p.Routing, 2) {
+		t.Error("checkpointed routing should be 2-resilient")
+	}
+}
+
+// TestBudgetExpiryDegradesReduce: a vanishing reduce budget under an ample
+// overall timeout is absorbed — the pipeline degrades to "no reduction",
+// records an ErrBudget degradation, and still delivers a resilient routing.
+func TestBudgetExpiryDegradesReduce(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	r, rep, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.Combined,
+		Timeout:  time.Hour,
+		Budgets:  resilience.Budgets{Reduce: 1e-15}, // truncates to a 0ns budget: expired from the start
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !verify.Resilient(r, 2) {
+		t.Fatal("routing not 2-resilient")
+	}
+	if rep.Reduced {
+		t.Error("reduction reported despite its budget expiring")
+	}
+	if !rep.Degraded() {
+		t.Fatal("budget expiry not recorded")
+	}
+	deg := rep.Degradations[0]
+	if deg.Stage != resilience.StageReduce {
+		t.Errorf("degradation stage = %q, want %q", deg.Stage, resilience.StageReduce)
+	}
+	if !errors.Is(deg.Cause, resilience.ErrBudget) || !errors.Is(deg.Cause, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want ErrBudget joined with DeadlineExceeded", deg.Cause)
+	}
+}
+
+// TestBudgetExpiryFatalAtHeuristic: the heuristic has no fallback, so its
+// budget expiring is fatal — but distinguishable from an overall timeout via
+// ErrBudget.
+func TestBudgetExpiryFatalAtHeuristic(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	_, _, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Timeout:  time.Hour,
+		Budgets:  resilience.Budgets{Heuristic: 1e-15},
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errors.Is(err, resilience.ErrBudget) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want ErrBudget joined with DeadlineExceeded", err)
+	}
+	if _, ok := resilience.AsPartial(err); ok {
+		t.Error("no checkpoint exists before the heuristic; err must not be a Partial")
+	}
+}
+
+// TestRepairStandalonePartial: the standalone repair entry point, killed by
+// node-limit exhaustion, returns a Partial carrying the *input* routing and
+// its residual failing deliveries — the caller learns exactly what still
+// fails.
+func TestRepairStandalonePartial(t *testing.T) {
+	faultinject.LeakCheck(t)
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	vrep, err := verify.Check(ctx, r, 2, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageRepair, Kind: faultinject.NodeLimit,
+	})
+	out, rerr := resilience.Repair(ctx, r, 2, resilience.Options{Hook: inj})
+	if out != nil {
+		t.Error("outcome returned alongside a Partial")
+	}
+	p, ok := resilience.AsPartial(rerr)
+	if !ok {
+		t.Fatalf("err = %v, want *Partial", rerr)
+	}
+	if !errors.Is(rerr, bdd.ErrNodeLimit) {
+		t.Errorf("err = %v, want to unwrap to bdd.ErrNodeLimit", rerr)
+	}
+	if len(p.Residual) != len(vrep.Failing) {
+		t.Errorf("Partial residual = %d, want the input routing's %d failing deliveries",
+			len(p.Residual), len(vrep.Failing))
+	}
+}
+
+// TestRepairCancellation: cancelling mid-repair surfaces context.Canceled
+// through the Partial, preserving timeout-vs-memout classification for the
+// benchmark harness.
+func TestRepairCancellation(t *testing.T) {
+	n := papernet.Figure1()
+	r := papernet.Figure1bRouting(n)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageRepair, Kind: faultinject.Cancel,
+	}).BindCancel(cancel)
+	_, err := resilience.Repair(cctx, r, 2, resilience.Options{Hook: inj})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to unwrap to context.Canceled", err)
+	}
+	if _, ok := resilience.AsPartial(err); !ok {
+		t.Errorf("err = %v, want *Partial (verified checkpoint existed)", err)
+	}
+}

@@ -69,6 +69,11 @@ type (
 	RepairOutcome = repair.Outcome
 	// VerifyReport is the result of a resilience check.
 	VerifyReport = verify.Report
+	// Partial is the anytime supervisor's salvage result: a run that hit its
+	// deadline, a node limit, or an internal fault still returns the best
+	// routing it had checkpointed, with the residual failing deliveries and a
+	// Degradation report. Extract it from an error with AsPartial.
+	Partial = core.Partial
 )
 
 // Synthesis strategies (paper Figure 7): the SyRep Combined pipeline is the
@@ -83,6 +88,12 @@ const (
 // ErrUnsolvable reports that the chosen strategy could not produce a
 // perfectly k-resilient routing.
 var ErrUnsolvable = core.ErrUnsolvable
+
+// AsPartial extracts the anytime supervisor's typed partial result from an
+// error returned by Synthesize or Repair: a degraded-but-usable routing plus
+// the deliveries still failing. Callers can deploy the partial table
+// immediately and re-run Repair on it later with a fresh budget.
+func AsPartial(err error) (*Partial, bool) { return core.AsPartial(err) }
 
 // NewBuilder starts constructing a network topology.
 func NewBuilder(name string) *Builder { return network.NewBuilder(name) }
