@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # Seed budget for the deterministic fault-injection sweep (faults target).
 FAULTSEEDS ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test race vet lint fuzz-short faults check
+.PHONY: build test race vet lint fuzz-short faults obs check
 
 build:
 	$(GO) build ./...
@@ -38,4 +38,12 @@ fuzz-short:
 faults:
 	SYREP_FAULT_SEEDS=$(FAULTSEEDS) $(GO) test -race -run 'TestFaultMatrix|TestSeededFaults|TestCancellationLatencyBounded' ./internal/resilience/...
 
-check: build vet lint test race faults
+# Observability gate under the race detector: the obs package itself (hammer
+# + zero-alloc + golden exports), the parallel-vs-sequential differential
+# verification suite, and the pipeline-level span/counter consistency tests.
+obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'TestDifferential|TestParallelMaxFailures|TestVerifyCounters' ./internal/verify/
+	$(GO) test -race -run 'Observed|TestObserve' ./internal/resilience/ ./internal/bdd/ ./internal/benchmark/
+
+check: build vet lint test race faults obs

@@ -11,6 +11,7 @@
 //	syrep-bench -fig 7a -max-nodes 24  # smaller suite for laptops
 //	syrep-bench -zoo-dir path/to/zoo   # use the real Topology Zoo dataset
 //	syrep-bench -csv results.csv       # dump raw data for plotting
+//	syrep-bench -metrics-json m.json   # observe runs; dump per-run metrics
 package main
 
 import (
@@ -41,6 +42,8 @@ func run(args []string, w io.Writer) error {
 	seedsPerSize := fs.Int("seeds", 1, "generated instances per size")
 	zooDir := fs.String("zoo-dir", "", "directory of real Topology Zoo .graphml files (optional)")
 	csvPath := fs.String("csv", "", "also write raw results as CSV")
+	metricsJSON := fs.String("metrics-json", "",
+		"observe every run and write the results with per-run metrics as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,39 +54,86 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "suite: %d instances, per-instance timeout %s\n\n", len(suite), *timeout)
 
+	h := &harness{timeout: *timeout, csvPath: *csvPath, metricsJSON: *metricsJSON}
 	ctx := context.Background()
-	switch *fig {
+	if err := dispatch(ctx, w, h, suite, *fig); err != nil {
+		return err
+	}
+	return h.flushMetrics()
+}
+
+func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Instance, fig string) error {
+	switch fig {
 	case "5":
 		return fig5(w, suite)
 	case "7a":
-		return fig7(ctx, w, suite, 2, *timeout, *csvPath, false)
+		return fig7(ctx, w, h, suite, 2, false)
 	case "7b":
-		return fig7(ctx, w, suite, 2, *timeout, *csvPath, true)
+		return fig7(ctx, w, h, suite, 2, true)
 	case "7c":
-		return fig7(ctx, w, suite, 3, *timeout, *csvPath, false)
+		return fig7(ctx, w, h, suite, 3, false)
 	case "7d":
-		return fig7(ctx, w, suite, 3, *timeout, *csvPath, true)
+		return fig7(ctx, w, h, suite, 3, true)
 	case "8", "9":
-		return fig89(ctx, w, suite, *timeout, *csvPath, *fig == "8")
+		return fig89(ctx, w, h, suite, fig == "8")
 	case "all":
 		if err := fig5(w, suite); err != nil {
 			return err
 		}
 		for _, k := range []int{2, 3} {
-			results := runAll(ctx, suite, k, *timeout)
-			if err := renderAll(w, results, k); err != nil {
+			results, err := h.runAll(ctx, suite, k)
+			if err != nil {
 				return err
 			}
-			if *csvPath != "" {
-				if err := appendCSV(*csvPath, results); err != nil {
-					return err
-				}
+			if err := renderAll(w, results, k); err != nil {
+				return err
 			}
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown figure %q", *fig)
+		return fmt.Errorf("unknown figure %q", fig)
 	}
+}
+
+// harness carries the output options shared by every figure run and
+// accumulates results for the final metrics dump.
+type harness struct {
+	timeout     time.Duration
+	csvPath     string
+	metricsJSON string
+	all         []benchmark.Result
+}
+
+func (h *harness) runAll(ctx context.Context, suite []topozoo.Instance, k int) ([]benchmark.Result, error) {
+	results := benchmark.Run(ctx, suite, benchmark.Config{
+		K:       k,
+		Timeout: h.timeout,
+		Observe: h.metricsJSON != "",
+	})
+	h.all = append(h.all, results...)
+	if h.csvPath != "" {
+		if err := appendCSV(h.csvPath, results); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// flushMetrics writes every accumulated result — with its per-run metrics
+// snapshot — as one JSON array.
+func (h *harness) flushMetrics() error {
+	if h.metricsJSON == "" {
+		return nil
+	}
+	f, err := os.Create(h.metricsJSON)
+	if err != nil {
+		return err
+	}
+	if err := benchmark.WriteJSONResults(f, h.all); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildSuite(zooDir string, maxNodes, seeds int) ([]topozoo.Instance, error) {
@@ -106,10 +156,6 @@ func buildSuite(zooDir string, maxNodes, seeds int) ([]topozoo.Instance, error) 
 	return out, nil
 }
 
-func runAll(ctx context.Context, suite []topozoo.Instance, k int, timeout time.Duration) []benchmark.Result {
-	return benchmark.Run(ctx, suite, benchmark.Config{K: k, Timeout: timeout})
-}
-
 func fig5(w io.Writer, suite []topozoo.Instance) error {
 	fmt.Fprintln(w, "== Figure 5: effect of the structural reduction rules ==")
 	if err := benchmark.WriteReductionEffects(w, suite); err != nil {
@@ -119,12 +165,10 @@ func fig5(w io.Writer, suite []topozoo.Instance) error {
 	return nil
 }
 
-func fig7(ctx context.Context, w io.Writer, suite []topozoo.Instance, k int, timeout time.Duration, csvPath string, ratio bool) error {
-	results := runAll(ctx, suite, k, timeout)
-	if csvPath != "" {
-		if err := appendCSV(csvPath, results); err != nil {
-			return err
-		}
+func fig7(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Instance, k int, ratio bool) error {
+	results, err := h.runAll(ctx, suite, k)
+	if err != nil {
+		return err
 	}
 	if ratio {
 		fmt.Fprintf(w, "== Figure 7%s: combined/baseline runtime ratios (k=%d) ==\n", figLetter(k, true), k)
@@ -155,17 +199,15 @@ func figLetter(k int, ratio bool) string {
 	}
 }
 
-func fig89(ctx context.Context, w io.Writer, suite []topozoo.Instance, timeout time.Duration, csvPath string, byEdges bool) error {
+func fig89(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Instance, byEdges bool) error {
 	figName, axis := "9", "nodes"
 	if byEdges {
 		figName, axis = "8", "edges"
 	}
 	for _, k := range []int{2, 3} {
-		results := runAll(ctx, suite, k, timeout)
-		if csvPath != "" {
-			if err := appendCSV(csvPath, results); err != nil {
-				return err
-			}
+		results, err := h.runAll(ctx, suite, k)
+		if err != nil {
+			return err
 		}
 		fmt.Fprintf(w, "== Figure %s: %s vs runtime (combined, k=%d) ==\n", figName, axis, k)
 		if err := benchmark.WriteScatter(w, results, core.Combined, byEdges); err != nil {

@@ -10,6 +10,10 @@
 //	syrep verify     -topo <...> -routing table.json [-k N]
 //	syrep repair     -topo <...> -routing table.json [-k N] [-o repaired.json]
 //	syrep analyze    -topo <...> -routing table.json [-max-k N]
+//
+// The synthesize, verify, and repair subcommands accept -metrics-out (per-run
+// counters and per-stage wall times, JSON or Prometheus text by extension)
+// and -trace-out (the stage span stream as JSON).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"syrep/internal/core"
 	"syrep/internal/network"
+	"syrep/internal/obs"
 	"syrep/internal/reduce"
 	"syrep/internal/routing"
 	"syrep/internal/topozoo"
@@ -63,6 +68,70 @@ func run(args []string, w io.Writer) error {
 
 func usageError() error {
 	return fmt.Errorf("usage: syrep <list|show|reduce|synthesize|verify|repair|analyze> [flags]")
+}
+
+// obsFlags carries the shared observability flags of the synthesize, verify,
+// and repair subcommands.
+type obsFlags struct {
+	metricsOut *string
+	traceOut   *string
+	recorder   *obs.Recorder
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	return &obsFlags{
+		metricsOut: fs.String("metrics-out", "",
+			"write run metrics to this file (JSON when it ends in .json, Prometheus text otherwise)"),
+		traceOut: fs.String("trace-out", "", "write the stage span trace to this file as JSON"),
+	}
+}
+
+// observer builds the run's observer, or returns nil when no output was
+// requested (the pipeline then runs fully unobserved).
+func (o *obsFlags) observer() *obs.Observer {
+	if *o.metricsOut == "" && *o.traceOut == "" {
+		return nil
+	}
+	if *o.traceOut != "" {
+		o.recorder = &obs.Recorder{}
+		return obs.New(o.recorder)
+	}
+	return obs.New(nil)
+}
+
+// flush writes the requested metrics and trace files. It runs even when the
+// run itself failed, so a timed-out run still leaves its measurements behind.
+func (o *obsFlags) flush(ob *obs.Observer, w io.Writer) error {
+	if ob == nil {
+		return nil
+	}
+	if *o.metricsOut != "" {
+		if err := writeFileWith(*o.metricsOut, func(f io.Writer) error {
+			return ob.Snapshot().WriteMetrics(f, *o.metricsOut)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics written to %s\n", *o.metricsOut)
+	}
+	if *o.traceOut != "" {
+		if err := writeFileWith(*o.traceOut, o.recorder.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s\n", *o.traceOut)
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // loadTopology resolves -topo: an embedded instance name or a GraphML file.
@@ -165,6 +234,7 @@ func cmdSynthesize(args []string, w io.Writer) error {
 	strategy := fs.String("strategy", "combined", "baseline|heuristic|reduction|combined")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-run timeout")
 	out := fs.String("o", "", "write the routing table as JSON to this file")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,10 +250,15 @@ func cmdSynthesize(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ob := of.observer()
 	r, rep, err := core.Synthesize(context.Background(), net, d, *k, core.Options{
 		Strategy: s,
 		Timeout:  *timeout,
+		Obs:      ob,
 	})
+	if ferr := of.flush(ob, w); ferr != nil {
+		return ferr
+	}
 	if err != nil {
 		if p, ok := core.AsPartial(err); ok {
 			printPartial(w, p)
@@ -207,6 +282,7 @@ func cmdVerify(args []string, w io.Writer) error {
 	topo := fs.String("topo", "", "topology name or .graphml file")
 	routingPath := fs.String("routing", "", "routing table JSON")
 	k := fs.Int("k", 2, "resilience level")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -218,7 +294,14 @@ func cmdVerify(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := verify.Check(context.Background(), r, *k, verify.Options{})
+	ob := of.observer()
+	_, end := ob.StartStage(context.Background(), "verify")
+	rep, err := verify.Check(context.Background(), r, *k,
+		verify.Options{Counters: ob.Verify()})
+	end()
+	if ferr := of.flush(ob, w); ferr != nil {
+		return ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -248,6 +331,7 @@ func cmdRepair(args []string, w io.Writer) error {
 	k := fs.Int("k", 2, "resilience level")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-run timeout")
 	out := fs.String("o", "", "write the repaired table as JSON to this file")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -259,7 +343,12 @@ func cmdRepair(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	outcome, err := core.Repair(context.Background(), r, *k, core.Options{Timeout: *timeout})
+	ob := of.observer()
+	outcome, err := core.Repair(context.Background(), r, *k,
+		core.Options{Timeout: *timeout, Obs: ob})
+	if ferr := of.flush(ob, w); ferr != nil {
+		return ferr
+	}
 	if err != nil {
 		if p, ok := core.AsPartial(err); ok {
 			printPartial(w, p)

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"syrep/internal/obs"
 )
 
 func runCmd(t *testing.T, args ...string) (string, error) {
@@ -115,6 +118,87 @@ func TestUsageErrors(t *testing.T) {
 		if _, err := runCmd(t, args...); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestMetricsOutConsistency: -metrics-out / -trace-out leave files that agree
+// with the run they describe — the stage spans cover the pipeline, the verify
+// counters are non-zero for a run that verified, and the trace parses.
+func TestMetricsOutConsistency(t *testing.T) {
+	dir := t.TempDir()
+	table := filepath.Join(dir, "table.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+
+	out, err := runCmd(t, "synthesize", "-topo", "Arpanet1970", "-k", "1",
+		"-strategy", "combined", "-o", table,
+		"-metrics-out", metrics, "-trace-out", trace)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	for _, want := range []string{"metrics written to", "trace written to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not a Snapshot: %v", err)
+	}
+	if snap.Counter(obs.VerifyScenarios) == 0 {
+		t.Error("metrics show no verify scenarios for a run that verified")
+	}
+	if snap.StageDuration(obs.SpanTotal) <= 0 {
+		t.Error("metrics carry no total span")
+	}
+	var stageSum int64
+	for name, st := range snap.Stages {
+		if name != obs.SpanTotal {
+			stageSum += st.Nanos
+		}
+	}
+	if stageSum > snap.Stages[obs.SpanTotal].Nanos {
+		t.Errorf("stage time %d exceeds total %d", stageSum, snap.Stages[obs.SpanTotal].Nanos)
+	}
+
+	rawTrace, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []struct {
+		Name       string `json:"name"`
+		DurationNS int64  `json:"duration_ns"`
+	}
+	if err := json.Unmarshal(rawTrace, &spans); err != nil {
+		t.Fatalf("trace file is not a span list: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("trace is empty")
+	}
+	// Every span in the trace aggregates into the snapshot's stage table.
+	for _, s := range spans {
+		if _, ok := snap.Stages[s.Name]; !ok {
+			t.Errorf("trace span %q missing from metrics stage table", s.Name)
+		}
+	}
+
+	// Prometheus flavor: a .prom suffix switches renderers.
+	prom := filepath.Join(dir, "metrics.prom")
+	if _, err := runCmd(t, "verify", "-topo", "Arpanet1970", "-routing", table,
+		"-k", "1", "-metrics-out", prom); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	promRaw, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(promRaw), "# TYPE "+obs.VerifyScenarios+" counter") {
+		t.Errorf("prometheus export missing verify scenarios metric:\n%s", promRaw)
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"syrep/internal/obs"
 )
 
 // Ref references a BDD node inside its Manager. The constants False and True
@@ -71,6 +73,32 @@ type Manager struct {
 
 	// Stats counts operations for benchmarking and tuning.
 	Stats Stats
+
+	// Observability taps (see Observe). Each is nil when no observer is
+	// attached, and obs.Counter/Gauge methods are no-ops on nil receivers,
+	// so the unobserved hot path costs one predictable nil check per op.
+	obsMk, obsAlloc, obsCacheHit, obsCacheMiss *obs.Counter
+	obsGC, obsFreed, obsReorders               *obs.Counter
+	obsPeak                                    *obs.Gauge
+}
+
+// Observe attaches the obs counter bundle c to the Manager so hot-path
+// events (mk calls, node allocations, apply-cache hits/misses, GC runs,
+// freed nodes, reorder passes, peak live nodes) stream into it atomically.
+// Passing nil detaches. The per-Manager Stats field keeps counting either
+// way; Observe adds a cross-Manager, goroutine-safe aggregation channel for
+// the observability layer.
+func (m *Manager) Observe(c *obs.BDDCounters) {
+	if c == nil {
+		m.obsMk, m.obsAlloc, m.obsCacheHit, m.obsCacheMiss = nil, nil, nil, nil
+		m.obsGC, m.obsFreed, m.obsReorders = nil, nil, nil
+		m.obsPeak = nil
+		return
+	}
+	m.obsMk, m.obsAlloc = c.MkCalls, c.NodesAllocated
+	m.obsCacheHit, m.obsCacheMiss = c.CacheHits, c.CacheMisses
+	m.obsGC, m.obsFreed, m.obsReorders = c.GCRuns, c.NodesFreed, c.Reorders
+	m.obsPeak = c.PeakNodes
 }
 
 // Stats aggregates operation counters.
@@ -190,6 +218,7 @@ func (m *Manager) Lit(v Var, positive bool) Ref {
 // rules (low == high elimination, hash-consing).
 func (m *Manager) mk(level Var, low, high Ref) Ref {
 	m.Stats.MkCalls++
+	m.obsMk.Inc()
 	if low == high {
 		return low
 	}
@@ -211,6 +240,8 @@ func (m *Manager) mk(level Var, low, high Ref) Ref {
 		m.nodes = append(m.nodes, node{level: level, low: low, high: high})
 	}
 	m.unique[key] = r
+	m.obsAlloc.Inc()
+	m.obsPeak.SetMax(int64(m.NumNodes()))
 	return r
 }
 

@@ -14,6 +14,7 @@ import "sort"
 // number of freed nodes.
 func (m *Manager) GC() int {
 	m.Stats.GCs++
+	m.obsGC.Inc()
 	marked := make([]bool, len(m.nodes))
 	marked[False] = true
 	marked[True] = true
@@ -62,6 +63,7 @@ func (m *Manager) GC() int {
 	m.cache = make(map[cacheKey]Ref, 1024)
 	freed := len(m.free) - freedBefore
 	m.Stats.NodesFreed += int64(freed)
+	m.obsFreed.Add(int64(freed))
 	return freed
 }
 

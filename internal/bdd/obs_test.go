@@ -1,0 +1,108 @@
+package bdd_test
+
+import (
+	"testing"
+
+	"syrep/internal/bdd"
+	"syrep/internal/obs"
+)
+
+// buildAndChurn creates some structure, garbage-collects, and reorders, so
+// every instrumented code path fires at least once. On repeat calls it
+// reuses the manager's existing variables (declaring new ones after a
+// reorder is not supported).
+func buildAndChurn(t *testing.T, m *bdd.Manager) {
+	t.Helper()
+	var vars []bdd.Var
+	if m.NumVars() == 0 {
+		vars = m.NewVars("x", 6)
+	} else {
+		for v := 0; v < m.NumVars(); v++ {
+			vars = append(vars, bdd.Var(v))
+		}
+	}
+	var f bdd.Ref = bdd.True
+	err := m.Protect(func() error {
+		for _, v := range vars {
+			f = m.And(f, m.Or(m.VarRef(v), m.NVarRef(vars[0])))
+			m.Ref(f)
+		}
+		// Re-run an op to hit the apply cache.
+		_ = m.And(m.VarRef(vars[1]), m.VarRef(vars[2]))
+		_ = m.And(m.VarRef(vars[1]), m.VarRef(vars[2]))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GC()
+	m.Reorder(bdd.ReorderConfig{})
+}
+
+// TestObserveTapsMirrorStats: with an observer attached, the atomic taps see
+// exactly what the Manager's own (non-atomic, per-Manager) Stats see.
+func TestObserveTapsMirrorStats(t *testing.T) {
+	o := obs.New(nil)
+	m := bdd.New()
+	m.Observe(o.BDD())
+	buildAndChurn(t, m)
+	snap := o.Snapshot()
+	if got, want := snap.Counter(obs.BDDMkCalls), m.Stats.MkCalls; got != want {
+		t.Errorf("mk calls: counter %d, Stats %d", got, want)
+	}
+	if got, want := snap.Counter(obs.BDDCacheHits), m.Stats.CacheHits; got != want {
+		t.Errorf("cache hits: counter %d, Stats %d", got, want)
+	}
+	if got, want := snap.Counter(obs.BDDCacheMisses), m.Stats.CacheMiss; got != want {
+		t.Errorf("cache misses: counter %d, Stats %d", got, want)
+	}
+	if got, want := snap.Counter(obs.BDDGCRuns), m.Stats.GCs; got != want {
+		t.Errorf("gc runs: counter %d, Stats %d", got, want)
+	}
+	if got, want := snap.Counter(obs.BDDNodesFreed), m.Stats.NodesFreed; got != want {
+		t.Errorf("nodes freed: counter %d, Stats %d", got, want)
+	}
+	if got, want := snap.Counter(obs.BDDReorders), m.Stats.Reorders; got != want {
+		t.Errorf("reorders: counter %d, Stats %d", got, want)
+	}
+	if snap.Counter(obs.BDDCacheHits) == 0 {
+		t.Error("fixture never hit the apply cache")
+	}
+	if snap.Counter(obs.BDDGCRuns) == 0 || snap.Counter(obs.BDDReorders) == 0 {
+		t.Error("fixture never collected or reordered")
+	}
+	if alloc := snap.Counter(obs.BDDNodesAllocated); alloc <= 0 {
+		t.Errorf("nodes allocated = %d, want > 0", alloc)
+	}
+	if peak := snap.Gauge(obs.BDDPeakNodes); peak < int64(m.NumNodes()) {
+		t.Errorf("peak gauge %d below live node count %d", peak, m.NumNodes())
+	}
+}
+
+// TestObserveDetach: Observe(nil) detaches the taps; further work must not
+// move the counters.
+func TestObserveDetach(t *testing.T) {
+	o := obs.New(nil)
+	m := bdd.New()
+	m.Observe(o.BDD())
+	buildAndChurn(t, m)
+	before := o.Snapshot().Counter(obs.BDDMkCalls)
+	if before == 0 {
+		t.Fatal("no mk calls observed before detach")
+	}
+	m.Observe(nil)
+	buildAndChurn(t, m)
+	if after := o.Snapshot().Counter(obs.BDDMkCalls); after != before {
+		t.Errorf("detached manager still counted: %d -> %d", before, after)
+	}
+}
+
+// TestUnobservedManagerRuns: the default Manager (nil taps everywhere) works
+// and keeps its Stats, proving the nil fast path is exercised by every op.
+func TestUnobservedManagerRuns(t *testing.T) {
+	m := bdd.New()
+	buildAndChurn(t, m)
+	if m.Stats.MkCalls == 0 {
+		t.Error("Stats.MkCalls = 0")
+	}
+}

@@ -60,8 +60,10 @@ func (m *Manager) cacheGet(k cacheKey) (Ref, bool) {
 	r, ok := m.cache[k]
 	if ok {
 		m.Stats.CacheHits++
+		m.obsCacheHit.Inc()
 	} else {
 		m.Stats.CacheMiss++
+		m.obsCacheMiss.Inc()
 	}
 	return r, ok
 }

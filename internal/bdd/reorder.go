@@ -267,6 +267,7 @@ func (m *Manager) Reorder(cfg ReorderConfig) {
 		}
 	}
 	m.Stats.Reorders++
+	m.obsReorders.Inc()
 }
 
 // siftVar moves v through the order and parks it at the best position,

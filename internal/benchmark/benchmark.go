@@ -8,6 +8,7 @@ package benchmark
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -17,7 +18,9 @@ import (
 	"syrep/internal/bdd"
 	"syrep/internal/core"
 	"syrep/internal/encode"
+	"syrep/internal/obs"
 	"syrep/internal/reduce"
+	"syrep/internal/resilience"
 	"syrep/internal/topozoo"
 )
 
@@ -50,6 +53,11 @@ type Result struct {
 	// was initiated only for 41 networks").
 	RepairUsed bool
 	Err        string
+	// Metrics is the run's observability snapshot (per-stage wall times and
+	// subsystem counters), collected when Config.Observe is set; nil
+	// otherwise. Each run gets its own obs.Observer, so counts are
+	// per-(instance, method, k).
+	Metrics *obs.Snapshot
 }
 
 // Config drives a benchmark run.
@@ -64,6 +72,10 @@ type Config struct {
 	// NodeLimit caps BDD nodes per run (a memory analogue of the paper's
 	// 128 GB limit).
 	NodeLimit int
+	// Observe attaches a fresh obs.Observer to every run and stores its
+	// snapshot in Result.Metrics, adding per-stage timing and counter
+	// columns to the CSV/JSON outputs.
+	Observe bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,13 +109,22 @@ func runOne(ctx context.Context, inst topozoo.Instance, m core.Strategy, cfg Con
 		Method:   m,
 		K:        cfg.K,
 	}
+	var ob *obs.Observer
+	if cfg.Observe {
+		ob = obs.New(nil)
+	}
 	start := time.Now()
 	_, rep, err := core.Synthesize(ctx, inst.Net, inst.Dest, cfg.K, core.Options{
 		Strategy: m,
 		Timeout:  cfg.Timeout,
 		Encode:   encode.Options{NodeLimit: cfg.NodeLimit},
+		Obs:      ob,
 	})
 	res.Elapsed = time.Since(start)
+	if ob != nil {
+		snap := ob.Snapshot()
+		res.Metrics = &snap
+	}
 	if rep != nil {
 		res.RepairUsed = rep.ReducedRepairUsed || rep.ExpansionRepairUsed ||
 			(m == core.HeuristicOnly && !rep.HeuristicWasResilient)
@@ -440,18 +461,103 @@ func WriteReductionEffects(w io.Writer, instances []topozoo.Instance) error {
 	return nil
 }
 
-// WriteCSV emits the raw results as CSV for external plotting.
+// metricStages lists the pipeline stages exported as per-row CSV timing
+// columns, in pipeline order.
+var metricStages = []resilience.Stage{
+	resilience.StageReduce, resilience.StageHeuristic, resilience.StageSynth,
+	resilience.StageVerifyReduced, resilience.StageRepairReduced,
+	resilience.StageExpand, resilience.StageVerify, resilience.StageRepair,
+	resilience.StageFinalVerify,
+}
+
+// metricCounters lists the subsystem counters exported as per-row CSV
+// columns, paired with their headers.
+var metricCounters = []struct{ header, name string }{
+	{"bdd_mk_calls", obs.BDDMkCalls},
+	{"bdd_peak_nodes", obs.BDDPeakNodes},
+	{"verify_scenarios", obs.VerifyScenarios},
+	{"verify_traces", obs.VerifyTraces},
+	{"repair_iterations", obs.RepairIterations},
+}
+
+// WriteCSV emits the raw results as CSV for external plotting. Rows carry
+// per-stage wall-time and counter columns, zero when the run was not
+// observed (Config.Observe unset).
 func WriteCSV(w io.Writer, results []Result) error {
-	if _, err := fmt.Fprintln(w, "instance,nodes,edges,method,k,solved,timedout,partial,residual,stage,repair,elapsed_us,err"); err != nil {
+	header := "instance,nodes,edges,method,k,solved,timedout,partial,residual,stage,repair,elapsed_us,err"
+	for _, st := range metricStages {
+		header += fmt.Sprintf(",%s_us", st)
+	}
+	for _, c := range metricCounters {
+		header += "," + c.header
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, r := range results {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%t,%t,%t,%d,%s,%t,%d,%q\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%d,%t,%t,%t,%d,%s,%t,%d,%q",
 			r.Instance, r.Nodes, r.Edges, r.Method, r.K, r.Solved, r.TimedOut,
 			r.Partial, r.Residual, r.DegradedStage,
 			r.RepairUsed, r.Elapsed.Microseconds(), r.Err); err != nil {
 			return err
 		}
+		var snap obs.Snapshot
+		if r.Metrics != nil {
+			snap = *r.Metrics
+		}
+		for _, st := range metricStages {
+			if _, err := fmt.Fprintf(w, ",%d", snap.StageDuration(string(st)).Microseconds()); err != nil {
+				return err
+			}
+		}
+		for _, c := range metricCounters {
+			v := snap.Counter(c.name)
+			if c.name == obs.BDDPeakNodes {
+				v = snap.Gauge(c.name)
+			}
+			if _, err := fmt.Fprintf(w, ",%d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// WriteJSONResults emits the results — including the full per-run metrics
+// snapshot when present — as an indented JSON array, for the benchmark
+// driver's --metrics-json output and the CI smoke-run artifact.
+func WriteJSONResults(w io.Writer, results []Result) error {
+	type row struct {
+		Instance  string        `json:"instance"`
+		Nodes     int           `json:"nodes"`
+		Edges     int           `json:"edges"`
+		Method    string        `json:"method"`
+		K         int           `json:"k"`
+		Solved    bool          `json:"solved"`
+		TimedOut  bool          `json:"timedout"`
+		MemOut    bool          `json:"memout"`
+		Partial   bool          `json:"partial"`
+		Residual  int           `json:"residual"`
+		Stage     string        `json:"stage,omitempty"`
+		Repair    bool          `json:"repair"`
+		ElapsedUS int64         `json:"elapsed_us"`
+		Err       string        `json:"err,omitempty"`
+		Metrics   *obs.Snapshot `json:"metrics,omitempty"`
+	}
+	rows := make([]row, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, row{
+			Instance: r.Instance, Nodes: r.Nodes, Edges: r.Edges,
+			Method: r.Method.String(), K: r.K, Solved: r.Solved,
+			TimedOut: r.TimedOut, MemOut: r.MemOut, Partial: r.Partial,
+			Residual: r.Residual, Stage: r.DegradedStage, Repair: r.RepairUsed,
+			ElapsedUS: r.Elapsed.Microseconds(), Err: r.Err, Metrics: r.Metrics,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }

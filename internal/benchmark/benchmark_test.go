@@ -2,6 +2,7 @@ package benchmark_test
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"syrep/internal/benchmark"
 	"syrep/internal/core"
+	"syrep/internal/obs"
 	"syrep/internal/papernet"
 	"syrep/internal/topozoo"
 )
@@ -184,6 +186,79 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "instance,") {
 		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// TestObserveAttachesMetrics: Config.Observe gives every result a snapshot,
+// and both renderers surface the per-stage and counter columns.
+func TestObserveAttachesMetrics(t *testing.T) {
+	fig1 := papernet.Figure1()
+	inst := []topozoo.Instance{{Name: "fig1", Net: fig1, Dest: papernet.Figure1Dest(fig1)}}
+	results := benchmark.Run(ctx, inst, benchmark.Config{
+		K:       2,
+		Timeout: 30 * time.Second,
+		Methods: []core.Strategy{core.Combined},
+		Observe: true,
+	})
+	if len(results) != 1 {
+		t.Fatalf("results = %d, want 1", len(results))
+	}
+	r := results[0]
+	if !r.Solved {
+		t.Fatalf("fig1 not solved: %s", r.Err)
+	}
+	if r.Metrics == nil {
+		t.Fatal("Observe set but Result.Metrics is nil")
+	}
+	if r.Metrics.Counter(obs.VerifyScenarios) == 0 {
+		t.Error("observed run counted no verify scenarios")
+	}
+	if r.Metrics.StageDuration(obs.SpanTotal) <= 0 {
+		t.Error("observed run recorded no total span")
+	}
+
+	var csv strings.Builder
+	if err := benchmark.WriteCSV(&csv, results); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	for _, col := range []string{"heuristic_us", "verify_us", "bdd_mk_calls", "verify_scenarios"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("CSV header missing %q: %s", col, header)
+		}
+	}
+
+	var js strings.Builder
+	if err := benchmark.WriteJSONResults(&js, results); err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Instance string        `json:"instance"`
+		Metrics  *obs.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &rows); err != nil {
+		t.Fatalf("WriteJSONResults output does not parse: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Metrics == nil {
+		t.Fatalf("JSON rows = %+v, want one row with metrics", rows)
+	}
+	if rows[0].Metrics.Counter(obs.VerifyScenarios) != r.Metrics.Counter(obs.VerifyScenarios) {
+		t.Error("JSON metrics drifted from the in-memory snapshot")
+	}
+
+	// Unobserved runs must leave Metrics nil and omit it from the JSON.
+	plain := benchmark.Run(ctx, inst, benchmark.Config{
+		K: 2, Timeout: 30 * time.Second, Methods: []core.Strategy{core.Combined},
+	})
+	if plain[0].Metrics != nil {
+		t.Error("unobserved run carries metrics")
+	}
+	var js2 strings.Builder
+	if err := benchmark.WriteJSONResults(&js2, plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js2.String(), `"metrics"`) {
+		t.Error("unobserved JSON row still has a metrics key")
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"syrep/internal/bdd"
 	"syrep/internal/bvec"
 	"syrep/internal/network"
+	"syrep/internal/obs"
 	"syrep/internal/routing"
 	"syrep/internal/trace"
 )
@@ -66,6 +67,11 @@ type Options struct {
 	// that no protected refs leak on any exit path) and must not retain the
 	// manager past the solve.
 	ManagerHook func(*bdd.Manager)
+	// Counters, when non-nil, receives the BDD engine's counter stream for
+	// the solve: the manager is attached to it right after creation (see
+	// bdd.Manager.Observe). Nil means unobserved — the engine's hot paths
+	// then cost one nil check per op.
+	Counters *obs.BDDCounters
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +157,7 @@ func Solve(ctx context.Context, r *routing.Routing, k int, opts Options) (*Solut
 	if opts.ManagerHook != nil {
 		opts.ManagerHook(s.m)
 	}
+	s.m.Observe(opts.Counters)
 	var sol *Solution
 	err := s.m.Protect(func() error {
 		var err error

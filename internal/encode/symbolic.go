@@ -61,6 +61,7 @@ func BuildSymbolic(ctx context.Context, r *routing.Routing, k int, opts Options)
 	if opts.ManagerHook != nil {
 		opts.ManagerHook(m)
 	}
+	m.Observe(opts.Counters)
 	s := &Symbolic{M: m, r: r, k: k}
 	err := m.Protect(func() error { return s.build(ctx) })
 	if err != nil {

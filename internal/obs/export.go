@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file renders snapshots and span streams for humans and scrapers:
+// an expvar-style JSON dump, a Prometheus text exposition, and the
+// in-memory span Recorder behind --trace-out. Output is byte-deterministic
+// for a given snapshot (keys sorted), which the golden-file test locks in.
+
+// WriteJSON emits the snapshot as an indented JSON document. Map keys are
+// sorted by encoding/json, so the output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format: every counter and gauge under its canonical name, and the stage
+// aggregates as syrep_stage_runs_total{stage="..."} and
+// syrep_stage_seconds_sum{stage="..."}.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	if len(s.Stages) == 0 {
+		return nil
+	}
+	names = names[:0]
+	for name := range s.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "# TYPE syrep_stage_runs_total counter\n"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "syrep_stage_runs_total{stage=%q} %d\n", name, s.Stages[name].Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE syrep_stage_seconds_sum counter\n"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		sec := float64(s.Stages[name].Nanos) / float64(time.Second)
+		if _, err := fmt.Fprintf(w, "syrep_stage_seconds_sum{stage=%q} %.9f\n", name, sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetrics renders the snapshot to w, choosing the format from path:
+// JSON when it ends in ".json", Prometheus text otherwise. The CLIs route
+// --metrics-out through this single switch.
+func (s Snapshot) WriteMetrics(w io.Writer, path string) error {
+	if strings.HasSuffix(path, ".json") {
+		return s.WriteJSON(w)
+	}
+	return s.WritePrometheus(w)
+}
+
+// Recorder is an in-memory Sink retaining every span in completion order.
+// It backs --trace-out and span assertions in tests.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span implements Sink.
+func (r *Recorder) Span(s Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// spanJSON is the --trace-out wire shape of one span.
+type spanJSON struct {
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	End        time.Time `json:"end"`
+	DurationNS int64     `json:"duration_ns"`
+}
+
+// WriteJSON emits the recorded spans as an indented JSON array in
+// completion order.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	spans := r.Spans()
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = spanJSON{Name: s.Name, Start: s.Start, End: s.End, DurationNS: int64(s.Duration())}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,408 @@
+// Package obs is SyRep's zero-dependency observability layer. It exists
+// because the paper's headline claim is about *where the time goes*
+// (verify/repair on a reduced network is orders of magnitude cheaper than
+// full BDD synthesis, Fig. 6 and Tables I–II), and reproducing that claim at
+// production scale requires structured measurements rather than ad-hoc
+// prints.
+//
+// Three primitives:
+//
+//   - Stage spans: StartStage records a wall-clock span per pipeline stage
+//     (reduce, heuristic, synth, verify, repair, expand, ...) and attaches
+//     runtime/pprof goroutine labels, so CPU profiles attribute samples to
+//     stages ("go tool pprof" tags view).
+//
+//   - Atomic counters and gauges: hot subsystems (the BDD engine, the
+//     brute-force verifier, the repair loop) hold *Counter taps that stay
+//     nil when no observer is attached. The disabled path is a single
+//     predictable nil check — no allocation, no atomic, no branch
+//     misprediction in steady state — so instrumentation stays compiled-in.
+//
+//   - Sinks and exporters: a Sink receives each completed span (the
+//     in-memory Recorder retains them for --trace-out); Snapshot copies
+//     every counter, gauge, and per-stage aggregate for an expvar-style
+//     JSON dump or a Prometheus text exposition (export.go).
+//
+// An Observer is cheap (a few small maps) and is typically created per run,
+// giving per-run isolation of counts; nothing in this package is global.
+// All methods are safe on nil receivers so call sites need no guards.
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageLabel is the pprof label key under which stage spans tag goroutines.
+// Profile samples taken while a stage runs carry {StageLabel: stageName}.
+const StageLabel = "syrep_stage"
+
+// Canonical metric names. Exporters emit them verbatim, so they double as
+// the export schema (locked by the golden-file test).
+const (
+	BDDMkCalls        = "syrep_bdd_mk_calls_total"
+	BDDNodesAllocated = "syrep_bdd_nodes_allocated_total"
+	BDDCacheHits      = "syrep_bdd_cache_hits_total"
+	BDDCacheMisses    = "syrep_bdd_cache_misses_total"
+	BDDGCRuns         = "syrep_bdd_gc_runs_total"
+	BDDNodesFreed     = "syrep_bdd_nodes_freed_total"
+	BDDReorders       = "syrep_bdd_reorders_total"
+	BDDPeakNodes      = "syrep_bdd_peak_nodes"
+
+	VerifyScenarios = "syrep_verify_scenarios_total"
+	VerifyTraces    = "syrep_verify_traces_total"
+	VerifyFailing   = "syrep_verify_failing_total"
+	VerifyCollected = "syrep_verify_collected_total"
+
+	RepairIterations   = "syrep_repair_iterations_total"
+	RepairHolesPunched = "syrep_repair_holes_punched_total"
+)
+
+// SpanTotal is the span name of the Synthesize/Repair entry points; stage
+// spans nest inside it, so summing stage durations never exceeds the total.
+const SpanTotal = "total"
+
+// Counter is a monotonically increasing, goroutine-safe counter. The zero
+// value is ready to use. A nil *Counter is a valid no-op target: hot paths
+// hold *Counter taps that stay nil when no observer is attached, making the
+// disabled path a single predictable nil check with zero allocations.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for a nil receiver).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a goroutine-safe instantaneous value. The zero value is ready to
+// use and a nil *Gauge is a valid no-op target, like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// SetMax raises the gauge to n when n exceeds the current value — the
+// high-water-mark update used for peak BDD node counts. Safe on a nil
+// receiver (no-op).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 for a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Span is one completed stage interval.
+type Span struct {
+	// Name is the stage name (a resilience.Stage string, or SpanTotal).
+	Name string
+	// Start and End bound the interval in wall-clock time.
+	Start, End time.Time
+}
+
+// Duration returns the span's wall time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Sink receives completed spans as they end. Implementations must be safe
+// for concurrent use; they are called synchronously from the instrumented
+// goroutine, so they should be fast.
+type Sink interface {
+	Span(Span)
+}
+
+// BDDCounters are the taps the BDD engine registers (bdd.Manager.Observe):
+// node allocations and peak, hash-consing traffic, apply-cache hit rate,
+// garbage collection, and reordering passes.
+type BDDCounters struct {
+	MkCalls        *Counter
+	NodesAllocated *Counter
+	CacheHits      *Counter
+	CacheMisses    *Counter
+	GCRuns         *Counter
+	NodesFreed     *Counter
+	Reorders       *Counter
+	PeakNodes      *Gauge
+}
+
+// VerifyCounters are the taps the brute-force verifier registers: scenarios
+// examined, traces followed, failing deliveries reported, and (parallel
+// mode only) deliveries buffered by workers before the ordered merge.
+type VerifyCounters struct {
+	Scenarios *Counter
+	Traces    *Counter
+	Failing   *Counter
+	Collected *Counter
+}
+
+// RepairCounters are the taps the repair engine registers: BDD solve
+// iterations (one per attempted hole set) and holes punched across them.
+type RepairCounters struct {
+	Iterations   *Counter
+	HolesPunched *Counter
+}
+
+// stageAgg accumulates the per-stage span aggregate.
+type stageAgg struct {
+	count int64
+	nanos int64
+}
+
+// Observer owns a run's counters, gauges, and stage aggregates, and fans
+// completed spans out to an optional Sink. All methods are safe on a nil
+// *Observer, returning nil taps and no-op closures, so an unobserved run
+// costs only nil checks.
+type Observer struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	stages   map[string]*stageAgg
+	sink     Sink
+
+	bddC    *BDDCounters
+	verifyC *VerifyCounters
+	repairC *RepairCounters
+}
+
+// New returns an Observer forwarding spans to sink (which may be nil).
+func New(sink Sink) *Observer {
+	return &Observer{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		stages:   make(map[string]*stageAgg),
+		sink:     sink,
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// Observer returns a nil (no-op) counter.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.counterLocked(name)
+}
+
+func (o *Observer) counterLocked(name string) *Counter {
+	c, ok := o.counters[name]
+	if !ok {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil Observer
+// returns a nil (no-op) gauge.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.gaugeLocked(name)
+}
+
+func (o *Observer) gaugeLocked(name string) *Gauge {
+	g, ok := o.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// BDD returns the BDD counter bundle under the canonical names. A nil
+// Observer returns nil, which every consumer accepts as "unobserved".
+func (o *Observer) BDD() *BDDCounters {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.bddC == nil {
+		o.bddC = &BDDCounters{
+			MkCalls:        o.counterLocked(BDDMkCalls),
+			NodesAllocated: o.counterLocked(BDDNodesAllocated),
+			CacheHits:      o.counterLocked(BDDCacheHits),
+			CacheMisses:    o.counterLocked(BDDCacheMisses),
+			GCRuns:         o.counterLocked(BDDGCRuns),
+			NodesFreed:     o.counterLocked(BDDNodesFreed),
+			Reorders:       o.counterLocked(BDDReorders),
+			PeakNodes:      o.gaugeLocked(BDDPeakNodes),
+		}
+	}
+	return o.bddC
+}
+
+// Verify returns the verifier counter bundle under the canonical names. A
+// nil Observer returns nil.
+func (o *Observer) Verify() *VerifyCounters {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.verifyC == nil {
+		o.verifyC = &VerifyCounters{
+			Scenarios: o.counterLocked(VerifyScenarios),
+			Traces:    o.counterLocked(VerifyTraces),
+			Failing:   o.counterLocked(VerifyFailing),
+			Collected: o.counterLocked(VerifyCollected),
+		}
+	}
+	return o.verifyC
+}
+
+// Repair returns the repair counter bundle under the canonical names. A nil
+// Observer returns nil.
+func (o *Observer) Repair() *RepairCounters {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.repairC == nil {
+		o.repairC = &RepairCounters{
+			Iterations:   o.counterLocked(RepairIterations),
+			HolesPunched: o.counterLocked(RepairHolesPunched),
+		}
+	}
+	return o.repairC
+}
+
+var nop = func() {}
+
+// StartStage opens a span named name and tags the current goroutine (and
+// any goroutines it spawns, e.g. parallel verify workers) with the
+// {StageLabel: name} pprof label. The returned context carries the label
+// set; pass it to the stage's work. The returned func ends the span,
+// restores the previous goroutine labels, and forwards the span to the
+// sink. A nil Observer returns ctx unchanged and a no-op func.
+func (o *Observer) StartStage(ctx context.Context, name string) (context.Context, func()) {
+	if o == nil {
+		return ctx, nop
+	}
+	start := time.Now()
+	lctx := pprof.WithLabels(ctx, pprof.Labels(StageLabel, name))
+	pprof.SetGoroutineLabels(lctx)
+	return lctx, func() {
+		pprof.SetGoroutineLabels(ctx)
+		o.RecordSpan(Span{Name: name, Start: start, End: time.Now()})
+	}
+}
+
+// RecordSpan folds a completed span into the per-stage aggregate and
+// forwards it to the sink. Exposed so tests and external harnesses can
+// inject spans with fixed timestamps. Safe on a nil Observer (no-op).
+func (o *Observer) RecordSpan(s Span) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	agg, ok := o.stages[s.Name]
+	if !ok {
+		agg = &stageAgg{}
+		o.stages[s.Name] = agg
+	}
+	agg.count++
+	agg.nanos += int64(s.Duration())
+	sink := o.sink
+	o.mu.Unlock()
+	if sink != nil {
+		sink.Span(s)
+	}
+}
+
+// StageStat is the aggregate of all spans sharing a name.
+type StageStat struct {
+	// Count is the number of completed spans.
+	Count int64 `json:"count"`
+	// Nanos is the summed wall time in nanoseconds.
+	Nanos int64 `json:"nanos"`
+}
+
+// Duration returns the summed wall time.
+func (s StageStat) Duration() time.Duration { return time.Duration(s.Nanos) }
+
+// Snapshot is a point-in-time copy of every counter, gauge, and stage
+// aggregate. It is the unit of export: WriteJSON and WritePrometheus render
+// it, and benchmark results embed it per run.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]int64     `json:"gauges"`
+	Stages   map[string]StageStat `json:"stages"`
+}
+
+// Snapshot copies the current state. Counters touched concurrently during
+// the copy land in either the old or new value — each counter is read
+// atomically. A nil Observer returns an empty (but non-nil-mapped)
+// snapshot.
+func (o *Observer) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Stages:   map[string]StageStat{},
+	}
+	if o == nil {
+		return snap
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		snap.Counters[name] = c.Load()
+	}
+	for name, g := range o.gauges {
+		snap.Gauges[name] = g.Load()
+	}
+	for name, agg := range o.stages {
+		snap.Stages[name] = StageStat{Count: agg.count, Nanos: agg.nanos}
+	}
+	return snap
+}
+
+// Counter returns a counter's snapshotted value (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge's snapshotted value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// StageDuration returns the summed wall time of a stage's spans (0 when the
+// stage never ran).
+func (s Snapshot) StageDuration(name string) time.Duration {
+	return s.Stages[name].Duration()
+}

@@ -1,0 +1,212 @@
+package obs_test
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+)
+
+// TestNilTapsAreNoOps: every Counter/Gauge method must be callable through a
+// nil pointer — that is the contract the instrumented hot paths rely on.
+func TestNilTapsAreNoOps(t *testing.T) {
+	var c *obs.Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Errorf("nil counter Load = %d, want 0", c.Load())
+	}
+	var g *obs.Gauge
+	g.Set(7)
+	g.SetMax(9)
+	if g.Load() != 0 {
+		t.Errorf("nil gauge Load = %d, want 0", g.Load())
+	}
+}
+
+// TestNilFastPathAllocs locks in the acceptance criterion: the unobserved
+// counter path (nil taps, nil Observer) performs zero allocations.
+func TestNilFastPathAllocs(t *testing.T) {
+	var c *obs.Counter
+	var g *obs.Gauge
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(1)
+		g.SetMax(2)
+	}); n != 0 {
+		t.Errorf("nil tap fast path allocates %v per run, want 0", n)
+	}
+	var o *obs.Observer
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		_, end := o.StartStage(ctx, "verify")
+		end()
+	}); n != 0 {
+		t.Errorf("nil observer StartStage allocates %v per run, want 0", n)
+	}
+}
+
+// TestAttachedCounterAllocs: even with an observer attached, the per-event
+// cost is one atomic add — no allocation.
+func TestAttachedCounterAllocs(t *testing.T) {
+	o := obs.New(nil)
+	c := o.Counter("x")
+	g := o.Gauge("y")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.SetMax(4)
+	}); n != 0 {
+		t.Errorf("attached tap path allocates %v per run, want 0", n)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	o := obs.New(nil)
+	c := o.Counter("c")
+	c.Add(2)
+	c.Inc()
+	if c.Load() != 3 {
+		t.Errorf("counter = %d, want 3", c.Load())
+	}
+	if o.Counter("c") != c {
+		t.Error("Counter(name) must return the same instance")
+	}
+	g := o.Gauge("g")
+	g.Set(10)
+	g.SetMax(7) // lower: no effect
+	if g.Load() != 10 {
+		t.Errorf("gauge = %d, want 10 (SetMax must not lower)", g.Load())
+	}
+	g.SetMax(12)
+	if g.Load() != 12 {
+		t.Errorf("gauge = %d, want 12", g.Load())
+	}
+}
+
+// TestBundlesUseCanonicalNames: the subsystem bundles alias the named
+// counters, so exports see the same values the hot paths increment.
+func TestBundlesUseCanonicalNames(t *testing.T) {
+	o := obs.New(nil)
+	if o.BDD() != o.BDD() {
+		t.Error("BDD() must be stable")
+	}
+	o.BDD().MkCalls.Add(4)
+	if got := o.Counter(obs.BDDMkCalls).Load(); got != 4 {
+		t.Errorf("canonical counter = %d, want 4", got)
+	}
+	o.Verify().Scenarios.Inc()
+	if got := o.Counter(obs.VerifyScenarios).Load(); got != 1 {
+		t.Errorf("canonical verify counter = %d, want 1", got)
+	}
+	o.Repair().HolesPunched.Add(9)
+	if got := o.Counter(obs.RepairHolesPunched).Load(); got != 9 {
+		t.Errorf("canonical repair counter = %d, want 9", got)
+	}
+	o.BDD().PeakNodes.SetMax(33)
+	if got := o.Gauge(obs.BDDPeakNodes).Load(); got != 33 {
+		t.Errorf("canonical gauge = %d, want 33", got)
+	}
+}
+
+// TestNilObserverBundles: a nil Observer hands out nil bundles, and the
+// supervisor passes them straight into the subsystems.
+func TestNilObserverBundles(t *testing.T) {
+	var o *obs.Observer
+	if o.BDD() != nil || o.Verify() != nil || o.Repair() != nil {
+		t.Error("nil observer must return nil bundles")
+	}
+	if o.Counter("x") != nil || o.Gauge("y") != nil {
+		t.Error("nil observer must return nil taps")
+	}
+	snap := o.Snapshot()
+	if snap.Counters == nil || snap.Gauges == nil || snap.Stages == nil {
+		t.Error("nil observer snapshot must have non-nil maps")
+	}
+	o.RecordSpan(obs.Span{Name: "x"})
+}
+
+func TestStartStageRecordsSpanAndLabels(t *testing.T) {
+	rec := &obs.Recorder{}
+	o := obs.New(rec)
+	ctx, end := o.StartStage(context.Background(), "verify")
+	if got, ok := pprof.Label(ctx, obs.StageLabel); !ok || got != "verify" {
+		t.Errorf("stage label = %q (ok=%v), want %q", got, ok, "verify")
+	}
+	end()
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].Name != "verify" {
+		t.Fatalf("spans = %+v, want one %q span", spans, "verify")
+	}
+	if spans[0].End.Before(spans[0].Start) {
+		t.Error("span ends before it starts")
+	}
+	snap := o.Snapshot()
+	if st := snap.Stages["verify"]; st.Count != 1 || st.Nanos < 0 {
+		t.Errorf("stage aggregate = %+v", st)
+	}
+}
+
+func TestSnapshotAggregation(t *testing.T) {
+	o := obs.New(nil)
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	o.RecordSpan(obs.Span{Name: "repair", Start: base, End: base.Add(10 * time.Millisecond)})
+	o.RecordSpan(obs.Span{Name: "repair", Start: base, End: base.Add(5 * time.Millisecond)})
+	snap := o.Snapshot()
+	if st := snap.Stages["repair"]; st.Count != 2 || st.Duration() != 15*time.Millisecond {
+		t.Errorf("aggregate = %+v, want count 2 / 15ms", st)
+	}
+	if d := snap.StageDuration("repair"); d != 15*time.Millisecond {
+		t.Errorf("StageDuration = %v, want 15ms", d)
+	}
+	if d := snap.StageDuration("never-ran"); d != 0 {
+		t.Errorf("missing stage duration = %v, want 0", d)
+	}
+}
+
+// TestHammer drives every Observer entry point from GOMAXPROCS goroutines.
+// Run under -race (the Makefile's obs target does) it doubles as the data-race
+// proof; the final counts check that no increment was lost.
+func TestHammer(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 2000
+	rec := &obs.Recorder{}
+	o := obs.New(rec)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bdd := o.BDD()
+			for i := 0; i < perWorker; i++ {
+				bdd.MkCalls.Inc()
+				o.Counter("shared").Add(1)
+				o.Gauge("peak").SetMax(int64(w*perWorker + i))
+				if i%100 == 0 {
+					_, end := o.StartStage(context.Background(), "verify")
+					end()
+					_ = o.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := o.Snapshot()
+	want := int64(workers * perWorker)
+	if got := snap.Counter(obs.BDDMkCalls); got != want {
+		t.Errorf("mk calls = %d, want %d", got, want)
+	}
+	if got := snap.Counter("shared"); got != want {
+		t.Errorf("shared = %d, want %d", got, want)
+	}
+	if got := snap.Gauge("peak"); got != int64(workers*perWorker-1) {
+		t.Errorf("peak = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := snap.Stages["verify"].Count; got != int64(workers*(perWorker/100)) {
+		t.Errorf("verify spans = %d, want %d", got, workers*(perWorker/100))
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"syrep/internal/encode"
 	"syrep/internal/network"
+	"syrep/internal/obs"
 	"syrep/internal/routing"
 	"syrep/internal/verify"
 )
@@ -73,7 +74,15 @@ type Options struct {
 	// own initial verification pass — the resilience supervisor uses this to
 	// avoid verifying the same routing twice.
 	Report *verify.Report
+	// Counters, when non-nil, receives the repair counter stream: one
+	// iteration per hole-set solve attempted and the number of holes punched
+	// across all attempts. Nil means unobserved.
+	Counters *obs.RepairCounters
 }
+
+// noCounters is the shared no-op bundle substituted for a nil
+// Options.Counters; its nil *obs.Counter fields make every Add a no-op.
+var noCounters = &obs.RepairCounters{}
 
 // Outcome reports a successful repair.
 type Outcome struct {
@@ -126,10 +135,16 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (*Outc
 	}
 	suspicious := rep.Suspicious()
 
+	counters := opts.Counters
+	if counters == nil {
+		counters = noCounters
+	}
 	tryHoles := func(holes []routing.Key) (*Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		counters.Iterations.Inc()
+		counters.HolesPunched.Add(int64(len(holes)))
 		punched := r.Clone()
 		for _, key := range holes {
 			if err := punched.PunchHole(key.In, key.At, k+1); err != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"syrep/internal/encode"
+	"syrep/internal/obs"
 	"syrep/internal/reduce"
 	"syrep/internal/repair"
 	"syrep/internal/routing"
@@ -295,6 +296,13 @@ type Options struct {
 	MaxAttempts int
 	// Hook is the fault-injection test hook; nil in production.
 	Hook Hook
+	// Obs, when non-nil, observes the run: every pipeline stage emits a
+	// wall-clock span (tagged with pprof goroutine labels, so CPU profiles
+	// attribute samples to stages), and the BDD engine, verifier, and repair
+	// loop register their counter taps with it. The whole run is wrapped in
+	// an obs.SpanTotal span. Nil means unobserved; the instrumented hot
+	// paths then cost a nil check each.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {

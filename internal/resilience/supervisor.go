@@ -11,6 +11,7 @@ import (
 	"syrep/internal/encode"
 	"syrep/internal/heuristic"
 	"syrep/internal/network"
+	"syrep/internal/obs"
 	"syrep/internal/reduce"
 	"syrep/internal/repair"
 	"syrep/internal/routing"
@@ -34,6 +35,11 @@ func Synthesize(ctx context.Context, net *network.Network, dest network.NodeID, 
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	if opts.Obs != nil {
+		opts.Encode.Counters = opts.Obs.BDD()
+	}
+	ctx, endTotal := opts.Obs.StartStage(ctx, obs.SpanTotal)
+	defer endTotal()
 	start := time.Now()
 	rep = &Report{Strategy: opts.Strategy, K: k}
 	s := &run{ctx: ctx, net: net, dest: dest, k: k, opts: opts, rep: rep}
@@ -69,6 +75,11 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (out *
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
+	if opts.Obs != nil {
+		opts.Encode.Counters = opts.Obs.BDD()
+	}
+	ctx, endTotal := opts.Obs.StartStage(ctx, obs.SpanTotal)
+	defer endTotal()
 	s := &run{ctx: ctx, net: r.Network(), dest: r.Dest(), k: k, opts: opts,
 		rep: &Report{Strategy: opts.Strategy, K: k}}
 	defer func() {
@@ -81,7 +92,9 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (out *
 	err = s.at(StageVerify)
 	var vrep *verify.Report
 	if err == nil {
-		vrep, err = verify.Check(ctx, r, k, verify.Options{Prune: true})
+		endV := s.span(StageVerify)
+		vrep, err = verify.Check(ctx, r, k, s.verifyOpts())
+		endV()
 	}
 	if err != nil {
 		return nil, s.fail(StageVerify, err, 0)
@@ -162,6 +175,21 @@ func (s *run) at(stage Stage) error {
 		return fmt.Errorf("resilience: injected fault at %s: %w", stage, err)
 	}
 	return nil
+}
+
+// span opens an observability span for stage on the supervisor goroutine
+// and returns its end function. Goroutines the stage spawns (e.g. parallel
+// verify workers) inherit the pprof stage label. No-op without an observer.
+func (s *run) span(stage Stage) func() {
+	_, end := s.opts.Obs.StartStage(s.ctx, string(stage))
+	return end
+}
+
+// verifyOpts is the option set of the supervisor's internal verification
+// passes: pruned (subsumed failures add no information) and tapped into the
+// observer's verify counters.
+func (s *run) verifyOpts() verify.Options {
+	return verify.Options{Prune: true, Counters: s.opts.Obs.Verify()}
 }
 
 // stageCtx derives a context bounded by the stage's share of the overall
@@ -250,7 +278,7 @@ func (s *run) fail(stage Stage, cause error, attempts int) error {
 		return p
 	}
 	gctx, cancel := context.WithTimeout(context.WithoutCancel(s.ctx), s.opts.GraceVerify)
-	vrep, err := verify.Check(gctx, r, s.k, verify.Options{Prune: true})
+	vrep, err := verify.Check(gctx, r, s.k, s.verifyOpts())
 	cancel()
 	if err != nil {
 		p.ResidualUnknown = true
@@ -289,7 +317,9 @@ func (s *run) reduceStage() (*reduce.Reduction, error) {
 	err := s.at(StageReduce)
 	var rd *reduce.Reduction
 	if err == nil {
+		end := s.span(StageReduce)
 		rd, err = reduce.Apply(rctx, s.net, s.dest, s.opts.Reduction)
+		end()
 	}
 	if err != nil {
 		switch s.classify(err) {
@@ -318,7 +348,9 @@ func (s *run) runHeuristicPipeline(rd *reduce.Reduction) (*routing.Routing, erro
 	err := s.at(StageHeuristic)
 	var h *routing.Routing
 	if err == nil {
+		end := s.span(StageHeuristic)
 		h, err = heuristic.Generate(hctx, workNet, workDest)
+		end()
 	}
 	cancel()
 	if err != nil {
@@ -346,7 +378,9 @@ func (s *run) reducedStages(rd *reduce.Reduction, h *routing.Routing) (*routing.
 	err := s.at(StageVerifyReduced)
 	var vrep *verify.Report
 	if err == nil {
-		vrep, err = verify.Check(vctx, h, s.k, verify.Options{Prune: true})
+		end := s.span(StageVerifyReduced)
+		vrep, err = verify.Check(vctx, h, s.k, s.verifyOpts())
+		end()
 	}
 	cancel()
 	if err != nil {
@@ -395,7 +429,9 @@ func (s *run) finishOnOriginal(rd *reduce.Reduction, work *routing.Routing) (*ro
 			if cerr := ectx.Err(); cerr != nil {
 				err = cerr
 			} else {
+				end := s.span(StageExpand)
 				expanded, err = rd.Expand(work)
+				end()
 			}
 			cancel()
 		}
@@ -408,7 +444,9 @@ func (s *run) finishOnOriginal(rd *reduce.Reduction, work *routing.Routing) (*ro
 	err := s.at(StageVerify)
 	var vrep *verify.Report
 	if err == nil {
-		vrep, err = verify.Check(s.ctx, expanded, s.k, verify.Options{Prune: true})
+		end := s.span(StageVerify)
+		vrep, err = verify.Check(s.ctx, expanded, s.k, s.verifyOpts())
+		end()
 	}
 	if err != nil {
 		return nil, s.fail(StageVerify, err, 0)
@@ -486,7 +524,10 @@ func (s *run) finalVerify(r *routing.Routing) (*routing.Routing, error) {
 	err := s.at(StageFinalVerify)
 	var vrep *verify.Report
 	if err == nil {
-		vrep, err = verify.Check(s.ctx, r, s.k, verify.Options{StopAtFirst: true})
+		end := s.span(StageFinalVerify)
+		vrep, err = verify.Check(s.ctx, r, s.k,
+			verify.Options{StopAtFirst: true, Counters: s.opts.Obs.Verify()})
+		end()
 	}
 	if err != nil {
 		return nil, s.fail(StageFinalVerify, err, 0)
@@ -504,6 +545,8 @@ func (s *run) finalVerify(r *routing.Routing) (*routing.Routing, error) {
 // exactly like real exhaustion. Escalation of the *hole set* (repair's own
 // completeness ladder) is orthogonal and controlled by escalate.
 func (s *run) ladderRepair(ctx context.Context, stage Stage, r *routing.Routing, vrep *verify.Report, escalate bool) (*repair.Outcome, int, error) {
+	endSpan := s.span(stage)
+	defer endSpan()
 	enc := s.opts.Encode
 	strat := s.opts.RepairStrategy
 	attempts := 0
@@ -517,7 +560,9 @@ func (s *run) ladderRepair(ctx context.Context, stage Stage, r *routing.Routing,
 				Strategy: strat,
 				Escalate: escalate,
 				Encode:   enc,
+				Verify:   verify.Options{Counters: s.opts.Obs.Verify()},
 				Report:   vrep,
+				Counters: s.opts.Obs.Repair(),
 			})
 		}
 		if err == nil {
@@ -546,6 +591,8 @@ func (s *run) ladderRepair(ctx context.Context, stage Stage, r *routing.Routing,
 // no reduced-scope rung (every entry is a hole by definition), so it climbs
 // at most once: configured limits, then 4× with reordering.
 func (s *run) ladderSynth(ctx context.Context, net *network.Network, dest network.NodeID) (*encode.Solution, int, error) {
+	endSpan := s.span(StageSynth)
+	defer endSpan()
 	enc := s.opts.Encode
 	maxAttempts := s.opts.MaxAttempts
 	if maxAttempts > 2 {

@@ -1,0 +1,229 @@
+package verify_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+	"syrep/internal/topozoo"
+	"syrep/internal/verify"
+)
+
+// corruptedRouting generates a Zoo-like multigraph, builds the heuristic
+// routing for it, and then deterministically sabotages a share of the
+// entries by truncating their priority lists to the first edge — packets
+// arriving there are dropped as soon as that edge fails, so verification
+// finds failing deliveries at every k >= 1.
+func corruptedRouting(t *testing.T, nodes int, seed int64, share float64) *routing.Routing {
+	t.Helper()
+	net := topozoo.Generate(topozoo.GenConfig{Nodes: nodes, Seed: seed})
+	r, err := heuristic.Generate(context.Background(), net, 0)
+	if err != nil {
+		t.Fatalf("heuristic.Generate: %v", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, key := range r.Keys() {
+		if rng.Float64() >= share {
+			continue
+		}
+		prio, _ := r.Get(key.In, key.At)
+		if len(prio) > 1 {
+			r.MustSet(key.In, key.At, prio[:1])
+		}
+	}
+	return r
+}
+
+// TestDifferentialParallelVsSequential is the differential harness: on
+// randomized small multigraphs and k in {1, 2}, a parallel Check must
+// produce a report identical (deep-equal: Scenarios, Traces, Resilient, and
+// the failing set in order) to the sequential one, across the option
+// combinations for which the ordered merge guarantees equality.
+func TestDifferentialParallelVsSequential(t *testing.T) {
+	optionSets := []verify.Options{
+		{},
+		{Prune: true},
+		{MaxFailures: 3},
+		{MaxFailures: 1},
+	}
+	for _, nodes := range []int{8, 11, 14} {
+		for seed := int64(1); seed <= 4; seed++ {
+			r := corruptedRouting(t, nodes, seed, 0.35)
+			for k := 1; k <= 2; k++ {
+				for _, base := range optionSets {
+					name := fmt.Sprintf("n%d/s%d/k%d/prune=%v/max=%d",
+						nodes, seed, k, base.Prune, base.MaxFailures)
+					t.Run(name, func(t *testing.T) {
+						seqOpts, parOpts := base, base
+						parOpts.Parallel = true
+						seq, err := verify.Check(context.Background(), r, k, seqOpts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						par, err := verify.Check(context.Background(), r, k, parOpts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(seq, par) {
+							t.Errorf("parallel diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialStopAtFirstPinned pins the one sanctioned divergence:
+// under StopAtFirst, parallel workers race ahead of the halt, so the
+// scenario/trace counts and the identity of the single reported failure may
+// differ from the sequential run — but Resilient must agree, and both
+// reports must carry at most one failing delivery.
+func TestDifferentialStopAtFirstPinned(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		r := corruptedRouting(t, 12, seed, 0.35)
+		for k := 1; k <= 2; k++ {
+			seq, err := verify.Check(context.Background(), r, k, verify.Options{StopAtFirst: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := verify.Check(context.Background(), r, k,
+				verify.Options{StopAtFirst: true, Parallel: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Resilient != par.Resilient {
+				t.Fatalf("seed %d k %d: Resilient disagrees: seq %v, par %v",
+					seed, k, seq.Resilient, par.Resilient)
+			}
+			if len(seq.Failing) > 1 || len(par.Failing) > 1 {
+				t.Errorf("seed %d k %d: StopAtFirst must report at most one failure (seq %d, par %d)",
+					seed, k, len(seq.Failing), len(par.Failing))
+			}
+			if !seq.Resilient && (len(seq.Failing) != 1 || len(par.Failing) != 1) {
+				t.Errorf("seed %d k %d: non-resilient run must report its counterexample", seed, k)
+			}
+			// The pinned divergence: parallel may examine MORE scenarios than
+			// sequential before the halt propagates, never fewer... also not
+			// guaranteed — a racing worker can hit a later-striped failure
+			// while the stripe holding the sequential counterexample is still
+			// queued. Only sanity-bound the counts.
+			if par.Scenarios < 1 || seq.Scenarios < 1 {
+				t.Errorf("seed %d k %d: no scenarios examined", seed, k)
+			}
+		}
+	}
+}
+
+// TestParallelMaxFailuresWorkerBound is the regression test for the
+// unbounded-buffer bug: on a heavily broken routing with thousands of
+// failing deliveries, a capped parallel run must (a) report exactly
+// MaxFailures entries, identical to the sequential capped report, and
+// (b) buffer at most workers×MaxFailures deliveries in total — previously
+// every worker collected its whole share regardless of the cap.
+func TestParallelMaxFailuresWorkerBound(t *testing.T) {
+	// Truncate every list: almost every delivery fails once edges start
+	// failing, so k=2 yields thousands of failing deliveries.
+	r := corruptedRouting(t, 22, 7, 1.1)
+	uncapped, err := verify.Check(context.Background(), r, 2, verify.Options{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uncapped.Failing) < 1000 {
+		t.Fatalf("fixture too tame: %d failing deliveries, want >= 1000", len(uncapped.Failing))
+	}
+
+	const maxFailures = 5
+	o := obs.New(nil)
+	seq, err := verify.Check(context.Background(), r, 2, verify.Options{MaxFailures: maxFailures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := verify.Check(context.Background(), r, 2, verify.Options{
+		MaxFailures: maxFailures,
+		Parallel:    true,
+		Counters:    o.Verify(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Failing) != maxFailures {
+		t.Errorf("capped parallel report has %d entries, want %d", len(par.Failing), maxFailures)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("capped parallel diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	collected := o.Snapshot().Counter(obs.VerifyCollected)
+	if limit := int64(workers * maxFailures); collected > limit {
+		t.Errorf("workers buffered %d deliveries, want <= %d (= %d workers x %d cap)",
+			collected, limit, workers, maxFailures)
+	}
+	if collected < maxFailures {
+		t.Errorf("workers buffered %d deliveries, want >= %d", collected, maxFailures)
+	}
+}
+
+// TestVerifyCountersMatchReport: the counter stream agrees with the report
+// itself, sequential and parallel.
+func TestVerifyCountersMatchReport(t *testing.T) {
+	r := corruptedRouting(t, 12, 3, 0.35)
+	for _, parallel := range []bool{false, true} {
+		o := obs.New(nil)
+		rep, err := verify.Check(context.Background(), r, 2,
+			verify.Options{Parallel: parallel, Counters: o.Verify()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := o.Snapshot()
+		if got := snap.Counter(obs.VerifyScenarios); got != int64(rep.Scenarios) {
+			t.Errorf("parallel=%v: scenarios counter %d != report %d", parallel, got, rep.Scenarios)
+		}
+		if got := snap.Counter(obs.VerifyTraces); got != int64(rep.Traces) {
+			t.Errorf("parallel=%v: traces counter %d != report %d", parallel, got, rep.Traces)
+		}
+		if got := snap.Counter(obs.VerifyFailing); got != int64(len(rep.Failing)) {
+			t.Errorf("parallel=%v: failing counter %d != report %d", parallel, got, len(rep.Failing))
+		}
+	}
+}
+
+// A looping fixture (not just dropping): two entries pointing at each other
+// keeps the trace engine's loop detection inside the differential net too.
+func TestDifferentialWithLoopingEntries(t *testing.T) {
+	net := topozoo.Generate(topozoo.GenConfig{Nodes: 10, Seed: 99})
+	r, err := heuristic.Generate(context.Background(), net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire one node's entries to bounce on its first incident edge.
+	var at network.NodeID = 3
+	for _, key := range r.Keys() {
+		if key.At != at {
+			continue
+		}
+		prio, _ := r.Get(key.In, key.At)
+		r.MustSet(key.In, key.At, prio[:1])
+	}
+	seq, err := verify.Check(context.Background(), r, 2, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := verify.Check(context.Background(), r, 2, verify.Options{Prune: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("looping fixture diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"syrep/internal/network"
+	"syrep/internal/obs"
 	"syrep/internal/routing"
 	"syrep/internal/trace"
 )
@@ -75,7 +76,13 @@ func (rep *Report) Suspicious() []routing.Key {
 type Options struct {
 	// MaxFailures caps the number of failing deliveries collected; 0 means
 	// collect all. Verification still determines resilience exactly — the
-	// cap only bounds the report size.
+	// cap only bounds the report size. Parallel runs additionally bound
+	// every worker's buffer to MaxFailures entries, so a capped parallel
+	// run holds at most GOMAXPROCS×MaxFailures deliveries in memory before
+	// the merge. Without Prune the merged report is identical to the
+	// sequential one; with Prune, cross-worker subsumption means a capped
+	// parallel report may fill the cap with different (possibly fewer)
+	// entries than the sequential report.
 	MaxFailures int
 	// Prune enables the subsumption rule of Section III-C: a failing
 	// delivery (v, F2) is dropped when an already-recorded (v, F1) with
@@ -86,8 +93,28 @@ type Options struct {
 	Parallel bool
 	// StopAtFirst stops at the first failing delivery. The resulting
 	// report is still correct about Resilient.
+	//
+	// This is the one sanctioned divergence between sequential and parallel
+	// verification: a sequential run stops at the first failing delivery in
+	// scenario-enumeration order, while parallel workers race and may
+	// examine more scenarios and traces before the halt propagates, and may
+	// surface a different (later-enumerated) failing delivery. Resilient
+	// always agrees; Scenarios/Traces counts and the identity of the single
+	// reported failure may not. Every other option combination produces
+	// identical reports (see the differential test), except that capped
+	// parallel runs with Prune may under-fill the cap — see MaxFailures.
 	StopAtFirst bool
+	// Counters, when non-nil, receives the verifier's counter stream:
+	// scenarios examined, traces followed, failing deliveries reported,
+	// and (parallel runs) deliveries buffered by workers before the merge.
+	// Nil means unobserved.
+	Counters *obs.VerifyCounters
 }
+
+// noCounters is the shared no-op bundle substituted for a nil
+// Options.Counters: its fields are nil *obs.Counter, whose methods are
+// no-ops, so call sites need no guards. Never mutated.
+var noCounters = &obs.VerifyCounters{}
 
 // Resilient reports whether r is perfectly k-resilient. It is a convenience
 // wrapper around Check that stops at the first counterexample.
@@ -106,10 +133,23 @@ func Check(ctx context.Context, r *routing.Routing, k int, opts Options) (*Repor
 	if k < 0 {
 		return nil, fmt.Errorf("verify: negative resilience level %d", k)
 	}
-	if opts.Parallel {
-		return checkParallel(ctx, r, k, opts)
+	if opts.Counters == nil {
+		opts.Counters = noCounters
 	}
-	return checkSequential(ctx, r, k, opts)
+	var (
+		rep *Report
+		err error
+	)
+	if opts.Parallel {
+		rep, err = checkParallel(ctx, r, k, opts)
+	} else {
+		rep, err = checkSequential(ctx, r, k, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts.Counters.Failing.Add(int64(len(rep.Failing)))
+	return rep, nil
 }
 
 func checkSequential(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
@@ -123,12 +163,14 @@ func checkSequential(ctx context.Context, r *routing.Routing, k int, opts Option
 			return false
 		}
 		rep.Scenarios++
+		opts.Counters.Scenarios.Inc()
 		reach := n.ReachableWithout(dest, F)
 		for _, s := range n.Nodes() {
 			if s == dest || !reach[s] {
 				continue
 			}
 			rep.Traces++
+			opts.Counters.Traces.Inc()
 			res := trace.Run(r, F, s)
 			if res.Outcome == trace.Delivered {
 				continue
@@ -202,9 +244,39 @@ func sameEntries(a, b []routing.Key) bool {
 	return true
 }
 
+// taggedDelivery is a failing delivery annotated with the global scenario
+// index that produced it, so the parallel merge can replay deliveries in
+// sequential enumeration order.
+type taggedDelivery struct {
+	idx int
+	f   FailingDelivery
+}
+
+// locallySubsumed reports whether f is subsumed by an entry already in a
+// worker's buffer (the same rule Report.record applies). Subsumption is
+// transitive — if q subsumes prev and prev subsumes f, then q subsumes f —
+// so dropping f here never removes a delivery the merge-order replay would
+// have kept: whatever would have pruned prev in the merged report prunes f
+// as well.
+func locallySubsumed(buf []taggedDelivery, f FailingDelivery) bool {
+	for i := range buf {
+		prev := &buf[i].f
+		if prev.Source == f.Source && prev.Failed.SubsetOf(f.Failed) && sameEntries(prev.Used, f.Used) {
+			return true
+		}
+	}
+	return false
+}
+
 // checkParallel distributes scenarios over workers. Scenario enumeration is
 // cheap relative to tracing, so every worker enumerates all scenarios and
 // processes its share by index modulo the worker count.
+//
+// Workers tag buffered deliveries with their scenario index and the merge
+// replays them through Report.record in global scenario order, which makes
+// the parallel report identical to the sequential one for every option
+// combination except the divergences documented on Options.StopAtFirst and
+// Options.MaxFailures.
 func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
 	n := r.Network()
 	dest := r.Dest()
@@ -214,7 +286,8 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 	}
 
 	type partial struct {
-		failing   []FailingDelivery
+		failing   []taggedDelivery
+		failed    bool
 		scenarios int
 		traces    int
 	}
@@ -230,6 +303,7 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			p := &parts[w]
 			idx := -1
 			n.ForEachScenario(k, func(F network.EdgeSet) bool {
 				idx++
@@ -245,28 +319,52 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 					halt()
 					return false
 				}
-				parts[w].scenarios++
+				p.scenarios++
+				opts.Counters.Scenarios.Inc()
 				reach := n.ReachableWithout(dest, F)
 				for _, s := range n.Nodes() {
 					if s == dest || !reach[s] {
 						continue
 					}
-					parts[w].traces++
+					p.traces++
+					opts.Counters.Traces.Inc()
 					res := trace.Run(r, F, s)
 					if res.Outcome == trace.Delivered {
 						continue
 					}
-					parts[w].failing = append(parts[w].failing, FailingDelivery{
+					p.failed = true
+					if opts.StopAtFirst {
+						p.failing = append(p.failing, taggedDelivery{idx: idx, f: FailingDelivery{
+							Source:  s,
+							Failed:  F.Clone(),
+							Outcome: res.Outcome,
+							Used:    res.Used,
+							Visited: visitedNodes(n, s, res.Edges),
+						}})
+						opts.Counters.Collected.Inc()
+						halt()
+						return false
+					}
+					f := FailingDelivery{
 						Source:  s,
 						Failed:  F.Clone(),
 						Outcome: res.Outcome,
 						Used:    res.Used,
 						Visited: visitedNodes(n, s, res.Edges),
-					})
-					if opts.StopAtFirst {
-						halt()
-						return false
 					}
+					// Bound the worker-local buffer: apply the subsumption
+					// rule against this worker's own entries, then cap the
+					// buffer at MaxFailures. The merge applies the global
+					// rule again, so this only sheds deliveries that could
+					// never survive it (prune) or bounds memory (cap).
+					if opts.Prune && locallySubsumed(p.failing, f) {
+						continue
+					}
+					if opts.MaxFailures > 0 && len(p.failing) >= opts.MaxFailures {
+						continue
+					}
+					p.failing = append(p.failing, taggedDelivery{idx: idx, f: f})
+					opts.Counters.Collected.Inc()
 				}
 				return true
 			})
@@ -278,16 +376,25 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 	}
 
 	rep := &Report{K: k, Resilient: true}
-	for _, p := range parts {
-		rep.Scenarios += p.scenarios
-		rep.Traces += p.traces
-		for _, f := range p.failing {
+	var all []taggedDelivery
+	for i := range parts {
+		rep.Scenarios += parts[i].scenarios
+		rep.Traces += parts[i].traces
+		if parts[i].failed {
 			rep.Resilient = false
-			rep.record(f, opts)
 		}
+		all = append(all, parts[i].failing...)
 	}
-	if len(rep.Failing) > 0 {
-		rep.Resilient = false
+	// Scenario indices are disjoint across workers (striped modulo the
+	// worker count) and ascending within each worker's buffer, so a stable
+	// sort on the index replays deliveries in exactly the sequential record
+	// order; the entries of one scenario keep their source order.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+	for _, t := range all {
+		rep.record(t.f, opts)
+		if opts.StopAtFirst && len(rep.Failing) > 0 {
+			break
+		}
 	}
 	return rep, nil
 }
