@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # Seed budget for the deterministic fault-injection sweep (faults target).
 FAULTSEEDS ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test race vet lint fuzz-short faults obs check
+.PHONY: build test race vet lint fuzz-short faults obs serve-test check
 
 build:
 	$(GO) build ./...
@@ -46,4 +46,10 @@ obs:
 	$(GO) test -race -run 'TestDifferential|TestParallelMaxFailures|TestVerifyCounters' ./internal/verify/
 	$(GO) test -race -run 'Observed|TestObserve' ./internal/resilience/ ./internal/bdd/ ./internal/benchmark/
 
-check: build vet lint test race faults obs
+# Synthesis-service gate under the race detector: admission/retry/breaker
+# unit tests, the chaos trichotomy (retry -> degrade -> recover), graceful
+# drain, and the syrep-serve binary's boot/drain lifecycle.
+serve-test:
+	$(GO) test -race ./internal/server/... ./cmd/syrep-serve
+
+check: build vet lint test race faults obs serve-test

@@ -37,3 +37,21 @@ func TestObservabilityPackagesAreClean(t *testing.T) {
 		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
 	}
 }
+
+// TestServerPackagesAreClean pins the synthesis service and its binary the
+// same way: the server package is a ctxpoll pipeline package (its workers
+// run supervisor pipelines, and an unpolled loop there would stall graceful
+// drain), and the HTTP/worker glue is exactly where dropped errors
+// (protecterr) would silently eat a response.
+func TestServerPackagesAreClean(t *testing.T) {
+	diags, err := run("../..", []string{
+		"./internal/server/...",
+		"./cmd/syrep-serve",
+	}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+	}
+}

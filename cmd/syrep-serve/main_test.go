@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run()'s output while run() is still writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestServeLifecycle boots the binary's run loop on an ephemeral port,
+// serves a synthesis request over the wire, then shuts it down via context
+// cancellation (the signal path) and checks the drain and the metrics flush.
+func TestServeLifecycle(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "final-metrics.prom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-drain-timeout", "2s",
+			"-metrics-out", metricsPath,
+		}, &out)
+	}()
+
+	// The listen address appears on the first output line.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address announced; output so far:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"links":[["a","b"],["b","d"],["a","c"],["c","d"],["a","d"]],"dest":"d","k":1}`
+	resp, err = http.Post(base+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/synthesize: %v", err)
+	}
+	var api struct {
+		Status    string          `json:"status"`
+		Resilient bool            `json:"resilient"`
+		Routing   json.RawMessage `json:"routing"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&api)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || api.Status != "ok" || !api.Resilient || len(api.Routing) == 0 {
+		t.Fatalf("synthesize over the wire: status %d, body %+v", resp.StatusCode, api)
+	}
+
+	// SIGTERM equivalent: cancel the run context and expect a clean drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("no drain confirmation in output:\n%s", out.String())
+	}
+
+	// The shutdown flush left the final snapshot behind.
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics flush: %v", err)
+	}
+	if !strings.Contains(string(data), "syrep_server_accepted_total") {
+		t.Errorf("flushed metrics missing server counters:\n%s", data)
+	}
+}
+
+// TestServeFlagErrors: bad flags fail fast without binding a port.
+func TestServeFlagErrors(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if err := run(context.Background(), []string{"-addr", "definitely:not:an:addr:0"}, &out); err == nil {
+		t.Fatal("run accepted an unusable listen address")
+	}
+}
+
+// TestServeBannerReflectsDefaults: the startup banner resolves the same
+// defaults the server itself applies.
+func TestServeBannerReflectsDefaults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "3", "-queue", "7"}, &out)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "listening on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no banner; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("(%d workers, queue %d)", 3, 7)) {
+		t.Errorf("banner does not reflect flags:\n%s", out.String())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

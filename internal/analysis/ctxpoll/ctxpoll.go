@@ -10,7 +10,7 @@
 // hits Ctrl-C and nothing happens.
 //
 // The analyzer inspects the pipeline packages (core, resilience, encode,
-// verify, repair, heuristic, reduce, synth) and reports `for {}` and
+// verify, repair, heuristic, reduce, synth, server) and reports `for {}` and
 // `for cond {}` loops — the potentially unbounded shapes — whose condition
 // and body neither
 //
@@ -48,6 +48,9 @@ var pipelinePackages = map[string]bool{
 	"heuristic":  true,
 	"reduce":     true,
 	"synth":      true,
+	// The synthesis service's workers run supervisor pipelines and drain
+	// loops; an unpolled loop there would stall graceful shutdown.
+	"server": true,
 }
 
 func run(pass *analysis.Pass) error {

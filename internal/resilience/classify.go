@@ -1,0 +1,66 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+
+	"syrep/internal/bdd"
+	"syrep/internal/encode"
+	"syrep/internal/repair"
+)
+
+// This file exports the supervisor's internal failure taxonomy (run.classify)
+// as typed sentinel predicates, so retry policies — the synthesis service's
+// and external callers' — share one classification instead of string-matching
+// errors. The split mirrors the degradation policy:
+//
+//   - transient: the pipeline ran out of a resource (BDD node budget, a
+//     stage budget, the overall deadline) or salvaged a checkpoint. The same
+//     request may well succeed on a retry with backoff, against a warmer or
+//     less loaded process.
+//   - permanent: the instance itself is the problem (no perfectly
+//     k-resilient routing exists, the repair scope cannot cover it, the
+//     input failed validation) or an internal invariant broke (a recovered
+//     panic). Retrying reproduces the failure; callers should fail fast.
+//
+// The predicates are not complements: a nil error is neither, and an error
+// outside the taxonomy (an injected test fault, an I/O error from a caller's
+// wrapper) is reported by both as false, which retry policies should read as
+// "do not retry".
+
+// IsTransient reports whether err is a failure the supervisor classifies as
+// retryable: node-limit exhaustion, a stage-budget or overall-deadline
+// expiry, cancellation, or an anytime *Partial (a checkpoint salvage whose
+// residual a retry may eliminate).
+func IsTransient(err error) bool {
+	if err == nil || IsPermanent(err) {
+		return false
+	}
+	if _, ok := AsPartial(err); ok {
+		return true
+	}
+	return errors.Is(err, bdd.ErrNodeLimit) ||
+		errors.Is(err, ErrBudget) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// IsPermanent reports whether err is a failure retrying cannot fix: the
+// instance is unsolvable or unrepairable, or an internal panic was recovered
+// at the supervisor boundary. A *Partial is never permanent — a salvaged
+// checkpoint is always worth a retry.
+func IsPermanent(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := AsPartial(err); ok {
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	return errors.Is(err, ErrUnsolvable) ||
+		errors.Is(err, repair.ErrUnrepairable) ||
+		errors.Is(err, encode.ErrUnrepairable)
+}

@@ -1,0 +1,134 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"syrep/internal/bdd"
+	"syrep/internal/papernet"
+	"syrep/internal/repair"
+	"syrep/internal/resilience"
+	"syrep/internal/routing"
+)
+
+// TestFailureTaxonomy locks the exported transient/permanent split against
+// the sentinel errors the supervisor can produce, so retry policies built on
+// IsTransient/IsPermanent never drift from the supervisor's own
+// classification.
+func TestFailureTaxonomy(t *testing.T) {
+	partial := &resilience.Partial{
+		Routing:     &routing.Routing{},
+		Degradation: resilience.Degradation{Stage: resilience.StageRepair, Cause: context.DeadlineExceeded},
+	}
+	cases := []struct {
+		name      string
+		err       error
+		transient bool
+		permanent bool
+	}{
+		{"nil", nil, false, false},
+		{"node limit", bdd.ErrNodeLimit, true, false},
+		{"wrapped node limit", fmt.Errorf("stage: %w", bdd.ErrNodeLimit), true, false},
+		{"stage budget", &resilience.BudgetError{Stage: resilience.StageVerify}, true, false},
+		{"deadline", context.DeadlineExceeded, true, false},
+		{"cancel", context.Canceled, true, false},
+		{"partial salvage", partial, true, false},
+		{"unsolvable", resilience.ErrUnsolvable, false, true},
+		{"unrepairable", repair.ErrUnrepairable, false, true},
+		{"panic", &resilience.PanicError{Stage: resilience.StageVerify, Value: "boom"}, false, true},
+		{"unclassified", errors.New("disk on fire"), false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := resilience.IsTransient(tc.err); got != tc.transient {
+				t.Errorf("IsTransient(%v) = %v, want %v", tc.err, got, tc.transient)
+			}
+			if got := resilience.IsPermanent(tc.err); got != tc.permanent {
+				t.Errorf("IsPermanent(%v) = %v, want %v", tc.err, got, tc.permanent)
+			}
+		})
+	}
+}
+
+// TestBudgetCauseInReport: a stage that dies of its own budget must report
+// a *BudgetError naming the stage (via context.WithDeadlineCause /
+// context.Cause), not a bare context error. The reduce budget is degraded
+// around, so the cause lands in Report.Degradations.
+func TestBudgetCauseInReport(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	_, rep, err := resilience.Synthesize(context.Background(), n, d, 2, resilience.Options{
+		Strategy: resilience.Combined,
+		Timeout:  time.Minute,
+		Budgets:  resilience.Budgets{Reduce: 1e-15}, // 0ns reduce budget: expired at entry
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if len(rep.Degradations) == 0 {
+		t.Fatal("no degradation recorded for the expired reduce budget")
+	}
+	deg := rep.Degradations[0]
+	var be *resilience.BudgetError
+	if !errors.As(deg.Cause, &be) {
+		t.Fatalf("degradation cause = %v, want a *BudgetError in the chain", deg.Cause)
+	}
+	if be.Stage != resilience.StageReduce {
+		t.Errorf("BudgetError.Stage = %s, want %s", be.Stage, resilience.StageReduce)
+	}
+	if !errors.Is(deg.Cause, resilience.ErrBudget) || !errors.Is(deg.Cause, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want ErrBudget joined with DeadlineExceeded", deg.Cause)
+	}
+}
+
+// TestBudgetCauseInFatalError: the heuristic has no fallback, so its budget
+// expiry is fatal; the returned error must still name the exhausted stage.
+func TestBudgetCauseInFatalError(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	_, _, err := resilience.Synthesize(context.Background(), n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Timeout:  time.Minute,
+		Budgets:  resilience.Budgets{Heuristic: 1e-15},
+	})
+	if err == nil {
+		t.Fatal("expected a fatal heuristic budget expiry")
+	}
+	var be *resilience.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want a *BudgetError in the chain", err)
+	}
+	if be.Stage != resilience.StageHeuristic {
+		t.Errorf("BudgetError.Stage = %s, want %s", be.Stage, resilience.StageHeuristic)
+	}
+	if !resilience.IsTransient(err) {
+		t.Errorf("a stage budget expiry must classify as transient, got permanent/unknown for %v", err)
+	}
+}
+
+// TestOverallDeadlineKeepsPlainCause: when the overall deadline (not a stage
+// budget) expires, no BudgetError may be invented — the error chain carries
+// the plain context.DeadlineExceeded.
+func TestOverallDeadlineKeepsPlainCause(t *testing.T) {
+	n := papernet.Figure1()
+	d := papernet.Figure1Dest(n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the run is over before it starts
+	_, _, err := resilience.Synthesize(ctx, n, d, 2, resilience.Options{
+		Strategy: resilience.HeuristicOnly,
+		Timeout:  time.Minute,
+	})
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	var be *resilience.BudgetError
+	if errors.As(err, &be) {
+		t.Errorf("err = %v, wrongly blames stage budget %s for an external cancellation", err, be.Stage)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+}

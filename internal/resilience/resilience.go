@@ -80,6 +80,25 @@ var ErrUnsolvable = errors.New("core: strategy could not produce a perfectly k-r
 // context.DeadlineExceeded so both errors.Is checks hold.
 var ErrBudget = errors.New("resilience: stage budget exhausted")
 
+// BudgetError is the cancellation cause the supervisor installs on each
+// stage context (via context.WithDeadlineCause). When a stage dies of its
+// own budget rather than the overall deadline, context.Cause surfaces this
+// error and the resulting Degradation or Partial names the exhausted stage
+// instead of reporting a bare context.DeadlineExceeded. It unwraps to
+// ErrBudget, so errors.Is(err, ErrBudget) holds wherever it travels.
+type BudgetError struct {
+	// Stage is the stage whose budget expired.
+	Stage Stage
+}
+
+// Error names the exhausted stage budget.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("resilience: %s stage budget exceeded", e.Stage)
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) hold.
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
 // Stage identifies one pipeline stage. Stages double as the registered
 // fault points of the fault-injection harness: the supervisor consults
 // Options.Hook under each stage's name immediately before running it (and

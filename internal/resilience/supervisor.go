@@ -193,12 +193,32 @@ func (s *run) verifyOpts() verify.Options {
 }
 
 // stageCtx derives a context bounded by the stage's share of the overall
-// timeout. Without an overall timeout there are no stage budgets.
-func (s *run) stageCtx(frac float64) (context.Context, context.CancelFunc) {
+// timeout, with a *BudgetError cancellation cause so that a budget expiry
+// is attributable to its stage (context.Cause) rather than surfacing as a
+// bare context error. Without an overall timeout there are no stage budgets.
+func (s *run) stageCtx(stage Stage, frac float64) (context.Context, context.CancelFunc) {
 	if s.opts.Timeout <= 0 {
 		return s.ctx, func() {}
 	}
-	return context.WithTimeout(s.ctx, time.Duration(frac*float64(s.opts.Timeout)))
+	deadline := time.Now().Add(time.Duration(frac * float64(s.opts.Timeout)))
+	return context.WithDeadlineCause(s.ctx, deadline, &BudgetError{Stage: stage})
+}
+
+// stageCause attaches the stage context's cancellation cause to err when the
+// stage died of its own budget, so degradation records, Partial results and
+// service error responses name the exhausted budget ("verify stage budget
+// exceeded") instead of a bare context error. Errors unrelated to the stage
+// context — and expiries of the overall deadline, whose cause is the plain
+// context error — pass through unchanged.
+func stageCause(sctx context.Context, err error) error {
+	if err == nil || (!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)) {
+		return err
+	}
+	var be *BudgetError
+	if !errors.As(context.Cause(sctx), &be) || errors.Is(err, ErrBudget) {
+		return err
+	}
+	return errors.Join(be, err)
 }
 
 // failKind classifies a stage error for the degradation policy.
@@ -239,7 +259,7 @@ func (s *run) classify(err error) failKind {
 
 // degrade records a non-fatal deviation from the full pipeline.
 func (s *run) degrade(stage Stage, cause error, attempts int, detail string) {
-	if s.classify(cause) == failBudget {
+	if s.classify(cause) == failBudget && !errors.Is(cause, ErrBudget) {
 		cause = errors.Join(ErrBudget, cause)
 	}
 	s.rep.Degradations = append(s.rep.Degradations,
@@ -251,7 +271,7 @@ func (s *run) degrade(stage Stage, cause error, attempts int, detail string) {
 // and an unverified checkpoint is priced by a grace verification pass on a
 // context detached from the expired deadline.
 func (s *run) fail(stage Stage, cause error, attempts int) error {
-	if s.classify(cause) == failBudget {
+	if s.classify(cause) == failBudget && !errors.Is(cause, ErrBudget) {
 		cause = errors.Join(ErrBudget, cause)
 	}
 	cp := s.cp
@@ -312,7 +332,7 @@ func (s *run) synthesize() (*routing.Routing, error) {
 // continues on the original network; only overall expiry or a hard error is
 // fatal. The returned reduction is nil when the stage was degraded away.
 func (s *run) reduceStage() (*reduce.Reduction, error) {
-	rctx, cancel := s.stageCtx(s.opts.Budgets.Reduce)
+	rctx, cancel := s.stageCtx(StageReduce, s.opts.Budgets.Reduce)
 	defer cancel()
 	err := s.at(StageReduce)
 	var rd *reduce.Reduction
@@ -322,6 +342,7 @@ func (s *run) reduceStage() (*reduce.Reduction, error) {
 		end()
 	}
 	if err != nil {
+		err = stageCause(rctx, err)
 		switch s.classify(err) {
 		case failBudget, failNodeLimit:
 			s.degrade(StageReduce, err, 0, "continuing without reduction")
@@ -344,7 +365,7 @@ func (s *run) runHeuristicPipeline(rd *reduce.Reduction) (*routing.Routing, erro
 		workNet, workDest = rd.Reduced, rd.DestReduced
 	}
 
-	hctx, cancel := s.stageCtx(s.opts.Budgets.Heuristic)
+	hctx, cancel := s.stageCtx(StageHeuristic, s.opts.Budgets.Heuristic)
 	err := s.at(StageHeuristic)
 	var h *routing.Routing
 	if err == nil {
@@ -354,7 +375,7 @@ func (s *run) runHeuristicPipeline(rd *reduce.Reduction) (*routing.Routing, erro
 	}
 	cancel()
 	if err != nil {
-		return nil, s.fail(StageHeuristic, err, 0)
+		return nil, s.fail(StageHeuristic, stageCause(hctx, err), 0)
 	}
 	s.cp = &checkpoint{routing: h, rd: rd}
 
@@ -374,7 +395,7 @@ func (s *run) runHeuristicPipeline(rd *reduce.Reduction) (*routing.Routing, erro
 // original network remains able to fix it); only overall expiry or a hard
 // fault is fatal.
 func (s *run) reducedStages(rd *reduce.Reduction, h *routing.Routing) (*routing.Routing, error) {
-	vctx, cancel := s.stageCtx(s.opts.Budgets.Verify)
+	vctx, cancel := s.stageCtx(StageVerifyReduced, s.opts.Budgets.Verify)
 	err := s.at(StageVerifyReduced)
 	var vrep *verify.Report
 	if err == nil {
@@ -384,6 +405,7 @@ func (s *run) reducedStages(rd *reduce.Reduction, h *routing.Routing) (*routing.
 	}
 	cancel()
 	if err != nil {
+		err = stageCause(vctx, err)
 		switch s.classify(err) {
 		case failBudget, failNodeLimit:
 			s.degrade(StageVerifyReduced, err, 0, "skipping repair on the reduced network")
@@ -397,10 +419,11 @@ func (s *run) reducedStages(rd *reduce.Reduction, h *routing.Routing) (*routing.
 		return h, nil
 	}
 
-	rctx, cancel := s.stageCtx(s.opts.Budgets.Repair)
+	rctx, cancel := s.stageCtx(StageRepairReduced, s.opts.Budgets.Repair)
 	out, attempts, err := s.ladderRepair(rctx, StageRepairReduced, h, vrep, true)
 	cancel()
 	if err != nil {
+		err = stageCause(rctx, err)
 		switch s.classify(err) {
 		case failBudget, failNodeLimit, failUnrepairable:
 			s.degrade(StageRepairReduced, err, attempts, "expanding the unrepaired heuristic routing")
@@ -425,9 +448,9 @@ func (s *run) finishOnOriginal(rd *reduce.Reduction, work *routing.Routing) (*ro
 		if err == nil {
 			// Expansion is linear in the routing size; its budget is
 			// enforced at stage entry.
-			ectx, cancel := s.stageCtx(s.opts.Budgets.Expand)
+			ectx, cancel := s.stageCtx(StageExpand, s.opts.Budgets.Expand)
 			if cerr := ectx.Err(); cerr != nil {
-				err = cerr
+				err = stageCause(ectx, cerr)
 			} else {
 				end := s.span(StageExpand)
 				expanded, err = rd.Expand(work)
@@ -499,11 +522,12 @@ func (s *run) runReduction() (*routing.Routing, error) {
 	sctx, cancel := s.ctx, context.CancelFunc(func() {})
 	if rd != nil {
 		workNet, workDest = rd.Reduced, rd.DestReduced
-		sctx, cancel = s.stageCtx(s.opts.Budgets.Repair)
+		sctx, cancel = s.stageCtx(StageSynth, s.opts.Budgets.Repair)
 	}
 	sol, attempts, serr := s.ladderSynth(sctx, workNet, workDest)
 	cancel()
 	if serr != nil {
+		serr = stageCause(sctx, serr)
 		if s.classify(serr) == failUnrepairable {
 			return nil, fmt.Errorf("%w: reduced network unsynthesisable", ErrUnsolvable)
 		}

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoff computes retry delays with exponential growth and full jitter
+// (delay = uniform[0, min(cap, base·2^attempt))), the policy that spreads
+// retry storms thinnest for a loaded service. The RNG is seeded, so a
+// server's delay sequence is reproducible from its configuration — the same
+// property the fault-injection harness relies on everywhere else.
+type backoff struct {
+	base, cap time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(base, cap time.Duration, seed int64) *backoff {
+	if seed == 0 {
+		seed = 1
+	}
+	return &backoff{base: base, cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the full-jitter delay for the given zero-based attempt.
+func (b *backoff) delay(attempt int) time.Duration {
+	ceil := b.base
+	for i := 0; i < attempt && ceil < b.cap; i++ {
+		ceil *= 2
+	}
+	if ceil > b.cap {
+		ceil = b.cap
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Duration(b.rng.Int63n(int64(ceil)))
+}

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+	"syrep/internal/papernet"
+	"syrep/internal/resilience/faultinject"
+)
+
+// diamondLinks is a 4-node inline topology (two disjoint a→d paths plus a
+// chord), 1-resilient for destination d.
+var diamondLinks = `[["a","b"],["b","d"],["a","c"],["c","d"],["a","d"]]`
+
+func postJSON(t *testing.T, url, body string) (*http.Response, apiResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var api apiResponse
+	if err := json.NewDecoder(resp.Body).Decode(&api); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, api
+}
+
+func httpServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		shutdownServer(t, s)
+	})
+	return s, ts
+}
+
+// TestHTTPSynthesize: the end-to-end happy path over the wire — an inline
+// topology in, a resilient routing table out, liveness and readiness green,
+// and the request visible on /metrics.
+func TestHTTPSynthesize(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{Workers: 2, Obs: obs.New(nil)})
+
+	body := fmt.Sprintf(`{"links":%s,"dest":"d","k":1}`, diamondLinks)
+	resp, api := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", resp.StatusCode, api.Error)
+	}
+	if api.Status != "ok" || !api.Resilient || api.Routing == nil {
+		t.Fatalf("response = %+v, want an ok resilient table", api)
+	}
+	if api.Degraded {
+		t.Error("healthy request flagged degraded")
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, r.StatusCode)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(r.Body)
+	r.Body.Close()
+	text := buf.String()
+	for _, metric := range []string{MetricAccepted, MetricResponses, MetricQueueDepth, MetricBreakerState} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+	if !strings.Contains(text, MetricAccepted+" 1") {
+		t.Errorf("/metrics does not count the accepted request:\n%s", text)
+	}
+}
+
+// TestHTTPRepairRoundtrip: a routing table serialized with the routing codec
+// travels through /v1/repair and comes back 2-resilient.
+func TestHTTPRepairRoundtrip(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{Workers: 2})
+
+	n := papernet.Figure1()
+	raw, err := json.Marshal(papernet.Figure1bRouting(n))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// Figure 1's topology as inline links, nodes named as in the paper.
+	links := `[["v2","d"],["v3","d"],["v4","d"],["v1","v3"],["v1","v4"],["v2","v4"],["v3","v4"]]`
+	body := fmt.Sprintf(`{"links":%s,"dest":"d","k":2,"routing":%s}`, links, raw)
+	resp, api := postJSON(t, ts.URL+"/v1/repair", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", resp.StatusCode, api.Error)
+	}
+	if api.Status != "ok" || !api.Resilient || api.Routing == nil {
+		t.Fatalf("response = %+v, want a repaired 2-resilient table", api)
+	}
+}
+
+// TestHTTPBadRequests: malformed bodies are 400s with a reason, before any
+// queueing.
+func TestHTTPBadRequests(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{Workers: 1})
+
+	cases := []struct{ name, path, body string }{
+		{"not json", "/v1/synthesize", `{"links":`},
+		{"no topology", "/v1/synthesize", `{"k":1}`},
+		{"both topologies", "/v1/synthesize", fmt.Sprintf(`{"topology":"x","links":%s}`, diamondLinks)},
+		{"unknown embedded", "/v1/synthesize", `{"topology":"no-such-zoo"}`},
+		{"unknown dest", "/v1/synthesize", fmt.Sprintf(`{"links":%s,"dest":"zz"}`, diamondLinks)},
+		{"negative k", "/v1/synthesize", fmt.Sprintf(`{"links":%s,"k":-1}`, diamondLinks)},
+		{"unknown strategy", "/v1/synthesize", fmt.Sprintf(`{"links":%s,"strategy":"psychic"}`, diamondLinks)},
+		{"repair without routing", "/v1/repair", fmt.Sprintf(`{"links":%s}`, diamondLinks)},
+	}
+	for _, tc := range cases {
+		resp, api := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+		if api.Error == "" {
+			t.Errorf("%s: 400 without a reason", tc.name)
+		}
+	}
+}
+
+// TestHTTPLoadShedding: with the only worker held and the queue full, a new
+// request is shed as 503 with a Retry-After header, and /readyz goes red
+// while the breaker recovers traffic routing upstream.
+func TestHTTPLoadShedding(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := newGateHook()
+	s, ts := httpServer(t, Config{
+		Workers:        1,
+		QueueDepth:     1,
+		HighWater:      1,
+		Hook:           gate,
+		RetryAfterHint: 2 * time.Second,
+	})
+
+	// Hold the worker and fill the queue through the native API.
+	tktA, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit A: %v", err)
+	}
+	<-gate.entered
+	tktB, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit B: %v", err)
+	}
+
+	resp, api := postJSON(t, ts.URL+"/v1/synthesize",
+		fmt.Sprintf(`{"links":%s,"dest":"d","k":1}`, diamondLinks))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", resp.Header.Get("Retry-After"))
+	}
+	if api.Status != "error" || !strings.Contains(api.Error, "queue full") {
+		t.Errorf("shed body = %+v, want a queue-full error", api)
+	}
+
+	// The queue sits at its high-water mark: not ready.
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz under load = %d, want 503", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Error("/readyz 503 without Retry-After")
+	}
+
+	close(gate.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, tkt := range []*Ticket{tktA, tktB} {
+		if _, err := tkt.Wait(ctx); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+}
+
+// TestHTTPReadyzBreakerOpen: an open breaker makes the service not-ready and
+// reports its state in the body.
+func TestHTTPReadyzBreakerOpen(t *testing.T) {
+	faultinject.LeakCheck(t)
+	s, ts := httpServer(t, Config{Workers: 1})
+
+	s.Breaker().Trip(time.Now())
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with open breaker = %d, want 503", r.StatusCode)
+	}
+	var body struct {
+		Ready   bool   `json:"ready"`
+		Breaker string `json:"breaker"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding /readyz: %v", err)
+	}
+	if body.Ready || body.Breaker != "open" {
+		t.Errorf("/readyz body = %+v, want ready=false breaker=open", body)
+	}
+}
+
+// TestHTTPDegradedResponse: with the breaker forced open (memory pressure),
+// the wire response is a 200 explicitly marked degraded — clients get a
+// usable best-effort table plus an honest flag, not an opaque failure.
+func TestHTTPDegradedResponse(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{
+		Workers:        1,
+		MemoryPressure: func() bool { return true },
+	})
+
+	resp, api := postJSON(t, ts.URL+"/v1/synthesize",
+		fmt.Sprintf(`{"links":%s,"dest":"d","k":1}`, diamondLinks))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status = %d (%s), want 200", resp.StatusCode, api.Error)
+	}
+	if api.Status != "degraded" || !api.Degraded {
+		t.Errorf("response = %+v, want status=degraded with the flag set", api)
+	}
+	if api.Routing == nil {
+		t.Error("degraded response without a table")
+	}
+}
+
+// TestHTTPTopologies: the embedded topology catalogue is listed for clients.
+func TestHTTPTopologies(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{Workers: 1})
+
+	r, err := http.Get(ts.URL + "/v1/topologies")
+	if err != nil {
+		t.Fatalf("GET /v1/topologies: %v", err)
+	}
+	defer r.Body.Close()
+	var out []struct {
+		Name  string `json:"name"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no embedded topologies listed")
+	}
+	for _, topo := range out {
+		if topo.Name == "" || topo.Nodes <= 0 {
+			t.Errorf("implausible catalogue entry %+v", topo)
+		}
+	}
+}

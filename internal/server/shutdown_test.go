@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+	"syrep/internal/resilience/faultinject"
+)
+
+// TestGracefulShutdown (satellite: graceful drain): in-flight requests run
+// to completion, queued-but-unstarted requests get a clean retryable
+// rejection, post-drain submissions are rejected immediately, and the
+// metrics snapshot is flushed exactly once across repeated Shutdown calls.
+func TestGracefulShutdown(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := newGateHook()
+	var flushes atomic.Int64
+	s := New(Config{
+		Workers:      1,
+		QueueDepth:   4,
+		Hook:         gate,
+		Obs:          obs.New(nil),
+		OnFlush:      func(obs.Snapshot) { flushes.Add(1) },
+		DrainTimeout: 5 * time.Second,
+	})
+
+	// A is in-flight (held at the gate); B and C queue behind it.
+	tktA, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit A: %v", err)
+	}
+	<-gate.entered
+	tktB, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit B: %v", err)
+	}
+	tktC, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit C: %v", err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	<-s.Draining()
+
+	// New work is refused the moment the drain begins.
+	if _, err := s.Submit(synthRequest()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit during drain: %v, want ErrDraining", err)
+	}
+	var rej *Rejection
+	if _, err := s.Submit(synthRequest()); !errors.As(err, &rej) || rej.RetryAfter <= 0 {
+		t.Fatalf("drain rejection %v must carry a Retry-After hint", err)
+	}
+
+	// Let the in-flight request finish normally.
+	close(gate.release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	respA, err := tktA.Wait(ctx)
+	if err != nil {
+		t.Fatalf("A: %v", err)
+	}
+	if respA.Err != nil || !respA.Resilient {
+		t.Errorf("in-flight request A: err=%v resilient=%v, want a completed run", respA.Err, respA.Resilient)
+	}
+	for name, tkt := range map[string]*Ticket{"B": tktB, "C": tktC} {
+		resp, err := tkt.Wait(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !errors.Is(resp.Err, ErrDraining) {
+			t.Errorf("queued request %s: err=%v, want ErrDraining", name, resp.Err)
+		}
+		if !IsRetryable(resp.Err) {
+			t.Errorf("queued request %s drained with a non-retryable error", name)
+		}
+		if resp.Routing != nil {
+			t.Errorf("queued request %s drained with a table", name)
+		}
+	}
+
+	// Repeated shutdowns are no-ops; the flush stays exactly once.
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("repeat Shutdown %d: %v", i, err)
+		}
+		cancel()
+	}
+	if got := flushes.Load(); got != 1 {
+		t.Errorf("metrics flushed %d times, want exactly 1", got)
+	}
+}
+
+// TestDrainDeadlineForceCancels: an in-flight request that outlives the
+// drain deadline is force-cancelled with the typed ErrDraining cause — the
+// caller sees "draining", not a bare context.Canceled — and the server still
+// shuts down cleanly.
+func TestDrainDeadlineForceCancels(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := newGateHook()
+	var flushes atomic.Int64
+	s := New(Config{
+		Workers:      1,
+		Hook:         gate,
+		RetryMax:     -1,
+		Obs:          obs.New(nil),
+		OnFlush:      func(obs.Snapshot) { flushes.Add(1) },
+		DrainTimeout: 50 * time.Millisecond,
+	})
+
+	tkt, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-gate.entered
+	// The stage stays gated until the drain deadline force-cancels the base
+	// context; the pipeline then discovers the cancellation itself.
+	go func() {
+		<-s.baseCtx.Done()
+		close(gate.release)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	resp, err := tkt.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if resp.Err == nil {
+		t.Fatal("force-cancelled request reported success")
+	}
+	if !errors.Is(resp.Err, context.Canceled) {
+		t.Errorf("err = %v, want a cancellation", resp.Err)
+	}
+	if !errors.Is(resp.Err, ErrDraining) {
+		t.Errorf("err = %v does not carry the ErrDraining cause", resp.Err)
+	}
+	if got := flushes.Load(); got != 1 {
+		t.Errorf("metrics flushed %d times, want exactly 1", got)
+	}
+}
