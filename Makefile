@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # Seed budget for the deterministic fault-injection sweep (faults target).
 FAULTSEEDS ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test race vet lint fuzz-short faults obs serve-test check
+.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test check
 
 build:
 	$(GO) build ./...
@@ -52,4 +52,12 @@ obs:
 serve-test:
 	$(GO) test -race ./internal/server/... ./cmd/syrep-serve
 
-check: build vet lint test race faults obs serve-test
+# Synthesis-cache gate under the race detector: eviction/TTL/singleflight
+# units, the warm-vs-cold differential suite (adapted seeds must reach the
+# same resilience verdict as cold synthesis), and the server's cache
+# hit/dedup/warm-start integration tests.
+cache-test:
+	$(GO) test -race ./internal/cache/...
+	$(GO) test -race -run 'TestCache|TestWarmStart|TestMemoryPressure' ./internal/server/
+
+check: build vet lint test race faults obs serve-test cache-test

@@ -66,7 +66,7 @@ func BenchmarkFig5ReductionEffect(b *testing.B) {
 	suite := topozoo.Embedded()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := benchmark.WriteReductionEffects(io.Discard, suite); err != nil {
+		if err := benchmark.WriteReductionEffects(context.Background(), io.Discard, suite); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,7 +36,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("syrep-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|all")
+	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|warm|all")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-instance timeout (paper: 20 min)")
 	maxNodes := fs.Int("max-nodes", 28, "largest generated instance")
 	seedsPerSize := fs.Int("seeds", 1, "generated instances per size")
@@ -44,6 +44,8 @@ func run(args []string, w io.Writer) error {
 	csvPath := fs.String("csv", "", "also write raw results as CSV")
 	metricsJSON := fs.String("metrics-json", "",
 		"observe every run and write the results with per-run metrics as JSON to this file")
+	coldwarmJSON := fs.String("coldwarm-json", "",
+		"write the cold-vs-warm comparison rows as JSON to this file (fig warm/all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +56,7 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "suite: %d instances, per-instance timeout %s\n\n", len(suite), *timeout)
 
-	h := &harness{timeout: *timeout, csvPath: *csvPath, metricsJSON: *metricsJSON}
+	h := &harness{timeout: *timeout, csvPath: *csvPath, metricsJSON: *metricsJSON, coldwarmJSON: *coldwarmJSON}
 	ctx := context.Background()
 	if err := dispatch(ctx, w, h, suite, *fig); err != nil {
 		return err
@@ -65,7 +67,7 @@ func run(args []string, w io.Writer) error {
 func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Instance, fig string) error {
 	switch fig {
 	case "5":
-		return fig5(w, suite)
+		return fig5(ctx, w, suite)
 	case "7a":
 		return fig7(ctx, w, h, suite, 2, false)
 	case "7b":
@@ -76,8 +78,13 @@ func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Inst
 		return fig7(ctx, w, h, suite, 3, true)
 	case "8", "9":
 		return fig89(ctx, w, h, suite, fig == "8")
+	case "warm":
+		return figWarm(ctx, w, h, suite)
 	case "all":
-		if err := fig5(w, suite); err != nil {
+		if err := fig5(ctx, w, suite); err != nil {
+			return err
+		}
+		if err := figWarm(ctx, w, h, suite); err != nil {
 			return err
 		}
 		for _, k := range []int{2, 3} {
@@ -98,10 +105,11 @@ func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Inst
 // harness carries the output options shared by every figure run and
 // accumulates results for the final metrics dump.
 type harness struct {
-	timeout     time.Duration
-	csvPath     string
-	metricsJSON string
-	all         []benchmark.Result
+	timeout      time.Duration
+	csvPath      string
+	metricsJSON  string
+	coldwarmJSON string
+	all          []benchmark.Result
 }
 
 func (h *harness) runAll(ctx context.Context, suite []topozoo.Instance, k int) ([]benchmark.Result, error) {
@@ -156,9 +164,9 @@ func buildSuite(zooDir string, maxNodes, seeds int) ([]topozoo.Instance, error) 
 	return out, nil
 }
 
-func fig5(w io.Writer, suite []topozoo.Instance) error {
+func fig5(ctx context.Context, w io.Writer, suite []topozoo.Instance) error {
 	fmt.Fprintln(w, "== Figure 5: effect of the structural reduction rules ==")
-	if err := benchmark.WriteReductionEffects(w, suite); err != nil {
+	if err := benchmark.WriteReductionEffects(ctx, w, suite); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
@@ -197,6 +205,30 @@ func figLetter(k int, ratio bool) string {
 	default:
 		return "d"
 	}
+}
+
+// figWarm renders the cold-vs-warm dynamic-repair comparison: each instance
+// re-solved after 1–2 random edge failures, from scratch and warm-started
+// from the cached base table.
+func figWarm(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Instance) error {
+	fmt.Fprintln(w, "== Warm-start dynamic repair vs cold synthesis ==")
+	rows, err := benchmark.WriteColdWarm(ctx, w, suite, benchmark.ColdWarmConfig{Timeout: h.timeout})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if h.coldwarmJSON == "" {
+		return nil
+	}
+	f, err := os.Create(h.coldwarmJSON)
+	if err != nil {
+		return err
+	}
+	if err := benchmark.WriteColdWarmJSON(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fig89(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Instance, byEdges bool) error {

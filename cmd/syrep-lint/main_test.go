@@ -55,3 +55,19 @@ func TestServerPackagesAreClean(t *testing.T) {
 		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
 	}
 }
+
+// TestCachePackageIsClean pins the synthesis cache: it is a ctxpoll pipeline
+// package (singleflight waiters block on in-flight leaders and must observe
+// cancellation) and holds routing tables whose map iteration order must
+// never leak into cached results (maporder).
+func TestCachePackageIsClean(t *testing.T) {
+	diags, err := run("../..", []string{
+		"./internal/cache/...",
+	}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+	}
+}

@@ -7,12 +7,15 @@
 //	syrep-serve [-addr host:port] [-workers N] [-queue N] [-retries N]
 //	            [-breaker-threshold N] [-breaker-cooldown D]
 //	            [-drain-timeout D] [-mem-limit MB] [-metrics-out file]
+//	            [-cache-entries N] [-cache-ttl D]
 //
 // Endpoints:
 //
 //	POST /v1/synthesize  {"topology":"abilene","dest":"n0","k":2}
 //	POST /v1/repair      {"links":[["a","b"],...],"routing":{...},"k":2}
+//	                     (omit "routing" for warm-start dynamic repair)
 //	GET  /v1/topologies  embedded topology catalogue
+//	GET  /v1/cache       synthesis cache stats (hits, misses, warm starts)
 //	GET  /healthz        liveness
 //	GET  /readyz         readiness (breaker closed, queue below high water)
 //	GET  /metrics        Prometheus exposition
@@ -35,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"syrep/internal/cache"
 	"syrep/internal/obs"
 	"syrep/internal/server"
 )
@@ -62,6 +66,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		"how long shutdown waits for in-flight work before force-cancelling")
 	memLimit := fs.Int("mem-limit", 0,
 		"heap size in MiB above which the breaker trips into degraded mode (0 disables)")
+	cacheEntries := fs.Int("cache-entries", 256,
+		"synthesis cache capacity in entries (0 disables the cache and the warm-start repair path)")
+	cacheTTL := fs.Duration("cache-ttl", 15*time.Minute,
+		"synthesis cache entry time-to-live")
 	metricsOut := fs.String("metrics-out", "",
 		"write the final metrics snapshot here on shutdown (JSON when it ends in .json, Prometheus text otherwise)")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +87,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if *retries == 0 {
 		cfg.RetryMax = -1
+	}
+	if *cacheEntries > 0 {
+		cfg.Cache = cache.New(cache.Config{
+			MaxEntries: *cacheEntries,
+			TTL:        *cacheTTL,
+			Obs:        ob,
+		})
 	}
 	if *memLimit > 0 {
 		limit := uint64(*memLimit) << 20

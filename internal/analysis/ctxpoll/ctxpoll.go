@@ -51,6 +51,10 @@ var pipelinePackages = map[string]bool{
 	// The synthesis service's workers run supervisor pipelines and drain
 	// loops; an unpolled loop there would stall graceful shutdown.
 	"server": true,
+	// The synthesis cache's singleflight waiters block on in-flight
+	// leaders; a wait loop that cannot observe cancellation would pin a
+	// worker for the leader's whole run.
+	"cache": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -413,8 +413,9 @@ type ReductionEffect struct {
 	SoundRemoved, AggroRemoved int
 }
 
-// ReductionEffects applies both rules to every instance.
-func ReductionEffects(instances []topozoo.Instance) ([]ReductionEffect, error) {
+// ReductionEffects applies both rules to every instance. ctx cancellation
+// aborts the sweep between (and inside) reductions with ctx.Err().
+func ReductionEffects(ctx context.Context, instances []topozoo.Instance) ([]ReductionEffect, error) {
 	out := make([]ReductionEffect, 0, len(instances))
 	for _, inst := range instances {
 		e := ReductionEffect{
@@ -422,11 +423,11 @@ func ReductionEffects(instances []topozoo.Instance) ([]ReductionEffect, error) {
 			Nodes:    inst.Net.NumNodes(),
 			Edges:    inst.Net.NumRealEdges(),
 		}
-		sound, err := reduce.Apply(context.Background(), inst.Net, inst.Dest, reduce.Sound)
+		sound, err := reduce.Apply(ctx, inst.Net, inst.Dest, reduce.Sound)
 		if err != nil {
 			return nil, err
 		}
-		aggro, err := reduce.Apply(context.Background(), inst.Net, inst.Dest, reduce.Aggressive)
+		aggro, err := reduce.Apply(ctx, inst.Net, inst.Dest, reduce.Aggressive)
 		if err != nil {
 			return nil, err
 		}
@@ -442,8 +443,8 @@ func ReductionEffects(instances []topozoo.Instance) ([]ReductionEffect, error) {
 }
 
 // WriteReductionEffects renders the Figure 5 table.
-func WriteReductionEffects(w io.Writer, instances []topozoo.Instance) error {
-	effects, err := ReductionEffects(instances)
+func WriteReductionEffects(ctx context.Context, w io.Writer, instances []topozoo.Instance) error {
+	effects, err := ReductionEffects(ctx, instances)
 	if err != nil {
 		return err
 	}

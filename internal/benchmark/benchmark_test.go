@@ -3,6 +3,8 @@ package benchmark_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -149,7 +151,7 @@ func TestScatter(t *testing.T) {
 
 func TestReductionEffects(t *testing.T) {
 	instances := smallSuite()
-	effects, err := benchmark.ReductionEffects(instances)
+	effects, err := benchmark.ReductionEffects(context.Background(), instances)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +168,26 @@ func TestReductionEffects(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := benchmark.WriteReductionEffects(&sb, instances); err != nil {
+	if err := benchmark.WriteReductionEffects(context.Background(), &sb, instances); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "aggN") {
 		t.Error("reduction table missing header")
+	}
+}
+
+// TestReductionEffectsCancellation: a cancelled context aborts the sweep
+// with ctx.Err() instead of grinding through every instance — previously the
+// reductions ran on context.Background() and could not be cancelled at all.
+func TestReductionEffectsCancellation(t *testing.T) {
+	instances := smallSuite()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := benchmark.ReductionEffects(ctx, instances); !errors.Is(err, context.Canceled) {
+		t.Errorf("ReductionEffects on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if err := benchmark.WriteReductionEffects(ctx, io.Discard, instances); !errors.Is(err, context.Canceled) {
+		t.Errorf("WriteReductionEffects on cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// EdgeDiff returns the size of the symmetric difference of the canonical
+// edge-key sets of two networks: how many real edges must be added or
+// removed to turn one topology into the other. Parallel edges match i-th to
+// i-th by ordinal, which is sound because they are interchangeable.
+func EdgeDiff(a, b *network.Network) int {
+	return diffAgainst(keySet(a.EdgeKeys()), b.EdgeKeys())
+}
+
+func keySet(keys []string) map[string]bool {
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}
+
+// diffAgainst counts keys present in exactly one of set and keys. Edge keys
+// are unique per network (the ordinal disambiguates parallels), so plain
+// membership counting is exact.
+func diffAgainst(set map[string]bool, keys []string) int {
+	diff := len(set)
+	for _, k := range keys {
+		if set[k] {
+			diff-- // shared: not in the symmetric difference
+		} else {
+			diff++ // only in keys
+		}
+	}
+	return diff
+}
+
+// Adapt transplants a cached entry's routing table onto net, the warm-start
+// seed construction: entries whose in-edge and node survive are carried over
+// with their priority lists filtered to surviving edges, and every uncovered
+// key — new edges, new nodes, lists emptied by the diff, and the seed's own
+// holes — is punched as a hole of length k+1 for the fill stage to solve.
+// Edges and nodes are matched by canonical key and name, so the two networks
+// may number them differently.
+//
+// Adapt fails when net has no node named like the entry's destination; any
+// other topology difference degrades into holes rather than errors.
+func Adapt(e *Entry, net *network.Network, k int) (*routing.Routing, error) {
+	src := e.Routing
+	old := src.Network()
+	destName := old.NodeName(src.Dest())
+	dest := net.NodeByName(destName)
+	if dest == network.NoNode {
+		return nil, fmt.Errorf("cache: destination %q not in submitted topology", destName)
+	}
+	r := routing.New(net, dest)
+
+	// src.Keys() is already deterministic (sorted); iterate it rather than
+	// the underlying map so the Set order — and thus any error — is stable.
+	for _, key := range src.Keys() {
+		at := net.NodeByName(old.NodeName(key.At))
+		if at == network.NoNode || at == dest {
+			continue
+		}
+		in, ok := net.EdgeByKey(old.EdgeKey(key.In))
+		if !ok {
+			continue
+		}
+		prio, _ := src.Get(key.In, key.At)
+		mapped := make([]network.EdgeID, 0, len(prio))
+		for _, pe := range prio {
+			if ne, ok := net.EdgeByKey(old.EdgeKey(pe)); ok {
+				mapped = append(mapped, ne)
+			}
+		}
+		if len(mapped) == 0 {
+			continue // emptied by the diff; becomes a hole below
+		}
+		if err := r.Set(in, at, mapped); err != nil {
+			return nil, fmt.Errorf("cache: adapting entry at %q: %w", old.NodeName(key.At), err)
+		}
+	}
+
+	// Everything the carried-over entries don't cover becomes a hole. Sort
+	// for determinism even though AllKeys is already ordered — the hole set
+	// is part of the seed's identity.
+	var missing []routing.Key
+	for _, key := range r.AllKeys() {
+		if _, ok := r.Get(key.In, key.At); !ok {
+			missing = append(missing, key)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		if missing[i].At != missing[j].At {
+			return missing[i].At < missing[j].At
+		}
+		return missing[i].In < missing[j].In
+	})
+	for _, key := range missing {
+		if err := r.PunchHole(key.In, key.At, k+1); err != nil {
+			return nil, fmt.Errorf("cache: punching hole at %q: %w", net.NodeName(key.At), err)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,381 @@
+// Package cache implements the cross-request synthesis cache: a
+// content-addressed LRU+TTL map from (topology fingerprint, destination,
+// resilience level, strategy) to a previously synthesized routing table and
+// its verification verdict, plus the warm-start machinery that adapts a
+// cached table onto a changed topology so only the verify+repair endgame of
+// the pipeline runs (the paper's Fig. 6 dynamic-repair shortcut).
+//
+// The cache is bounded twice — by entry count and by an approximate byte
+// footprint — and supports wholesale purging on memory pressure (the server
+// purges when its breaker trips for memory). Concurrent identical requests
+// are deduplicated by the singleflight Do, so N callers cost one synthesis.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+)
+
+// Key is the cache key: everything that determines the synthesized table.
+type Key struct {
+	// Topo is the canonical topology fingerprint (network.Fingerprint).
+	Topo network.Fingerprint
+	// Dest is the destination node name (names survive renumbering).
+	Dest string
+	// K is the resilience level.
+	K int
+	// Strategy is the synthesis strategy's string form.
+	Strategy string
+}
+
+// Entry is a cached synthesis result.
+type Entry struct {
+	// Net is the base network the table was synthesized on.
+	Net *network.Network
+	// Routing is the synthesized table. The cache stores and returns deep
+	// clones, so callers may mutate what they get back.
+	Routing *routing.Routing
+	// Resilient and Residual are the verification verdict of Routing at K:
+	// perfectly k-resilient, or carrying this many known failing deliveries.
+	Resilient bool
+	Residual  int
+}
+
+// Config sizes the cache. The zero value gets sane defaults.
+type Config struct {
+	// MaxEntries bounds the entry count (default 256).
+	MaxEntries int
+	// MaxBytes bounds the approximate byte footprint (default 64 MiB).
+	MaxBytes int64
+	// TTL bounds entry age; expired entries miss and are dropped on lookup
+	// (default 15 minutes).
+	TTL time.Duration
+	// Obs, when non-nil, receives the hit/miss/dedup/warm-start/eviction
+	// counters and the entries/bytes gauges under the canonical
+	// syrep_cache_* names.
+	Obs *obs.Observer
+	// Now is a test seam for the clock (default time.Now).
+	Now func() time.Time
+}
+
+// Stats is a point-in-time summary, served by the /v1/cache endpoint.
+type Stats struct {
+	Entries    int           `json:"entries"`
+	MaxEntries int           `json:"maxEntries"`
+	Bytes      int64         `json:"bytes"`
+	MaxBytes   int64         `json:"maxBytes"`
+	TTL        time.Duration `json:"ttlNs"`
+	Hits       int64         `json:"hits"`
+	Misses     int64         `json:"misses"`
+	Dedups     int64         `json:"dedups"`
+	WarmHits   int64         `json:"warmHits"`
+	WarmMisses int64         `json:"warmMisses"`
+	Evictions  int64         `json:"evictions"`
+}
+
+// item is the LRU list payload.
+type item struct {
+	key     Key
+	e       *Entry
+	bytes   int64
+	expires time.Time // zero when the cache has no TTL
+}
+
+// flight is one in-progress singleflight computation.
+type flight struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
+// Cache is the cross-request synthesis cache. Safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[Key]*list.Element
+	bytes   int64
+	flights map[Key]*flight
+
+	hits, misses, dedups     *obs.Counter
+	warmHits, warmMisses     *obs.Counter
+	evictions                *obs.Counter
+	entriesGauge, bytesGauge *obs.Gauge
+}
+
+// New returns a cache sized by cfg.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 256
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 15 * time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Cache{
+		cfg:     cfg,
+		ll:      list.New(),
+		entries: make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+	}
+	if cfg.Obs != nil {
+		c.hits = cfg.Obs.Counter(obs.CacheHits)
+		c.misses = cfg.Obs.Counter(obs.CacheMisses)
+		c.dedups = cfg.Obs.Counter(obs.CacheDedups)
+		c.warmHits = cfg.Obs.Counter(obs.CacheWarmHits)
+		c.warmMisses = cfg.Obs.Counter(obs.CacheWarmMisses)
+		c.evictions = cfg.Obs.Counter(obs.CacheEvictions)
+		c.entriesGauge = cfg.Obs.Gauge(obs.CacheEntries)
+		c.bytesGauge = cfg.Obs.Gauge(obs.CacheBytes)
+	} else {
+		c.hits, c.misses, c.dedups = new(obs.Counter), new(obs.Counter), new(obs.Counter)
+		c.warmHits, c.warmMisses = new(obs.Counter), new(obs.Counter)
+		c.evictions = new(obs.Counter)
+		c.entriesGauge, c.bytesGauge = new(obs.Gauge), new(obs.Gauge)
+	}
+	return c
+}
+
+// Get returns the entry under key, bumping it to most-recently-used. The
+// returned entry carries a clone of the cached routing. Expired entries are
+// dropped and miss.
+func (c *Cache) Get(key Key) (*Entry, bool) {
+	c.mu.Lock()
+	e, ok := c.lookupLocked(key)
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	return cloneEntry(e), true
+}
+
+// lookupLocked finds key, handles TTL expiry, and bumps the LRU position.
+func (c *Cache) lookupLocked(key Key) (*Entry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	it := el.Value.(*item)
+	if !it.expires.IsZero() && c.cfg.Now().After(it.expires) {
+		c.removeLocked(el)
+		c.evictions.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return it.e, true
+}
+
+// Put inserts (or replaces) the entry under key and evicts least-recently
+// used entries until the count and byte bounds hold again.
+func (c *Cache) Put(key Key, e *Entry) {
+	if e == nil || e.Routing == nil || e.Net == nil {
+		return
+	}
+	stored := cloneEntry(e)
+	it := &item{
+		key:     key,
+		e:       stored,
+		bytes:   entryBytes(stored),
+		expires: c.cfg.Now().Add(c.cfg.TTL),
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(it)
+	c.entries[key] = el
+	c.bytes += it.bytes
+	// Evict from the LRU end until both bounds hold again; each pass drops
+	// one entry, so the initial length bounds the loop.
+	for left := c.ll.Len(); left > 1 && (c.ll.Len() > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes); left-- {
+		back := c.ll.Back()
+		if back == el {
+			break // never evict the entry just inserted, even when oversized
+		}
+		c.removeLocked(back)
+		c.evictions.Inc()
+	}
+	c.gaugesLocked()
+	c.mu.Unlock()
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	it := el.Value.(*item)
+	c.ll.Remove(el)
+	delete(c.entries, it.key)
+	c.bytes -= it.bytes
+	c.gaugesLocked()
+}
+
+func (c *Cache) gaugesLocked() {
+	c.entriesGauge.Set(int64(c.ll.Len()))
+	c.bytesGauge.Set(c.bytes)
+}
+
+// Purge drops every cached entry (in-progress flights are unaffected) and
+// returns how many were dropped. The server calls it when the breaker trips
+// on memory pressure: the cache is the service's largest discretionary
+// allocation.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.ll.Init()
+	c.entries = make(map[Key]*list.Element)
+	c.bytes = 0
+	c.gaugesLocked()
+	c.mu.Unlock()
+	c.evictions.Add(int64(n))
+	return n
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// errFlightAborted surfaces a leader that died without a result (panic
+// unwound through fn); waiters retry or fail their own request.
+var errFlightAborted = errors.New("cache: singleflight leader aborted")
+
+// Do deduplicates concurrent identical work: the first caller for key (the
+// leader) runs fn; every caller that arrives while the flight is in progress
+// blocks and receives the leader's result with shared=true, charging N
+// concurrent identical requests one synthesis. The shared value is returned
+// as-is — treat it as read-only or copy it. Do does not consult or fill the
+// result cache; compose it with Get/Put so non-cacheable results (partial,
+// degraded) still dedupe without being stored.
+//
+// Waiters also unblock on ctx cancellation with the context's error; the
+// leader always runs fn to completion regardless of its own ctx (fn is
+// expected to carry its own deadline).
+func (c *Cache) Do(ctx context.Context, key Key, fn func() (any, error)) (v any, shared bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.dedups.Inc()
+		select {
+		case <-f.done:
+			return f.v, true, f.err
+		case <-ctx.Done():
+			return nil, true, context.Cause(ctx)
+		}
+	}
+	f := &flight{done: make(chan struct{}), err: errFlightAborted}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.v, f.err = fn()
+	return f.v, false, f.err
+}
+
+// NoteWarmHit records a repair request served by the warm-start fast path.
+func (c *Cache) NoteWarmHit() { c.warmHits.Inc() }
+
+// NoteWarmMiss records a repair request that wanted the fast path but fell
+// back to cold synthesis (no candidate, adaptation failure, or fill failure).
+func (c *Cache) NoteWarmMiss() { c.warmMisses.Inc() }
+
+// Stats returns a point-in-time summary.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Entries:    entries,
+		MaxEntries: c.cfg.MaxEntries,
+		Bytes:      bytes,
+		MaxBytes:   c.cfg.MaxBytes,
+		TTL:        c.cfg.TTL,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Dedups:     c.dedups.Load(),
+		WarmHits:   c.warmHits.Load(),
+		WarmMisses: c.warmMisses.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+}
+
+// Nearest returns the cached entry whose base topology is closest to net —
+// same destination name, same k, resilient verdict, and an edge diff (size
+// of the symmetric difference of canonical edge-key sets) of at most
+// maxDiff — together with that diff. Ties prefer the smaller diff, then the
+// lexicographically smallest topology fingerprint, so the choice is
+// deterministic under Go's random map order. The scan is linear in the
+// cache size, which the entry bound keeps small relative to one synthesis.
+func (c *Cache) Nearest(net *network.Network, dest string, k, maxDiff int) (*Entry, int, bool) {
+	keys := keySet(net.EdgeKeys())
+	now := c.cfg.Now()
+
+	c.mu.Lock()
+	var best *item
+	bestDiff := maxDiff + 1
+	for key, el := range c.entries {
+		if key.Dest != dest || key.K != k {
+			continue
+		}
+		it := el.Value.(*item)
+		if !it.expires.IsZero() && now.After(it.expires) {
+			continue // expired; left for lookup/eviction to reap
+		}
+		if !it.e.Resilient {
+			continue
+		}
+		d := diffAgainst(keys, it.e.Net.EdgeKeys())
+		if d < bestDiff || (d == bestDiff && best != nil && key.Topo < best.key.Topo) {
+			best, bestDiff = it, d
+		}
+	}
+	if best == nil {
+		c.mu.Unlock()
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(c.entries[best.key])
+	e := best.e
+	c.mu.Unlock()
+	return cloneEntry(e), bestDiff, true
+}
+
+func cloneEntry(e *Entry) *Entry {
+	out := *e
+	out.Routing = e.Routing.Clone()
+	return &out
+}
+
+// entryBytes approximates the resident size of an entry: routing entries
+// dominate, at map-header-plus-slice cost per key; the shared network is
+// charged once per entry because entries usually pin distinct topologies.
+func entryBytes(e *Entry) int64 {
+	var b int64 = 128
+	r := e.Routing
+	for _, k := range r.Keys() {
+		prio, _ := r.Get(k.In, k.At)
+		b += 48 + 8*int64(len(prio))
+	}
+	b += 56 * int64(r.NumHoles())
+	n := e.Net
+	b += 64 + 24*int64(n.NumNodes()) + 48*int64(n.NumEdges())
+	return b
+}

@@ -1,0 +1,345 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+)
+
+// ring builds a cycle over the given node names, so every node has degree 2
+// and any single edge can be dropped without disconnecting the graph.
+func ring(t testing.TB, names ...string) *network.Network {
+	t.Helper()
+	b := network.NewBuilder("ring")
+	for _, s := range names {
+		b.AddNode(s)
+	}
+	for i := range names {
+		b.AddEdge(network.NodeID(i), network.NodeID((i+1)%len(names)))
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// entryFor makes a small valid Entry on net: one real routing entry so byte
+// accounting and cloning have something to chew on.
+func entryFor(t testing.TB, net *network.Network, resilient bool) *Entry {
+	t.Helper()
+	dest := net.NodeByName("a")
+	r := routing.New(net, dest)
+	// One hop from b toward a via the b-a ring edge, entered on loop-back.
+	b := net.NodeByName("b")
+	var out network.EdgeID = network.NoEdge
+	for _, e := range net.IncidentEdges(b) {
+		if net.Other(e, b) == dest {
+			out = e
+		}
+	}
+	if out == network.NoEdge {
+		t.Fatal("ring has no b-a edge")
+	}
+	if err := r.Set(net.Loopback(b), b, []network.EdgeID{out}); err != nil {
+		t.Fatal(err)
+	}
+	return &Entry{Net: net, Routing: r, Resilient: resilient}
+}
+
+func keyFor(net *network.Network, k int) Key {
+	return Key{Topo: net.Fingerprint(), Dest: "a", K: k, Strategy: "combined"}
+}
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	n1 := ring(t, "a", "b", "c")
+	n2 := ring(t, "a", "b", "c", "d")
+	n3 := ring(t, "a", "b", "c", "d", "e")
+	k1, k2, k3 := keyFor(n1, 2), keyFor(n2, 2), keyFor(n3, 2)
+
+	c.Put(k1, entryFor(t, n1, true))
+	c.Put(k2, entryFor(t, n2, true))
+	if _, ok := c.Get(k1); !ok { // bump k1: k2 is now LRU
+		t.Fatal("k1 should be cached")
+	}
+	c.Put(k3, entryFor(t, n3, true))
+	if _, ok := c.Get(k2); ok {
+		t.Error("k2 should have been evicted as least recently used")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("k1 should have survived the eviction")
+	}
+	if _, ok := c.Get(k3); !ok {
+		t.Error("k3 should be cached")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries and 1 eviction", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestGetReturnsClone(t *testing.T) {
+	c := New(Config{})
+	n := ring(t, "a", "b", "c")
+	key := keyFor(n, 2)
+	c.Put(key, entryFor(t, n, true))
+
+	e1, _ := c.Get(key)
+	cc := n.NodeByName("c")
+	if err := e1.Routing.PunchHole(n.Loopback(cc), cc, 1); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := c.Get(key)
+	if e2.Routing.NumHoles() != 0 {
+		t.Error("mutating a returned entry leaked into the cache")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	c := New(Config{TTL: time.Minute, Now: clock})
+	n := ring(t, "a", "b", "c")
+	key := keyFor(n, 2)
+	c.Put(key, entryFor(t, n, true))
+
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, ok := c.Get(key); ok {
+		t.Fatal("expired entry should miss")
+	}
+	if _, _, ok := c.Nearest(n, "a", 2, 0); ok {
+		t.Fatal("Nearest must not return an expired entry")
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want the expired entry reaped", st)
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	n1 := ring(t, "a", "b", "c")
+	one := entryBytes(entryFor(t, n1, true))
+	c := New(Config{MaxEntries: 100, MaxBytes: one + one/2}) // room for ~1.5 entries
+	c.Put(keyFor(n1, 2), entryFor(t, n1, true))
+	n2 := ring(t, "a", "b", "c", "d")
+	c.Put(keyFor(n2, 2), entryFor(t, n2, true))
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d after byte-bounded insert, want 1", got)
+	}
+	if _, ok := c.Get(keyFor(n2, 2)); !ok {
+		t.Error("newest entry should survive byte-bound eviction")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(Config{})
+	n1 := ring(t, "a", "b", "c")
+	n2 := ring(t, "a", "b", "c", "d")
+	c.Put(keyFor(n1, 2), entryFor(t, n1, true))
+	c.Put(keyFor(n2, 3), entryFor(t, n2, true))
+	if got := c.Purge(); got != 2 {
+		t.Fatalf("Purge = %d, want 2", got)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Evictions != 2 {
+		t.Errorf("stats after purge = %+v", st)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, 6)
+	leader := func(i int, fn func() (any, error)) {
+		defer wg.Done()
+		v, _, err := c.Do(context.Background(), key, fn)
+		if err != nil {
+			t.Error(err)
+		}
+		results[i] = v
+	}
+	wg.Add(1)
+	go leader(0, func() (any, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return "synthesized", nil
+	})
+	<-started
+	for i := 1; i < 6; i++ {
+		wg.Add(1)
+		go leader(i, func() (any, error) {
+			calls.Add(1)
+			return "should not run", nil
+		})
+	}
+	// Give the waiters time to register before releasing the leader; a
+	// waiter that races past the flight would bump calls and fail below.
+	for c.Stats().Dedups < 5 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != "synthesized" {
+			t.Errorf("caller %d got %v, want the leader's result", i, v)
+		}
+	}
+	if st := c.Stats(); st.Dedups != 5 {
+		t.Errorf("dedups = %d, want 5", st.Dedups)
+	}
+}
+
+func TestSingleflightWaiterCancellation(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.Do(context.Background(), key, func() (any, error) {
+			close(started)
+			<-release
+			return nil, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := c.Do(ctx, key, func() (any, error) { return nil, nil })
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter: shared=%v err=%v, want shared context.Canceled", shared, err)
+	}
+	close(release)
+	<-done
+}
+
+func TestSingleflightErrorShared(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+	boom := errors.New("boom")
+	_, shared, err := c.Do(context.Background(), key, func() (any, error) { return nil, boom })
+	if shared || !errors.Is(err, boom) {
+		t.Errorf("leader: shared=%v err=%v", shared, err)
+	}
+	// The flight is gone; a new call runs fresh.
+	v, shared, err := c.Do(context.Background(), key, func() (any, error) { return 42, nil })
+	if shared || err != nil || v != 42 {
+		t.Errorf("second flight: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	c := New(Config{})
+	base := ring(t, "a", "b", "c", "d")
+	c.Put(keyFor(base, 2), entryFor(t, base, true))
+
+	// Exact topology: diff 0.
+	if _, diff, ok := c.Nearest(ring(t, "a", "b", "c", "d"), "a", 2, 2); !ok || diff != 0 {
+		t.Fatalf("exact match: ok=%v diff=%d, want hit with diff 0", ok, diff)
+	}
+	// One edge dropped: diff 1.
+	drop := []network.EdgeID{base.RealEdges()[0]}
+	mod, err := network.WithoutEdges(base, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, diff, ok := c.Nearest(mod, "a", 2, 2); !ok || diff != 1 {
+		t.Fatalf("one-edge diff: ok=%v diff=%d, want hit with diff 1", ok, diff)
+	}
+	// Over budget.
+	if _, _, ok := c.Nearest(mod, "a", 2, 0); ok {
+		t.Error("diff 1 must miss with maxDiff 0")
+	}
+	// Wrong destination or k.
+	if _, _, ok := c.Nearest(base, "b", 2, 4); ok {
+		t.Error("destination mismatch must miss")
+	}
+	if _, _, ok := c.Nearest(base, "a", 3, 4); ok {
+		t.Error("k mismatch must miss")
+	}
+	// Non-resilient entries are never warm-start bases.
+	c2 := New(Config{})
+	c2.Put(keyFor(base, 2), entryFor(t, base, false))
+	if _, _, ok := c2.Nearest(base, "a", 2, 4); ok {
+		t.Error("non-resilient entry must be skipped")
+	}
+}
+
+func TestEdgeDiff(t *testing.T) {
+	a := ring(t, "a", "b", "c", "d")
+	if d := EdgeDiff(a, ring(t, "a", "b", "c", "d")); d != 0 {
+		t.Errorf("identical rings: diff %d", d)
+	}
+	mod, err := network.WithoutEdges(a, []network.EdgeID{a.RealEdges()[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := EdgeDiff(a, mod); d != 1 {
+		t.Errorf("one dropped edge: diff %d, want 1", d)
+	}
+	if d := EdgeDiff(a, ring(t, "a", "b", "x", "d")); d == 0 {
+		t.Error("renamed node must change the edge set")
+	}
+}
+
+func TestObsWiring(t *testing.T) {
+	o := obs.New(nil)
+	c := New(Config{Obs: o})
+	n := ring(t, "a", "b", "c")
+	key := keyFor(n, 2)
+	c.Get(key) // miss
+	c.Put(key, entryFor(t, n, true))
+	c.Get(key) // hit
+	c.NoteWarmHit()
+	c.NoteWarmMiss()
+	snap := o.Snapshot()
+	for name, want := range map[string]int64{
+		obs.CacheHits:       1,
+		obs.CacheMisses:     1,
+		obs.CacheWarmHits:   1,
+		obs.CacheWarmMisses: 1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges[obs.CacheEntries]; got != 1 {
+		t.Errorf("gauge %s = %d, want 1", obs.CacheEntries, got)
+	}
+	if got := snap.Gauges[obs.CacheBytes]; got <= 0 {
+		t.Errorf("gauge %s = %d, want positive", obs.CacheBytes, got)
+	}
+}

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"syrep/internal/network"
+	"syrep/internal/resilience"
+	"syrep/internal/topozoo"
+	"syrep/internal/verify"
+)
+
+// connectedWithout reports whether the real-edge graph stays connected after
+// hypothetically removing drop.
+func connectedWithout(n *network.Network, drop map[network.EdgeID]bool) bool {
+	seen := make([]bool, n.NumNodes())
+	queue := []network.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range n.IncidentEdges(v) {
+			if drop[e] {
+				continue
+			}
+			w := n.Other(e, v)
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == n.NumNodes()
+}
+
+// pickDrop chooses m distinct real edges whose removal keeps the graph
+// connected, or returns nil when the rng fails to find such a set.
+func pickDrop(rng *rand.Rand, n *network.Network, m int) []network.EdgeID {
+	edges := n.RealEdges()
+	for attempt := 0; attempt < 50; attempt++ {
+		drop := make(map[network.EdgeID]bool, m)
+		for len(drop) < m {
+			drop[edges[rng.Intn(len(edges))]] = true
+		}
+		if connectedWithout(n, drop) {
+			out := make([]network.EdgeID, 0, m)
+			for _, e := range edges { // deterministic order
+				if drop[e] {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// TestWarmColdDifferential is the end-to-end contract of the warm-start fast
+// path: synthesize a base table, cache it, delete up to m random edges, and
+// check that Nearest+Adapt+WarmStart yields a table whose resilience verdict
+// is deep-equal to a cold synthesis on the modified topology — both
+// perfectly k-resilient with zero failing deliveries. When the pinned
+// surviving entries admit no completion the fast path must say so with
+// ErrUnsolvable (the server's cold-fallback trigger), never return a
+// non-resilient table.
+func TestWarmColdDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential synthesis suite is slow")
+	}
+	const k = 2
+	ctx := context.Background()
+	opts := resilience.Options{Timeout: 60 * time.Second}
+	warmRuns := 0
+
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, m := range []int{1, 2} {
+			rng := rand.New(rand.NewSource(seed*100 + int64(m)))
+			net := topozoo.Generate(topozoo.GenConfig{Nodes: 8, Seed: seed})
+			dest := network.NodeID(0)
+			destName := net.NodeName(dest)
+
+			base, brep, err := resilience.Synthesize(ctx, net, dest, k, opts)
+			if err != nil {
+				t.Fatalf("seed %d: base synthesis: %v", seed, err)
+			}
+			if brep.WarmStart {
+				t.Fatalf("seed %d: cold synthesis reported WarmStart", seed)
+			}
+			c := New(Config{})
+			c.Put(Key{Topo: net.Fingerprint(), Dest: destName, K: k, Strategy: "combined"},
+				&Entry{Net: net, Routing: base, Resilient: true})
+
+			drop := pickDrop(rng, net, m)
+			if drop == nil {
+				t.Logf("seed %d m=%d: no connected %d-edge deletion, skipping", seed, m, m)
+				continue
+			}
+			mod, err := network.WithoutEdges(net, drop)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ent, diff, ok := c.Nearest(mod, destName, k, m)
+			if !ok || diff != m {
+				t.Fatalf("seed %d m=%d: Nearest ok=%v diff=%d", seed, m, ok, diff)
+			}
+			seedRouting, err := Adapt(ent, mod, k)
+			if err != nil {
+				t.Fatalf("seed %d m=%d: Adapt: %v", seed, m, err)
+			}
+
+			warm, wrep, err := resilience.WarmStart(ctx, seedRouting, k, opts)
+			if err != nil {
+				if errors.Is(err, resilience.ErrUnsolvable) {
+					// Legitimate fast-path miss; the cold path below must
+					// still settle the instance.
+					warm = nil
+				} else {
+					t.Fatalf("seed %d m=%d: WarmStart: %v", seed, m, err)
+				}
+			} else {
+				warmRuns++
+				if !wrep.WarmStart {
+					t.Errorf("seed %d m=%d: report not flagged WarmStart", seed, m)
+				}
+				if wrep.HolesFilled != seedRouting.NumHoles() && seedRouting.NumHoles() > 0 {
+					t.Errorf("seed %d m=%d: HolesFilled=%d, seed had %d holes",
+						seed, m, wrep.HolesFilled, seedRouting.NumHoles())
+				}
+			}
+
+			cold, _, err := resilience.Synthesize(ctx, mod, mod.NodeByName(destName), k, opts)
+			if err != nil {
+				t.Fatalf("seed %d m=%d: cold synthesis on modified topology: %v", seed, m, err)
+			}
+			coldRep, err := verify.Check(ctx, cold, k, verify.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !coldRep.Resilient {
+				t.Fatalf("seed %d m=%d: cold table not resilient", seed, m)
+			}
+			if warm == nil {
+				continue
+			}
+			warmRep, err := verify.Check(ctx, warm, k, verify.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The resilience verdicts must be deep-equal: perfectly
+			// k-resilient with identical (empty) failing-delivery sets.
+			if warmRep.Resilient != coldRep.Resilient || len(warmRep.Failing) != len(coldRep.Failing) {
+				t.Errorf("seed %d m=%d: warm verdict (resilient=%v failing=%d) != cold (resilient=%v failing=%d)",
+					seed, m, warmRep.Resilient, len(warmRep.Failing), coldRep.Resilient, len(coldRep.Failing))
+			}
+		}
+	}
+	if warmRuns == 0 {
+		t.Fatal("no trial exercised the warm-start path; suite is vacuous")
+	}
+}
+
+// TestAdaptSeedShape pins the seed construction: entries over failed edges
+// become holes, surviving entries carry over, and the seed validates on the
+// modified network.
+func TestAdaptSeedShape(t *testing.T) {
+	ctx := context.Background()
+	net := topozoo.Generate(topozoo.GenConfig{Nodes: 8, Seed: 1})
+	dest := network.NodeID(0)
+	base, _, err := resilience.Synthesize(ctx, net, dest, 2, resilience.Options{Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drop := pickDrop(rand.New(rand.NewSource(7)), net, 1)
+	if drop == nil {
+		t.Fatal("no droppable edge")
+	}
+	mod, err := network.WithoutEdges(net, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{Net: net, Routing: base, Resilient: true}
+	seed, err := Adapt(e, mod, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed.Network() != mod {
+		t.Error("seed not built on the modified network")
+	}
+	if err := seed.Validate(); err != nil {
+		t.Errorf("adapted seed does not validate: %v", err)
+	}
+	if !seed.Complete() {
+		t.Error("adapted seed must cover every (in-edge, node) key with an entry or a hole")
+	}
+	// No entry may reference the dropped edge's canonical key.
+	droppedKey := net.EdgeKey(drop[0])
+	for _, key := range seed.Keys() {
+		if mod.EdgeKey(key.In) == droppedKey {
+			t.Fatalf("seed entry enters on dropped edge %s", droppedKey)
+		}
+		prio, _ := seed.Get(key.In, key.At)
+		for _, pe := range prio {
+			if mod.EdgeKey(pe) == droppedKey {
+				t.Fatalf("seed priority list still points at dropped edge %s", droppedKey)
+			}
+		}
+	}
+}

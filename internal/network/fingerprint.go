@@ -1,0 +1,122 @@
+package network
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Fingerprint is a canonical content hash: equal fingerprints mean
+// structurally identical content regardless of construction order. The hex
+// form is stable across processes and safe to use as a map key or in URLs.
+type Fingerprint string
+
+// String returns the hex digest.
+func (f Fingerprint) String() string { return string(f) }
+
+// EdgeKey returns the canonical identity of edge e, stable across
+// independently built networks: for a real edge, the two endpoint names in
+// lexicographic order joined with '|' plus an ordinal '#i' distinguishing
+// parallel edges (the i-th parallel edge between the same endpoints, in
+// edge-id order); for a loop-back, "lb|<node>". Parallel edges are
+// topologically interchangeable, so matching the i-th to the i-th is sound.
+// Display names of edges deliberately do not contribute: they depend on
+// insertion order.
+func (n *Network) EdgeKey(e EdgeID) string {
+	n.buildEdgeKeys()
+	return n.edgeKeys[e]
+}
+
+// EdgeByKey resolves a canonical edge key — as returned by EdgeKey, possibly
+// of a different network — to this network's edge id.
+func (n *Network) EdgeByKey(key string) (EdgeID, bool) {
+	n.buildEdgeKeys()
+	e, ok := n.byEdgeKey[key]
+	return e, ok
+}
+
+// EdgeKeys returns the canonical keys of all real edges, indexed by edge id.
+// The slice is shared; callers must not modify it.
+func (n *Network) EdgeKeys() []string {
+	n.buildEdgeKeys()
+	return n.edgeKeys[:n.realEdges]
+}
+
+func (n *Network) buildEdgeKeys() {
+	n.edgeOnce.Do(func() {
+		keys := make([]string, len(n.edges))
+		ordinal := make(map[string]int, n.realEdges)
+		for i := 0; i < n.realEdges; i++ {
+			ed := n.edges[i]
+			a, b := n.nodeNames[ed.u], n.nodeNames[ed.v]
+			if b < a {
+				a, b = b, a
+			}
+			base := strconv.Quote(a) + "|" + strconv.Quote(b)
+			keys[i] = base + "#" + strconv.Itoa(ordinal[base])
+			ordinal[base]++
+		}
+		for i := n.realEdges; i < len(n.edges); i++ {
+			keys[i] = "lb|" + strconv.Quote(n.nodeNames[n.edges[i].u])
+		}
+		byKey := make(map[string]EdgeID, len(keys))
+		for i, k := range keys {
+			byKey[k] = EdgeID(i)
+		}
+		n.edgeKeys, n.byEdgeKey = keys, byKey
+	})
+}
+
+// Fingerprint returns the canonical content hash of the network: SHA-256
+// over the sorted node names and the sorted canonical edge keys, independent
+// of node and edge insertion order. The network name and edge display names
+// do not contribute, so two builders wiring the same links between the same
+// node names in any order produce the same fingerprint.
+func (n *Network) Fingerprint() Fingerprint {
+	n.fpOnce.Do(func() {
+		h := sha256.New()
+		// Hash writes never fail; errors are ignored throughout.
+		_, _ = io.WriteString(h, "syrep/network/v1\n")
+		names := append([]string(nil), n.nodeNames...)
+		sort.Strings(names)
+		for _, s := range names {
+			_, _ = io.WriteString(h, "node "+strconv.Quote(s)+"\n")
+		}
+		keys := append([]string(nil), n.EdgeKeys()...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			_, _ = io.WriteString(h, "edge "+k+"\n")
+		}
+		n.fp = Fingerprint(hex.EncodeToString(h.Sum(nil)[:16]))
+	})
+	return n.fp
+}
+
+// WithoutEdges returns a copy of n with the given real edges removed,
+// preserving node names, edge display names, and the relative order of the
+// surviving edges. It is the topology-change primitive used by the
+// warm-start benchmark and tests to model link failures.
+func WithoutEdges(n *Network, drop []EdgeID) (*Network, error) {
+	dropSet := make(map[EdgeID]bool, len(drop))
+	for _, e := range drop {
+		if e < 0 || int(e) >= n.realEdges {
+			return nil, fmt.Errorf("network: edge %v is not a real edge", e)
+		}
+		dropSet[e] = true
+	}
+	b := NewBuilder(n.name)
+	for _, name := range n.nodeNames {
+		b.AddNode(name)
+	}
+	for i := 0; i < n.realEdges; i++ {
+		if dropSet[EdgeID(i)] {
+			continue
+		}
+		ed := n.edges[i]
+		b.AddNamedEdge(ed.name, ed.u, ed.v)
+	}
+	return b.Build()
+}

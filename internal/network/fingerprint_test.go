@@ -1,0 +1,112 @@
+package network
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPerm wires the same topology — a triangle a-b-c with a parallel a-b
+// edge — with nodes and edges added in the given orders.
+func buildPerm(t *testing.T, nodes []string, links [][2]string) *Network {
+	t.Helper()
+	b := NewBuilder("perm")
+	for _, n := range nodes {
+		b.AddNode(n)
+	}
+	for _, l := range links {
+		b.AddLink(l[0], l[1])
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("building permuted network: %v", err)
+	}
+	return n
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	n1 := buildPerm(t,
+		[]string{"a", "b", "c"},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"a", "b"}})
+	n2 := buildPerm(t,
+		[]string{"c", "a", "b"},
+		[][2]string{{"c", "b"}, {"b", "a"}, {"a", "b"}, {"a", "c"}})
+	if n1.Fingerprint() != n2.Fingerprint() {
+		t.Errorf("same topology, different fingerprints:\n  %s\n  %s",
+			n1.Fingerprint(), n2.Fingerprint())
+	}
+	if n1.Fingerprint() == "" {
+		t.Error("empty fingerprint")
+	}
+	// Repeated calls are stable (the value is cached).
+	if n1.Fingerprint() != n1.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := buildPerm(t, []string{"a", "b", "c"}, [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}})
+	cases := map[string]*Network{
+		"extra parallel edge": buildPerm(t, []string{"a", "b", "c"},
+			[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"a", "b"}}),
+		"missing edge": buildPerm(t, []string{"a", "b", "c"},
+			[][2]string{{"a", "b"}, {"b", "c"}}),
+		"renamed node": buildPerm(t, []string{"a", "b", "d"},
+			[][2]string{{"a", "b"}, {"b", "d"}, {"d", "a"}}),
+		"extra isolated-ish node": buildPerm(t, []string{"a", "b", "c", "x"},
+			[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"x", "a"}}),
+	}
+	for name, other := range cases {
+		if base.Fingerprint() == other.Fingerprint() {
+			t.Errorf("%s: fingerprint collision with base", name)
+		}
+	}
+}
+
+func TestEdgeKeysCanonical(t *testing.T) {
+	n1 := buildPerm(t, []string{"a", "b", "c"},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"a", "b"}})
+	n2 := buildPerm(t, []string{"c", "b", "a"},
+		[][2]string{{"b", "a"}, {"a", "b"}, {"c", "b"}})
+	// Every key of n1 resolves on n2 and round-trips to the same key.
+	for _, e := range n1.RealEdges() {
+		key := n1.EdgeKey(e)
+		if !strings.Contains(key, "|") {
+			t.Fatalf("edge key %q lacks endpoint separator", key)
+		}
+		o, ok := n2.EdgeByKey(key)
+		if !ok {
+			t.Fatalf("key %q of n1 not found on n2", key)
+		}
+		if n2.EdgeKey(o) != key {
+			t.Fatalf("key round-trip mismatch: %q vs %q", key, n2.EdgeKey(o))
+		}
+	}
+	// Parallel edges get distinct ordinals.
+	if n1.EdgeKey(0) == n1.EdgeKey(2) {
+		t.Errorf("parallel edges share a key: %q", n1.EdgeKey(0))
+	}
+	// Loop-backs resolve too.
+	lb := n1.Loopback(n1.NodeByName("b"))
+	if got, ok := n2.EdgeByKey(n1.EdgeKey(lb)); !ok || !n2.IsLoopback(got) {
+		t.Errorf("loop-back key %q did not resolve to a loop-back on n2", n1.EdgeKey(lb))
+	}
+}
+
+func TestWithoutEdges(t *testing.T) {
+	n := buildPerm(t, []string{"a", "b", "c"},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}})
+	m, err := WithoutEdges(n, []EdgeID{1})
+	if err != nil {
+		t.Fatalf("WithoutEdges: %v", err)
+	}
+	if m.NumRealEdges() != 2 || m.NumNodes() != 3 {
+		t.Fatalf("got %d edges, %d nodes; want 2, 3", m.NumRealEdges(), m.NumNodes())
+	}
+	want := buildPerm(t, []string{"a", "b", "c"}, [][2]string{{"a", "b"}, {"c", "a"}})
+	if m.Fingerprint() != want.Fingerprint() {
+		t.Errorf("fingerprint after deletion differs from direct construction")
+	}
+	if _, err := WithoutEdges(n, []EdgeID{n.Loopback(0)}); err == nil {
+		t.Error("deleting a loop-back should fail")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node (router) in a Network.
@@ -47,6 +48,14 @@ type Network struct {
 	edges     []edge     // real edges first, then one loop-back per node
 	realEdges int        // number of non-loop-back edges
 	incident  [][]EdgeID // per node: incident real edges (both endpoints), sorted
+
+	// Lazily computed canonical identities (see fingerprint.go). Guarded by
+	// the sync.Onces so concurrent readers of an immutable Network are safe.
+	fpOnce    sync.Once
+	fp        Fingerprint
+	edgeOnce  sync.Once
+	edgeKeys  []string
+	byEdgeKey map[string]EdgeID
 }
 
 // Name returns the (possibly empty) name of the network.

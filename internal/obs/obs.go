@@ -59,6 +59,17 @@ const (
 
 	RepairIterations   = "syrep_repair_iterations_total"
 	RepairHolesPunched = "syrep_repair_holes_punched_total"
+
+	// Cross-request synthesis cache (internal/cache). Counters tick on
+	// lookups; the gauges mirror the cache's current footprint.
+	CacheHits       = "syrep_cache_hits_total"
+	CacheMisses     = "syrep_cache_misses_total"
+	CacheDedups     = "syrep_cache_dedup_total"
+	CacheWarmHits   = "syrep_cache_warm_hits_total"
+	CacheWarmMisses = "syrep_cache_warm_misses_total"
+	CacheEvictions  = "syrep_cache_evictions_total"
+	CacheEntries    = "syrep_cache_entries"
+	CacheBytes      = "syrep_cache_bytes"
 )
 
 // SpanTotal is the span name of the Synthesize/Repair entry points; stage

@@ -360,6 +360,11 @@ type Report struct {
 	Degradations []Degradation
 	// SolveAttempts counts BDD solve attempts across all ladder runs.
 	SolveAttempts int
+	// WarmStart tells whether the run was seeded from a cached table (the
+	// WarmStart entry point) rather than synthesized cold, and how many
+	// holes the adaptation punched for the fill stage.
+	WarmStart   bool
+	HolesFilled int
 }
 
 // Degraded reports whether the run deviated from the full pipeline.

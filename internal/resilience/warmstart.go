@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"syrep/internal/bdd"
+	"syrep/internal/encode"
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+// WarmStart fortifies a seed routing to perfect k-resilience, running only
+// the endgame of the pipeline — hole fill (or verify+repair) plus the final
+// safety-net check — and skipping reduction, heuristic generation and
+// from-scratch synthesis entirely. This is the paper's Fig. 6 shortcut for
+// dynamic repair: the seed is typically a previously synthesized table
+// adapted onto a changed topology, with the entries invalidated by failed
+// edges punched as holes (see the cache package's Adapt).
+//
+// A seed with holes goes straight to the BDD hole-fill under the node-limit
+// escalation ladder; the formula constrains the whole table, so a
+// successful fill is perfectly k-resilient by construction and only the
+// cheap StopAtFirst final verification remains. ErrUnsolvable is returned
+// when the fixed entries admit no k-resilient completion — callers fall
+// back to cold synthesis. A hole-free seed is verified first and repaired
+// only if needed.
+//
+// Like Synthesize, WarmStart is an anytime computation: on timeout or
+// memout with a checkpointed routing in hand the error is a *Partial, and
+// escaped panics become typed errors. The returned report has WarmStart
+// set and counts the holes filled.
+func WarmStart(ctx context.Context, seed *routing.Routing, k int, opts Options) (r *routing.Routing, rep *Report, err error) {
+	opts = opts.withDefaults()
+	if seed == nil {
+		return nil, nil, errors.New("resilience: nil seed routing")
+	}
+	if k < 0 {
+		return nil, nil, fmt.Errorf("resilience: negative resilience level %d", k)
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	if opts.Obs != nil {
+		opts.Encode.Counters = opts.Obs.BDD()
+	}
+	ctx, endTotal := opts.Obs.StartStage(ctx, obs.SpanTotal)
+	defer endTotal()
+	start := time.Now()
+	rep = &Report{Strategy: opts.Strategy, K: k, WarmStart: true, HolesFilled: seed.NumHoles()}
+	s := &run{ctx: ctx, net: seed.Network(), dest: seed.Dest(), k: k, opts: opts, rep: rep}
+	defer func() {
+		rep.Elapsed = time.Since(start)
+		if v := recover(); v != nil {
+			r = nil
+			err = recoveredError(s.stage, v)
+		}
+	}()
+	r, err = s.warmStart(seed)
+	return r, rep, err
+}
+
+func (s *run) warmStart(seed *routing.Routing) (*routing.Routing, error) {
+	if seed.NumHoles() > 0 {
+		sol, attempts, err := s.ladderFill(seed)
+		if err != nil {
+			if s.classify(err) == failUnrepairable {
+				// The surviving entries pin the table into a corner with no
+				// k-resilient completion; only cold synthesis can help.
+				return nil, fmt.Errorf("%w: %v", ErrUnsolvable, err)
+			}
+			return nil, s.fail(StageRepair, err, attempts)
+		}
+		s.cp = &checkpoint{routing: sol.Routing, verified: true}
+		return s.finalVerify(sol.Routing)
+	}
+
+	// Hole-free seed: the adapted table may already be resilient (the failed
+	// edges never carried traffic); price it before reaching for the engine.
+	err := s.at(StageVerify)
+	var vrep *verify.Report
+	if err == nil {
+		end := s.span(StageVerify)
+		vrep, err = verify.Check(s.ctx, seed, s.k, s.verifyOpts())
+		end()
+	}
+	if err != nil {
+		return nil, s.fail(StageVerify, err, 0)
+	}
+	if vrep.Resilient {
+		// The pass above fully verified the seed on the target network; a
+		// final-verify would repeat the identical scan. The safety net only
+		// guards tables a BDD stage produced, and none ran here.
+		s.cp = &checkpoint{routing: seed, verified: true}
+		return seed, nil
+	}
+	s.cp = &checkpoint{routing: seed, residual: vrep.Failing, verified: true}
+
+	out, attempts, err := s.ladderRepair(s.ctx, StageRepair, seed, vrep, true)
+	if err != nil {
+		if s.classify(err) == failUnrepairable {
+			return nil, fmt.Errorf("%w: %v", ErrUnsolvable, err)
+		}
+		return nil, s.fail(StageRepair, err, attempts)
+	}
+	s.cp = &checkpoint{routing: out.Routing, verified: true}
+	return s.finalVerify(out.Routing)
+}
+
+// ladderFill is the warm-start hole fill: encode.Solve on the holey seed
+// under the same node-limit escalation as ladderSynth (configured limits,
+// then 4× with reordering). The formula spans the whole table, so success
+// certifies k-resilience of every entry, not just the filled ones.
+func (s *run) ladderFill(seed *routing.Routing) (*encode.Solution, int, error) {
+	endSpan := s.span(StageRepair)
+	defer endSpan()
+	enc := s.opts.Encode
+	maxAttempts := s.opts.MaxAttempts
+	if maxAttempts > 2 {
+		maxAttempts = 2
+	}
+	attempts := 0
+	for {
+		attempts++
+		s.rep.SolveAttempts++
+		err := s.at(StageRepair)
+		var sol *encode.Solution
+		if err == nil {
+			sol, err = encode.Solve(s.ctx, seed, s.k, enc)
+		}
+		if err == nil {
+			return sol, attempts, nil
+		}
+		if !errors.Is(err, bdd.ErrNodeLimit) || s.ctx.Err() != nil || attempts >= maxAttempts {
+			return nil, attempts, err
+		}
+		if enc.NodeLimit == 0 {
+			enc.NodeLimit = encode.DefaultNodeLimit
+		}
+		enc.NodeLimit *= 4
+		enc.DisableReorder = false
+		s.degrade(StageRepair, err, attempts,
+			fmt.Sprintf("retrying warm-start fill with node limit %d and reordering enabled", enc.NodeLimit))
+	}
+}

@@ -1,0 +1,53 @@
+package routing
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"syrep/internal/network"
+)
+
+// Fingerprint returns the canonical content hash of the routing table:
+// SHA-256 over the network fingerprint, the destination name, and the sorted
+// canonical encodings of every entry and hole. Edge ids do not contribute —
+// entries are encoded via canonical edge keys and node names — so two
+// logically identical tables on independently built copies of the same
+// topology share a fingerprint. Routings are mutable, so the hash is
+// recomputed on every call; use it at cache boundaries, not in hot loops.
+func (r *Routing) Fingerprint() network.Fingerprint {
+	lines := make([]string, 0, len(r.entries)+len(r.holes))
+	for _, k := range r.Keys() {
+		var b strings.Builder
+		b.WriteString("entry ")
+		b.WriteString(r.net.EdgeKey(k.In))
+		b.WriteString(" @ ")
+		b.WriteString(strconv.Quote(r.net.NodeName(k.At)))
+		b.WriteString(" ->")
+		for _, e := range r.entries[k] {
+			b.WriteString(" ")
+			b.WriteString(r.net.EdgeKey(e))
+		}
+		lines = append(lines, b.String())
+	}
+	for _, hole := range r.Holes() {
+		lines = append(lines, "hole "+r.net.EdgeKey(hole.Key.In)+" @ "+
+			strconv.Quote(r.net.NodeName(hole.Key.At))+" len "+strconv.Itoa(hole.ListLen))
+	}
+	// Keys() sorts by edge/node id, which is builder-order dependent; the
+	// canonical order is the lexicographic order of the encoded lines.
+	sort.Strings(lines)
+
+	h := sha256.New()
+	// Hash writes never fail; errors are ignored throughout.
+	_, _ = io.WriteString(h, "syrep/routing/v1\n")
+	_, _ = io.WriteString(h, "net "+string(r.net.Fingerprint())+"\n")
+	_, _ = io.WriteString(h, "dest "+strconv.Quote(r.net.NodeName(r.dest))+"\n")
+	for _, line := range lines {
+		_, _ = io.WriteString(h, line+"\n")
+	}
+	return network.Fingerprint(hex.EncodeToString(h.Sum(nil)[:16]))
+}

@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"testing"
+
+	"syrep/internal/network"
+)
+
+// twoBuilds constructs the same square topology twice with different node
+// and edge insertion orders, returning both networks.
+func twoBuilds(t *testing.T) (*network.Network, *network.Network) {
+	t.Helper()
+	b1 := network.NewBuilder("sq")
+	for _, n := range []string{"d", "v1", "v2", "v3"} {
+		b1.AddNode(n)
+	}
+	for _, l := range [][2]string{{"d", "v1"}, {"v1", "v2"}, {"v2", "v3"}, {"v3", "d"}} {
+		b1.AddLink(l[0], l[1])
+	}
+	b2 := network.NewBuilder("sq-permuted")
+	for _, n := range []string{"v2", "d", "v3", "v1"} {
+		b2.AddNode(n)
+	}
+	for _, l := range [][2]string{{"v3", "v2"}, {"d", "v3"}, {"v2", "v1"}, {"v1", "d"}} {
+		b2.AddLink(l[0], l[1])
+	}
+	n1, err := b1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n1, n2
+}
+
+// install writes the same logical table onto a routing via display names:
+// at v1 arriving on the loop-back, prefer the edge toward d then toward v2.
+func install(t *testing.T, net *network.Network) *Routing {
+	t.Helper()
+	r := New(net, net.NodeByName("d"))
+	v1 := net.NodeByName("v1")
+	var toD, toV2 network.EdgeID = network.NoEdge, network.NoEdge
+	for _, e := range net.IncidentEdges(v1) {
+		if net.NodeName(net.Other(e, v1)) == "d" {
+			toD = e
+		}
+		if net.NodeName(net.Other(e, v1)) == "v2" {
+			toV2 = e
+		}
+	}
+	r.MustSet(net.Loopback(v1), v1, []network.EdgeID{toD, toV2})
+	if err := r.PunchHole(toV2, v1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoutingFingerprintCanonical(t *testing.T) {
+	n1, n2 := twoBuilds(t)
+	r1, r2 := install(t, n1), install(t, n2)
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Errorf("same logical table on permuted builds, different fingerprints:\n  %s\n  %s",
+			r1.Fingerprint(), r2.Fingerprint())
+	}
+	// Mutations change the fingerprint.
+	before := r1.Fingerprint()
+	v1 := n1.NodeByName("v1")
+	prio, _ := r1.Get(n1.Loopback(v1), v1)
+	r1.MustSet(n1.Loopback(v1), v1, []network.EdgeID{prio[1], prio[0]})
+	if r1.Fingerprint() == before {
+		t.Error("reordering a priority list did not change the fingerprint")
+	}
+}
+
+func TestRoutingFingerprintSensitiveToDest(t *testing.T) {
+	n1, _ := twoBuilds(t)
+	a := New(n1, n1.NodeByName("d"))
+	b := New(n1, n1.NodeByName("v2"))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different destinations share a fingerprint")
+	}
+}

@@ -32,7 +32,9 @@ type apiRequest struct {
 	// TimeoutMs bounds the request end to end (0 = server default).
 	TimeoutMs int `json:"timeoutMs,omitempty"`
 	// Routing is the table to repair (repair endpoint only), in the JSON
-	// codec of the routing package.
+	// codec of the routing package. A repair request without a routing is
+	// dynamic repair: the server warm-starts from the nearest cached table
+	// for the submitted topology, falling back to cold synthesis.
 	Routing json.RawMessage `json:"routing,omitempty"`
 }
 
@@ -47,7 +49,13 @@ type apiResponse struct {
 	ResidualUnknown bool `json:"residualUnknown,omitempty"`
 	Retries         int  `json:"retries"`
 	// Degraded mirrors Status == "degraded" so clients need not string-match.
-	Degraded  bool             `json:"degraded,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// Cached: served from the synthesis cache without a pipeline run.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped: shared the pipeline run of a concurrent identical request.
+	Deduped bool `json:"deduped,omitempty"`
+	// WarmStart: dynamic repair served by the warm-start fast path.
+	WarmStart bool             `json:"warmStart,omitempty"`
 	Error     string           `json:"error,omitempty"`
 	Routing   *routing.Routing `json:"routing,omitempty"`
 	ElapsedMs int64            `json:"elapsedMs"`
@@ -70,6 +78,7 @@ func (s *Server) Handler() http.Handler {
 		s.handleSubmit(w, r, KindRepair)
 	})
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -144,10 +153,7 @@ func buildRequest(kind Kind, api *apiRequest) (*Request, error) {
 		Strategy: strategy,
 		Timeout:  time.Duration(api.TimeoutMs) * time.Millisecond,
 	}
-	if kind == KindRepair {
-		if len(api.Routing) == 0 {
-			return nil, errors.New("repair request without a routing table")
-		}
+	if kind == KindRepair && len(api.Routing) > 0 {
 		rt, err := routing.Unmarshal(api.Routing, net)
 		if err != nil {
 			return nil, err
@@ -194,6 +200,9 @@ func (s *Server) writeResponse(w http.ResponseWriter, resp *Response, elapsed ti
 		ResidualUnknown: resp.ResidualUnknown,
 		Retries:         resp.Retries,
 		Degraded:        resp.Degraded,
+		Cached:          resp.Cached,
+		Deduped:         resp.Deduped,
+		WarmStart:       resp.WarmStart,
 		Routing:         resp.Routing,
 		ElapsedMs:       elapsed.Milliseconds(),
 	}
@@ -232,6 +241,18 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, topo{Name: inst.Name, Nodes: inst.Net.NumNodes(), Edges: inst.Net.NumRealEdges()})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCache reports the synthesis cache's stats — hit/miss/dedup and
+// warm-start counters plus the current footprint — or 404 when the server
+// runs without a cache.
+func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
+	stats, ok := s.CacheStats()
+	if !ok {
+		http.Error(w, "no synthesis cache configured", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

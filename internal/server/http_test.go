@@ -133,7 +133,9 @@ func TestHTTPBadRequests(t *testing.T) {
 		{"unknown dest", "/v1/synthesize", fmt.Sprintf(`{"links":%s,"dest":"zz"}`, diamondLinks)},
 		{"negative k", "/v1/synthesize", fmt.Sprintf(`{"links":%s,"k":-1}`, diamondLinks)},
 		{"unknown strategy", "/v1/synthesize", fmt.Sprintf(`{"links":%s,"strategy":"psychic"}`, diamondLinks)},
-		{"repair without routing", "/v1/repair", fmt.Sprintf(`{"links":%s}`, diamondLinks)},
+		// Repair WITHOUT a routing is valid since the warm-start fast path
+		// (dynamic repair); a malformed routing is still a 400.
+		{"repair with bad routing", "/v1/repair", fmt.Sprintf(`{"links":%s,"routing":42}`, diamondLinks)},
 	}
 	for _, tc := range cases {
 		resp, api := postJSON(t, ts.URL+tc.path, tc.body)

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"syrep/internal/cache"
 	"syrep/internal/heuristic"
 	"syrep/internal/network"
 	"syrep/internal/obs"
@@ -155,6 +156,15 @@ type Response struct {
 	Degraded bool
 	// Retries counts the additional full-pipeline attempts after the first.
 	Retries int
+	// Cached: served straight from the synthesis cache, no pipeline run.
+	Cached bool
+	// Deduped: a concurrent identical request was in flight; this response
+	// shares its result, costing no extra pipeline run.
+	Deduped bool
+	// WarmStart: a dynamic-repair request served by the warm-start fast
+	// path — a cached table adapted onto the submitted topology and
+	// fortified, skipping the early pipeline stages.
+	WarmStart bool
 	// Report is the supervisor's run report of the final attempt
 	// (KindSynthesize only; nil in degraded mode).
 	Report *resilience.Report
@@ -201,8 +211,19 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MemoryPressure, when non-nil, is polled before each full-pipeline
 	// attempt; returning true trips the breaker (degraded mode) until the
-	// cooldown elapses. Nil disables the check.
+	// cooldown elapses, and purges the synthesis cache — it is the
+	// service's largest discretionary allocation. Nil disables the check.
 	MemoryPressure func() bool
+	// Cache, when non-nil, is the cross-request synthesis cache
+	// (internal/cache): synthesize responses are served from and inserted
+	// by content fingerprint, concurrent identical requests are collapsed
+	// into one pipeline run, and repair requests submitted without a
+	// routing table take the warm-start fast path. Nil disables caching.
+	Cache *cache.Cache
+	// WarmStartMaxDiff is the largest topology edge-diff (symmetric
+	// difference of canonical edge sets) the warm-start fast path bridges
+	// from a cached base; larger diffs synthesize cold (default 2).
+	WarmStartMaxDiff int
 	// Obs observes the server and every supervisor run (nil = unobserved).
 	Obs *obs.Observer
 	// OnFlush receives the final metrics snapshot exactly once, during
@@ -253,6 +274,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
+	}
+	if c.WarmStartMaxDiff <= 0 {
+		c.WarmStartMaxDiff = 2
 	}
 	c.Breaker = c.Breaker.withDefaults()
 	if c.now == nil {
@@ -389,8 +413,11 @@ func validate(req *Request) error {
 			return errors.New("server: synthesize request without a network")
 		}
 	case KindRepair:
-		if req.Routing == nil {
-			return errors.New("server: repair request without a routing")
+		// A repair may name a table to fortify, or just a topology: the
+		// latter is dynamic repair, served warm from the synthesis cache
+		// when a near-enough base is cached and cold otherwise.
+		if req.Routing == nil && req.Net == nil {
+			return errors.New("server: repair request without a routing or a topology")
 		}
 	default:
 		return fmt.Errorf("server: unknown request kind %v", req.Kind)
@@ -466,7 +493,7 @@ func (s *Server) worker() {
 		if s.isDraining() {
 			resp = &Response{Err: &Rejection{Reason: ErrDraining, RetryAfter: s.cfg.RetryAfterHint}}
 		} else {
-			resp = s.execute(j)
+			resp = s.dispatch(j)
 		}
 		s.responses.Inc()
 		j.done <- resp
@@ -499,6 +526,9 @@ func (s *Server) execute(j *job) *Response {
 		}
 		if s.cfg.MemoryPressure != nil && s.cfg.MemoryPressure() {
 			s.breaker.Trip(s.cfg.now())
+			if s.cfg.Cache != nil {
+				s.cfg.Cache.Purge()
+			}
 		}
 		if !s.breaker.Allow(s.cfg.now()) {
 			s.degraded.Inc()
@@ -552,14 +582,16 @@ func (s *Server) runOnce(req *Request, remaining time.Duration) *Response {
 			Hook:     s.cfg.Hook,
 		}
 		resp := &Response{}
-		switch req.Kind {
-		case KindRepair:
+		switch {
+		case req.Kind == KindRepair && req.Routing != nil:
 			out, err := resilience.Repair(s.baseCtx, req.Routing, req.K, opts)
 			if err != nil {
 				return s.fillFailure(resp, err)
 			}
 			resp.Routing, resp.Resilient = out.Routing, true
 		default:
+			// KindSynthesize, and dynamic repair (KindRepair without a
+			// table) that missed the warm-start fast path: synthesize cold.
 			r, rep, err := resilience.Synthesize(s.baseCtx, req.Net, req.Dest, req.K, opts)
 			resp.Report = rep
 			if err != nil {
@@ -603,7 +635,7 @@ func (s *Server) serveDegraded(req *Request, remaining time.Duration) *Response 
 			budget = remaining
 		}
 		var r *routing.Routing
-		if req.Kind == KindRepair {
+		if req.Kind == KindRepair && req.Routing != nil {
 			r = req.Routing.Clone()
 		} else {
 			hctx, cancel := context.WithTimeout(s.baseCtx, budget)

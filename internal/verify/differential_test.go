@@ -81,43 +81,62 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 	}
 }
 
-// TestDifferentialStopAtFirstPinned pins the one sanctioned divergence:
-// under StopAtFirst, parallel workers race ahead of the halt, so the
-// scenario/trace counts and the identity of the single reported failure may
-// differ from the sequential run — but Resilient must agree, and both
-// reports must carry at most one failing delivery.
-func TestDifferentialStopAtFirstPinned(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		r := corruptedRouting(t, 12, seed, 0.35)
-		for k := 1; k <= 2; k++ {
-			seq, err := verify.Check(context.Background(), r, k, verify.Options{StopAtFirst: true})
-			if err != nil {
-				t.Fatal(err)
+// TestDifferentialStopAtFirst: the former sanctioned divergence is gone.
+// Under StopAtFirst, parallel workers cooperatively halt at the lowest
+// failing scenario index and the merge restates the counts to the sequential
+// prefix, so the parallel report must be deep-equal to the sequential one —
+// same Scenarios, same Traces, and the identical single failing delivery —
+// on both failing and resilient fixtures.
+func TestDifferentialStopAtFirst(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		// share 0 leaves the heuristic table intact (usually resilient at
+		// k=1), exercising the no-failure merge path too.
+		for _, share := range []float64{0, 0.35} {
+			r := corruptedRouting(t, 12, seed, share)
+			for k := 1; k <= 2; k++ {
+				seq, err := verify.Check(context.Background(), r, k, verify.Options{StopAtFirst: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := verify.Check(context.Background(), r, k,
+					verify.Options{StopAtFirst: true, Parallel: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("seed %d share %v k %d: parallel StopAtFirst diverged from sequential:\nseq: %+v\npar: %+v",
+						seed, share, k, seq, par)
+				}
+				if !seq.Resilient && len(seq.Failing) != 1 {
+					t.Errorf("seed %d share %v k %d: non-resilient run must report its counterexample",
+						seed, share, k)
+				}
 			}
-			par, err := verify.Check(context.Background(), r, k,
-				verify.Options{StopAtFirst: true, Parallel: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if seq.Resilient != par.Resilient {
-				t.Fatalf("seed %d k %d: Resilient disagrees: seq %v, par %v",
-					seed, k, seq.Resilient, par.Resilient)
-			}
-			if len(seq.Failing) > 1 || len(par.Failing) > 1 {
-				t.Errorf("seed %d k %d: StopAtFirst must report at most one failure (seq %d, par %d)",
-					seed, k, len(seq.Failing), len(par.Failing))
-			}
-			if !seq.Resilient && (len(seq.Failing) != 1 || len(par.Failing) != 1) {
-				t.Errorf("seed %d k %d: non-resilient run must report its counterexample", seed, k)
-			}
-			// The pinned divergence: parallel may examine MORE scenarios than
-			// sequential before the halt propagates, never fewer... also not
-			// guaranteed — a racing worker can hit a later-striped failure
-			// while the stripe holding the sequential counterexample is still
-			// queued. Only sanity-bound the counts.
-			if par.Scenarios < 1 || seq.Scenarios < 1 {
-				t.Errorf("seed %d k %d: no scenarios examined", seed, k)
-			}
+		}
+	}
+}
+
+// TestStopAtFirstCountersMatchReport: in the cooperative-halt mode the
+// scenario/trace counters are restated post-merge, so they must equal the
+// report exactly — worker overshoot must not leak into the stream.
+func TestStopAtFirstCountersMatchReport(t *testing.T) {
+	r := corruptedRouting(t, 12, 3, 0.35)
+	for _, parallel := range []bool{false, true} {
+		o := obs.New(nil)
+		rep, err := verify.Check(context.Background(), r, 2,
+			verify.Options{StopAtFirst: true, Parallel: parallel, Counters: o.Verify()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := o.Snapshot()
+		if got := snap.Counter(obs.VerifyScenarios); got != int64(rep.Scenarios) {
+			t.Errorf("parallel=%v: scenarios counter %d != report %d", parallel, got, rep.Scenarios)
+		}
+		if got := snap.Counter(obs.VerifyTraces); got != int64(rep.Traces) {
+			t.Errorf("parallel=%v: traces counter %d != report %d", parallel, got, rep.Traces)
+		}
+		if got := snap.Counter(obs.VerifyFailing); got != int64(len(rep.Failing)) {
+			t.Errorf("parallel=%v: failing counter %d != report %d", parallel, got, len(rep.Failing))
 		}
 	}
 }

@@ -9,9 +9,11 @@ package verify
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"syrep/internal/network"
 	"syrep/internal/obs"
@@ -91,18 +93,14 @@ type Options struct {
 	// Parallel enables concurrent scenario evaluation across GOMAXPROCS
 	// workers.
 	Parallel bool
-	// StopAtFirst stops at the first failing delivery. The resulting
-	// report is still correct about Resilient.
-	//
-	// This is the one sanctioned divergence between sequential and parallel
-	// verification: a sequential run stops at the first failing delivery in
-	// scenario-enumeration order, while parallel workers race and may
-	// examine more scenarios and traces before the halt propagates, and may
-	// surface a different (later-enumerated) failing delivery. Resilient
-	// always agrees; Scenarios/Traces counts and the identity of the single
-	// reported failure may not. Every other option combination produces
-	// identical reports (see the differential test), except that capped
-	// parallel runs with Prune may under-fill the cap — see MaxFailures.
+	// StopAtFirst stops at the first failing delivery in scenario-enumeration
+	// order. Sequential and parallel runs produce identical reports: parallel
+	// workers cooperatively halt once any failing scenario is known, the
+	// merge selects the globally lowest-index failing delivery, and the
+	// Scenarios/Traces counts are restated to the exact sequential prefix.
+	// Every option combination produces reports identical to sequential (see
+	// the differential test), except that capped parallel runs with Prune may
+	// under-fill the cap — see MaxFailures.
 	StopAtFirst bool
 	// Counters, when non-nil, receives the verifier's counter stream:
 	// scenarios examined, traces followed, failing deliveries reported,
@@ -116,11 +114,19 @@ type Options struct {
 // no-ops, so call sites need no guards. Never mutated.
 var noCounters = &obs.VerifyCounters{}
 
-// Resilient reports whether r is perfectly k-resilient. It is a convenience
-// wrapper around Check that stops at the first counterexample.
-func Resilient(r *routing.Routing, k int) bool {
-	rep, err := Check(context.Background(), r, k, Options{StopAtFirst: true})
+// ResilientCtx reports whether r is perfectly k-resilient, honouring ctx:
+// a cancelled or expired context reports false. It is a convenience wrapper
+// around Check that stops at the first counterexample.
+func ResilientCtx(ctx context.Context, r *routing.Routing, k int) bool {
+	rep, err := Check(ctx, r, k, Options{StopAtFirst: true})
 	return err == nil && rep.Resilient
+}
+
+// Resilient is ResilientCtx with a background context, for boundaries that
+// genuinely have no context (examples, tests). Code running under a deadline
+// or supervisor must use ResilientCtx so cancellation stays bounded.
+func Resilient(r *routing.Routing, k int) bool {
+	return ResilientCtx(context.Background(), r, k)
 }
 
 // Check verifies perfect k-resilience of r per Definition 4: for every
@@ -275,9 +281,13 @@ func locallySubsumed(buf []taggedDelivery, f FailingDelivery) bool {
 // Workers tag buffered deliveries with their scenario index and the merge
 // replays them through Report.record in global scenario order, which makes
 // the parallel report identical to the sequential one for every option
-// combination except the divergences documented on Options.StopAtFirst and
-// Options.MaxFailures.
+// combination except the Prune+MaxFailures cap divergence documented on
+// Options.MaxFailures. StopAtFirst runs take a dedicated path that is
+// deep-equal to sequential by construction.
 func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	if opts.StopAtFirst {
+		return checkParallelStopAtFirst(ctx, r, k, opts)
+	}
 	n := r.Network()
 	dest := r.Dest()
 	workers := runtime.GOMAXPROCS(0)
@@ -292,12 +302,7 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 		traces    int
 	}
 	parts := make([]partial, workers)
-	var (
-		wg   sync.WaitGroup
-		stop = make(chan struct{})
-		once sync.Once
-	)
-	halt := func() { once.Do(func() { close(stop) }) }
+	var wg sync.WaitGroup
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -310,13 +315,7 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 				if idx%workers != w {
 					return true
 				}
-				select {
-				case <-stop:
-					return false
-				default:
-				}
 				if ctx.Err() != nil {
-					halt()
 					return false
 				}
 				p.scenarios++
@@ -333,18 +332,6 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 						continue
 					}
 					p.failed = true
-					if opts.StopAtFirst {
-						p.failing = append(p.failing, taggedDelivery{idx: idx, f: FailingDelivery{
-							Source:  s,
-							Failed:  F.Clone(),
-							Outcome: res.Outcome,
-							Used:    res.Used,
-							Visited: visitedNodes(n, s, res.Edges),
-						}})
-						opts.Counters.Collected.Inc()
-						halt()
-						return false
-					}
 					f := FailingDelivery{
 						Source:  s,
 						Failed:  F.Clone(),
@@ -392,10 +379,156 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 	sort.SliceStable(all, func(i, j int) bool { return all[i].idx < all[j].idx })
 	for _, t := range all {
 		rep.record(t.f, opts)
-		if opts.StopAtFirst && len(rep.Failing) > 0 {
-			break
+	}
+	return rep, nil
+}
+
+// checkParallelStopAtFirst evaluates scenarios in parallel while reproducing
+// the sequential StopAtFirst report exactly. The shared minFail atomic holds
+// the lowest scenario index known to fail; it only ever decreases. Workers
+// process their stripe in ascending index order and halt as soon as their
+// next index passes minFail, so every scenario below the final minFail is
+// fully examined and the final minFail is the globally first failing
+// scenario — the one the sequential run stops at. Within it, the owning
+// worker records the first failing source in node order, which is exactly
+// the sequential delivery.
+//
+// The merge then restates Scenarios/Traces to the sequential prefix: counts
+// of other workers' overshoot (scenarios past minFail examined before the
+// halt propagated) are discarded, and the delivered-trace prefix is
+// recounted from reachability alone, which costs one BFS per scenario — far
+// cheaper than the tracing already done. Counters are bumped post-merge in
+// this mode so they match the report.
+func checkParallelStopAtFirst(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	n := r.Network()
+	dest := r.Dest()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+
+	const noFail = int64(math.MaxInt64)
+	var minFail atomic.Int64
+	minFail.Store(noFail)
+
+	type candidate struct {
+		idx    int64
+		traces int // traces in the failing scenario up to and including the failure
+		f      FailingDelivery
+	}
+	type partial struct {
+		scenarios int
+		traces    int
+		cand      *candidate
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			idx := int64(-1)
+			n.ForEachScenario(k, func(F network.EdgeSet) bool {
+				idx++
+				if int(idx)%workers != w {
+					return true
+				}
+				// minFail only decreases, so once our ascending index reaches
+				// it no later scenario of this stripe can matter.
+				if idx >= minFail.Load() {
+					return false
+				}
+				if ctx.Err() != nil {
+					return false
+				}
+				p.scenarios++
+				scenTraces := 0
+				reach := n.ReachableWithout(dest, F)
+				for _, s := range n.Nodes() {
+					if s == dest || !reach[s] {
+						continue
+					}
+					scenTraces++
+					res := trace.Run(r, F, s)
+					if res.Outcome == trace.Delivered {
+						continue
+					}
+					// First failing source of this scenario in node order —
+					// the delivery sequential would report if this is the
+					// first failing scenario overall.
+					p.cand = &candidate{idx: idx, traces: scenTraces, f: FailingDelivery{
+						Source:  s,
+						Failed:  F.Clone(),
+						Outcome: res.Outcome,
+						Used:    res.Used,
+						Visited: visitedNodes(n, s, res.Edges),
+					}}
+					opts.Counters.Collected.Inc()
+					// CAS the global minimum down; each retry observes a
+					// strictly smaller cur, so the loop is bounded.
+					for cur := minFail.Load(); idx < cur; cur = minFail.Load() {
+						if minFail.CompareAndSwap(cur, idx) {
+							break
+						}
+					}
+					return false
+				}
+				p.traces += scenTraces
+				return true
+			})
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{K: k, Resilient: true}
+	fail := minFail.Load()
+	if fail == noFail {
+		for i := range parts {
+			rep.Scenarios += parts[i].scenarios
+			rep.Traces += parts[i].traces
+		}
+		opts.Counters.Scenarios.Add(int64(rep.Scenarios))
+		opts.Counters.Traces.Add(int64(rep.Traces))
+		return rep, nil
+	}
+
+	var winner *candidate
+	for i := range parts {
+		// The worker owning scenario `fail` stored it before lowering
+		// minFail, so the winner always exists.
+		if c := parts[i].cand; c != nil && c.idx == fail {
+			winner = c
 		}
 	}
+	rep.Resilient = false
+	rep.Scenarios = int(fail) + 1
+	// Every scenario before the first failing one was fully delivered: its
+	// trace count is the number of sources still connected to the
+	// destination, which reachability gives without re-tracing.
+	prefix := 0
+	idx := int64(-1)
+	n.ForEachScenario(k, func(F network.EdgeSet) bool {
+		idx++
+		if idx >= fail {
+			return false
+		}
+		reach := n.ReachableWithout(dest, F)
+		for _, s := range n.Nodes() {
+			if s != dest && reach[s] {
+				prefix++
+			}
+		}
+		return true
+	})
+	rep.Traces = prefix + winner.traces
+	rep.record(winner.f, opts)
+	opts.Counters.Scenarios.Add(int64(rep.Scenarios))
+	opts.Counters.Traces.Add(int64(rep.Traces))
 	return rep, nil
 }
 

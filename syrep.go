@@ -119,8 +119,15 @@ func Verify(ctx context.Context, r *Routing, k int) (*VerifyReport, error) {
 	return verify.Check(ctx, r, k, verify.Options{})
 }
 
-// Resilient is a convenience wrapper reporting only the verdict.
+// Resilient is a convenience wrapper reporting only the verdict. Callers
+// running under a deadline should prefer ResilientCtx.
 func Resilient(r *Routing, k int) bool { return verify.Resilient(r, k) }
+
+// ResilientCtx is Resilient honouring ctx: a cancelled or expired context
+// reports false.
+func ResilientCtx(ctx context.Context, r *Routing, k int) bool {
+	return verify.ResilientCtx(ctx, r, k)
+}
 
 // MaxResilience returns the largest k <= limit for which r is perfectly
 // k-resilient (-1 when the routing fails even without failures).
