@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"syrep/internal/analysis"
+)
+
+// TestFixGolden drives the two -fix classes end to end against the fixture
+// module under testdata/fix: locksafe's missing-release defer insertion and
+// chansafe's channel-buffer growth. Fixes are applied in memory
+// (analysis.ApplyFixes, exactly what -fix writes out) and compared against
+// the want tree, so the fixture sources stay pristine.
+func TestFixGolden(t *testing.T) {
+	res, err := runLint(filepath.Join("testdata", "fix", "src"), []string{"./..."}, analyzers, analysis.LoadConfig{}, nil)
+	if err != nil {
+		t.Fatalf("running analyzers over fixture: %v", err)
+	}
+	var fixable []analysis.Diagnostic
+	for _, d := range res.diags {
+		if len(d.Fixes) > 0 {
+			fixable = append(fixable, d)
+		}
+	}
+	if len(fixable) != 2 {
+		for _, f := range res.findings {
+			t.Logf("finding: %s", f.String())
+		}
+		t.Fatalf("got %d fixable diagnostics, want 2 (one per fix class)", len(fixable))
+	}
+
+	fixed, err := analysis.ApplyFixes(res.fset, fixable)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	wantFiles := map[string]string{
+		"cache/cache.go":   filepath.Join("testdata", "fix", "want", "cache", "cache.go"),
+		"server/server.go": filepath.Join("testdata", "fix", "want", "server", "server.go"),
+	}
+	if len(fixed) != len(wantFiles) {
+		t.Fatalf("fixes touched %d files, want %d", len(fixed), len(wantFiles))
+	}
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "fix", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range fixed {
+		rel, err := filepath.Rel(srcRoot, name)
+		if err != nil {
+			t.Fatalf("fix outside the fixture tree: %s", name)
+		}
+		wantPath, ok := wantFiles[filepath.ToSlash(rel)]
+		if !ok {
+			t.Errorf("unexpected fixed file %s", rel)
+			continue
+		}
+		want, err := os.ReadFile(wantPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s after fix:\n--- got ---\n%s\n--- want ---\n%s", rel, got, want)
+		}
+	}
+}

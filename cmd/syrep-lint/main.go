@@ -1,70 +1,94 @@
-// Command syrep-lint runs SyRep's custom static analyzers — bddref, ctxpoll,
-// maporder, protecterr — alongside `go vet`, in the spirit of an x/tools
-// multichecker but with zero dependencies outside the standard library and
-// the go tool.
+// Command syrep-lint runs SyRep's custom static analyzers — the original
+// per-function walkers (bddref, ctxpoll, maporder, protecterr) and the
+// dataflow suite (locksafe, atomicfield, chansafe, spanpair) — alongside
+// `go vet`, in the spirit of an x/tools multichecker but with zero
+// dependencies outside the standard library and the go tool.
 //
 // Usage:
 //
 //	go run ./cmd/syrep-lint [flags] [packages]
 //
 // Packages default to ./... . The command exits non-zero when vet fails or
-// any analyzer reports a finding, so it can gate CI directly. Individual
-// findings are suppressed in source with
+// any unsuppressed finding remains, so it can gate CI directly.
+//
+// Findings are suppressed two ways. In source, with
 //
 //	//syreplint:ignore <analyzer>[,<analyzer>] <reason>
 //
 // on the offending line or the line above it; the reason is mandatory by
-// convention.
+// convention. Out of source, with a reviewed suppression file (see
+// -suppress): tab-separated entries of analyzer, repo-relative file, and
+// the exact message, with '#' rationale lines between them. Suppressed
+// findings still appear in -json and -sarif output (marked), but do not
+// fail the run — CI fails on new findings only.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"syrep/internal/analysis"
+	"syrep/internal/analysis/atomicfield"
 	"syrep/internal/analysis/bddref"
+	"syrep/internal/analysis/chansafe"
 	"syrep/internal/analysis/ctxpoll"
+	"syrep/internal/analysis/locksafe"
 	"syrep/internal/analysis/maporder"
 	"syrep/internal/analysis/protecterr"
+	"syrep/internal/analysis/spanpair"
+	"syrep/internal/obs"
 )
 
 var analyzers = []*analysis.Analyzer{
+	atomicfield.Analyzer,
 	bddref.Analyzer,
+	chansafe.Analyzer,
 	ctxpoll.Analyzer,
+	locksafe.Analyzer,
 	maporder.Analyzer,
 	protecterr.Analyzer,
+	spanpair.Analyzer,
 }
 
 func main() {
 	var (
-		noVet = flag.Bool("no-vet", false, "skip the go vet pass")
-		list  = flag.Bool("list", false, "list the custom analyzers and exit")
-		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		noVet       = flag.Bool("no-vet", false, "skip the go vet pass")
+		list        = flag.Bool("list", false, "list the custom analyzers and exit")
+		only        = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut     = flag.Bool("json", false, "emit findings as JSON on stdout instead of plain text")
+		sarifOut    = flag.String("sarif", "", "write a SARIF 2.1.0 report to `file` (\"-\" for stdout)")
+		suppress    = flag.String("suppress", "", "read reviewed suppressions from `file`; matching findings are reported but do not fail the run")
+		fix         = flag.Bool("fix", false, "apply suggested fixes for unsuppressed findings to the source tree")
+		metricsJSON = flag.String("metrics-json", "", "write run metrics (syrep_lint_* counters) as JSON to `file` (\"-\" for stdout)")
+		tags        = flag.String("tags", "", "comma-separated build tags to pass to the package loader")
+		race        = flag.Bool("race", false, "load race-instrumented package variants (matches what go test -race compiles)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: syrep-lint [flags] [packages]\n\nflags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 
 	selected, err := selectAnalyzers(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "syrep-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	patterns := flag.Args()
@@ -72,58 +96,206 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	failed := false
+	vetFailed := false
 	if !*noVet {
 		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
 		vet.Stdout = os.Stdout
 		vet.Stderr = os.Stderr
 		if err := vet.Run(); err != nil {
-			failed = true
+			vetFailed = true
 		}
 	}
 
-	diags, err := run(".", patterns, selected)
+	cfg := analysis.LoadConfig{Race: *race}
+	if *tags != "" {
+		cfg.Tags = strings.Split(*tags, ",")
+	}
+	ob := obs.New(nil)
+	res, err := runLint(".", patterns, selected, cfg, ob)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "syrep-lint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+
+	unsuppressed := len(res.findings)
+	if *suppress != "" {
+		sups, err := readSuppressions(*suppress)
+		if err != nil {
+			fatal(err)
+		}
+		unsuppressed = applySuppressions(res.findings, sups)
+		for _, s := range sups {
+			if !s.used {
+				fmt.Fprintf(os.Stderr, "syrep-lint: warning: unused suppression: %s\t%s\t%s\n", s.Analyzer, s.File, s.Message)
+			}
+		}
+		ob.Counter(metricSuppressed).Add(int64(len(res.findings) - unsuppressed))
 	}
-	if failed || len(diags) > 0 {
+
+	if *fix {
+		var fixable []analysis.Diagnostic
+		for i, d := range res.diags {
+			if !res.findings[i].Suppressed && len(d.Fixes) > 0 {
+				fixable = append(fixable, d)
+			}
+		}
+		files, err := analysis.ApplyFixes(res.fset, fixable)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.WriteFixes(files); err != nil {
+			fatal(err)
+		}
+		ob.Counter(metricFixedFiles).Add(int64(len(files)))
+		fmt.Fprintf(os.Stderr, "syrep-lint: applied fixes in %d file(s)\n", len(files))
+	}
+
+	switch {
+	case *jsonOut:
+		if err := writeFindingsJSON(os.Stdout, res.findings); err != nil {
+			fatal(err)
+		}
+	default:
+		suppressedCount := 0
+		for _, f := range res.findings {
+			if f.Suppressed {
+				suppressedCount++
+				continue
+			}
+			fmt.Println(f.String())
+		}
+		if suppressedCount > 0 {
+			fmt.Fprintf(os.Stderr, "syrep-lint: %d finding(s) suppressed by %s\n", suppressedCount, *suppress)
+		}
+	}
+
+	if *sarifOut != "" {
+		if err := writeToFileOrStdout(*sarifOut, func(w *os.File) error {
+			return writeSARIF(w, selected, res.findings)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsJSON != "" {
+		if err := writeToFileOrStdout(*metricsJSON, func(w *os.File) error {
+			return ob.Snapshot().WriteJSON(w)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+
+	if vetFailed || unsuppressed > 0 {
 		os.Exit(1)
 	}
 }
 
-// finding is a resolved diagnostic ready for printing.
-type finding struct {
-	Position string
-	Analyzer string
-	Message  string
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "syrep-lint:", err)
+	os.Exit(2)
 }
 
-// run loads the packages matched by patterns in dir and applies the selected
-// analyzers, returning findings in package, then position, order.
-func run(dir string, patterns []string, selected []*analysis.Analyzer) ([]finding, error) {
-	pkgs, err := analysis.Load(dir, patterns...)
+// writeToFileOrStdout runs emit against path, treating "-" as stdout.
+func writeToFileOrStdout(path string, emit func(*os.File) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Metric names emitted under -metrics-json. Per-analyzer wall time and
+// finding counts use the metricAnalyzer* prefixes plus the analyzer name.
+const (
+	metricLoadNanos     = "syrep_lint_load_nanos"
+	metricPackages      = "syrep_lint_packages_loaded"
+	metricFindings      = "syrep_lint_findings_total"
+	metricSuppressed    = "syrep_lint_findings_suppressed"
+	metricFixedFiles    = "syrep_lint_fixed_files"
+	metricAnalyzerNanos = "syrep_lint_analyzer_nanos_"
+	metricAnalyzerFound = "syrep_lint_analyzer_findings_"
+)
+
+// finding is a resolved diagnostic: position split into repo-relative file
+// and line/column so suppression files and SARIF can match on them.
+type finding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// lintRun is one sweep's output: findings for reporting, the raw
+// diagnostics (index-aligned with findings) for -fix, and the fset that
+// resolves their edit positions.
+type lintRun struct {
+	fset     *token.FileSet
+	diags    []analysis.Diagnostic
+	findings []finding
+}
+
+// runLint loads the packages matched by patterns in dir and applies the
+// selected analyzers over the whole set with a shared fact store, timing
+// each analyzer into ob (nil-safe). File paths are reported relative to dir
+// when they fall under it.
+func runLint(dir string, patterns []string, selected []*analysis.Analyzer, cfg analysis.LoadConfig, ob *obs.Observer) (*lintRun, error) {
+	start := time.Now()
+	pkgs, err := analysis.LoadWith(cfg, dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
-	var out []finding
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, selected)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range diags {
-			out = append(out, finding{
-				Position: d.Position(pkg.Fset).String(),
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
-		}
+	ob.Counter(metricLoadNanos).Add(time.Since(start).Nanoseconds())
+	ob.Counter(metricPackages).Add(int64(len(pkgs)))
+
+	res := &lintRun{}
+	if len(pkgs) == 0 {
+		return res, nil
 	}
-	return out, nil
+	res.fset = pkgs[0].Fset
+
+	last := time.Now()
+	diags, err := analysis.RunPackages(pkgs, selected, func(a *analysis.Analyzer, ds []analysis.Diagnostic) {
+		now := time.Now()
+		ob.Counter(metricAnalyzerNanos + a.Name).Add(now.Sub(last).Nanoseconds())
+		ob.Counter(metricAnalyzerFound + a.Name).Add(int64(len(ds)))
+		last = now
+	})
+	if err != nil {
+		return nil, err
+	}
+	ob.Counter(metricFindings).Add(int64(len(diags)))
+
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	res.diags = diags
+	for _, d := range diags {
+		p := d.Position(res.fset)
+		file := p.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		res.findings = append(res.findings, finding{
+			Analyzer: d.Analyzer,
+			File:     file,
+			Line:     p.Line,
+			Col:      p.Column,
+			Message:  d.Message,
+		})
+	}
+	return res, nil
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {

@@ -1,73 +1,132 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"syrep/internal/analysis"
+)
+
+// lintClean runs the selected analyzers over patterns at the repo root,
+// applies the reviewed lint.suppress file exactly like CI does, and fails
+// the test on any unsuppressed finding. The tree locks below are the
+// acceptance criterion in executable form: every analyzer finding has
+// either been fixed or suppressed with a written rationale.
+func lintClean(t *testing.T, selected []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	res, err := runLint("../..", patterns, selected, analysis.LoadConfig{}, nil)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	sups, err := readSuppressions(filepath.Join("../..", "lint.suppress"))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			t.Fatalf("reading lint.suppress: %v", err)
+		}
+		sups = nil
+	}
+	applySuppressions(res.findings, sups)
+	for _, f := range res.findings {
+		if f.Suppressed {
+			continue
+		}
+		t.Errorf("%s", f.String())
+	}
+}
 
 // TestTreeIsClean locks in the acceptance criterion that syrep-lint exits 0
 // on the repository: every analyzer finding has either been fixed or
-// suppressed with a justified //syreplint:ignore. A failure here means a
-// change reintroduced a ref-safety, determinism, or dropped-error bug.
+// suppressed — in source with a justified //syreplint:ignore, or in
+// lint.suppress with a rationale comment. A failure here means a change
+// introduced a new concurrency, determinism, or dropped-error bug.
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs go list over the whole module")
 	}
-	diags, err := run("../..", []string{"./..."}, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
-	}
-	for _, d := range diags {
-		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
-	}
+	lintClean(t, analyzers, "./...")
 }
 
 // TestObservabilityPackagesAreClean pins the observability layer and its
 // instrumented call sites individually, so the lock keeps biting even when
 // the whole-tree test is skipped under -short. The obs taps sit on the BDD
-// and verify hot paths, exactly where the determinism (maporder) and
-// ref-safety (bddref) analyzers matter most.
+// and verify hot paths, exactly where the determinism (maporder), ref-safety
+// (bddref), and atomic-discipline (atomicfield) analyzers matter most.
 func TestObservabilityPackagesAreClean(t *testing.T) {
-	diags, err := run("../..", []string{
+	lintClean(t, analyzers,
 		"./internal/obs/...",
 		"./internal/verify",
 		"./internal/benchmark",
-	}, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
-	}
-	for _, d := range diags {
-		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
-	}
+	)
 }
 
 // TestServerPackagesAreClean pins the synthesis service and its binary the
-// same way: the server package is a ctxpoll pipeline package (its workers
-// run supervisor pipelines, and an unpolled loop there would stall graceful
-// drain), and the HTTP/worker glue is exactly where dropped errors
-// (protecterr) would silently eat a response.
+// same way: the server package is where the exactly-one-response invariant
+// (chansafe), lock discipline across its worker pool and breaker (locksafe),
+// and graceful-drain polling (ctxpoll) all live.
 func TestServerPackagesAreClean(t *testing.T) {
-	diags, err := run("../..", []string{
+	lintClean(t, analyzers,
 		"./internal/server/...",
 		"./cmd/syrep-serve",
-	}, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
-	}
-	for _, d := range diags {
-		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
-	}
+	)
 }
 
-// TestCachePackageIsClean pins the synthesis cache: it is a ctxpoll pipeline
-// package (singleflight waiters block on in-flight leaders and must observe
-// cancellation) and holds routing tables whose map iteration order must
-// never leak into cached results (maporder).
+// TestCachePackageIsClean pins the synthesis cache: singleflight waiters
+// hold its mutex near blocking channel ops (locksafe), block on in-flight
+// leaders under cancellation (ctxpoll), and iterate routing-table maps whose
+// order must never leak into cached results (maporder).
 func TestCachePackageIsClean(t *testing.T) {
-	diags, err := run("../..", []string{
+	lintClean(t, analyzers,
 		"./internal/cache/...",
-	}, analyzers)
+	)
+}
+
+// TestLocksafePackagesAreClean runs only the lock-discipline analyzer over
+// every package in its scope (server, cache, bdd, obs), so a locksafe
+// regression is named directly even when the combined locks are skipped.
+func TestLocksafePackagesAreClean(t *testing.T) {
+	lintClean(t, selectedByName(t, "locksafe"),
+		"./internal/server/...",
+		"./internal/cache/...",
+		"./internal/bdd/...",
+		"./internal/obs/...",
+	)
+}
+
+// TestAtomicfieldPackagesAreClean pins the packages that mix sync/atomic
+// with mutexes: obs counters and gauges, and the server's breaker state.
+func TestAtomicfieldPackagesAreClean(t *testing.T) {
+	lintClean(t, selectedByName(t, "atomicfield"),
+		"./internal/obs/...",
+		"./internal/server/...",
+	)
+}
+
+// TestChansafePackagesAreClean pins the server's exactly-one-response
+// invariant: done channels buffered, at most one send per path, no
+// select-free sends from worker goroutines.
+func TestChansafePackagesAreClean(t *testing.T) {
+	lintClean(t, selectedByName(t, "chansafe"),
+		"./internal/server/...",
+	)
+}
+
+// TestSpanpairPackagesAreClean pins span discipline where stage spans are
+// actually opened: the supervisor ladder, the server worker loop, and the
+// CLI driver.
+func TestSpanpairPackagesAreClean(t *testing.T) {
+	lintClean(t, selectedByName(t, "spanpair"),
+		"./internal/resilience/...",
+		"./internal/server/...",
+		"./cmd/syrep",
+	)
+}
+
+func selectedByName(t *testing.T, names string) []*analysis.Analyzer {
+	t.Helper()
+	sel, err := selectAnalyzers(names)
 	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
+		t.Fatalf("selecting analyzers: %v", err)
 	}
-	for _, d := range diags {
-		t.Errorf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
-	}
+	return sel
 }

@@ -1,0 +1,123 @@
+package main
+
+// output.go renders findings machine-readably: a plain JSON array for
+// scripting, and SARIF 2.1.0 for code-scanning UIs. Suppressed findings are
+// included in both — JSON marks them with "suppressed": true, SARIF with a
+// suppressions entry of kind "external" — so a report always shows the full
+// picture even when the exit code only reflects new findings.
+
+import (
+	"encoding/json"
+	"io"
+
+	"syrep/internal/analysis"
+)
+
+// writeFindingsJSON emits {"findings": [...]} with stable field order and
+// two-space indentation. A run with no findings emits an empty array, not
+// null, so consumers can range without nil checks.
+func writeFindingsJSON(w io.Writer, findings []finding) error {
+	if findings == nil {
+		findings = []finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []finding `json:"findings"`
+	}{findings})
+}
+
+// SARIF 2.1.0 subset. Only the properties code-scanning consumers actually
+// read are modelled; the schema reference pins the version.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// writeSARIF emits one run containing every selected analyzer as a rule and
+// every finding as a warning-level result.
+func writeSARIF(w io.Writer, selected []*analysis.Analyzer, findings []finding) error {
+	rules := make([]sarifRule, 0, len(selected))
+	for _, a := range selected {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "external"}}
+		}
+		results = append(results, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "syrep-lint", Rules: rules}}, Results: results}},
+	})
+}

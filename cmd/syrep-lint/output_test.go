@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"syrep/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFindings is a fixed finding set covering both analyzers' shapes,
+// a suppressed entry, and an empty-column edge.
+var goldenFindings = []finding{
+	{
+		Analyzer: "locksafe",
+		File:     "internal/cache/cache.go",
+		Line:     157,
+		Col:      11,
+		Message:  "c.mu is held across this call with a plain c.mu.Unlock(); a panic here leaves the lock held past the recover fence — use defer",
+	},
+	{
+		Analyzer:   "chansafe",
+		File:       "internal/server/server.go",
+		Line:       685,
+		Col:        10,
+		Message:    "response channel done is unbuffered; a send with no waiting receiver blocks the responder forever — make it 1-buffered",
+		Suppressed: true,
+	},
+	{
+		Analyzer: "spanpair",
+		File:     "cmd/syrep/main.go",
+		Line:     301,
+		Col:      2,
+		Message:  "span closer end is called without defer; a panic between StartStage and this call leaks the span past the recover fence — defer it (or wrap the stage in a closure)",
+	},
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestWriteFindingsJSON pins the -json rendering, including the suppressed
+// marker and the empty-array shape for a clean run.
+func TestWriteFindingsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFindingsJSON(&buf, goldenFindings); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.json", buf.Bytes())
+
+	buf.Reset()
+	if err := writeFindingsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "{\n  \"findings\": []\n}\n"; got != want {
+		t.Errorf("empty run rendered %q, want %q", got, want)
+	}
+}
+
+// TestWriteSARIF pins the -sarif rendering: rules from the analyzer
+// registry, one result per finding, and the external-kind suppression on
+// the reviewed entry.
+func TestWriteSARIF(t *testing.T) {
+	sel, err := selectAnalyzers("locksafe,chansafe,spanpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, sel, goldenFindings); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findings.sarif", buf.Bytes())
+}
+
+// TestWriteSARIFEmpty keeps the empty report well-formed: zero results must
+// render as [], not null, for SARIF consumers.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, []*analysis.Analyzer{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"results": []`)) {
+		t.Errorf("empty SARIF results must render as []:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+// suppress.go reads the reviewed suppression file (conventionally
+// lint.suppress at the repo root) and marks matching findings. The file is
+// line-oriented:
+//
+//	# rationale for the entry below (mandatory by convention)
+//	<analyzer>\t<repo-relative file>\t<exact message>
+//
+// Entries deliberately carry no line numbers: unrelated edits move findings
+// around, and a suppression reviewed for a message in a file should survive
+// that churn. A finding is suppressed when analyzer, file, and message all
+// match exactly; anything else is a new finding and fails the run.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// suppression is one reviewed entry. used tracks whether any finding
+// matched it this run, so stale entries can be reported.
+type suppression struct {
+	Analyzer string
+	File     string
+	Message  string
+	used     bool
+}
+
+// readSuppressions parses path. Blank lines and '#' comments are skipped;
+// every other line must have exactly three tab-separated fields.
+func readSuppressions(path string) ([]*suppression, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*suppression
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 3 tab-separated fields (analyzer, file, message), got %d", path, i+1, len(parts))
+		}
+		out = append(out, &suppression{
+			Analyzer: strings.TrimSpace(parts[0]),
+			File:     strings.TrimSpace(parts[1]),
+			Message:  strings.TrimSpace(parts[2]),
+		})
+	}
+	return out, nil
+}
+
+// applySuppressions marks findings covered by sups and returns how many
+// remain unsuppressed. Matching entries are flagged used.
+func applySuppressions(findings []finding, sups []*suppression) int {
+	unsuppressed := 0
+	for i := range findings {
+		f := &findings[i]
+		for _, s := range sups {
+			if s.Analyzer == f.Analyzer && s.File == f.File && s.Message == f.Message {
+				f.Suppressed = true
+				s.used = true
+			}
+		}
+		if !f.Suppressed {
+			unsuppressed++
+		}
+	}
+	return unsuppressed
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSuppressFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lint.suppress")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReadSuppressions parses entries, skips comments and blanks, and
+// rejects malformed lines with their line number.
+func TestReadSuppressions(t *testing.T) {
+	path := writeSuppressFile(t, strings.Join([]string{
+		"# the breaker probe intentionally holds no lock here",
+		"locksafe\tinternal/server/breaker.go\tsome exact message",
+		"",
+		"chansafe\tinternal/server/server.go\tanother message\twith a tab inside",
+	}, "\n"))
+	sups, err := readSuppressions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(sups))
+	}
+	if sups[0].Analyzer != "locksafe" || sups[0].File != "internal/server/breaker.go" || sups[0].Message != "some exact message" {
+		t.Errorf("entry 0 = %+v", *sups[0])
+	}
+	// The message field is the rest of the line: embedded tabs stay.
+	if want := "another message\twith a tab inside"; sups[1].Message != want {
+		t.Errorf("entry 1 message = %q, want %q", sups[1].Message, want)
+	}
+}
+
+func TestReadSuppressionsMalformed(t *testing.T) {
+	path := writeSuppressFile(t, "locksafe only-two-fields\n")
+	_, err := readSuppressions(path)
+	if err == nil || !strings.Contains(err.Error(), ":1:") {
+		t.Fatalf("want a line-numbered parse error, got %v", err)
+	}
+}
+
+// TestApplySuppressions: matching findings are marked (and only they), the
+// unsuppressed count is exact, and matched entries are flagged used so the
+// CLI can warn about stale ones.
+func TestApplySuppressions(t *testing.T) {
+	findings := []finding{
+		{Analyzer: "locksafe", File: "a.go", Line: 10, Message: "msg A"},
+		{Analyzer: "locksafe", File: "a.go", Line: 99, Message: "msg A"}, // same entry, moved line: still covered
+		{Analyzer: "locksafe", File: "b.go", Line: 10, Message: "msg A"}, // different file: not covered
+		{Analyzer: "chansafe", File: "a.go", Line: 10, Message: "msg A"}, // different analyzer: not covered
+	}
+	sups := []*suppression{
+		{Analyzer: "locksafe", File: "a.go", Message: "msg A"},
+		{Analyzer: "spanpair", File: "z.go", Message: "gone"},
+	}
+	got := applySuppressions(findings, sups)
+	if got != 2 {
+		t.Errorf("unsuppressed = %d, want 2", got)
+	}
+	wantSuppressed := []bool{true, true, false, false}
+	for i, f := range findings {
+		if f.Suppressed != wantSuppressed[i] {
+			t.Errorf("finding %d suppressed = %v, want %v", i, f.Suppressed, wantSuppressed[i])
+		}
+	}
+	if !sups[0].used {
+		t.Error("matching entry not marked used")
+	}
+	if sups[1].used {
+		t.Error("stale entry marked used")
+	}
+}

@@ -1,0 +1,18 @@
+// Package server is the chansafe -fix fixture: the done field is made
+// unbuffered but sent to by complete, the shape whose suggested fix grows
+// the make call's capacity to 1.
+package server
+
+type job struct {
+	done chan int
+}
+
+func enqueue(jobs chan *job) *job {
+	j := &job{done: make(chan int)}
+	jobs <- j
+	return j
+}
+
+func complete(j *job) {
+	j.done <- 1
+}

@@ -1,0 +1,17 @@
+// Package cache is the locksafe -fix fixture: bump acquires the mutex and
+// returns without any release, the shape whose suggested fix inserts a
+// defer right after the acquire.
+package cache
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}

@@ -295,10 +295,16 @@ func cmdVerify(args []string, w io.Writer) error {
 		return err
 	}
 	ob := of.observer()
-	_, end := ob.StartStage(context.Background(), "verify")
-	rep, err := verify.Check(context.Background(), r, *k,
-		verify.Options{Counters: ob.Verify()})
-	end()
+	var rep *verify.Report
+	// The closure scopes the span: its deferred end runs before the flush
+	// below, and survives a panicking checker.
+	err = func() (e error) {
+		_, end := ob.StartStage(context.Background(), "verify")
+		defer end()
+		rep, e = verify.Check(context.Background(), r, *k,
+			verify.Options{Counters: ob.Verify()})
+		return
+	}()
 	if ferr := of.flush(ob, w); ferr != nil {
 		return ferr
 	}

@@ -42,6 +42,9 @@ type Pass struct {
 	// Pkg and TypesInfo are the type-checked package and its use/def maps.
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package fact store of the current run, shared by
+	// all passes of the same analyzer. Nil when running without one.
+	Facts *FactStore
 
 	diagnostics []Diagnostic
 	ignores     map[string][]ignoreDirective // filename -> directives
@@ -52,6 +55,24 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Fixes are optional mechanical corrections, applied only under
+	// `syrep-lint -fix`.
+	Fixes []Fix
+}
+
+// Fix is one suggested correction: a set of textual edits that together
+// resolve the finding.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// Edit replaces source in [Pos, End) with NewText. A pure insertion has
+// Pos == End.
+type Edit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Position resolves the diagnostic's file position via fset.
@@ -61,14 +82,18 @@ func (d Diagnostic) Position(fset *token.FileSet) token.Position {
 
 // Reportf records a finding unless a //syreplint:ignore directive covers it.
 func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if pass.ignored(pos) {
+	pass.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a finding (with optional fixes) unless a
+// //syreplint:ignore directive covers it. The Analyzer field is filled in
+// by the pass.
+func (pass *Pass) Report(d Diagnostic) {
+	if pass.ignored(d.Pos) {
 		return
 	}
-	pass.diagnostics = append(pass.diagnostics, Diagnostic{
-		Pos:      pos,
-		Analyzer: pass.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	d.Analyzer = pass.Analyzer.Name
+	pass.diagnostics = append(pass.diagnostics, d)
 }
 
 // Diagnostics returns the findings recorded so far, in position order.
@@ -142,21 +167,64 @@ func (pass *Pass) ignored(pos token.Pos) bool {
 }
 
 // Run applies every analyzer to the package and returns the combined
-// findings in position order.
+// findings in position order. Analyzers that rely on cross-package facts
+// should be driven through RunPackages instead.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runPackage(pkg, analyzers, nil)
+}
+
+// RunOne applies one analyzer to one package against a shared fact store
+// (nil is allowed: fact export/import become no-ops).
+func RunOne(pkg *Package, a *Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Facts:     facts,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return pass.Diagnostics(), nil
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var out []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Syntax,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
+		ds, err := RunOne(pkg, a, facts)
+		if err != nil {
+			return nil, err
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		out = append(out, ds...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// RunPackages applies every analyzer to every package, sharing one fact
+// store per analyzer across the whole run. Packages must be given in
+// dependency order (dependencies first — `go list -deps` order, which Load
+// preserves) so facts about a dependency exist before its dependents are
+// analyzed. perAnalyzer, when non-nil, observes each analyzer's findings
+// across all packages (for timing and per-analyzer reporting).
+func RunPackages(pkgs []*Package, analyzers []*Analyzer, perAnalyzer func(a *Analyzer, ds []Diagnostic)) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var ds []Diagnostic
+		for _, pkg := range pkgs {
+			d, err := RunOne(pkg, a, facts)
+			if err != nil {
+				return nil, err
+			}
+			ds = append(ds, d...)
 		}
-		out = append(out, pass.Diagnostics()...)
+		if perAnalyzer != nil {
+			perAnalyzer(a, ds)
+		}
+		out = append(out, ds...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil

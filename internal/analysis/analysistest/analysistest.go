@@ -36,6 +36,9 @@ import (
 
 // Run applies the analyzer to each fixture package and reports mismatches
 // between diagnostics and // want expectations as test errors.
+// Packages are processed in the order given, sharing one fact store, so a
+// fixture package may consume facts exported while analyzing an earlier one
+// (list dependencies first, as `go list -deps` would).
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	imp := &fixtureImporter{
@@ -43,12 +46,13 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		fset: token.NewFileSet(),
 		pkgs: make(map[string]*types.Package),
 	}
+	facts := analysis.NewFactStore()
 	for _, path := range pkgPaths {
-		runOne(t, imp, a, path)
+		runOne(t, imp, a, path, facts)
 	}
 }
 
-func runOne(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path string) {
+func runOne(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path string, facts *analysis.FactStore) {
 	t.Helper()
 	files, info, tpkg, err := imp.load(path)
 	if err != nil {
@@ -60,6 +64,7 @@ func runOne(t *testing.T, imp *fixtureImporter, a *analysis.Analyzer, path strin
 		Files:     files,
 		Pkg:       tpkg,
 		TypesInfo: info,
+		Facts:     facts,
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: running on %s: %v", a.Name, path, err)

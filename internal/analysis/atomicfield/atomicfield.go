@@ -1,0 +1,153 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct fields:
+// a field that is ever accessed through sync/atomic (atomic.AddInt64,
+// atomic.LoadUint32, ...) must be accessed that way everywhere. A single
+// plain read or write of such a field is a data race the compiler will not
+// flag and -race only catches when the interleaving actually happens in a
+// test — obs counters and breaker state are the motivating targets.
+//
+// The analyzer is package-scoped (two passes over one package): first it
+// collects every field whose address is taken by a sync/atomic call, then
+// it reports every other selector resolving to one of those fields. Fields
+// of the atomic.* wrapper types (atomic.Int64 and friends) are immune by
+// construction — every access goes through their methods — but *copying*
+// such a value is reported, since the copy forks the counter.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"syrep/internal/analysis"
+)
+
+// Analyzer is the atomicfield analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "reports non-atomic access to struct fields that are accessed atomically elsewhere",
+	Run:  run,
+}
+
+// atomicWrappers are the sync/atomic value types whose copies fork state.
+var atomicWrappers = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := make(map[*types.Var]string) // field -> atomic func used
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+
+	// Pass A: find fields whose address feeds a sync/atomic call.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgName, funcName, ok := pass.PackageFuncCall(call)
+			if !ok || pkgName != "atomic" || !isAtomicOp(funcName) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldVar(pass, sel); f != nil {
+					atomicFields[f] = "atomic." + funcName
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass B: report plain accesses of those fields, and copies of atomic
+	// wrapper values.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if inAtomicCall[n] {
+					return true
+				}
+				f := fieldVar(pass, n)
+				if f == nil {
+					return true
+				}
+				if via, ok := atomicFields[f]; ok {
+					pass.Reportf(n.Pos(), "field %s is accessed via %s elsewhere; this plain access races with it — use the atomic op everywhere",
+						f.Name(), via)
+				}
+			case *ast.AssignStmt:
+				checkWrapperCopies(pass, n.Lhs, n.Rhs)
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = id
+				}
+				checkWrapperCopies(pass, lhs, n.Values)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicOp reports sync/atomic function names that operate on a *T
+// pointer argument.
+func isAtomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkWrapperCopies reports assignments copying an atomic wrapper value
+// (atomic.Int64 etc.) out of an existing location — the copy's state forks.
+func checkWrapperCopies(pass *analysis.Pass, lhs, rhs []ast.Expr) {
+	for i, e := range rhs {
+		if len(lhs) == len(rhs) {
+			if id, ok := lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		t := pass.TypeOf(e)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "atomic" || !atomicWrappers[obj.Name()] {
+			continue
+		}
+		pass.Reportf(e.Pos(), "assignment copies atomic.%s by value; the copy's state forks from the original — share a pointer instead",
+			obj.Name())
+	}
+}

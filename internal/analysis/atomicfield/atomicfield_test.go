@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"syrep/internal/analysis/analysistest"
+	"syrep/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer, "obs")
+}

@@ -1,0 +1,27 @@
+// Package atomic stubs sync/atomic for atomicfield fixtures. The analyzer
+// matches by package name, so fixtures import the short path "atomic".
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64 { *addr += delta; return *addr }
+func LoadInt64(addr *int64) int64             { return *addr }
+func StoreInt64(addr *int64, val int64)       { *addr = val }
+func CompareAndSwapInt64(addr *int64, old, new int64) bool {
+	if *addr == old {
+		*addr = new
+		return true
+	}
+	return false
+}
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64           { return x.v }
+func (x *Int64) Store(v int64)         { x.v = v }
+func (x *Int64) Add(delta int64) int64 { x.v += delta; return x.v }
+func (x *Int64) CompareAndSwap(old, new int64) bool {
+	if x.v == old {
+		x.v = new
+		return true
+	}
+	return false
+}

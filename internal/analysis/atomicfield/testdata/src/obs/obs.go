@@ -1,0 +1,51 @@
+// Package obs exercises atomicfield: mixed atomic/plain field access and
+// atomic wrapper copies, each with a near-miss negative.
+package obs
+
+import "atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counters) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) racyRead() int64 {
+	return c.hits // want `field hits is accessed via atomic\.\w+ elsewhere`
+}
+
+func (c *counters) racyWrite() {
+	c.hits++ // want `field hits is accessed via atomic\.\w+ elsewhere`
+}
+
+func (c *counters) plainOnlyFieldIsFine() int64 {
+	c.misses++ // near miss: misses is never touched atomically
+	return c.misses
+}
+
+type gauge struct {
+	v    atomic.Int64
+	name string
+}
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+
+func snapshotCopiesWrapper(g *gauge) int64 {
+	cp := g.v // want `assignment copies atomic\.Int64 by value`
+	return cp.Load()
+}
+
+func methodAccessIsFine(g *gauge) int64 {
+	return g.v.Load() // near miss: wrapper methods are the atomic API
+}
+
+func nameIsFine(g *gauge) string {
+	return g.name // near miss: not an atomic field
+}

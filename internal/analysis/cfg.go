@@ -1,0 +1,636 @@
+package analysis
+
+// cfg.go turns one function body into a control-flow graph and offers the
+// path queries the concurrency analyzers (locksafe, chansafe, spanpair) ask
+// of it. The builder is deliberately small — basic blocks of flattened
+// statement entries plus successor edges — but it models the control shapes
+// that actually occur in this repository: if/else, all three for forms,
+// switch/type-switch with fallthrough, select (with and without default),
+// labeled break/continue, goto, early return, and panic calls. Defers are
+// recorded separately: they do not create edges (they run during unwinding,
+// which the graph does not model) but analyzers consult them to decide
+// whether a cleanup is panic-safe.
+//
+// Block entries are *flattened*: a compound statement contributes only its
+// control expression (an if's condition, a switch's tag, a range's operand)
+// to the block that evaluates it, never its sub-statements — those live in
+// their own blocks. An analyzer can therefore inspect an entry's subtree
+// without double-visiting statements owned by other blocks. The only
+// synthetic entry is *SelectHead, standing for the blocking select point
+// itself (its communication clauses follow as successors).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: entries execute in order, then control moves to
+// one of Succs (an empty Succs list means the block ends the function —
+// normally by flowing into the CFG's synthetic exit).
+type Block struct {
+	// Index is the block's position in CFG.Blocks (entry block is 0).
+	Index int
+	// Entries are the flattened statement/expression nodes evaluated in this
+	// block, in execution order. See the package comment for flattening.
+	Entries []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// SelectHead is the synthetic entry standing for a select statement's
+// blocking point. Its clauses' bodies are successor blocks; the head itself
+// is where the goroutine parks when no case is ready.
+type SelectHead struct {
+	// Sel is the select statement.
+	Sel *ast.SelectStmt
+	// HasDefault reports whether the select can proceed immediately.
+	HasDefault bool
+}
+
+// Pos implements ast.Node.
+func (s *SelectHead) Pos() token.Pos { return s.Sel.Pos() }
+
+// End implements ast.Node.
+func (s *SelectHead) End() token.Pos { return s.Sel.End() }
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every block, entry first. Unreachable blocks (after a
+	// return, say) are retained but have no predecessors.
+	Blocks []*Block
+	// Entry is Blocks[0].
+	Entry *Block
+	// Exit is the synthetic, empty exit block every completed path reaches.
+	Exit *Block
+	// Defers lists the defer statements in source order. They run during
+	// unwinding and at return; analyzers treat "a defer releases it" as
+	// covering every exit path, including panic edges.
+	Defers []*ast.DeferStmt
+
+	// comm marks statements that are a select clause's communication op;
+	// they never block by themselves (the SelectHead accounts for the wait).
+	comm map[ast.Stmt]bool
+
+	where map[ast.Node]entryRef // entry node -> its block and index
+}
+
+// entryRef locates one entry inside the graph.
+type entryRef struct {
+	block *Block
+	index int
+}
+
+// IsCommClause reports whether stmt is the communication operation of a
+// select clause (and thus never blocks on its own).
+func (g *CFG) IsCommClause(stmt ast.Stmt) bool { return g.comm[stmt] }
+
+// BuildCFG constructs the control-flow graph of body. fn is only used for
+// recovering from pathological inputs; a nil body yields a two-block graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{comm: make(map[ast.Stmt]bool), where: make(map[ast.Node]entryRef)}
+	b := &cfgBuilder{g: g, labels: make(map[string]*loopFrame), gotoTargets: make(map[string]*Block)}
+	entry := b.newBlock()
+	g.Entry = entry
+	exit := b.newBlock()
+	g.Exit = exit
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(exit)
+	for _, pg := range b.pendingGotos {
+		if target, ok := b.gotoTargets[pg.label]; ok {
+			pg.from.Succs = append(pg.from.Succs, target)
+		} else {
+			// Unresolvable goto (label in dead code): fall to exit so the
+			// path queries stay conservative.
+			pg.from.Succs = append(pg.from.Succs, exit)
+		}
+	}
+	// Index entries for the path queries.
+	for _, blk := range g.Blocks {
+		for i, e := range blk.Entries {
+			g.where[e] = entryRef{block: blk, index: i}
+		}
+	}
+	return g
+}
+
+// loopFrame is the break/continue target pair of one enclosing loop, switch,
+// or select (switch/select frames have a nil continueTo).
+type loopFrame struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil while the current position is unreachable
+
+	frames       []*loopFrame          // innermost last
+	labels       map[string]*loopFrame // labeled loop/switch frames
+	gotoTargets  map[string]*Block
+	pendingGotos []pendingGoto
+
+	// pendingLabel holds a label naming the *next* loop/switch statement,
+	// so "outer: for {...}" registers outer's break/continue targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// add appends an entry to the current block (no-op while unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Entries = append(b.cur.Entries, n)
+	}
+}
+
+// jump wires the current block to target and leaves the position
+// unreachable; startBlock opens a fresh reachable block.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, target)
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) startBlock(blk *Block) { b.cur = blk }
+
+// jumpAndStart closes the current block into target and continues there —
+// the normal fallthrough between consecutive regions.
+func (b *cfgBuilder) jumpAndStart(target *Block) {
+	b.jump(target)
+	b.startBlock(target)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			// A plain labeled statement is a goto target.
+			blk := b.newBlock()
+			b.jumpAndStart(blk)
+			b.gotoTargets[s.Label.Name] = blk
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.branchTo(s, func(f *loopFrame) *Block { return f.breakTo })
+		case token.CONTINUE:
+			b.branchTo(s, func(f *loopFrame) *Block { return f.continueTo })
+		case token.GOTO:
+			if b.cur != nil {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (the clause's tail block falls
+			// through); nothing to record here.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlock := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.jump(thenBlk) // cond -> then
+		b.startBlock(thenBlk)
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			if condBlock != nil {
+				condBlock.Succs = append(condBlock.Succs, elseBlk)
+			}
+			b.startBlock(elseBlk)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else if condBlock != nil {
+			condBlock.Succs = append(condBlock.Succs, after)
+		}
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.jumpAndStart(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			// head -> after when the condition fails.
+			head.Succs = append(head.Succs, after)
+		}
+		frame := &loopFrame{breakTo: after, continueTo: post}
+		b.pushFrame(frame)
+		body := b.newBlock()
+		b.jumpAndStart(body)
+		b.stmtList(s.Body.List)
+		b.jumpAndStart(post)
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.jump(head) // back edge
+		b.popFrame()
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		after := b.newBlock()
+		b.jumpAndStart(head)
+		// The range head assigns the iteration variables; represent the
+		// assignment so reassignment barriers (chansafe) can see it.
+		if s.Key != nil || s.Value != nil {
+			b.add(&ast.AssignStmt{
+				Lhs:    rangeLhs(s),
+				TokPos: s.For,
+				Tok:    token.ASSIGN,
+				Rhs:    []ast.Expr{s.X},
+			})
+		}
+		head.Succs = append(head.Succs, after) // ranged-out edge
+		frame := &loopFrame{breakTo: after, continueTo: head}
+		b.pushFrame(frame)
+		body := b.newBlock()
+		b.jumpAndStart(body)
+		b.stmtList(s.Body.List)
+		b.jump(head) // back edge
+		b.popFrame()
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, true)
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		b.add(&SelectHead{Sel: s, HasDefault: hasDefault})
+		head := b.cur
+		after := b.newBlock()
+		b.cur = nil
+		frame := &loopFrame{breakTo: after}
+		b.pushFrame(frame)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock()
+			if head != nil {
+				head.Succs = append(head.Succs, clause)
+			}
+			b.startBlock(clause)
+			if cc.Comm != nil {
+				b.g.comm[cc.Comm] = true
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.popFrame()
+		if head != nil && len(s.Body.List) == 0 {
+			// select{} blocks forever; no successors.
+		}
+		b.startBlock(after)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assignments, sends, declarations, go statements, inc/dec, empty
+		// statements: straight-line entries.
+		b.add(s)
+	}
+}
+
+// rangeLhs collects the non-blank assignment targets of a range header.
+func rangeLhs(s *ast.RangeStmt) []ast.Expr {
+	var lhs []ast.Expr
+	if s.Key != nil {
+		lhs = append(lhs, s.Key)
+	}
+	if s.Value != nil {
+		lhs = append(lhs, s.Value)
+	}
+	return lhs
+}
+
+// caseClauses wires a (type) switch's clauses: every clause is a successor
+// of the block evaluating the tag; fallthrough chains clause bodies.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, typeSwitch bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.cur = nil
+	frame := &loopFrame{breakTo: after}
+	b.pushFrame(frame)
+
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock()
+		if head != nil {
+			head.Succs = append(head.Succs, blocks[i])
+		}
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.startBlock(blocks[i])
+		if !typeSwitch {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		}
+		b.stmtList(cc.Body)
+		// A trailing fallthrough continues into the next clause's body.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				b.jump(blocks[i+1])
+				continue
+			}
+		}
+		b.jump(after)
+	}
+	b.popFrame()
+	if head != nil && !hasDefault {
+		// No default: the switch may match nothing and fall through.
+		head.Succs = append(head.Succs, after)
+	}
+	b.startBlock(after)
+}
+
+// branchTo resolves a break/continue (possibly labeled) to its target block.
+func (b *cfgBuilder) branchTo(s *ast.BranchStmt, pick func(*loopFrame) *Block) {
+	if b.cur == nil {
+		return
+	}
+	var frame *loopFrame
+	if s.Label != nil {
+		frame = b.labels[s.Label.Name]
+	} else {
+		// Innermost frame with the requested target (continue skips
+		// switch/select frames, whose continueTo is nil).
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if pick(b.frames[i]) != nil {
+				frame = b.frames[i]
+				break
+			}
+		}
+	}
+	if frame == nil || pick(frame) == nil {
+		b.jump(b.g.Exit) // malformed; stay conservative
+		return
+	}
+	b.jump(pick(frame))
+}
+
+func (b *cfgBuilder) pushFrame(f *loopFrame) {
+	b.frames = append(b.frames, f)
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = f
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// isPanicCall reports whether e is a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// WalkEntry visits entry's subtree in source order, skipping nested
+// function literal bodies (they execute on their own schedule, not at this
+// entry) and handling the synthetic SelectHead (visited as itself, without
+// descending — its clauses live in successor blocks). visit returning false
+// prunes the subtree, as with ast.Inspect.
+func WalkEntry(entry ast.Node, visit func(ast.Node) bool) {
+	if sh, ok := entry.(*SelectHead); ok {
+		visit(sh)
+		return
+	}
+	ast.Inspect(entry, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			visit(n)
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// ---- Path queries ----------------------------------------------------------
+
+// PathAvoiding reports whether some execution path from the entry `from`
+// (exclusive) to the function exit avoids every entry for which avoid
+// returns true. This is the "release may be missed" query: from a Lock with
+// avoid=Unlock, true means a path returns with the mutex still held.
+func (g *CFG) PathAvoiding(from ast.Node, avoid func(ast.Node) bool) bool {
+	ref, ok := g.where[from]
+	if !ok {
+		return false
+	}
+	// Walk the remainder of from's block, then DFS over successors.
+	for i := ref.index + 1; i < len(ref.block.Entries); i++ {
+		if avoid(ref.block.Entries[i]) {
+			return false
+		}
+	}
+	seen := make(map[*Block]bool)
+	var dfs func(blk *Block) bool
+	dfs = func(blk *Block) bool {
+		if blk == g.Exit {
+			return true
+		}
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		for _, e := range blk.Entries {
+			if avoid(e) {
+				return false
+			}
+		}
+		if len(blk.Succs) == 0 {
+			// Dead end that is not the exit (e.g. select{}): not a
+			// completed path.
+			return false
+		}
+		for _, s := range blk.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range ref.block.Succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return len(ref.block.Succs) == 0 && ref.block == g.Exit
+}
+
+// CanReach reports whether an entry satisfying target is reachable from the
+// entry `from` (exclusive) along a path on which no intermediate entry
+// satisfies barrier. Both from-to-target endpoints may sit in the same block
+// or across loops (back edges count, so a node can reach itself).
+func (g *CFG) CanReach(from ast.Node, target, barrier func(ast.Node) bool) bool {
+	ref, ok := g.where[from]
+	if !ok {
+		return false
+	}
+	scan := func(blk *Block, start int) (hit bool, blocked bool) {
+		for i := start; i < len(blk.Entries); i++ {
+			if target(blk.Entries[i]) {
+				return true, false
+			}
+			if barrier != nil && barrier(blk.Entries[i]) {
+				return false, true
+			}
+		}
+		return false, false
+	}
+	if hit, blocked := scan(ref.block, ref.index+1); hit {
+		return true
+	} else if blocked {
+		return false
+	}
+	seen := make(map[*Block]bool)
+	var dfs func(blk *Block) bool
+	dfs = func(blk *Block) bool {
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		if hit, blocked := scan(blk, 0); hit {
+			return true
+		} else if blocked {
+			return false
+		}
+		for _, s := range blk.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range ref.block.Succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Forward may-analysis --------------------------------------------------
+
+// Forward is a forward dataflow analysis over a CFG. Facts flow from the
+// entry block along successor edges; Join merges facts at control-flow
+// merges and Transfer folds one entry into a fact. The analysis iterates to
+// a fixpoint, so Join/Transfer must be monotone and the fact domain of
+// finite height (sets over the function's finitely many expressions are).
+type Forward[T any] struct {
+	// Init is the fact at function entry.
+	Init T
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b T) bool
+	// Join merges two incoming facts (a may-analysis uses union).
+	Join func(a, b T) T
+	// Transfer folds entry n into fact in, returning the fact after n.
+	Transfer func(in T, n ast.Node) T
+}
+
+// Run computes the fact holding at the *entry* of every block. Use Transfer
+// to replay a block's entries when per-entry facts are needed.
+func (f Forward[T]) Run(g *CFG) map[*Block]T {
+	in := make(map[*Block]T, len(g.Blocks))
+	in[g.Entry] = f.Init
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		fact := in[blk]
+		for _, e := range blk.Entries {
+			fact = f.Transfer(fact, e)
+		}
+		for _, s := range blk.Succs {
+			cur, ok := in[s]
+			next := fact
+			if ok {
+				next = f.Join(cur, fact)
+			}
+			if !ok || !f.Equal(cur, next) {
+				in[s] = next
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

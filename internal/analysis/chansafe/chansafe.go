@@ -1,0 +1,444 @@
+// Package chansafe mechanizes the server's exactly-one-response invariant
+// (DESIGN §8): a per-request response channel must be buffered (capacity
+// ≥ 1) so the responder never blocks on an abandoned waiter, and must be
+// sent to at most once per execution path. It also flags goroutines that
+// send on unbuffered channels without a select — the shape that leaks the
+// goroutine when the receiver has given up.
+//
+// Three checks, scoped to the server package (and fixtures named alike):
+//
+//  1. buffer: `make(chan T)` with no or zero capacity, bound to a
+//     response-named variable or field (done, resp, result, reply, err,
+//     out, ...), that is sent to somewhere in the package. Sends are
+//     matched by object when the type info resolves them (a field's make
+//     and its j.field <- send share the field object); a local that never
+//     escapes its function is judged only by its own sends, so a
+//     close-only completion channel (broadcast idiom) is exempt even when
+//     an unrelated channel elsewhere shares its name. Locals that do
+//     escape fall back to package-wide name tainting, because the send
+//     usually happens behind a parameter with a different object.
+//  2. double-send: a send on a channel expression from which another send
+//     on the same expression is reachable in the CFG with no reassignment
+//     of the variable in between (loop back edges count; the range head's
+//     reassignment is the legitimate barrier).
+//  3. goroutine-send: a `go func(){...}` sending, outside any select, on a
+//     channel the enclosing function made unbuffered.
+package chansafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"syrep/internal/analysis"
+)
+
+// Analyzer is the chansafe analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "chansafe",
+	Doc:  "reports unbuffered response channels, per-path double sends, and select-free goroutine sends",
+	Run:  run,
+}
+
+// responsePackages names the packages carrying the exactly-one-response
+// protocol (by package name, so fixtures can live under short paths).
+var responsePackages = map[string]bool{
+	"server": true,
+}
+
+// responseName matches variable/field names that carry a response back to a
+// waiter.
+var responseName = regexp.MustCompile(`^(done|resp|response|result|res|reply|err|errc|out|ch)$`)
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !responsePackages[pass.Pkg.Name()] {
+		return nil
+	}
+
+	// Package-wide: the channels that are ever sent to, by resolved object
+	// (field sends through j.field match the field's make) and by trailing
+	// name (the fallback for sends behind parameters, whose object differs
+	// from the make-site local's).
+	sent := collectSends(pass)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) {
+						checkBufferedMake(pass, n.Lhs[i], rhs, sent)
+					}
+				}
+			case *ast.KeyValueExpr:
+				checkBufferedMake(pass, n.Key, n.Value, sent)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lastName extracts the trailing identifier of a channel expression: "done"
+// for both `done` and `j.done`.
+func lastName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// unbufferedMake reports whether e is `make(chan T)` or `make(chan T, 0)`.
+func unbufferedMake(pass *analysis.Pass, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return nil, false
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return nil, false
+		}
+	}
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+		return nil, false
+	}
+	if len(call.Args) == 1 {
+		return call, true
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+		return call, true
+	}
+	return nil, false
+}
+
+// sendSet is the package's observed sends: resolved channel objects plus
+// trailing names as the imprecise fallback.
+type sendSet struct {
+	objs  map[types.Object]bool
+	names map[string]bool
+}
+
+// collectSends scans the package once for every SendStmt's channel.
+func collectSends(pass *analysis.Pass) sendSet {
+	s := sendSet{objs: make(map[types.Object]bool), names: make(map[string]bool)}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			switch c := send.Chan.(type) {
+			case *ast.Ident:
+				if o := pass.TypesInfo.Uses[c]; o != nil {
+					s.objs[o] = true
+				}
+			case *ast.SelectorExpr:
+				if o := pass.TypesInfo.Uses[c.Sel]; o != nil {
+					s.objs[o] = true
+				}
+			}
+			if name := lastName(send.Chan); name != "" {
+				s.names[name] = true
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// checkBufferedMake flags an unbuffered make bound to a response-named
+// target that the package sends on. Close-only channels (the broadcast
+// idiom) are exempt — close doesn't block — and a non-escaping local is
+// judged only by sends on its own object, so it cannot be tainted by an
+// unrelated channel that happens to share its name.
+func checkBufferedMake(pass *analysis.Pass, target, value ast.Expr, sent sendSet) {
+	name := lastName(target)
+	if name == "" || !responseName.MatchString(name) {
+		return
+	}
+	call, ok := unbufferedMake(pass, value)
+	if !ok {
+		return
+	}
+	obj := targetObject(pass, target)
+	switch {
+	case obj != nil && sent.objs[obj]:
+		// A send resolves to this exact channel: report below.
+	case obj != nil && isLocalVar(obj) && !escapes(pass, obj):
+		// Never sent on directly and never leaves the function: the only
+		// remaining uses are close and receive, which don't block senders.
+		return
+	case !sent.names[name]:
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:     call.Pos(),
+		Message: "response channel " + name + " is unbuffered; a send with no waiting receiver blocks the responder forever — make it 1-buffered",
+		Fixes:   []analysis.Fix{bufferFix(call)},
+	})
+}
+
+// targetObject resolves the make's binding target: the defined local for
+// `res := make(...)`, the used local for `res = make(...)`, or the struct
+// field for `job{done: make(...)}` (composite-literal keys live in Uses).
+func targetObject(pass *analysis.Pass, target ast.Expr) types.Object {
+	switch t := target.(type) {
+	case *ast.Ident:
+		if o := pass.TypesInfo.Defs[t]; o != nil {
+			return o
+		}
+		return pass.TypesInfo.Uses[t]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[t.Sel]
+	}
+	return nil
+}
+
+// isLocalVar reports whether obj is a non-field variable.
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField()
+}
+
+// escapes reports whether any use of the local hands it beyond the
+// function: passed to a call other than close, returned, stored into a
+// composite literal, or appearing on an assignment's right-hand side.
+// Receives (<-ch, range ch, select cases) and close(ch) are the benign
+// uses that keep a channel local. Unknown contexts count as escapes, which
+// degrades precision back to name tainting, never below it.
+func escapes(pass *analysis.Pass, obj types.Object) bool {
+	found := false
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj || found {
+				return true
+			}
+			if len(stack) < 2 {
+				found = true
+				return true
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.SendStmt:
+				if parent.Chan != ast.Expr(id) {
+					// Sent as a value over another channel.
+					found = true
+				}
+			case *ast.UnaryExpr:
+				if parent.Op != token.ARROW {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if parent.X != ast.Expr(id) {
+					found = true
+				}
+			case *ast.CallExpr:
+				fn, isIdent := parent.Fun.(*ast.Ident)
+				if !isIdent || fn.Name != "close" {
+					found = true
+				}
+			case *ast.AssignStmt:
+				for _, r := range parent.Rhs {
+					if r == ast.Expr(id) {
+						found = true
+					}
+				}
+			default:
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// bufferFix grows the make call's capacity to 1 by inserting ", 1" before
+// the closing parenthesis.
+func bufferFix(call *ast.CallExpr) analysis.Fix {
+	return analysis.Fix{
+		Message: "buffer the channel (capacity 1)",
+		Edits: []analysis.Edit{{
+			Pos:     call.Rparen,
+			End:     call.Rparen,
+			NewText: ", 1",
+		}},
+	}
+}
+
+// checkBody runs the CFG-based double-send check and the goroutine-send
+// check over one function body.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := analysis.BuildCFG(body)
+
+	// Collect the body's send entries by channel rendering.
+	type sendSite struct {
+		entry ast.Node
+		send  *ast.SendStmt
+		chans string
+		base  string // base identifier for reassignment barriers
+	}
+	var sends []sendSite
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Entries {
+			analysis.WalkEntry(e, func(n ast.Node) bool {
+				if send, ok := n.(*ast.SendStmt); ok {
+					sends = append(sends, sendSite{
+						entry: e,
+						send:  send,
+						chans: types.ExprString(send.Chan),
+						base:  baseIdent(send.Chan),
+					})
+				}
+				return true
+			})
+		}
+	}
+
+	for _, s := range sends {
+		target := func(entry ast.Node) bool { return entrySendsOn(entry, s.chans) }
+		barrier := func(entry ast.Node) bool { return entryReassigns(entry, s.chans, s.base) }
+		if g.CanReach(s.entry, target, barrier) {
+			pass.Reportf(s.send.Pos(), "second send on %s is reachable from this one with no reassignment; the exactly-one-response protocol allows one send per channel",
+				s.chans)
+		}
+	}
+
+	checkGoroutineSends(pass, g, body)
+}
+
+// baseIdent returns the root identifier of a channel expression ("j" for
+// j.done, "done" for done).
+func baseIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// entrySendsOn reports whether the entry contains a send on the channel
+// rendering.
+func entrySendsOn(entry ast.Node, chans string) bool {
+	found := false
+	analysis.WalkEntry(entry, func(n ast.Node) bool {
+		if send, ok := n.(*ast.SendStmt); ok && types.ExprString(send.Chan) == chans {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// entryReassigns reports whether the entry assigns the channel expression or
+// its base identifier — the barrier that legitimizes a send on the next
+// loop iteration (e.g. the range head rebinding j in `for j := range jobs`).
+func entryReassigns(entry ast.Node, chans, base string) bool {
+	assign, ok := entry.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, l := range assign.Lhs {
+		if types.ExprString(l) == chans {
+			return true
+		}
+		if id, ok := l.(*ast.Ident); ok && base != "" && id.Name == base {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGoroutineSends flags `go func(){ ... ch <- v ... }()` where ch was
+// made unbuffered in this body and the send sits outside any select.
+func checkGoroutineSends(pass *analysis.Pass, g *analysis.CFG, body *ast.BlockStmt) {
+	unbuffered := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) {
+				break
+			}
+			if _, ok := unbufferedMake(pass, rhs); ok {
+				if id, isIdent := assign.Lhs[i].(*ast.Ident); isIdent {
+					unbuffered[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(unbuffered) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		gostmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gostmt.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		// Sends inside a select clause are protected; collect them first.
+		inSelect := make(map[*ast.SendStmt]bool)
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if sel, ok := m.(*ast.SelectStmt); ok {
+				for _, c := range sel.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						if send, ok := cc.Comm.(*ast.SendStmt); ok {
+							inSelect[send] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			send, ok := m.(*ast.SendStmt)
+			if !ok || inSelect[send] {
+				return true
+			}
+			if id, ok := send.Chan.(*ast.Ident); ok && unbuffered[id.Name] {
+				pass.Reportf(send.Pos(), "goroutine sends on unbuffered %s outside a select; if the receiver is gone the goroutine leaks — buffer the channel or select with cancellation",
+					id.Name)
+			}
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package chansafe_test
+
+import (
+	"testing"
+
+	"syrep/internal/analysis/analysistest"
+	"syrep/internal/analysis/chansafe"
+)
+
+func TestChansafe(t *testing.T) {
+	analysistest.Run(t, "testdata", chansafe.Analyzer, "server")
+}

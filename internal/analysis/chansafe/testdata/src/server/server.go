@@ -1,0 +1,98 @@
+// Package server exercises chansafe: unbuffered response channels, per-path
+// double sends, and select-free goroutine sends, each with a near-miss.
+package server
+
+type response struct{ ok bool }
+
+type job struct {
+	done chan *response
+}
+
+// ---- check 1: response channels must be buffered ----
+
+func newJobBad() *job {
+	return &job{done: make(chan *response)} // want `response channel done is unbuffered`
+}
+
+func newJobGood() *job {
+	return &job{done: make(chan *response, 1)} // near miss: 1-buffered is the protocol
+}
+
+func submit(resp chan *response) {
+	res := make(chan *response) // want `response channel res is unbuffered`
+	_ = res
+	resp <- &response{}
+}
+
+func broadcastOnly() chan error {
+	errc := make(chan error) // near miss: only ever closed; close doesn't block
+	close(errc)
+	return errc
+}
+
+// sendOnRes taints the name res so submit's make is reportable.
+func sendOnRes(res chan *response) {
+	res <- &response{}
+}
+
+// shutdownWait mirrors Server.Shutdown: done is only ever closed and
+// received, so the sends on other channels named done (doubleSend et al.)
+// must not taint this close-only local.
+func shutdownWait(wait func()) {
+	done := make(chan *response) // near miss: close-only local, judged by its own object
+	go func() {
+		wait()
+		close(done)
+	}()
+	<-done
+}
+
+// ---- check 2: at most one send per path ----
+
+func doubleSend(done chan *response) {
+	done <- &response{} // want `second send on done is reachable`
+	done <- &response{}
+}
+
+func resendInLoop(done chan *response, n int) {
+	for i := 0; i < n; i++ {
+		done <- &response{} // want `second send on done is reachable`
+	}
+}
+
+func eitherBranchSends(done chan *response, ok bool) {
+	if ok {
+		done <- &response{ok: true} // near miss: branches are exclusive
+	} else {
+		done <- &response{}
+	}
+}
+
+// worker mirrors the real worker loop: the range head rebinds j every
+// iteration, so each send targets a fresh job's channel.
+func worker(jobs chan *job) {
+	for j := range jobs {
+		j.done <- &response{ok: true} // near miss: j is reassigned by the range head
+	}
+}
+
+// ---- check 3: goroutine sends need a buffer or a select ----
+
+func spawnLeaky(v int) chan int {
+	out := make(chan int) // want `response channel out is unbuffered`
+	go func() {
+		out <- v // want `goroutine sends on unbuffered out`
+	}()
+	return out
+}
+
+func spawnGuarded(v int, stop chan struct{}) chan int {
+	sink := make(chan int)
+	go func() {
+		select { // near miss: the select pairs the send with cancellation
+		case sink <- v:
+		case <-stop:
+		}
+	}()
+	return sink
+}

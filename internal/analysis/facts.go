@@ -1,0 +1,98 @@
+package analysis
+
+// facts.go is the cross-package fact store. An analyzer can record a fact
+// about a package-level object (typically "this function wraps X") while
+// analyzing the package that defines it; when a dependent package is
+// analyzed later, the same analyzer reads the fact back through the
+// imported types.Object. Facts only flow forward along the dependency
+// order, which is exactly the order `go list -deps` emits packages in, so
+// RunPackages simply processes its input in order.
+
+import (
+	"go/types"
+	"sort"
+)
+
+// FactKey identifies one fact: which analyzer recorded it, about which
+// object, under which fact name (an analyzer may record several kinds).
+type FactKey struct {
+	Analyzer string
+	Pkg      string // package path of the object's package
+	Object   string // object name within the package
+	Name     string // fact name, analyzer-chosen
+}
+
+// FactStore holds facts shared across packages within one lint run.
+// It is not safe for concurrent use; RunPackages drives it sequentially.
+type FactStore struct {
+	facts map[FactKey]any
+}
+
+// NewFactStore builds an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[FactKey]any)}
+}
+
+// objKey derives the store key for obj, or false for objects facts cannot
+// attach to (nil, or not package-level).
+func objKey(analyzer string, obj types.Object, name string) (FactKey, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return FactKey{}, false
+	}
+	return FactKey{
+		Analyzer: analyzer,
+		Pkg:      obj.Pkg().Path(),
+		Object:   obj.Name(),
+		Name:     name,
+	}, true
+}
+
+// ExportObjectFact records a fact about a package-level object. Re-exporting
+// overwrites. Returns false if the object cannot carry facts.
+func (pass *Pass) ExportObjectFact(obj types.Object, name string, fact any) bool {
+	if pass.Facts == nil {
+		return false
+	}
+	key, ok := objKey(pass.Analyzer.Name, obj, name)
+	if !ok {
+		return false
+	}
+	pass.Facts.facts[key] = fact
+	return true
+}
+
+// ObjectFact reads a fact previously exported about obj by this analyzer,
+// whether in this package or a dependency analyzed earlier.
+func (pass *Pass) ObjectFact(obj types.Object, name string) (any, bool) {
+	if pass.Facts == nil {
+		return nil, false
+	}
+	key, ok := objKey(pass.Analyzer.Name, obj, name)
+	if !ok {
+		return nil, false
+	}
+	f, ok := pass.Facts.facts[key]
+	return f, ok
+}
+
+// AllFacts returns the store's keys in a deterministic order, for tests.
+func (s *FactStore) AllFacts() []FactKey {
+	keys := make([]FactKey, 0, len(s.facts))
+	for k := range s.facts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Name < b.Name
+	})
+	return keys
+}

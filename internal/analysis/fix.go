@@ -1,0 +1,83 @@
+package analysis
+
+// fix.go applies suggested fixes textually. Edits are gathered per file,
+// applied back-to-front so earlier offsets stay valid, and returned as new
+// file contents for the caller (syrep-lint -fix) to write out.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// fileEdit is one edit resolved to byte offsets within a file.
+type fileEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes collects every fix attached to the diagnostics and returns the
+// updated contents of each file that changes, keyed by filename. Overlapping
+// edits within a file are an error — mechanical fixes must not fight.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	perFile := make(map[string][]fileEdit)
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				p := fset.Position(e.Pos)
+				endOff := p.Offset
+				if e.End.IsValid() {
+					pe := fset.Position(e.End)
+					if pe.Filename != p.Filename {
+						return nil, fmt.Errorf("analysis: fix edit spans files %s and %s", p.Filename, pe.Filename)
+					}
+					endOff = pe.Offset
+				}
+				perFile[p.Filename] = append(perFile[p.Filename], fileEdit{
+					start:   p.Offset,
+					end:     endOff,
+					newText: e.NewText,
+				})
+			}
+		}
+	}
+
+	out := make(map[string][]byte, len(perFile))
+	for name, edits := range perFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				return nil, fmt.Errorf("analysis: overlapping fix edits in %s at offsets %d and %d",
+					name, edits[i].start, edits[i-1].start)
+			}
+		}
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("analysis: fix edit out of range in %s", name)
+			}
+			src = append(src[:e.start], append([]byte(e.newText), src[e.end:]...)...)
+		}
+		out[name] = src
+	}
+	return out, nil
+}
+
+// WriteFixes writes the contents returned by ApplyFixes back to disk.
+func WriteFixes(files map[string][]byte) error {
+	for name, content := range files {
+		info, err := os.Stat(name)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(name, content, mode); err != nil {
+			return fmt.Errorf("analysis: writing fix: %w", err)
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is a loaded, type-checked package ready for analysis.
@@ -34,22 +35,48 @@ type listPackage struct {
 	Module     *struct{ Path string }
 }
 
+// LoadConfig adjusts how the loader resolves the package graph. The zero
+// value matches a plain `go build`.
+type LoadConfig struct {
+	// Tags are extra build constraints (`go list -tags`). Without them the
+	// loader sees a different file set than a tagged CI build compiles, and
+	// analyzers silently skip tag-gated code.
+	Tags []string
+	// Race loads the race-instrumented package variants (`go list -race`),
+	// matching what `go test -race` compiles. Export data differs between
+	// instrumented and plain builds, so analyses meant to mirror the race CI
+	// lane must set this.
+	Race bool
+}
+
 // Load resolves the package patterns (e.g. "./...") in dir, parses the
 // matched non-test Go files from source, and type-checks them. Imports —
 // both standard library and intra-module — are satisfied from the
 // toolchain's export data, located via `go list -export`, so the loader
 // needs no network access and no dependencies beyond the go tool itself.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadWith(LoadConfig{}, dir, patterns...)
+}
+
+// LoadWith is Load with an explicit configuration.
+func LoadWith(cfg LoadConfig, dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	// One `go list` walks the full dependency closure: deps provide export
 	// data for the importer, pattern matches provide source file lists.
-	args := append([]string{
+	args := []string{
 		"list", "-deps", "-export",
 		"-json=ImportPath,Dir,GoFiles,Export,Standard,Module",
-	}, patterns...)
+	}
+	if len(cfg.Tags) > 0 {
+		args = append(args, "-tags", strings.Join(cfg.Tags, ","))
+	}
+	if cfg.Race {
+		args = append(args, "-race")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// loadTagmod loads the committed fixture module under testdata/tagmod with
+// the given configuration and returns its single package.
+func loadTagmod(t *testing.T, cfg LoadConfig) *Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "tagmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadWith(cfg, dir, ".")
+	if err != nil {
+		t.Fatalf("LoadWith(%+v): %v", cfg, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// TestLoadWithoutTagsSkipsGatedFile pins the default: a tag-less load must
+// not see the //go:build experimental file.
+func TestLoadWithoutTagsSkipsGatedFile(t *testing.T) {
+	pkg := loadTagmod(t, LoadConfig{})
+	if pkg.Types.Scope().Lookup("Base") == nil {
+		t.Error("Base not found; the fixture did not load at all")
+	}
+	if pkg.Types.Scope().Lookup("Experimental") != nil {
+		t.Error("Experimental found in a tag-less load; build tags leaked in")
+	}
+	if got := len(pkg.Syntax); got != 1 {
+		t.Errorf("parsed %d files, want 1", got)
+	}
+}
+
+// TestLoadWithTagsSeesGatedFile is the regression test for the loader
+// dropping build tags: with the experimental tag set, the gated file must be
+// parsed and type-checked like CI's tagged builds compile it.
+func TestLoadWithTagsSeesGatedFile(t *testing.T) {
+	pkg := loadTagmod(t, LoadConfig{Tags: []string{"experimental"}})
+	if pkg.Types.Scope().Lookup("Experimental") == nil {
+		t.Fatal("Experimental not found; -tags was not propagated to go list")
+	}
+	if got := len(pkg.Syntax); got != 2 {
+		t.Errorf("parsed %d files, want 2", got)
+	}
+}
+
+// TestLoadWithRace loads race-instrumented export data, matching what
+// `go test -race` compiles. Skipped where the toolchain cannot build race
+// variants (no cgo).
+func TestLoadWithRace(t *testing.T) {
+	if out, err := exec.Command("go", "env", "CGO_ENABLED").Output(); err != nil || string(out) != "1\n" {
+		t.Skip("race requires cgo")
+	}
+	pkg := loadTagmod(t, LoadConfig{Race: true})
+	if pkg.Types.Scope().Lookup("Base") == nil {
+		t.Error("Base not found under -race load")
+	}
+}

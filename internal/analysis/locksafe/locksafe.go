@@ -1,0 +1,447 @@
+// Package locksafe checks the mutex discipline of the concurrent packages
+// (server, cache, bdd, obs) against the failure semantics of DESIGN §8:
+// because the server's panic fence recovers worker panics and keeps the
+// process alive, a mutex left locked by a panicking critical section is not
+// a crash — it is a silent, permanent deadlock of every later request that
+// touches the same lock.
+//
+// Four checks, all per function body over the analysis package's CFG:
+//
+//  1. copy: a sync.Mutex/RWMutex (or a struct containing one) copied by
+//     value — the copy's state diverges from the original's.
+//  2. release: a Lock/RLock after which some path reaches return without
+//     the matching Unlock/RUnlock (and no defer covers it).
+//  3. blocking: a lock held across a blocking operation — channel send or
+//     receive, a select without default, or a sync Wait — stalling every
+//     other acquirer for an unbounded time.
+//  4. panic-unsafe: a critical section released by a plain (non-deferred)
+//     Unlock that calls other functions while holding the lock; any panic
+//     in the callee leaks the lock past the recover fence.
+//
+// Check 2 carries a suggested fix (insert `defer x.Unlock()`) when the
+// function contains no explicit release at all, the only case where the
+// insertion cannot double-unlock.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"syrep/internal/analysis"
+)
+
+// Analyzer is the locksafe analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "reports mutex copies, missing unlocks, locks held across blocking calls, and panic-unsafe critical sections",
+	Run:  run,
+}
+
+// lockedPackages names (by package name, so fixtures can live under short
+// paths) the packages whose locks guard cross-request state.
+var lockedPackages = map[string]bool{
+	"server": true,
+	"cache":  true,
+	"bdd":    true,
+	"obs":    true,
+}
+
+// pairs maps an acquire method to its release.
+var pairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !lockedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal gets its own CFG; the Inspect keeps descending
+				// so nested literals are visited too.
+				checkBody(pass, n.Body)
+			case *ast.AssignStmt:
+				checkCopies(pass, n.Lhs, n.Rhs)
+			case *ast.ValueSpec:
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = id
+				}
+				checkCopies(pass, lhs, n.Values)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- check 1: copies -------------------------------------------------------
+
+// checkCopies flags right-hand sides that copy an existing lock-bearing
+// value. Fresh values (composite literals, function results) are fine; only
+// copying a value that may already be locked diverges state. Assignments to
+// the blank identifier discard the value and create no divergent copy.
+func checkCopies(pass *analysis.Pass, lhs, rhs []ast.Expr) {
+	for i, e := range rhs {
+		if len(lhs) == len(rhs) {
+			if id, ok := lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		t := pass.TypeOf(e)
+		if t == nil {
+			continue
+		}
+		if path := lockPath(t, 0); path != "" {
+			if path == " " {
+				path = ""
+			}
+			pass.Reportf(e.Pos(), "assignment copies %s by value%s; the copy's lock state diverges from the original — share a pointer instead",
+				t.String(), path)
+		}
+	}
+}
+
+// lockPath reports how t contains a lock by value: "" for none, otherwise a
+// human-readable field path suffix (e.g. " (field mu)").
+func lockPath(t types.Type, depth int) string {
+	if depth > 3 {
+		return ""
+	}
+	if analysis.IsNamedTypeValue(t, "sync", "Mutex") || analysis.IsNamedTypeValue(t, "sync", "RWMutex") {
+		return " "
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if sub := lockPath(f.Type(), depth+1); sub != "" {
+			if sub == " " {
+				return " (field " + f.Name() + ")"
+			}
+			return sub
+		}
+	}
+	return ""
+}
+
+// ---- checks 2–4: per-body CFG ---------------------------------------------
+
+// lockSite is one acquire found in a body.
+type lockSite struct {
+	entry   ast.Node // CFG entry containing the acquire
+	stmt    ast.Node // the acquire call expression
+	recv    string   // receiver rendering, e.g. "s.mu"
+	acquire string   // Lock or RLock
+	release string   // Unlock or RUnlock
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := analysis.BuildCFG(body)
+
+	var sites []lockSite
+	explicitReleases := 0
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Entries {
+			analysis.WalkEntry(e, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, method, ok := mutexMethod(pass, call)
+				if !ok {
+					return true
+				}
+				if rel, isAcq := pairs[method]; isAcq {
+					sites = append(sites, lockSite{entry: e, stmt: call, recv: recv, acquire: method, release: rel})
+				} else {
+					explicitReleases++
+				}
+				return true
+			})
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+
+	for _, site := range sites {
+		deferred := deferReleases(pass, g, site.recv, site.release)
+		released := func(n ast.Node) bool { return entryReleases(pass, n, site.recv, site.release) }
+
+		// Check 2: some path misses the release entirely.
+		if !deferred && g.PathAvoiding(site.entry, released) {
+			d := analysis.Diagnostic{
+				Pos: site.stmt.Pos(),
+				Message: site.recv + "." + site.acquire +
+					"() is not released on every path; add defer " + site.recv + "." + site.release + "() or release before each return",
+			}
+			if explicitReleases == 0 {
+				d.Fixes = []analysis.Fix{deferFix(pass, site)}
+			}
+			pass.Report(d)
+		}
+
+		// Check 3: a blocking operation is reachable while the lock is held.
+		// A deferred release does not help — the lock stays held until the
+		// function returns, so only an explicit earlier release bars the path.
+		if blk, desc := reachableBlocking(pass, g, site, released); blk != nil {
+			pass.Reportf(blk.Pos(), "%s while holding %s (%s at %s); a blocked holder stalls every other acquirer — release the lock first",
+				desc, site.recv, site.acquire, shortPos(pass, site.stmt))
+		}
+
+		// Check 4: plain-released critical section that calls functions.
+		if !deferred {
+			if call := callInCriticalSection(pass, g, site, released); call != nil {
+				pass.Reportf(call.Pos(), "%s is held across this call with a plain %s.%s(); a panic here leaves the lock held past the recover fence — use defer",
+					site.recv, site.recv, site.release)
+			}
+		}
+	}
+}
+
+// mutexMethod resolves call as a sync.Mutex/RWMutex method call, returning
+// the rendered receiver and method name.
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if !analysis.IsNamedType(t, "sync", "Mutex") && !analysis.IsNamedType(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// entryReleases reports whether the entry releases recv *at this program
+// point*. A defer statement registers the release for function exit, it does
+// not release here, so deferred calls are excluded.
+func entryReleases(pass *analysis.Pass, entry ast.Node, recv, release string) bool {
+	if _, isDefer := entry.(*ast.DeferStmt); isDefer {
+		return false
+	}
+	found := false
+	analysis.WalkEntry(entry, func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r, m, ok := mutexMethod(pass, call); ok && r == recv && m == release {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// deferReleases reports whether any defer in the body releases recv —
+// directly (defer mu.Unlock()) or inside a deferred closure.
+func deferReleases(pass *analysis.Pass, g *analysis.CFG, recv, release string) bool {
+	for _, d := range g.Defers {
+		if r, m, ok := mutexMethod(pass, d.Call); ok && r == recv && m == release {
+			return true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			found := false
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if r, m, ok := mutexMethod(pass, call); ok && r == recv && m == release {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reachableBlocking finds a blocking operation reachable from the acquire
+// with no release in between, returning the blocking node and a description.
+func reachableBlocking(pass *analysis.Pass, g *analysis.CFG, site lockSite, released func(ast.Node) bool) (ast.Node, string) {
+	var hit ast.Node
+	var desc string
+	target := func(entry ast.Node) bool {
+		if hit != nil {
+			return true
+		}
+		if n, d := blockingOp(pass, g, entry); n != nil {
+			hit, desc = n, d
+			return true
+		}
+		return false
+	}
+	if g.CanReach(site.entry, target, released) && hit != nil {
+		return hit, desc
+	}
+	// The acquire's own entry may contain a blocking op after the call
+	// (same statement list flattening puts them in separate entries, so
+	// CanReach starting after the entry already covers it).
+	return nil, ""
+}
+
+// blockingOp reports a blocking operation inside the entry: a channel send,
+// a channel receive, a select without default, or a sync wait.
+func blockingOp(pass *analysis.Pass, g *analysis.CFG, entry ast.Node) (ast.Node, string) {
+	if sh, ok := entry.(*analysis.SelectHead); ok {
+		if sh.HasDefault {
+			return nil, ""
+		}
+		return sh.Sel, "select without default blocks"
+	}
+	var hit ast.Node
+	var desc string
+	analysis.WalkEntry(entry, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if stmt, ok := entry.(ast.Stmt); ok && g.IsCommClause(stmt) {
+				// The enclosing SelectHead already accounts for the wait.
+				return true
+			}
+			hit, desc = n, "channel send may block"
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if stmt, ok := entry.(ast.Stmt); ok && g.IsCommClause(stmt) {
+				return true
+			}
+			hit, desc = n, "channel receive may block"
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				t := pass.TypeOf(sel.X)
+				if t != nil && (analysis.IsNamedType(t, "sync", "WaitGroup") || analysis.IsNamedType(t, "sync", "Cond")) {
+					hit, desc = n, "sync wait blocks"
+				}
+			}
+		}
+		return true
+	})
+	return hit, desc
+}
+
+// callInCriticalSection finds a panic-capable call between the acquire and
+// its plain release: any non-builtin, non-conversion call that is not
+// itself a method on the same mutex.
+func callInCriticalSection(pass *analysis.Pass, g *analysis.CFG, site lockSite, released func(ast.Node) bool) ast.Node {
+	var hit ast.Node
+	target := func(entry ast.Node) bool {
+		if hit != nil {
+			return true
+		}
+		// Only calls strictly inside the critical section count: if the
+		// entry also releases, the release bars the remainder, but a call in
+		// the same entry before the release is still in section. Keep it
+		// simple: an entry that releases is treated as the barrier first.
+		if released(entry) {
+			return false
+		}
+		analysis.WalkEntry(entry, func(n ast.Node) bool {
+			if hit != nil {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isExemptCall(pass, call) {
+				return true
+			}
+			if _, _, isMutex := mutexMethod(pass, call); isMutex {
+				return true
+			}
+			hit = call
+			return false
+		})
+		return hit != nil
+	}
+	g.CanReach(site.entry, target, released)
+	return hit
+}
+
+// isExemptCall reports calls that cannot meaningfully panic while holding a
+// lock: builtins (len, cap, append, delete, ...) and type conversions.
+func isExemptCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				return true
+			}
+			if _, isType := obj.(*types.TypeName); isType {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			if _, isType := obj.(*types.TypeName); isType {
+				return true
+			}
+		}
+	case *ast.ParenExpr, *ast.ArrayType, *ast.MapType, *ast.ChanType:
+		return true
+	}
+	// Conversions like time.Duration(x) resolve the Fun to a type above;
+	// composite expressions used as conversions land here.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// deferFix builds the suggested `defer recv.Unlock()` insertion after the
+// acquire statement, matching its indentation.
+func deferFix(pass *analysis.Pass, site lockSite) analysis.Fix {
+	pos := pass.Fset.Position(site.stmt.Pos())
+	indent := "\n" + strings.Repeat("\t", pos.Column-1)
+	return analysis.Fix{
+		Message: "insert defer " + site.recv + "." + site.release + "()",
+		Edits: []analysis.Edit{{
+			Pos:     site.stmt.End(),
+			End:     site.stmt.End(),
+			NewText: indent + "defer " + site.recv + "." + site.release + "()",
+		}},
+	}
+}
+
+// shortPos renders a position as file:line for cross-reference in messages.
+func shortPos(pass *analysis.Pass, n ast.Node) string {
+	p := pass.Fset.Position(n.Pos())
+	parts := strings.Split(p.Filename, "/")
+	return parts[len(parts)-1] + ":" + strconv.Itoa(p.Line)
+}

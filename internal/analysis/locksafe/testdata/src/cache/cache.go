@@ -1,0 +1,151 @@
+// Package cache exercises every locksafe check with one true positive and
+// one near-miss negative each.
+package cache
+
+import "sync"
+
+type Cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int
+}
+
+func work()      {}
+func cheap() int { return 1 }
+
+// ---- check 1: copies ----
+
+func copyMutex(c *Cache) {
+	cp := c.mu // want `assignment copies sync\.Mutex by value`
+	_ = cp
+}
+
+func copyStructWithMutex(c *Cache) {
+	cp := *c // want `copies cache\.Cache by value \(field mu\)`
+	_ = cp
+}
+
+func pointerIsFine(c *Cache) {
+	p := &c.mu // near miss: sharing a pointer is the correct idiom
+	q := c     // near miss: pointer to the whole struct
+	_, _ = p, q
+}
+
+// ---- check 2: release on every path ----
+
+func missingUnlockOnEarlyReturn(c *Cache, bad bool) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on every path`
+	if bad {
+		return
+	}
+	c.mu.Unlock()
+}
+
+func panicPathSkipsUnlock(c *Cache, bad bool) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on every path`
+	if bad {
+		panic("bad")
+	}
+	c.mu.Unlock()
+}
+
+func allPathsUnlock(c *Cache, bad bool) {
+	c.mu.Lock() // near miss: both branches release
+	if bad {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+func deferCoversAllPaths(c *Cache, bad bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bad {
+		return
+	}
+	c.count++
+}
+
+func rlockNeedsRUnlock(c *Cache, bad bool) {
+	c.rw.RLock() // want `c\.rw\.RLock\(\) is not released on every path`
+	if bad {
+		return
+	}
+	c.rw.RUnlock()
+}
+
+// ---- check 3: blocking under lock ----
+
+func recvUnderLock(c *Cache, ch chan int) {
+	c.mu.Lock()
+	v := <-ch // want `channel receive may block while holding c\.mu`
+	_ = v
+	c.mu.Unlock()
+}
+
+func sendUnderLock(c *Cache, ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want `channel send may block while holding c\.mu`
+	c.mu.Unlock()
+}
+
+func selectNoDefaultUnderLock(c *Cache, ch chan int) {
+	c.mu.Lock()
+	select { // want `select without default blocks while holding c\.mu`
+	case v := <-ch:
+		_ = v
+	}
+	c.mu.Unlock()
+}
+
+func selectWithDefaultIsFine(c *Cache, ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // near miss: the default branch keeps this non-blocking
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+func waitUnderLock(c *Cache, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want `sync wait blocks while holding c\.mu`
+}
+
+func releaseBeforeBlocking(c *Cache, ch chan int) {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+	v := <-ch // near miss: the lock is released before the receive
+	_ = v
+}
+
+// ---- check 4: panic-unsafe critical section ----
+
+func plainUnlockAroundCall(c *Cache) {
+	c.mu.Lock()
+	work() // want `c\.mu is held across this call with a plain c\.mu\.Unlock\(\)`
+	c.mu.Unlock()
+}
+
+func deferMakesCallsSafe(c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	work() // near miss: the deferred unlock survives a panic here
+}
+
+func callFreeSectionIsFine(c *Cache) {
+	c.mu.Lock()
+	c.count += len("x") // near miss: builtins cannot panic-leak the lock
+	c.mu.Unlock()
+}
+
+func callAfterReleaseIsFine(c *Cache) {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+	work() // near miss: the call is outside the critical section
+}

@@ -1,0 +1,21 @@
+// Package sync stubs the standard library for locksafe fixtures: same
+// names and shapes, no behavior.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}
+
+type WaitGroup struct{ n int32 }
+
+func (w *WaitGroup) Add(delta int) {}
+func (w *WaitGroup) Done()         {}
+func (w *WaitGroup) Wait()         {}

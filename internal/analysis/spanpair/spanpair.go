@@ -1,0 +1,335 @@
+// Package spanpair enforces the observability discipline of DESIGN §9:
+// every stage span opened via obs.Observer.StartStage (or a helper that
+// returns its closer, like the supervisor's run.span) must be closed on
+// every exit path — including panic edges, because the service's recover
+// fence keeps the process alive after a worker panic. A span closer that is
+// invoked without defer leaks the span and its pprof stage label the moment
+// anything between the open and the call panics; a closer that is never
+// invoked leaks unconditionally.
+//
+// The analyzer recognizes closers through two routes:
+//
+//   - directly: `sctx, end := ob.StartStage(ctx, name)` — the second result
+//     is the closer;
+//   - through wrappers: a function whose single func() result is derived
+//     from a closer exports a "spancloser" fact (shared across packages via
+//     the fact store, iterated to fixpoint within a package so wrappers of
+//     wrappers resolve), and its call sites become acquisitions.
+//
+// A closer use is clean when it is deferred (directly or inside a deferred
+// closure), returned (the caller inherits the obligation), passed to
+// another function, or reassigned (escapes local reasoning). Everything
+// else is reported: never used, discarded into the blank identifier, the
+// whole result list dropped, or called without defer.
+package spanpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"syrep/internal/analysis"
+)
+
+// Analyzer is the spanpair analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc:  "reports obs stage-span closers that are dropped or not deferred (span leaks on panic edges)",
+	Run:  run,
+}
+
+// closerFact marks a function whose single func() result is a span closer.
+const closerFact = "spancloser"
+
+func run(pass *analysis.Pass) error {
+	// Fixpoint: export wrapper facts until no new ones appear, so wrappers
+	// that delegate to other wrappers in the same package resolve in any
+	// declaration order.
+	for {
+		changed := false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !returnsSingleFunc(pass, fd) {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if _, have := pass.ObjectFact(obj, closerFact); have {
+					continue
+				}
+				if returnsSpanCloser(pass, fd) && pass.ExportObjectFact(obj, closerFact, true) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// acquiresCloser reports whether call yields a span closer, and at which
+// result index: StartStage's closer is its second result, a wrapper's its
+// only one.
+func acquiresCloser(pass *analysis.Pass, call *ast.CallExpr) (index int, callee string, ok bool) {
+	if pass.MethodCallOn(call, "obs", "Observer", "StartStage") {
+		return 1, "StartStage", true
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return 0, "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return 0, "", false
+	}
+	if _, have := pass.ObjectFact(obj, closerFact); have {
+		return 0, id.Name, true
+	}
+	return 0, "", false
+}
+
+// returnsSingleFunc reports whether fd declares exactly one result of a
+// function type — the only shape a closer wrapper can have.
+func returnsSingleFunc(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return false
+	}
+	r := fd.Type.Results.List[0]
+	if len(r.Names) > 1 {
+		return false
+	}
+	t := pass.TypeOf(r.Type)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// returnsSpanCloser reports whether some return path hands out a closer:
+// `return end` for a closer variable, or `return wrapper(...)` directly.
+func returnsSpanCloser(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	closerObjs := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, obj := range closerTargets(pass, assign) {
+			closerObjs[obj] = true
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		switch r := ret.Results[0].(type) {
+		case *ast.Ident:
+			if closerObjs[pass.TypesInfo.Uses[r]] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if _, _, ok := acquiresCloser(pass, r); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// closerTargets resolves the objects an assignment binds to closer results.
+func closerTargets(pass *analysis.Pass, assign *ast.AssignStmt) []types.Object {
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	idx, _, ok := acquiresCloser(pass, call)
+	if !ok || idx >= len(assign.Lhs) {
+		return nil
+	}
+	id, ok := assign.Lhs[idx].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return []types.Object{obj}
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return []types.Object{obj}
+	}
+	return nil
+}
+
+// checkBody verifies every closer acquired directly in this body (nested
+// function literals check themselves).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Deferred regions: position ranges of defer statements in this body.
+	type span struct{ lo, hi int }
+	var deferred []span
+	walkShallow(body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred = append(deferred, span{int(d.Pos()), int(d.End())})
+		}
+	})
+	inDefer := func(n ast.Node) bool {
+		p := int(n.Pos())
+		for _, s := range deferred {
+			if s.lo <= p && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	walkShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if _, callee, ok := acquiresCloser(pass, call); ok {
+					pass.Reportf(call.Pos(), "result of %s is discarded; the span never ends and its stage label leaks", callee)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAcquisition(pass, body, n, inDefer)
+		}
+	})
+}
+
+// checkAcquisition analyzes one closer-binding assignment's uses.
+func checkAcquisition(pass *analysis.Pass, body *ast.BlockStmt, assign *ast.AssignStmt, inDefer func(ast.Node) bool) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	idx, callee, ok := acquiresCloser(pass, call)
+	if !ok {
+		return
+	}
+	if idx >= len(assign.Lhs) {
+		return
+	}
+	id, ok := assign.Lhs[idx].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(assign.Pos(), "span closer from %s is discarded; the span never ends and its stage label leaks", callee)
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id] // plain = to an existing variable
+	}
+	if obj == nil {
+		return
+	}
+
+	var deferredCall, plainCall, escapes bool
+	var plainCallNode ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fun, ok := n.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[fun] == obj {
+				if inDefer(n) {
+					deferredCall = true
+				} else {
+					plainCall = true
+					if plainCallNode == nil {
+						plainCallNode = n
+					}
+				}
+				return true
+			}
+			// Closer passed as an argument: the callee owns it now.
+			for _, arg := range n.Args {
+				if a, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[a] == obj {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if a, ok := r.(*ast.Ident); ok && pass.TypesInfo.Uses[a] == obj {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == assign {
+				return true
+			}
+			for i, r := range n.Rhs {
+				a, ok := r.(*ast.Ident)
+				if !ok || pass.TypesInfo.Uses[a] != obj {
+					continue
+				}
+				// `_ = end` discards rather than escapes; it must not
+				// satisfy the obligation.
+				if len(n.Lhs) == len(n.Rhs) {
+					if l, ok := n.Lhs[i].(*ast.Ident); ok && l.Name == "_" {
+						continue
+					}
+				}
+				escapes = true
+			}
+		}
+		return true
+	})
+
+	switch {
+	case deferredCall, escapes:
+		// Deferred (panic-safe) or out of local hands.
+	case plainCall:
+		pass.Reportf(plainCallNode.Pos(), "span closer %s is called without defer; a panic between %s and this call leaks the span past the recover fence — defer it (or wrap the stage in a closure)",
+			id.Name, callee)
+	default:
+		pass.Reportf(assign.Pos(), "span closer %s from %s is never called; the span never ends and its stage label leaks",
+			id.Name, callee)
+	}
+}
+
+// walkShallow visits the nodes of body without descending into nested
+// function literals (they are separate bodies with their own obligations).
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(n)
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"syrep/internal/analysis/analysistest"
+	"syrep/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	// resilience first: driver consumes its spancloser facts through the
+	// shared store, mirroring the loader's dependency order.
+	analysistest.Run(t, "testdata", spanpair.Analyzer, "resilience", "driver")
+}

@@ -1,0 +1,9 @@
+// Package context stubs the standard library for spanpair fixtures.
+package context
+
+type Context interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+func Background() Context { return nil }

@@ -1,0 +1,24 @@
+// Package driver consumes resilience.StageSpan cross-package: the
+// spancloser fact exported while analyzing resilience must flow through the
+// shared fact store for these to be recognized as acquisitions.
+package driver
+
+import (
+	"context"
+	"obs"
+	"resilience"
+)
+
+func work() {}
+
+func plainCrossPackage(o *obs.Observer, ctx context.Context) {
+	end := resilience.StageSpan(o, ctx, "verify")
+	work()
+	end() // want `span closer end is called without defer`
+}
+
+func deferredCrossPackage(o *obs.Observer, ctx context.Context) {
+	end := resilience.StageSpan(o, ctx, "verify")
+	defer end() // near miss: deferred
+	work()
+}

@@ -1,0 +1,11 @@
+// Package obs stubs the repo's observability package for spanpair
+// fixtures: Observer.StartStage returns (ctx, closer) like the real one.
+package obs
+
+import "context"
+
+type Observer struct{ spans int }
+
+func (o *Observer) StartStage(ctx context.Context, name string) (context.Context, func()) {
+	return ctx, func() {}
+}

@@ -1,0 +1,102 @@
+// Package resilience exercises spanpair's in-package checks: direct
+// StartStage use, the span() wrapper idiom (fact export), wrapper
+// delegation, and the clean shapes.
+package resilience
+
+import (
+	"context"
+	"obs"
+)
+
+type run struct {
+	ob  *obs.Observer
+	ctx context.Context
+}
+
+// span mirrors the supervisor helper; returning the closer exports the
+// spancloser fact, so call sites become acquisitions.
+func (s *run) span(stage string) func() {
+	_, end := s.ob.StartStage(s.ctx, stage)
+	return end
+}
+
+// spanAlias delegates to span; the fact must propagate to it too.
+func (s *run) spanAlias(stage string) func() {
+	return s.span(stage)
+}
+
+// StageSpan is the exported wrapper the driver fixture consumes
+// cross-package through the fact store.
+func StageSpan(o *obs.Observer, ctx context.Context, stage string) func() {
+	_, end := o.StartStage(ctx, stage)
+	return end
+}
+
+func work() {}
+
+// ---- clean shapes ----
+
+func deferredDirect(s *run) {
+	_, end := s.ob.StartStage(s.ctx, "verify")
+	defer end()
+	work()
+}
+
+func deferredWrapper(s *run) {
+	end := s.span("verify")
+	defer end() // near miss: deferred closers survive panics
+	work()
+}
+
+func deferredClosure(s *run) {
+	end := s.span("verify")
+	defer func() {
+		work()
+		end() // near miss: called inside a deferred closure
+	}()
+	work()
+}
+
+func handoff(s *run) {
+	end := s.span("total")
+	runWith(end) // near miss: the callee owns the closer now
+}
+
+func runWith(end func()) {
+	defer end()
+	work()
+}
+
+// ---- leaks ----
+
+func plainCallLeaksOnPanic(s *run) {
+	end := s.span("reduce")
+	work()
+	end() // want `span closer end is called without defer`
+}
+
+func aliasedWrapperPlainCall(s *run) {
+	end := s.spanAlias("synth")
+	work()
+	end() // want `span closer end is called without defer`
+}
+
+func directPlainCall(s *run) {
+	sctx, end := s.ob.StartStage(s.ctx, "expand")
+	_ = sctx
+	work()
+	end() // want `span closer end is called without defer`
+}
+
+func blankDiscard(s *run) {
+	_ = s.span("expand") // want `span closer from span is discarded`
+}
+
+func exprDiscard(s *run) {
+	s.span("reduce") // want `result of span is discarded`
+}
+
+func neverCalled(s *run) {
+	end := s.span("expand") // want `span closer end from span is never called`
+	_ = end
+}

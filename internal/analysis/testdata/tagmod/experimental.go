@@ -1,0 +1,6 @@
+//go:build experimental
+
+package tagmod
+
+// Experimental only exists when the "experimental" tag is set.
+func Experimental() int { return 2 }

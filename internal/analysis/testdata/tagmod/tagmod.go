@@ -1,0 +1,8 @@
+// Package tagmod is a loader fixture: Base is always built, Experimental
+// only under the "experimental" build tag. The loader tests assert that
+// LoadWith propagates tags to `go list` and Load (tag-less) does not see
+// the gated file.
+package tagmod
+
+// Base is compiled unconditionally.
+func Base() int { return 1 }

@@ -24,6 +24,19 @@ func IsNamedType(t types.Type, pkgName, typeName string) bool {
 		obj.Pkg().Name() == pkgName && obj.Name() == typeName
 }
 
+// IsNamedTypeValue is IsNamedType without pointer indirection: it reports
+// whether t itself (not *t) is the named type. Copy checks use it — copying
+// a *sync.Mutex is fine, copying a sync.Mutex is not.
+func IsNamedTypeValue(t types.Type, pkgName, typeName string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
 // TypeOf returns the type of e per the pass's type information (nil when
 // unknown).
 func (pass *Pass) TypeOf(e ast.Expr) types.Type {

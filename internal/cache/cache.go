@@ -153,9 +153,11 @@ func New(cfg Config) *Cache {
 // returned entry carries a clone of the cached routing. Expired entries are
 // dropped and miss.
 func (c *Cache) Get(key Key) (*Entry, bool) {
-	c.mu.Lock()
-	e, ok := c.lookupLocked(key)
-	c.mu.Unlock()
+	e, ok := func() (*Entry, bool) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.lookupLocked(key)
+	}()
 	if !ok {
 		c.misses.Inc()
 		return nil, false
@@ -194,6 +196,7 @@ func (c *Cache) Put(key Key, e *Entry) {
 		expires: c.cfg.Now().Add(c.cfg.TTL),
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.removeLocked(el)
 	}
@@ -211,7 +214,6 @@ func (c *Cache) Put(key Key, e *Entry) {
 		c.evictions.Inc()
 	}
 	c.gaugesLocked()
-	c.mu.Unlock()
 }
 
 func (c *Cache) removeLocked(el *list.Element) {
@@ -232,13 +234,16 @@ func (c *Cache) gaugesLocked() {
 // on memory pressure: the cache is the service's largest discretionary
 // allocation.
 func (c *Cache) Purge() int {
-	c.mu.Lock()
-	n := c.ll.Len()
-	c.ll.Init()
-	c.entries = make(map[Key]*list.Element)
-	c.bytes = 0
-	c.gaugesLocked()
-	c.mu.Unlock()
+	n := func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := c.ll.Len()
+		c.ll.Init()
+		c.entries = make(map[Key]*list.Element)
+		c.bytes = 0
+		c.gaugesLocked()
+		return n
+	}()
 	c.evictions.Add(int64(n))
 	return n
 }
@@ -300,9 +305,11 @@ func (c *Cache) NoteWarmMiss() { c.warmMisses.Inc() }
 
 // Stats returns a point-in-time summary.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	entries, bytes := c.ll.Len(), c.bytes
-	c.mu.Unlock()
+	entries, bytes := func() (int, int64) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.ll.Len(), c.bytes
+	}()
 	return Stats{
 		Entries:    entries,
 		MaxEntries: c.cfg.MaxEntries,
@@ -329,33 +336,39 @@ func (c *Cache) Nearest(net *network.Network, dest string, k, maxDiff int) (*Ent
 	keys := keySet(net.EdgeKeys())
 	now := c.cfg.Now()
 
-	c.mu.Lock()
-	var best *item
-	bestDiff := maxDiff + 1
-	for key, el := range c.entries {
-		if key.Dest != dest || key.K != k {
-			continue
+	var e *Entry
+	diff := 0
+	func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		var best *item
+		bestDiff := maxDiff + 1
+		for key, el := range c.entries {
+			if key.Dest != dest || key.K != k {
+				continue
+			}
+			it := el.Value.(*item)
+			if !it.expires.IsZero() && now.After(it.expires) {
+				continue // expired; left for lookup/eviction to reap
+			}
+			if !it.e.Resilient {
+				continue
+			}
+			d := diffAgainst(keys, it.e.Net.EdgeKeys())
+			if d < bestDiff || (d == bestDiff && best != nil && key.Topo < best.key.Topo) {
+				best, bestDiff = it, d
+			}
 		}
-		it := el.Value.(*item)
-		if !it.expires.IsZero() && now.After(it.expires) {
-			continue // expired; left for lookup/eviction to reap
+		if best == nil {
+			return
 		}
-		if !it.e.Resilient {
-			continue
-		}
-		d := diffAgainst(keys, it.e.Net.EdgeKeys())
-		if d < bestDiff || (d == bestDiff && best != nil && key.Topo < best.key.Topo) {
-			best, bestDiff = it, d
-		}
-	}
-	if best == nil {
-		c.mu.Unlock()
+		c.ll.MoveToFront(c.entries[best.key])
+		e, diff = best.e, bestDiff
+	}()
+	if e == nil {
 		return nil, 0, false
 	}
-	c.ll.MoveToFront(c.entries[best.key])
-	e := best.e
-	c.mu.Unlock()
-	return cloneEntry(e), bestDiff, true
+	return cloneEntry(e), diff, true
 }
 
 func cloneEntry(e *Entry) *Entry {

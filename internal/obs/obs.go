@@ -344,16 +344,20 @@ func (o *Observer) RecordSpan(s Span) {
 	if o == nil {
 		return
 	}
-	o.mu.Lock()
-	agg, ok := o.stages[s.Name]
-	if !ok {
-		agg = &stageAgg{}
-		o.stages[s.Name] = agg
-	}
-	agg.count++
-	agg.nanos += int64(s.Duration())
-	sink := o.sink
-	o.mu.Unlock()
+	sink := func() Sink {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		agg, ok := o.stages[s.Name]
+		if !ok {
+			agg = &stageAgg{}
+			o.stages[s.Name] = agg
+		}
+		agg.count++
+		agg.nanos += int64(s.Duration())
+		return o.sink
+	}()
+	// The sink call stays outside the critical section: sinks are
+	// caller-supplied and may block.
 	if sink != nil {
 		sink.Span(s)
 	}

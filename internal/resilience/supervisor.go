@@ -92,9 +92,10 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (out *
 	err = s.at(StageVerify)
 	var vrep *verify.Report
 	if err == nil {
-		endV := s.span(StageVerify)
-		vrep, err = verify.Check(ctx, r, k, s.verifyOpts())
-		endV()
+		err = s.spanned(StageVerify, func() (e error) {
+			vrep, e = verify.Check(ctx, r, k, s.verifyOpts())
+			return
+		})
 	}
 	if err != nil {
 		return nil, s.fail(StageVerify, err, 0)
@@ -183,6 +184,15 @@ func (s *run) at(stage Stage) error {
 func (s *run) span(stage Stage) func() {
 	_, end := s.opts.Obs.StartStage(s.ctx, string(stage))
 	return end
+}
+
+// spanned runs f inside a stage span, ending the span even when f panics:
+// Run's recover fence converts the panic into an error and keeps the
+// observer alive, so a span left open there would stay open forever.
+func (s *run) spanned(stage Stage, f func() error) error {
+	end := s.span(stage)
+	defer end()
+	return f()
 }
 
 // verifyOpts is the option set of the supervisor's internal verification
@@ -337,9 +347,10 @@ func (s *run) reduceStage() (*reduce.Reduction, error) {
 	err := s.at(StageReduce)
 	var rd *reduce.Reduction
 	if err == nil {
-		end := s.span(StageReduce)
-		rd, err = reduce.Apply(rctx, s.net, s.dest, s.opts.Reduction)
-		end()
+		err = s.spanned(StageReduce, func() (e error) {
+			rd, e = reduce.Apply(rctx, s.net, s.dest, s.opts.Reduction)
+			return
+		})
 	}
 	if err != nil {
 		err = stageCause(rctx, err)
@@ -369,9 +380,10 @@ func (s *run) runHeuristicPipeline(rd *reduce.Reduction) (*routing.Routing, erro
 	err := s.at(StageHeuristic)
 	var h *routing.Routing
 	if err == nil {
-		end := s.span(StageHeuristic)
-		h, err = heuristic.Generate(hctx, workNet, workDest)
-		end()
+		err = s.spanned(StageHeuristic, func() (e error) {
+			h, e = heuristic.Generate(hctx, workNet, workDest)
+			return
+		})
 	}
 	cancel()
 	if err != nil {
@@ -399,9 +411,10 @@ func (s *run) reducedStages(rd *reduce.Reduction, h *routing.Routing) (*routing.
 	err := s.at(StageVerifyReduced)
 	var vrep *verify.Report
 	if err == nil {
-		end := s.span(StageVerifyReduced)
-		vrep, err = verify.Check(vctx, h, s.k, s.verifyOpts())
-		end()
+		err = s.spanned(StageVerifyReduced, func() (e error) {
+			vrep, e = verify.Check(vctx, h, s.k, s.verifyOpts())
+			return
+		})
 	}
 	cancel()
 	if err != nil {
@@ -452,9 +465,10 @@ func (s *run) finishOnOriginal(rd *reduce.Reduction, work *routing.Routing) (*ro
 			if cerr := ectx.Err(); cerr != nil {
 				err = stageCause(ectx, cerr)
 			} else {
-				end := s.span(StageExpand)
-				expanded, err = rd.Expand(work)
-				end()
+				err = s.spanned(StageExpand, func() (e error) {
+					expanded, e = rd.Expand(work)
+					return
+				})
 			}
 			cancel()
 		}
@@ -467,9 +481,10 @@ func (s *run) finishOnOriginal(rd *reduce.Reduction, work *routing.Routing) (*ro
 	err := s.at(StageVerify)
 	var vrep *verify.Report
 	if err == nil {
-		end := s.span(StageVerify)
-		vrep, err = verify.Check(s.ctx, expanded, s.k, s.verifyOpts())
-		end()
+		err = s.spanned(StageVerify, func() (e error) {
+			vrep, e = verify.Check(s.ctx, expanded, s.k, s.verifyOpts())
+			return
+		})
 	}
 	if err != nil {
 		return nil, s.fail(StageVerify, err, 0)
@@ -548,10 +563,11 @@ func (s *run) finalVerify(r *routing.Routing) (*routing.Routing, error) {
 	err := s.at(StageFinalVerify)
 	var vrep *verify.Report
 	if err == nil {
-		end := s.span(StageFinalVerify)
-		vrep, err = verify.Check(s.ctx, r, s.k,
-			verify.Options{StopAtFirst: true, Counters: s.opts.Obs.Verify()})
-		end()
+		err = s.spanned(StageFinalVerify, func() (e error) {
+			vrep, e = verify.Check(s.ctx, r, s.k,
+				verify.Options{StopAtFirst: true, Counters: s.opts.Obs.Verify()})
+			return
+		})
 	}
 	if err != nil {
 		return nil, s.fail(StageFinalVerify, err, 0)

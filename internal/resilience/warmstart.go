@@ -85,9 +85,10 @@ func (s *run) warmStart(seed *routing.Routing) (*routing.Routing, error) {
 	err := s.at(StageVerify)
 	var vrep *verify.Report
 	if err == nil {
-		end := s.span(StageVerify)
-		vrep, err = verify.Check(s.ctx, seed, s.k, s.verifyOpts())
-		end()
+		err = s.spanned(StageVerify, func() (e error) {
+			vrep, e = verify.Check(s.ctx, seed, s.k, s.verifyOpts())
+			return
+		})
 	}
 	if err != nil {
 		return nil, s.fail(StageVerify, err, 0)

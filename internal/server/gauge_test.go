@@ -1,0 +1,123 @@
+package server
+
+// gauge_test.go pins the queue gauges' atomic discipline. The audit behind
+// it: MetricQueueDepth is an instantaneous value Set from several
+// goroutines (Submit, workers, the /metrics scrape), which is safe because
+// obs.Gauge is atomic throughout — but it means the peak between scrapes is
+// invisible. MetricQueueHighWater closes that gap with a monotone SetMax
+// mark updated at admission. These tests run under -race in CI, so a
+// regression to a plain read-modify-write on either gauge surfaces as a
+// detector report, not a silently shorn peak.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+	"syrep/internal/resilience/faultinject"
+)
+
+// TestQueueHighWaterGauge holds the single worker mid-request, stacks three
+// more requests, and expects the high-water mark to read exactly 3 — then
+// checks it never regresses once the queue drains.
+func TestQueueHighWaterGauge(t *testing.T) {
+	faultinject.LeakCheck(t)
+	o := obs.New(nil)
+	gate := newGateHook()
+	s := New(Config{
+		Workers:      1,
+		QueueDepth:   8,
+		Obs:          o,
+		Hook:         gate,
+		DrainTimeout: 2 * time.Second,
+	})
+	defer shutdownServer(t, s)
+
+	tickets := make([]*Ticket, 0, 4)
+	tkt, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	tickets = append(tickets, tkt)
+	<-gate.entered // the worker holds the first request; the queue is empty
+
+	for i := 0; i < 3; i++ {
+		tkt, err := s.Submit(synthRequest())
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tickets = append(tickets, tkt)
+	}
+	if hw := o.Snapshot().Gauge(MetricQueueHighWater); hw != 3 {
+		t.Errorf("high water after stacking 3 = %d, want 3", hw)
+	}
+
+	close(gate.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, tkt := range tickets {
+		if _, err := tkt.Wait(ctx); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+
+	snap := o.Snapshot()
+	if hw := snap.Gauge(MetricQueueHighWater); hw != 3 {
+		t.Errorf("high water after drain = %d, want 3 (the mark must not regress)", hw)
+	}
+}
+
+// TestQueueHighWaterConcurrent hammers Submit from many goroutines so the
+// race detector exercises the SetMax compare-and-swap against concurrent
+// Set calls; the mark must end within (0, QueueDepth] and at or above the
+// last instantaneous depth.
+func TestQueueHighWaterConcurrent(t *testing.T) {
+	faultinject.LeakCheck(t)
+	o := obs.New(nil)
+	s := New(Config{
+		Workers:      2,
+		QueueDepth:   4,
+		Obs:          o,
+		DrainTimeout: 2 * time.Second,
+	})
+	defer shutdownServer(t, s)
+
+	var (
+		mu      sync.Mutex
+		tickets []*Ticket
+		wg      sync.WaitGroup
+	)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tkt, err := s.Submit(synthRequest())
+			if err != nil {
+				return // queue-full shedding is expected under this load
+			}
+			mu.Lock()
+			tickets = append(tickets, tkt)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, tkt := range tickets {
+		if _, err := tkt.Wait(ctx); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+
+	snap := o.Snapshot()
+	hw := snap.Gauge(MetricQueueHighWater)
+	if hw < 1 || hw > 4 {
+		t.Errorf("high water = %d, want within [1, QueueDepth=4]", hw)
+	}
+	if depth := snap.Gauge(MetricQueueDepth); depth > hw {
+		t.Errorf("instantaneous depth %d exceeds high water %d", depth, hw)
+	}
+}

@@ -48,14 +48,21 @@ import (
 // Canonical server metric names, registered in the configured observer and
 // exported next to the pipeline's own counters on /metrics.
 const (
-	MetricAccepted     = "syrep_server_accepted_total"
-	MetricRejected     = "syrep_server_rejected_total"
-	MetricResponses    = "syrep_server_responses_total"
-	MetricRetries      = "syrep_server_retries_total"
-	MetricDegraded     = "syrep_server_degraded_total"
-	MetricPanics       = "syrep_server_panics_total"
-	MetricQueueDepth   = "syrep_server_queue_depth"
-	MetricBreakerState = "syrep_server_breaker_state"
+	MetricAccepted   = "syrep_server_accepted_total"
+	MetricRejected   = "syrep_server_rejected_total"
+	MetricResponses  = "syrep_server_responses_total"
+	MetricRetries    = "syrep_server_retries_total"
+	MetricDegraded   = "syrep_server_degraded_total"
+	MetricPanics     = "syrep_server_panics_total"
+	MetricQueueDepth = "syrep_server_queue_depth"
+	// MetricQueueHighWater is the peak queue depth observed since start —
+	// a monotone high-water mark (Gauge.SetMax), updated atomically at
+	// admission so concurrent Submits never regress it. The instantaneous
+	// MetricQueueDepth answers "how loaded is the queue now"; this one
+	// answers "how close did the queue ever get to QueueDepth", the
+	// capacity-planning signal /readyz thresholds are tuned against.
+	MetricQueueHighWater = "syrep_server_queue_high_water"
+	MetricBreakerState   = "syrep_server_breaker_state"
 )
 
 // ErrQueueFull rejects a request when the admission queue is at capacity.
@@ -349,7 +356,7 @@ type Server struct {
 	flushOnce sync.Once
 
 	accepted, rejected, responses, retried, degraded, panics *obs.Counter
-	queueDepth, breakerGauge                                 *obs.Gauge
+	queueDepth, queueHighWater, breakerGauge                 *obs.Gauge
 }
 
 // New builds and starts a Server: the worker pool is running and Submit is
@@ -366,14 +373,15 @@ func New(cfg Config) *Server {
 		cancelBase: cancel,
 		drainCh:    make(chan struct{}),
 
-		accepted:     cfg.Obs.Counter(MetricAccepted),
-		rejected:     cfg.Obs.Counter(MetricRejected),
-		responses:    cfg.Obs.Counter(MetricResponses),
-		retried:      cfg.Obs.Counter(MetricRetries),
-		degraded:     cfg.Obs.Counter(MetricDegraded),
-		panics:       cfg.Obs.Counter(MetricPanics),
-		queueDepth:   cfg.Obs.Gauge(MetricQueueDepth),
-		breakerGauge: cfg.Obs.Gauge(MetricBreakerState),
+		accepted:       cfg.Obs.Counter(MetricAccepted),
+		rejected:       cfg.Obs.Counter(MetricRejected),
+		responses:      cfg.Obs.Counter(MetricResponses),
+		retried:        cfg.Obs.Counter(MetricRetries),
+		degraded:       cfg.Obs.Counter(MetricDegraded),
+		panics:         cfg.Obs.Counter(MetricPanics),
+		queueDepth:     cfg.Obs.Gauge(MetricQueueDepth),
+		queueHighWater: cfg.Obs.Gauge(MetricQueueHighWater),
+		breakerGauge:   cfg.Obs.Gauge(MetricBreakerState),
 	}
 	s.breaker.onTransition = func(_, to BreakerState) {
 		s.breakerGauge.Set(int64(to))
@@ -463,7 +471,10 @@ func (s *Server) Submit(req *Request) (*Ticket, error) {
 	case s.queue <- j:
 		s.mu.Unlock()
 		s.accepted.Inc()
-		s.queueDepth.Set(int64(len(s.queue)))
+		depth := int64(len(s.queue))
+		s.queueDepth.Set(depth)
+		// The mark only rises at admission: workers shrink the queue.
+		s.queueHighWater.SetMax(depth)
 		return &Ticket{done: j.done}, nil
 	default:
 		s.mu.Unlock()
