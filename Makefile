@@ -6,7 +6,10 @@ FUZZTIME ?= 10s
 # Seed budget for the deterministic fault-injection sweep (faults target).
 FAULTSEEDS ?= 1,2,3,4,5,6,7,8
 
-.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test check
+# Epoch target for the churn gate (churn target).
+CHURN_EPOCHS ?= 1000
+
+.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn check
 
 build:
 	$(GO) build ./...
@@ -64,4 +67,14 @@ cache-test:
 	$(GO) test -race ./internal/cache/...
 	$(GO) test -race -run 'TestCache|TestWarmStart|TestMemoryPressure' ./internal/server/
 
-check: build vet lint test race faults obs serve-test cache-test
+# Churn-controller gate under the race detector: the controller unit and
+# lifecycle tests plus the full-scale Poisson churn simulation (CHURN_EPOCHS
+# topology epochs, seeded), writing the event-latency SLO histogram artifact
+# to BENCH_churn_slo.json. The default `go test` run uses a reduced epoch
+# target; this target drives the full one.
+churn:
+	$(GO) test -race ./internal/controller/ ./cmd/syrep-ctl
+	SYREP_CHURN_EPOCHS=$(CHURN_EPOCHS) SYREP_CHURN_OUT=$(CURDIR)/BENCH_churn_slo.json \
+		$(GO) test -race -run TestChurnSimulation -count=1 -v ./internal/controller/
+
+check: build vet lint test race faults obs serve-test cache-test churn

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSimMode: a tiny simulation runs to completion, prints its
+// accounting, and writes the artifact JSON.
+func TestRunSimMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "churn.json")
+	var buf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-sim", "-seed", "7", "-epochs", "10", "-nodes", "6", "-out", out},
+		strings.NewReader(""), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "churn sim: seed=7") {
+		t.Errorf("summary missing: %q", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Seed   int64 `json:"seed"`
+		Result struct {
+			Offered int            `json:"offered"`
+			Settled map[string]int `json:"settled"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Seed != 7 || art.Result.Offered == 0 {
+		t.Errorf("artifact = %+v, want seed 7 with events", art)
+	}
+}
+
+// TestRunStreamMode: events from stdin drive the controller; deltas appear
+// on stdout as JSON lines and the snapshot lands in -out.
+func TestRunStreamMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.json")
+	// Find a real link first.
+	var linksBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-links", "-nodes", "6"},
+		strings.NewReader(""), &linksBuf); err != nil {
+		t.Fatal(err)
+	}
+	links := strings.Fields(linksBuf.String())
+	if len(links) == 0 {
+		t.Fatal("no links listed")
+	}
+
+	// Two distinct links fail: unlike a same-link flap (which may coalesce
+	// to a no-op), each is a real state change and forces a delta.
+	events := "# comment\ndown " + links[0] + "\ndown " + links[1] + "\n"
+	var buf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-nodes", "6", "-dests", "s0", "-out", out},
+		strings.NewReader(events), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	n := 0
+	for dec.More() {
+		var d struct {
+			Dest  string `json:"dest"`
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := dec.Decode(&d); err != nil {
+			t.Fatalf("delta %d is not valid JSON: %v", n, err)
+		}
+		if d.Dest != "s0" {
+			t.Errorf("delta %d for %q, want s0", n, d.Dest)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("no deltas on stdout")
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("metrics snapshot not written: %v", err)
+	}
+}
+
+// TestRunBadEvent: a malformed event line fails fast with a parse error.
+func TestRunBadEvent(t *testing.T) {
+	err := run(context.Background(), []string{"-nodes", "6"},
+		strings.NewReader("sideways l1\n"), new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "bad event line") {
+		t.Fatalf("err = %v, want bad event line", err)
+	}
+}
+
+// TestRunUnknownTopology: a bogus -topology name lists the embedded suite.
+func TestRunUnknownTopology(t *testing.T) {
+	err := run(context.Background(), []string{"-topology", "nope", "-links"},
+		strings.NewReader(""), new(bytes.Buffer))
+	if err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Fatalf("err = %v, want unknown topology", err)
+	}
+	if !strings.Contains(err.Error(), "Abilene") {
+		t.Errorf("error does not list embedded topologies: %v", err)
+	}
+}

@@ -81,6 +81,18 @@ func TestCachePackageIsClean(t *testing.T) {
 	)
 }
 
+// TestControllerPackageIsClean pins the churn controller and its binary:
+// the reconcile and pusher loops must poll cancellation (ctxpoll), the
+// wake/exit channels follow the one-send protocol (chansafe), the
+// epoch/settlement mutex must not be held across blocking calls (locksafe),
+// and its repair stage spans must end on every path (spanpair).
+func TestControllerPackageIsClean(t *testing.T) {
+	lintClean(t, analyzers,
+		"./internal/controller/...",
+		"./cmd/syrep-ctl",
+	)
+}
+
 // TestLocksafePackagesAreClean runs only the lock-discipline analyzer over
 // every package in its scope (server, cache, bdd, obs), so a locksafe
 // regression is named directly even when the combined locks are skipped.
@@ -90,6 +102,7 @@ func TestLocksafePackagesAreClean(t *testing.T) {
 		"./internal/cache/...",
 		"./internal/bdd/...",
 		"./internal/obs/...",
+		"./internal/controller/...",
 	)
 }
 
@@ -108,6 +121,7 @@ func TestAtomicfieldPackagesAreClean(t *testing.T) {
 func TestChansafePackagesAreClean(t *testing.T) {
 	lintClean(t, selectedByName(t, "chansafe"),
 		"./internal/server/...",
+		"./internal/controller/...",
 	)
 }
 
@@ -118,6 +132,7 @@ func TestSpanpairPackagesAreClean(t *testing.T) {
 	lintClean(t, selectedByName(t, "spanpair"),
 		"./internal/resilience/...",
 		"./internal/server/...",
+		"./internal/controller/...",
 		"./cmd/syrep",
 	)
 }

@@ -45,6 +45,9 @@ var Analyzer = &analysis.Analyzer{
 // protocol (by package name, so fixtures can live under short paths).
 var responsePackages = map[string]bool{
 	"server": true,
+	// The churn controller's wake/exit channels follow the same protocol:
+	// 1-buffered or select-wrapped, never a blocking send.
+	"controller": true,
 }
 
 // responseName matches variable/field names that carry a response back to a

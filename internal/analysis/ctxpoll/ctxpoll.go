@@ -55,6 +55,10 @@ var pipelinePackages = map[string]bool{
 	// leaders; a wait loop that cannot observe cancellation would pin a
 	// worker for the leader's whole run.
 	"cache": true,
+	// The churn controller's reconcile and pusher loops run for the
+	// process lifetime; a loop that cannot observe cancellation would hang
+	// the SIGTERM drain.
+	"controller": true,
 }
 
 func run(pass *analysis.Pass) error {

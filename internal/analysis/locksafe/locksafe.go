@@ -47,6 +47,10 @@ var lockedPackages = map[string]bool{
 	"cache":  true,
 	"bdd":    true,
 	"obs":    true,
+	// The controller's mutex guards epoch/settlement state shared between
+	// the reconcile loop, the pusher, and Offer callers; blocking under it
+	// would stall event admission.
+	"controller": true,
 }
 
 // pairs maps an acquire method to its release.

@@ -15,6 +15,7 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"time"
 
@@ -243,6 +244,37 @@ func (c *Cache) Purge() int {
 		c.bytes = 0
 		c.gaugesLocked()
 		return n
+	}()
+	c.evictions.Add(int64(n))
+	return n
+}
+
+// PurgeOldest drops the least-recently-used fraction of the cache (rounded
+// up, clamped to [0, 1]) and returns how many entries were dropped. It is
+// the partial-evict path for memory pressure under churn: the controller
+// keeps its hottest destinations' warm seeds — exactly the entries whose
+// loss would turn the next repair from a warm adapt into a cold synthesis —
+// while still shedding the bulk of the footprint. A fraction ≥ 1 is a full
+// Purge.
+func (c *Cache) PurgeOldest(fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction >= 1 {
+		return c.Purge()
+	}
+	n := func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		drop := int(math.Ceil(fraction * float64(c.ll.Len())))
+		for i := 0; i < drop; i++ {
+			back := c.ll.Back()
+			if back == nil {
+				return i
+			}
+			c.removeLocked(back)
+		}
+		return drop
 	}()
 	c.evictions.Add(int64(n))
 	return n

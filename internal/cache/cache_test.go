@@ -167,6 +167,53 @@ func TestPurge(t *testing.T) {
 	}
 }
 
+// TestPurgeOldestEvictionOrder pins the partial-evict contract: PurgeOldest
+// drops exactly the least-recently-used fraction (rounded up), in LRU order,
+// and the hottest entries — the churn controller's warm seeds — survive.
+func TestPurgeOldestEvictionOrder(t *testing.T) {
+	c := New(Config{MaxEntries: 16})
+	var nets []*network.Network
+	names := []string{"a", "b"}
+	for i := 0; i < 4; i++ {
+		names = append(names, string(rune('c'+i)))
+		nets = append(nets, ring(t, names...))
+	}
+	for _, n := range nets {
+		c.Put(keyFor(n, 2), entryFor(t, n, true))
+	}
+	// Recency, oldest→newest, is now nets[0..3]. Touch nets[0] so the
+	// insertion order and the LRU order differ: oldest becomes nets[1].
+	if _, ok := c.Get(keyFor(nets[0], 2)); !ok {
+		t.Fatal("nets[0] should be cached")
+	}
+
+	// 0.5 of 4 entries: exactly the two least recently used (nets[1],
+	// nets[2]) go; the recently touched nets[0] and the newest nets[3] stay.
+	if got := c.PurgeOldest(0.5); got != 2 {
+		t.Fatalf("PurgeOldest(0.5) = %d, want 2", got)
+	}
+	for i, want := range map[int]bool{0: true, 1: false, 2: false, 3: true} {
+		if _, ok := c.Get(keyFor(nets[i], 2)); ok != want {
+			t.Errorf("after PurgeOldest, nets[%d] cached = %v, want %v", i, ok, want)
+		}
+	}
+
+	// Rounding: 0.3 of the 2 survivors rounds up to 1 eviction.
+	if got := c.PurgeOldest(0.3); got != 1 {
+		t.Errorf("PurgeOldest(0.3) of 2 = %d, want 1 (ceil)", got)
+	}
+	// Degenerate fractions: ≤0 is a no-op, ≥1 is a full purge.
+	if got := c.PurgeOldest(0); got != 0 {
+		t.Errorf("PurgeOldest(0) = %d, want 0", got)
+	}
+	if got := c.PurgeOldest(1.5); got != 1 {
+		t.Errorf("PurgeOldest(1.5) = %d, want 1 (full purge of the survivor)", got)
+	}
+	if c.Len() != 0 {
+		t.Errorf("entries after full purge = %d, want 0", c.Len())
+	}
+}
+
 func TestSingleflightDedup(t *testing.T) {
 	c := New(Config{})
 	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}

@@ -1,0 +1,146 @@
+package controller
+
+import (
+	"sort"
+
+	"syrep/internal/routing"
+)
+
+// TableEntry is one forwarding rule in wire form: all references are
+// canonical strings (edge keys and node names), so an entry computed on one
+// topology rebuild compares equal to the same rule on another even though
+// the dense integer ids were renumbered.
+type TableEntry struct {
+	// In is the canonical key of the in-edge (loopback keys for locally
+	// originated traffic).
+	In string `json:"in"`
+	// At is the node name where the rule applies.
+	At string `json:"at"`
+	// Prio is the rule's priority list of out-edges, canonical keys,
+	// highest priority first.
+	Prio []string `json:"prio"`
+}
+
+// entryKey is the map key identifying a rule slot: in-edge key + node name.
+func (e TableEntry) entryKey() string { return e.In + "@" + e.At }
+
+func (e TableEntry) equal(o TableEntry) bool {
+	if e.In != o.In || e.At != o.At || len(e.Prio) != len(o.Prio) {
+		return false
+	}
+	for i := range e.Prio {
+		if e.Prio[i] != o.Prio[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Delta is one southbound push: the changed and removed rules of a single
+// destination's table between two epochs, or (when Snapshot is set) the full
+// table for resynchronization after a lost delta.
+type Delta struct {
+	// Dest is the destination node name.
+	Dest string `json:"dest"`
+	// Epoch is the topology epoch the table was repaired against. A sink
+	// must apply deltas in epoch order; the pusher guarantees it.
+	Epoch uint64 `json:"epoch"`
+	// Snapshot marks a full-table resync: the receiver must replace its
+	// table wholesale instead of patching (Del is empty on snapshots).
+	Snapshot bool `json:"snapshot,omitempty"`
+	// Degraded flags a heuristic-only table pushed while the repair
+	// breaker was open; it forwards but carries no verified k-resilience.
+	Degraded bool `json:"degraded,omitempty"`
+	// Set lists rules added or changed since the previous push.
+	Set []TableEntry `json:"set,omitempty"`
+	// Del lists entry keys ("in@at") removed since the previous push.
+	Del []string `json:"del,omitempty"`
+}
+
+// Empty reports whether the delta carries no change (a repair that
+// reproduced the previously pushed table exactly).
+func (d Delta) Empty() bool { return !d.Snapshot && len(d.Set) == 0 && len(d.Del) == 0 }
+
+// encodeTable renders a routing table in wire form, keyed by entryKey.
+// Holes are skipped: only complete rules are pushed.
+func encodeTable(r *routing.Routing) map[string]TableEntry {
+	net := r.Network()
+	out := make(map[string]TableEntry, r.NumEntries())
+	for _, k := range r.Keys() {
+		prio, ok := r.Get(k.In, k.At)
+		if !ok {
+			continue
+		}
+		e := TableEntry{
+			In:   net.EdgeKey(k.In),
+			At:   net.NodeName(k.At),
+			Prio: make([]string, len(prio)),
+		}
+		for i, out := range prio {
+			e.Prio[i] = net.EdgeKey(out)
+		}
+		out[e.entryKey()] = e
+	}
+	return out
+}
+
+// diffTables computes the delta from prev to next in deterministic
+// (sorted-key) order. A nil prev yields a snapshot: every rule in Set,
+// Snapshot marked, nothing in Del.
+func diffTables(prev, next map[string]TableEntry) (set []TableEntry, del []string, snapshot bool) {
+	keys := make([]string, 0, len(next))
+	for k := range next {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if prev == nil {
+		for _, k := range keys {
+			set = append(set, next[k])
+		}
+		return set, nil, true
+	}
+	for _, k := range keys {
+		if p, ok := prev[k]; !ok || !p.equal(next[k]) {
+			set = append(set, next[k])
+		}
+	}
+	gone := make([]string, 0)
+	for k := range prev {
+		if _, ok := next[k]; !ok {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	return set, gone, false
+}
+
+// buildDelta assembles the push for one destination table against what the
+// sink last acknowledged.
+func buildDelta(dest string, epoch uint64, degraded bool, prev map[string]TableEntry, r *routing.Routing) (Delta, map[string]TableEntry) {
+	next := encodeTable(r)
+	set, del, snap := diffTables(prev, next)
+	return Delta{
+		Dest:     dest,
+		Epoch:    epoch,
+		Snapshot: snap,
+		Degraded: degraded,
+		Set:      set,
+		Del:      del,
+	}, next
+}
+
+// applyDelta patches a wire-form table with a delta — the receiver-side
+// semantics, used by MemSink and tests to prove a delta stream reconstructs
+// the sender's table exactly.
+func applyDelta(table map[string]TableEntry, d Delta) map[string]TableEntry {
+	if d.Snapshot || table == nil {
+		table = make(map[string]TableEntry, len(d.Set))
+	}
+	for _, k := range d.Del {
+		delete(table, k)
+	}
+	for _, e := range d.Set {
+		table[e.entryKey()] = e
+	}
+	return table
+}

@@ -1,0 +1,183 @@
+package controller
+
+import (
+	"context"
+	"testing"
+
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// genTable builds a heuristic routing for dest on net and returns it with
+// its wire-form encoding.
+func genTable(t *testing.T, net *network.Network, dest string) (*routing.Routing, map[string]TableEntry) {
+	t.Helper()
+	id := net.NodeByName(dest)
+	if id < 0 {
+		t.Fatalf("no node %s", dest)
+	}
+	r, err := heuristic.Generate(context.Background(), net, id)
+	if err != nil {
+		t.Fatalf("heuristic: %v", err)
+	}
+	return r, encodeTable(r)
+}
+
+// TestEncodeTableCanonical: wire-form entries reference canonical edge keys
+// and node names only, and entries survive a topology rebuild that
+// renumbers the dense ids.
+func TestEncodeTableCanonical(t *testing.T) {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, table := genTable(t, base, "s0")
+	if len(table) == 0 {
+		t.Fatal("empty encoded table")
+	}
+	for k, e := range table {
+		if e.entryKey() != k {
+			t.Errorf("map key %q != entryKey %q", k, e.entryKey())
+		}
+		if _, ok := base.EdgeByKey(e.In); !ok && base.NodeByName(e.In) < 0 {
+			t.Errorf("entry %q: In %q is neither an edge key nor a loopback node name", k, e.In)
+		}
+		if base.NodeByName(e.At) < 0 {
+			t.Errorf("entry %q: At %q is not a node name", k, e.At)
+		}
+		for _, p := range e.Prio {
+			if _, ok := base.EdgeByKey(p); !ok {
+				t.Errorf("entry %q: Prio element %q is not an edge key", k, p)
+			}
+		}
+	}
+}
+
+// TestDiffTables: identical tables diff empty, a changed entry lands in Set,
+// a removed entry lands in Del, and nil prev yields a snapshot.
+func TestDiffTables(t *testing.T) {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, table := genTable(t, base, "s0")
+
+	set, del, snap := diffTables(table, table)
+	if len(set) != 0 || len(del) != 0 || snap {
+		t.Errorf("self-diff: set=%d del=%d snap=%v, want all empty", len(set), len(del), snap)
+	}
+
+	set, del, snap = diffTables(nil, table)
+	if snap != true || len(set) != len(table) || len(del) != 0 {
+		t.Errorf("nil prev: snap=%v set=%d del=%d, want snapshot of %d", snap, len(set), len(del), len(table))
+	}
+
+	// Mutate one entry, remove another.
+	next := make(map[string]TableEntry, len(table))
+	for k, v := range table {
+		next[k] = v
+	}
+	var mutKey, delKey string
+	for k := range next {
+		if mutKey == "" {
+			mutKey = k
+			continue
+		}
+		delKey = k
+		break
+	}
+	m := next[mutKey]
+	m.Prio = append([]string{"bogus-edge"}, m.Prio...)
+	next[mutKey] = m
+	delete(next, delKey)
+
+	set, del, snap = diffTables(table, next)
+	if snap {
+		t.Error("patch diff marked snapshot")
+	}
+	if len(set) != 1 || set[0].entryKey() != mutKey {
+		t.Errorf("set = %v, want exactly the mutated entry %q", set, mutKey)
+	}
+	if len(del) != 1 || del[0] != delKey {
+		t.Errorf("del = %v, want exactly %q", del, delKey)
+	}
+}
+
+// TestApplyDeltaRoundTrip: applying the diff of t1→t2 onto t1 reconstructs
+// t2 exactly, including across a topology rebuild (WithoutEdges renumbers
+// edges, but canonical keys make the tables comparable).
+func TestApplyDeltaRoundTrip(t *testing.T) {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t1 := genTable(t, base, "s0")
+
+	// Rebuild the topology without one edge: different dense ids, different
+	// heuristic output.
+	drop := []network.EdgeID{0}
+	reduced, err := network.WithoutEdges(base, drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, t2 := genTable(t, reduced, "s0")
+
+	d, next := buildDelta("s0", 7, false, t1, r2)
+	if d.Dest != "s0" || d.Epoch != 7 || d.Snapshot {
+		t.Errorf("delta header = %+v, want dest s0 epoch 7 patch", d)
+	}
+	if len(next) != len(t2) {
+		t.Errorf("buildDelta next has %d entries, encode has %d", len(next), len(t2))
+	}
+
+	got := applyDelta(copyTable(t1), d)
+	assertTablesEqual(t, got, t2)
+
+	// Snapshot path: applying onto garbage must still reconstruct exactly.
+	snap, _ := buildDelta("s0", 8, false, nil, r2)
+	if !snap.Snapshot || len(snap.Del) != 0 {
+		t.Errorf("nil-prev delta: snapshot=%v del=%d, want snapshot with no dels", snap.Snapshot, len(snap.Del))
+	}
+	garbage := map[string]TableEntry{"x@y": {In: "x", At: "y"}}
+	got = applyDelta(garbage, snap)
+	assertTablesEqual(t, got, t2)
+}
+
+// TestEmptyDelta: a repair reproducing the previous table yields an empty,
+// push-skippable delta.
+func TestEmptyDelta(t *testing.T) {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, t1 := genTable(t, base, "s0")
+	d, _ := buildDelta("s0", 3, false, t1, r)
+	if !d.Empty() {
+		t.Errorf("delta against identical table not empty: %+v", d)
+	}
+	if (Delta{Snapshot: true}).Empty() {
+		t.Error("a snapshot delta must never count as empty")
+	}
+}
+
+func copyTable(t map[string]TableEntry) map[string]TableEntry {
+	out := make(map[string]TableEntry, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+func assertTablesEqual(t *testing.T, got, want map[string]TableEntry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("table size %d, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok || !g.equal(w) {
+			t.Fatalf("table diverges at %q: got %+v want %+v", k, g, w)
+		}
+	}
+}

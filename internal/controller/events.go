@@ -1,0 +1,140 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one link state change on the controller's base topology. Links
+// are named by canonical edge key (network.EdgeKey), which survives node
+// and edge renumbering across topology rebuilds.
+type Event struct {
+	// Link is the canonical edge key of the affected link.
+	Link string
+	// Up tells the link's new state: true = restored, false = failed.
+	Up bool
+	// At is the event's arrival time, stamped by Offer when zero. Event
+	// latency (arrival to settlement) is measured from it.
+	At time.Time
+}
+
+func (e Event) String() string {
+	state := "down"
+	if e.Up {
+		state = "up"
+	}
+	return fmt.Sprintf("%s %s", state, e.Link)
+}
+
+// ErrOverflow is the inbox's backpressure signal: the bounded inbox is full
+// of distinct pending links and the event was rejected. It is retryable —
+// the caller should back off and re-offer.
+var ErrOverflow = errors.New("controller: event inbox full")
+
+// ErrClosed rejects events offered after shutdown began. It is retryable
+// against a replacement controller, never against this one.
+var ErrClosed = errors.New("controller: shut down")
+
+// pendingEvent is an inbox slot: the latest event for one link plus every
+// earlier event it coalesced away (a flap collapses to its final state, but
+// the absorbed events still owe their arrival-to-settlement accounting).
+type pendingEvent struct {
+	ev       Event
+	absorbed []Event
+}
+
+// inbox is the bounded, coalescing event queue between Offer and the
+// reconcile loop. Per-link coalescing keeps at most one pending event per
+// link — a down/up/down flap occupies one slot and collapses to the final
+// state — so capacity bounds the number of distinct churning links, not the
+// event rate.
+type inbox struct {
+	mu       sync.Mutex
+	capacity int
+	byLink   map[string]int // link -> index into order
+	order    []pendingEvent // FIFO by first arrival of each link
+	closed   bool
+
+	// wake signals the reconcile loop that events are pending. 1-buffered;
+	// sends are select-wrapped so Offer never blocks on a slow consumer.
+	wake chan struct{}
+}
+
+func newInbox(capacity int) *inbox {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &inbox{
+		capacity: capacity,
+		byLink:   make(map[string]int),
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// offer enqueues or coalesces one event. The returned bool tells whether the
+// event coalesced into an existing slot. Rejections (ErrOverflow, ErrClosed)
+// leave the inbox unchanged.
+func (in *inbox) offer(ev Event) (coalesced bool, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return false, ErrClosed
+	}
+	if i, ok := in.byLink[ev.Link]; ok {
+		slot := &in.order[i]
+		slot.absorbed = append(slot.absorbed, slot.ev)
+		slot.ev = ev
+		in.signal()
+		return true, nil
+	}
+	if len(in.order) >= in.capacity {
+		return false, ErrOverflow
+	}
+	in.byLink[ev.Link] = len(in.order)
+	in.order = append(in.order, pendingEvent{ev: ev})
+	in.signal()
+	return false, nil
+}
+
+// signal nudges the wake channel. The channel is 1-buffered and the send
+// select-wrapped, so signalling — even under the inbox mutex — cannot
+// block: a pending wake already covers the nudge. The controller also calls
+// it directly to schedule a resync pass after a dead-letter.
+func (in *inbox) signal() {
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain takes every pending event, oldest link first, leaving the inbox
+// empty. The reconcile loop calls it once per pass and again after each
+// repair to absorb superseding events (the epoch-race check).
+func (in *inbox) drain() []pendingEvent {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.order) == 0 {
+		return nil
+	}
+	out := in.order
+	in.order = nil
+	in.byLink = make(map[string]int)
+	return out
+}
+
+// depth reports the number of pending (distinct-link) events.
+func (in *inbox) depth() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.order)
+}
+
+// close rejects all future offers; pending events remain for the shutdown
+// drain to settle.
+func (in *inbox) close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.closed = true
+}

@@ -1,0 +1,129 @@
+package controller
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func ev(link string, up bool) Event {
+	return Event{Link: link, Up: up, At: time.Unix(0, 0)}
+}
+
+// TestInboxCoalescing: a flap on one link occupies one slot and collapses
+// to its final state, with the absorbed events retained for settlement.
+func TestInboxCoalescing(t *testing.T) {
+	in := newInbox(8)
+	for i, e := range []Event{ev("l1", false), ev("l1", true), ev("l1", false)} {
+		coalesced, err := in.offer(e)
+		if err != nil {
+			t.Fatalf("offer %d: %v", i, err)
+		}
+		if want := i > 0; coalesced != want {
+			t.Errorf("offer %d: coalesced = %v, want %v", i, coalesced, want)
+		}
+	}
+	if d := in.depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1 (one link)", d)
+	}
+	batch := in.drain()
+	if len(batch) != 1 {
+		t.Fatalf("drained %d slots, want 1", len(batch))
+	}
+	slot := batch[0]
+	if slot.ev.Up || slot.ev.Link != "l1" {
+		t.Errorf("final state = %+v, want down l1", slot.ev)
+	}
+	if len(slot.absorbed) != 2 {
+		t.Errorf("absorbed %d events, want 2", len(slot.absorbed))
+	}
+	if in.depth() != 0 {
+		t.Error("drain left events behind")
+	}
+}
+
+// TestInboxFIFO: slots drain in first-arrival order even when later events
+// coalesce into earlier slots.
+func TestInboxFIFO(t *testing.T) {
+	in := newInbox(8)
+	for _, e := range []Event{ev("a", false), ev("b", false), ev("c", false), ev("b", true)} {
+		if _, err := in.offer(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := in.drain()
+	var order []string
+	for _, s := range batch {
+		order = append(order, s.ev.Link)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("drain order = %v, want [a b c]", order)
+	}
+	if !batch[1].ev.Up {
+		t.Error("slot b did not coalesce to its final (up) state")
+	}
+}
+
+// TestInboxOverflow: capacity bounds distinct links; a full inbox rejects
+// with the retryable ErrOverflow but still coalesces onto existing slots.
+func TestInboxOverflow(t *testing.T) {
+	in := newInbox(2)
+	for _, l := range []string{"a", "b"} {
+		if _, err := in.offer(ev(l, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := in.offer(ev("c", false)); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("third link: err = %v, want ErrOverflow", err)
+	}
+	if !Retryable(ErrOverflow) {
+		t.Error("ErrOverflow must be retryable")
+	}
+	// Coalescing onto an occupied slot needs no capacity.
+	if coalesced, err := in.offer(ev("a", true)); err != nil || !coalesced {
+		t.Errorf("coalescing offer on full inbox: coalesced=%v err=%v", coalesced, err)
+	}
+}
+
+// TestInboxClosed: a closed inbox rejects everything but keeps its pending
+// events for the shutdown drain.
+func TestInboxClosed(t *testing.T) {
+	in := newInbox(4)
+	if _, err := in.offer(ev("a", false)); err != nil {
+		t.Fatal(err)
+	}
+	in.close()
+	if _, err := in.offer(ev("b", false)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("offer after close: err = %v, want ErrClosed", err)
+	}
+	if got := len(in.drain()); got != 1 {
+		t.Errorf("close dropped pending events: drained %d, want 1", got)
+	}
+}
+
+// TestInboxWake: offers signal the wake channel exactly once per idle
+// period (1-buffered), and signalling never blocks.
+func TestInboxWake(t *testing.T) {
+	in := newInbox(4)
+	for i := 0; i < 10; i++ {
+		in.signal() // must never block even when the buffer is full
+	}
+	select {
+	case <-in.wake:
+	default:
+		t.Fatal("wake not signalled")
+	}
+	select {
+	case <-in.wake:
+		t.Fatal("wake signalled more than once while idle")
+	default:
+	}
+	if _, err := in.offer(ev("a", false)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-in.wake:
+	default:
+		t.Error("offer did not signal wake")
+	}
+}

@@ -1,0 +1,202 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"syrep/internal/obs"
+	"syrep/internal/resilience"
+	"syrep/internal/retry"
+)
+
+// DeadLetterError is the typed, terminal outcome of a delta the pusher gave
+// up on: retries exhausted, a permanent sink error, or a skip while the
+// destination awaits resync. The controller settles the affected events
+// with it and schedules a snapshot resync for the destination.
+type DeadLetterError struct {
+	// Dest and Epoch identify the failed delta.
+	Dest  string
+	Epoch uint64
+	// Attempts counts push attempts made (0 for resync skips).
+	Attempts int
+	// Err is the final push error.
+	Err error
+}
+
+func (e *DeadLetterError) Error() string {
+	return fmt.Sprintf("controller: delta for %s@%d dead-lettered after %d attempts: %v",
+		e.Dest, e.Epoch, e.Attempts, e.Err)
+}
+
+func (e *DeadLetterError) Unwrap() error { return e.Err }
+
+// ErrResyncPending skips a delta queued behind a dead-lettered one: the
+// receiver missed state, so patching on top would corrupt its table. The
+// destination's next push is a full snapshot instead.
+var ErrResyncPending = errors.New("controller: destination awaiting snapshot resync")
+
+// DeadLetter is one entry of the pusher's bounded dead-letter queue, kept
+// for operator inspection after the failed delta was settled.
+type DeadLetter struct {
+	Delta    Delta
+	Err      error
+	Attempts int
+}
+
+// pushJob is one queued southbound push.
+type pushJob struct {
+	delta Delta
+}
+
+// pusher is the single-goroutine southbound push pipeline: FIFO over a
+// bounded queue, per-attempt timeouts, full-jitter retry on transient
+// failures, and dead-lettering with per-destination resync poisoning.
+// FIFO matters twice over: deltas apply in epoch order, and settlement
+// accounting resolves epochs in order.
+type pusher struct {
+	sink     Sink
+	queue    chan pushJob
+	backoff  *retry.Backoff
+	timeout  time.Duration
+	attempts int
+	hook     resilience.Hook
+	obs      *obs.Observer
+	// onResult reports each job's terminal fate (nil = delivered) on the
+	// pusher goroutine; the controller settles events from it.
+	onResult func(pushJob, error)
+
+	mu       sync.Mutex
+	poisoned map[string]bool
+	dlq      []DeadLetter
+	dlqCap   int
+}
+
+// enqueue submits one job to the push queue. The single send site keeps the
+// queue's one-send-per-call discipline obvious; callers loop over jobs.
+func (p *pusher) enqueue(j pushJob) { p.queue <- j }
+
+func newPusher(sink Sink, queueCap int, onResult func(pushJob, error)) *pusher {
+	return &pusher{
+		sink:     sink,
+		queue:    make(chan pushJob, queueCap),
+		onResult: onResult,
+		poisoned: make(map[string]bool),
+		dlqCap:   128,
+	}
+}
+
+// run drains the queue until it is closed. When the drain context is force-
+// cancelled (shutdown grace expired), the remaining queue is dead-lettered
+// without sink contact so every job still reaches onResult.
+func (p *pusher) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			// The controller closes the queue before cancelling this
+			// context, so the flush terminates.
+			for j := range p.queue {
+				p.fail(j, context.Cause(ctx), 0)
+			}
+			return
+		case j, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			p.process(ctx, j)
+		}
+	}
+}
+
+func (p *pusher) process(ctx context.Context, j pushJob) {
+	d := j.delta
+	if p.awaitingResync(d.Dest) && !d.Snapshot {
+		p.fail(j, ErrResyncPending, 0)
+		return
+	}
+	var err error
+	attempt := 0
+	for ; attempt < p.attempts; attempt++ {
+		err = p.attemptPush(ctx, d)
+		if err == nil {
+			break
+		}
+		if !retryablePush(err) || ctx.Err() != nil || attempt+1 == p.attempts {
+			break
+		}
+		p.obs.Counter(obs.CtlPushRetries).Inc()
+		if serr := retry.Sleep(ctx, p.backoff.Delay(attempt)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	if err != nil {
+		p.fail(j, err, attempt+1)
+		return
+	}
+	p.obs.Counter(obs.CtlPushes).Inc()
+	p.clearPoison(d)
+	p.onResult(j, nil)
+}
+
+// attemptPush is one sink contact under the per-push timeout, with the
+// StageCtlPush fault point consulted first.
+func (p *pusher) attemptPush(ctx context.Context, d Delta) error {
+	if p.hook != nil {
+		if err := p.hook.At(resilience.StageCtlPush); err != nil {
+			return err
+		}
+	}
+	actx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	return p.sink.Push(actx, d)
+}
+
+// fail dead-letters a job: records it, poisons the destination so later
+// patch deltas skip until a snapshot lands, and settles the job with a
+// typed DeadLetterError.
+func (p *pusher) fail(j pushJob, err error, attempts int) {
+	d := j.delta
+	p.record(d, err, attempts)
+	p.obs.Counter(obs.CtlDeadLetters).Inc()
+	p.onResult(j, &DeadLetterError{Dest: d.Dest, Epoch: d.Epoch, Attempts: attempts, Err: err})
+}
+
+func (p *pusher) record(d Delta, err error, attempts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.poisoned[d.Dest] = true
+	if len(p.dlq) >= p.dlqCap {
+		p.dlq = p.dlq[1:]
+	}
+	p.dlq = append(p.dlq, DeadLetter{Delta: d, Err: err, Attempts: attempts})
+}
+
+func (p *pusher) awaitingResync(dest string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.poisoned[dest]
+}
+
+// clearPoison completes the resync-on-reconnect path: a delivered snapshot
+// re-baselines the receiver, so patch deltas may flow again.
+func (p *pusher) clearPoison(d Delta) {
+	if !d.Snapshot {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.poisoned[d.Dest] {
+		delete(p.poisoned, d.Dest)
+		p.obs.Counter(obs.CtlResyncs).Inc()
+	}
+}
+
+// deadLetters returns the retained dead-letter queue, oldest first.
+func (p *pusher) deadLetters() []DeadLetter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]DeadLetter(nil), p.dlq...)
+}

@@ -1,0 +1,235 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+	"syrep/internal/retry"
+)
+
+// resultLog collects onResult callbacks for direct pusher tests.
+type resultLog struct {
+	jobs []pushJob
+	errs []error
+}
+
+func (l *resultLog) record(j pushJob, err error) {
+	l.jobs = append(l.jobs, j)
+	l.errs = append(l.errs, err)
+}
+
+// newTestPusher wires a pusher the way the controller does, with a fast
+// deterministic backoff and a tight per-push timeout.
+func newTestPusher(sink Sink, log *resultLog) (*pusher, *obs.Observer) {
+	o := obs.New(nil)
+	p := newPusher(sink, 16, log.record)
+	p.backoff = retry.New(time.Millisecond, 4*time.Millisecond, 1)
+	p.timeout = 50 * time.Millisecond
+	p.attempts = 3
+	p.obs = o
+	return p, o
+}
+
+func patchDelta(dest string, epoch uint64) Delta {
+	return Delta{Dest: dest, Epoch: epoch, Set: []TableEntry{{In: "e", At: dest, Prio: []string{"e"}}}}
+}
+
+// TestPusherTransientRetry: a transient first attempt is retried with
+// backoff and the delta is delivered on the second.
+func TestPusherTransientRetry(t *testing.T) {
+	sink := NewMemSink()
+	sink.FailNext = func(call int, d Delta) error {
+		if call == 0 {
+			return Transient(errors.New("agent restarting"))
+		}
+		return nil
+	}
+	var log resultLog
+	p, o := newTestPusher(sink, &log)
+
+	p.process(context.Background(), pushJob{delta: patchDelta("s0", 1)})
+
+	if len(log.errs) != 1 || log.errs[0] != nil {
+		t.Fatalf("onResult = %v, want one nil result", log.errs)
+	}
+	if got := len(sink.Pushes()); got != 1 {
+		t.Fatalf("sink applied %d pushes, want 1", got)
+	}
+	snap := o.Snapshot()
+	if snap.Counter(obs.CtlPushRetries) != 1 {
+		t.Errorf("push retries = %d, want 1", snap.Counter(obs.CtlPushRetries))
+	}
+	if snap.Counter(obs.CtlPushes) != 1 || snap.Counter(obs.CtlDeadLetters) != 0 {
+		t.Errorf("pushes=%d deadletters=%d, want 1/0",
+			snap.Counter(obs.CtlPushes), snap.Counter(obs.CtlDeadLetters))
+	}
+}
+
+// TestPusherPermanentError: a non-transient sink error dead-letters on the
+// first attempt — no retries — and poisons the destination.
+func TestPusherPermanentError(t *testing.T) {
+	boom := errors.New("400 malformed delta")
+	sink := NewMemSink()
+	sink.FailNext = func(int, Delta) error { return boom }
+	var log resultLog
+	p, o := newTestPusher(sink, &log)
+
+	p.process(context.Background(), pushJob{delta: patchDelta("s0", 1)})
+
+	if len(log.errs) != 1 {
+		t.Fatalf("got %d results, want 1", len(log.errs))
+	}
+	var dle *DeadLetterError
+	if !errors.As(log.errs[0], &dle) {
+		t.Fatalf("result = %v, want *DeadLetterError", log.errs[0])
+	}
+	if dle.Attempts != 1 || !errors.Is(dle, boom) || dle.Dest != "s0" || dle.Epoch != 1 {
+		t.Errorf("dead letter = %+v, want 1 attempt wrapping the sink error", dle)
+	}
+	if !p.awaitingResync("s0") {
+		t.Error("destination not poisoned after dead-letter")
+	}
+	if dl := p.deadLetters(); len(dl) != 1 || dl[0].Attempts != 1 {
+		t.Errorf("dlq = %+v, want one entry", dl)
+	}
+	if o.Snapshot().Counter(obs.CtlDeadLetters) != 1 {
+		t.Error("CtlDeadLetters not incremented")
+	}
+}
+
+// TestPusherAttemptsExhausted: persistent transient failures consume the
+// whole attempt budget, then dead-letter.
+func TestPusherAttemptsExhausted(t *testing.T) {
+	sink := NewMemSink()
+	sink.FailNext = func(int, Delta) error { return Transient(errors.New("still down")) }
+	var log resultLog
+	p, o := newTestPusher(sink, &log)
+
+	p.process(context.Background(), pushJob{delta: patchDelta("s0", 1)})
+
+	var dle *DeadLetterError
+	if !errors.As(log.errs[0], &dle) {
+		t.Fatalf("result = %v, want *DeadLetterError", log.errs[0])
+	}
+	if dle.Attempts != p.attempts {
+		t.Errorf("attempts = %d, want the full budget %d", dle.Attempts, p.attempts)
+	}
+	if got := o.Snapshot().Counter(obs.CtlPushRetries); got != int64(p.attempts-1) {
+		t.Errorf("retries = %d, want %d", got, p.attempts-1)
+	}
+}
+
+// TestPusherPerPushTimeout: a sink that never answers trips the per-attempt
+// timeout; timeouts are retryable, so the budget drains before the
+// dead-letter.
+func TestPusherPerPushTimeout(t *testing.T) {
+	sink := NewMemSink()
+	sink.Block = make(chan struct{}) // never closed
+	var log resultLog
+	p, _ := newTestPusher(sink, &log)
+	p.timeout = 10 * time.Millisecond
+	p.attempts = 2
+
+	start := time.Now()
+	p.process(context.Background(), pushJob{delta: patchDelta("s0", 1)})
+
+	var dle *DeadLetterError
+	if !errors.As(log.errs[0], &dle) {
+		t.Fatalf("result = %v, want *DeadLetterError", log.errs[0])
+	}
+	if !errors.Is(dle, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want DeadlineExceeded", dle.Err)
+	}
+	if dle.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (timeouts are retryable)", dle.Attempts)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("per-push timeout did not bound the attempt: took %v", el)
+	}
+}
+
+// TestPusherResync: after a dead-letter, patch deltas for the destination
+// are skipped with ErrResyncPending; a delivered snapshot clears the poison
+// and patches flow again. Other destinations are unaffected throughout.
+func TestPusherResync(t *testing.T) {
+	boom := errors.New("rejected")
+	sink := NewMemSink()
+	sink.FailNext = func(call int, d Delta) error {
+		if call == 0 {
+			return boom
+		}
+		return nil
+	}
+	var log resultLog
+	p, o := newTestPusher(sink, &log)
+	ctx := context.Background()
+
+	p.process(ctx, pushJob{delta: patchDelta("s0", 1)}) // dead-letters, poisons s0
+	p.process(ctx, pushJob{delta: patchDelta("s0", 2)}) // skipped: awaiting resync
+	p.process(ctx, pushJob{delta: patchDelta("s1", 2)}) // other dest unaffected
+	snap := Delta{Dest: "s0", Epoch: 3, Snapshot: true,
+		Set: []TableEntry{{In: "e", At: "s0", Prio: []string{"e"}}}}
+	p.process(ctx, pushJob{delta: snap})                // snapshot clears poison
+	p.process(ctx, pushJob{delta: patchDelta("s0", 4)}) // flows again
+
+	if len(log.errs) != 5 {
+		t.Fatalf("got %d results, want 5", len(log.errs))
+	}
+	var skip *DeadLetterError
+	if !errors.As(log.errs[1], &skip) || !errors.Is(skip, ErrResyncPending) || skip.Attempts != 0 {
+		t.Errorf("patch behind dead-letter: %v, want 0-attempt ErrResyncPending dead letter", log.errs[1])
+	}
+	for i, want := range []error{nil, nil, nil} {
+		if got := log.errs[2+i]; !errors.Is(got, want) {
+			t.Errorf("result %d = %v, want %v", 2+i, got, want)
+		}
+	}
+	if p.awaitingResync("s0") {
+		t.Error("snapshot did not clear the poison")
+	}
+	if got := o.Snapshot().Counter(obs.CtlResyncs); got != 1 {
+		t.Errorf("CtlResyncs = %d, want 1", got)
+	}
+	if e := sink.Epoch("s0"); e != 4 {
+		t.Errorf("sink epoch for s0 = %d, want 4", e)
+	}
+}
+
+// TestPusherForceCancelDrain: when the drain context is cancelled, run
+// still settles every queued job — none are lost — and exits once the queue
+// closes.
+func TestPusherForceCancelDrain(t *testing.T) {
+	sink := NewMemSink()
+	sink.Block = make(chan struct{}) // pushes would hang; force-cancel must not care
+	var log resultLog
+	p, _ := newTestPusher(sink, &log)
+
+	p.queue <- pushJob{delta: patchDelta("s0", 1)}
+	p.queue <- pushJob{delta: patchDelta("s1", 1)}
+	close(p.queue)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	done := make(chan struct{})
+	go func() {
+		p.run(ctx)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit after force-cancel with closed queue")
+	}
+	if len(log.errs) != 2 {
+		t.Fatalf("settled %d jobs, want 2", len(log.errs))
+	}
+	for i, err := range log.errs {
+		var dle *DeadLetterError
+		if !errors.As(err, &dle) {
+			t.Errorf("job %d settled with %v, want *DeadLetterError", i, err)
+		}
+	}
+}

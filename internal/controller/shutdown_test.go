@@ -1,0 +1,203 @@
+package controller
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+)
+
+// gatedSink wraps a MemSink so tests can observe a push in flight and hold
+// it there until released.
+type gatedSink struct {
+	inner   *MemSink
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGatedSink() *gatedSink {
+	return &gatedSink{
+		inner:   NewMemSink(),
+		entered: make(chan struct{}, 16),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gatedSink) Push(ctx context.Context, d Delta) error {
+	g.entered <- struct{}{}
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+	return g.inner.Push(ctx, d)
+}
+
+// TestShutdownCompletesInFlightPush: a push already at the sink when
+// shutdown begins finishes under DrainGrace, and its events settle pushed —
+// the drain is graceful, not a guillotine.
+func TestShutdownCompletesInFlightPush(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := newGatedSink()
+	h := startCtl(t, func(cfg *Config) {
+		cfg.Sink = gate
+		cfg.DrainGrace = 20 * time.Second
+	})
+
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gate.entered: // the delta is in flight at the sink
+	case <-time.After(30 * time.Second):
+		t.Fatal("push never reached the sink")
+	}
+	h.stopAsync()
+	// Shutdown is now waiting on the pusher; release the sink.
+	close(gate.release)
+	if err := h.waitExit(t); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+	s := h.wait(t, 1)[0]
+	if s.Outcome != OutcomePushed || s.Err != nil {
+		t.Fatalf("settlement = %+v, want pushed (in-flight push completed)", s)
+	}
+	if len(gate.inner.Pushes()) != 1 {
+		t.Error("in-flight push not applied")
+	}
+}
+
+// TestShutdownRejectsQueuedRetryably: events still queued — in the inbox or
+// applied but unsettled — when shutdown wins settle with the retryable
+// ErrShuttingDown, and post-shutdown offers reject with ErrClosed.
+func TestShutdownRejectsQueuedRetryably(t *testing.T) {
+	faultinject.LeakCheck(t)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inj := faultinject.New(faultinject.Fault{
+		Stage: resilience.StageCtlRepair,
+		Kind:  faultinject.Call,
+		Times: 1,
+		Do: func() {
+			close(entered)
+			<-release
+		},
+	})
+	h := startCtl(t, func(cfg *Config) { cfg.Hook = inj })
+
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered: // reconcile is mid-repair and will observe the cancel
+	case <-time.After(30 * time.Second):
+		t.Fatal("repair never started")
+	}
+	// Two more events queue behind the stalled pass.
+	for _, l := range []string{h.links[1], h.links[2]} {
+		if err := h.ctl.Offer(Event{Link: l, Up: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.stopAsync()
+	close(release)
+	if err := h.waitExit(t); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+	for _, s := range h.wait(t, 3) {
+		if s.Outcome != OutcomeError || !errors.Is(s.Err, ErrShuttingDown) {
+			t.Errorf("settlement = %+v, want retryable ErrShuttingDown", s)
+		}
+		if !Retryable(s.Err) {
+			t.Error("shutdown rejection must be retryable")
+		}
+	}
+	err := h.ctl.Offer(Event{Link: h.links[0], Up: true})
+	if !errors.Is(err, ErrClosed) || !Retryable(err) {
+		t.Errorf("post-shutdown offer = %v, want retryable ErrClosed", err)
+	}
+}
+
+// TestShutdownGraceExpiry: a sink that never answers cannot hold shutdown
+// hostage — DrainGrace expires, the push force-cancels, and its events
+// settle with a typed dead-letter error.
+func TestShutdownGraceExpiry(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := newGatedSink() // release never closed: the sink hangs forever
+	h := startCtl(t, func(cfg *Config) {
+		cfg.Sink = gate
+		cfg.DrainGrace = 50 * time.Millisecond
+		cfg.PushTimeout = 10 * time.Second
+		cfg.PushAttempts = 1
+	})
+
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gate.entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("push never reached the sink")
+	}
+	h.stopAsync()
+	if err := h.waitExit(t); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v", err)
+	}
+	s := h.wait(t, 1)[0]
+	var dle *DeadLetterError
+	if s.Outcome != OutcomeError || !errors.As(s.Err, &dle) {
+		t.Fatalf("settlement = %+v, want a dead-letter error after grace expiry", s)
+	}
+	if len(gate.inner.Pushes()) != 0 {
+		t.Error("hung push somehow applied")
+	}
+}
+
+// TestShutdownFlushesSnapshotOnce: the obs snapshot flushes to SnapshotW
+// exactly once however many times the flush path is reached.
+func TestShutdownFlushesSnapshotOnce(t *testing.T) {
+	faultinject.LeakCheck(t)
+	var buf bytes.Buffer
+	h := startCtl(t, func(cfg *Config) { cfg.SnapshotW = &buf })
+
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	if s := h.wait(t, 1)[0]; s.Outcome != OutcomePushed {
+		t.Fatalf("settlement = %+v, want pushed", s)
+	}
+	h.stop()
+	first := buf.Len()
+	if first == 0 {
+		t.Fatal("snapshot not flushed on shutdown")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("flushed snapshot is not valid JSON: %v", err)
+	}
+	h.ctl.flushSnapshot() // a second reach must be a no-op
+	if buf.Len() != first {
+		t.Error("snapshot flushed more than once")
+	}
+}
+
+// stopAsync begins shutdown without waiting (the test gates the drain).
+func (h *harness) stopAsync() { h.cancel() }
+
+// waitExit waits for Run to return and disarms the harness stop.
+func (h *harness) waitExit(t *testing.T) error {
+	t.Helper()
+	select {
+	case err := <-h.exit:
+		h.exited = true
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("controller did not exit")
+		return nil
+	}
+}

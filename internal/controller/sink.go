@@ -1,0 +1,185 @@
+package controller
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Sink is the southbound push target: whatever consumes forwarding table
+// deltas — a REST endpoint on a switch agent, a message bus, or an
+// in-memory test double.
+//
+// Push must respect ctx (each attempt runs under the pusher's per-push
+// timeout) and classify its failures: return a *TransientError (or an error
+// wrapping context.DeadlineExceeded) for conditions worth retrying;
+// anything else is permanent and dead-letters the delta.
+type Sink interface {
+	Push(ctx context.Context, d Delta) error
+}
+
+// TransientError marks a push failure as retryable. The pusher retries it
+// with full-jitter backoff up to its attempt budget; all other errors
+// dead-letter immediately.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return fmt.Sprintf("transient: %v", e.Err) }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// retryablePush reports whether a push error is worth another attempt: an
+// explicit TransientError, or a per-attempt timeout (the sink may just be
+// slow; the next attempt gets a fresh budget).
+func retryablePush(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// MemSink is the in-memory Sink for tests and simulations. It applies every
+// delta to a per-destination wire-form table (receiver semantics), records
+// the push log, and can script failures per call.
+type MemSink struct {
+	mu     sync.Mutex
+	pushes []Delta
+	tables map[string]map[string]TableEntry
+	epochs map[string]uint64
+
+	// FailNext, when non-nil, is consulted before each push with the
+	// 0-based push attempt ordinal; a non-nil return fails the push with
+	// that error and the delta is not applied.
+	FailNext func(call int, d Delta) error
+	calls    int
+
+	// Block, when non-nil, is closed by the test to release pushes; until
+	// then Push waits on it or ctx, exercising the per-push timeout.
+	Block chan struct{}
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink {
+	return &MemSink{
+		tables: make(map[string]map[string]TableEntry),
+		epochs: make(map[string]uint64),
+	}
+}
+
+// Push implements Sink.
+func (m *MemSink) Push(ctx context.Context, d Delta) error {
+	if err := m.gate(ctx, d); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if last, ok := m.epochs[d.Dest]; ok && d.Epoch < last {
+		return fmt.Errorf("memsink: epoch regression for %s: %d after %d", d.Dest, d.Epoch, last)
+	}
+	m.pushes = append(m.pushes, d)
+	m.tables[d.Dest] = applyDelta(m.tables[d.Dest], d)
+	m.epochs[d.Dest] = d.Epoch
+	return nil
+}
+
+// gate runs the scripted failure and blocking hooks outside the state lock.
+func (m *MemSink) gate(ctx context.Context, d Delta) error {
+	m.mu.Lock()
+	call := m.calls
+	m.calls++
+	fail := m.FailNext
+	block := m.Block
+	m.mu.Unlock()
+	if block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
+	}
+	if fail != nil {
+		if err := fail(call, d); err != nil {
+			return err
+		}
+	}
+	return context.Cause(ctx)
+}
+
+// Pushes returns the applied-push log in order.
+func (m *MemSink) Pushes() []Delta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Delta(nil), m.pushes...)
+}
+
+// Table returns the receiver-side table of a destination, reconstructed by
+// applying its delta stream in order.
+func (m *MemSink) Table(dest string) map[string]TableEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TableEntry, len(m.tables[dest]))
+	for k, v := range m.tables[dest] {
+		out[k] = v
+	}
+	return out
+}
+
+// Epoch returns the last applied epoch of a destination.
+func (m *MemSink) Epoch(dest string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epochs[dest]
+}
+
+// RESTSink POSTs deltas as JSON to a fixed URL — the wire sink for switch
+// agents speaking the obvious protocol. HTTP 5xx responses and transport
+// errors are transient (the agent may be restarting); 4xx responses are
+// permanent (the delta itself is rejected) and dead-letter.
+type RESTSink struct {
+	// URL receives POSTs with Content-Type application/json.
+	URL string
+	// Client defaults to http.DefaultClient. Per-push timeouts come from
+	// the pusher's context, not the client.
+	Client *http.Client
+}
+
+// Push implements Sink.
+func (r *RESTSink) Push(ctx context.Context, d Delta) error {
+	body, err := json.Marshal(d)
+	if err != nil {
+		return err // permanent: the delta cannot be encoded
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return Transient(err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 500:
+		return Transient(fmt.Errorf("restsink: %s", resp.Status))
+	default:
+		return fmt.Errorf("restsink: %s", resp.Status)
+	}
+}

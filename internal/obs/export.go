@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +51,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeHistogram(w, name, s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+
 	if len(s.Stages) == 0 {
 		return nil
 	}
@@ -74,6 +86,30 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "syrep_stage_seconds_sum{stage=%q} %.9f\n", name, sec); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram in the Prometheus exposition shape:
+// cumulative _bucket series keyed by upper bound, then _sum and _count.
+func writeHistogram(w io.Writer, name string, h HistogramStat) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatFloat(h.Bounds[i], 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	sec := float64(h.SumNanos) / float64(time.Second)
+	if _, err := fmt.Fprintf(w, "%s_sum %.9f\n%s_count %d\n", name, sec, name, h.Count); err != nil {
+		return err
 	}
 	return nil
 }

@@ -33,6 +33,11 @@ func goldenObserver() *obs.Observer {
 	o.Verify().Collected.Add(3)
 	o.Repair().Iterations.Add(2)
 	o.Repair().HolesPunched.Add(7)
+	h := o.Histogram("syrep_ctl_event_latency_seconds", 0.001, 0.01, 0.1, 1)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(42 * time.Millisecond)
+	h.Observe(3 * time.Second)
 	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
 	o.RecordSpan(obs.Span{Name: "verify", Start: base, End: base.Add(1500 * time.Microsecond)})
 	o.RecordSpan(obs.Span{Name: "repair", Start: base, End: base.Add(20 * time.Millisecond)})

@@ -1,0 +1,138 @@
+package obs_test
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+)
+
+// TestNilHistogramIsNoOp extends the nil-tap contract to histograms.
+func TestNilHistogramIsNoOp(t *testing.T) {
+	var h *obs.Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 {
+		t.Errorf("nil histogram Count = %d, want 0", h.Count())
+	}
+	st := h.Stat()
+	if st.Count != 0 || len(st.Counts) != 0 {
+		t.Errorf("nil histogram Stat = %+v, want zero value", st)
+	}
+	var o *obs.Observer
+	if o.Histogram("x") != nil {
+		t.Error("nil observer returned a non-nil histogram")
+	}
+}
+
+// TestHistogramBuckets drives observations into known buckets: an
+// observation lands in the first bucket whose upper bound is >= the value,
+// and anything past the last bound lands in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	h := obs.NewHistogram(0.001, 0.01, 0.1)
+	for _, d := range []time.Duration{
+		500 * time.Microsecond, // bucket 0 (≤1ms)
+		time.Millisecond,       // bucket 0 (boundary is inclusive)
+		2 * time.Millisecond,   // bucket 1
+		50 * time.Millisecond,  // bucket 2
+		time.Second,            // +Inf
+	} {
+		h.Observe(d)
+	}
+	st := h.Stat()
+	want := []int64{2, 1, 1, 1}
+	if len(st.Counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(st.Counts), len(want))
+	}
+	for i, w := range want {
+		if st.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, st.Counts[i], w)
+		}
+	}
+	if st.Count != 5 {
+		t.Errorf("count = %d, want 5", st.Count)
+	}
+	wantSum := int64(500*time.Microsecond + time.Millisecond + 2*time.Millisecond +
+		50*time.Millisecond + time.Second)
+	if st.SumNanos != wantSum {
+		t.Errorf("sum = %d, want %d", st.SumNanos, wantSum)
+	}
+}
+
+// TestHistogramQuantile checks the SLO-readout semantics: Quantile returns
+// the smallest bucket bound covering the q-quantile, +Inf past the last
+// bound, and 0 on an empty histogram.
+func TestHistogramQuantile(t *testing.T) {
+	h := obs.NewHistogram(0.001, 0.01, 0.1)
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	h.Observe(time.Minute)
+	st := h.Stat()
+	if got := st.Quantile(0.5); got != 0.001 {
+		t.Errorf("p50 = %v, want 0.001", got)
+	}
+	if got := st.Quantile(0.99); got != 0.1 {
+		t.Errorf("p99 = %v, want 0.1", got)
+	}
+	if got := st.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("p100 = %v, want +Inf", got)
+	}
+	if got := (obs.HistogramStat{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestHistogramDefaultBuckets: creating without bounds uses DefaultBuckets,
+// and the observer returns the same histogram on repeat lookups.
+func TestHistogramDefaultBuckets(t *testing.T) {
+	o := obs.New(nil)
+	h := o.Histogram(obs.CtlEventLatency)
+	if h != o.Histogram(obs.CtlEventLatency) {
+		t.Fatal("repeat Histogram lookup returned a different instance")
+	}
+	h.Observe(time.Millisecond)
+	st := o.Snapshot().Histogram(obs.CtlEventLatency)
+	if len(st.Bounds) != len(obs.DefaultBuckets) {
+		t.Errorf("bounds = %d, want %d (DefaultBuckets)", len(st.Bounds), len(obs.DefaultBuckets))
+	}
+	if st.Count != 1 {
+		t.Errorf("count = %d, want 1", st.Count)
+	}
+}
+
+// TestHistogramHammer observes concurrently from GOMAXPROCS goroutines and
+// checks nothing is lost (run under -race in the obs gate).
+func TestHistogramHammer(t *testing.T) {
+	o := obs.New(nil)
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := o.Histogram("hammer", 0.001, 1)
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(i%3) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := o.Snapshot().Histogram("hammer")
+	if want := int64(workers * perWorker); st.Count != want {
+		t.Errorf("count = %d, want %d", st.Count, want)
+	}
+	var sum int64
+	for _, c := range st.Counts {
+		sum += c
+	}
+	if sum != st.Count {
+		t.Errorf("bucket sum %d != count %d", sum, st.Count)
+	}
+}

@@ -30,6 +30,7 @@ package obs
 
 import (
 	"context"
+	"math"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,28 @@ const (
 	CacheEvictions  = "syrep_cache_evictions_total"
 	CacheEntries    = "syrep_cache_entries"
 	CacheBytes      = "syrep_cache_bytes"
+
+	// Churn controller (internal/controller). Counters tick per event /
+	// repair / push; the epoch gauge mirrors the reconciler's topology
+	// version; the latency histogram is the event→repaired-table SLO.
+	CtlEvents       = "syrep_ctl_events_total"
+	CtlCoalesced    = "syrep_ctl_coalesced_total"
+	CtlOverflows    = "syrep_ctl_inbox_overflow_total"
+	CtlApplied      = "syrep_ctl_applied_total"
+	CtlNoops        = "syrep_ctl_noop_events_total"
+	CtlRepairs      = "syrep_ctl_repairs_total"
+	CtlWarmRepairs  = "syrep_ctl_warm_repairs_total"
+	CtlColdSynths   = "syrep_ctl_cold_syntheses_total"
+	CtlDegraded     = "syrep_ctl_degraded_tables_total"
+	CtlStale        = "syrep_ctl_stale_repairs_total"
+	CtlErrors       = "syrep_ctl_repair_errors_total"
+	CtlPushes       = "syrep_ctl_pushes_total"
+	CtlPushRetries  = "syrep_ctl_push_retries_total"
+	CtlDeadLetters  = "syrep_ctl_dead_letters_total"
+	CtlResyncs      = "syrep_ctl_resyncs_total"
+	CtlEpoch        = "syrep_ctl_epoch"
+	CtlInboxDepth   = "syrep_ctl_inbox_depth"
+	CtlEventLatency = "syrep_ctl_event_latency_seconds"
 )
 
 // SpanTotal is the span name of the Synthesize/Repair entry points; stage
@@ -136,6 +159,117 @@ func (g *Gauge) Load() int64 {
 	return g.v.Load()
 }
 
+// DefaultBuckets are the histogram upper bounds (seconds) used when a
+// histogram is created without explicit bounds: exponential from 100µs to
+// ~100s, the range spanning warm-path repairs (sub-millisecond on small
+// topologies) to cold BDD synthesis under load. An implicit +Inf bucket
+// always follows the last bound.
+var DefaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a goroutine-safe latency histogram with fixed upper bounds.
+// Like Counter and Gauge, a nil *Histogram is a valid no-op target and every
+// observation is lock-free (one atomic add per bucket, sum, and count), so
+// hot paths hold a tap unconditionally.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds in seconds; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Int64 // summed observations in nanoseconds
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given upper bounds in seconds
+// (DefaultBuckets when none are given). Bounds must be sorted ascending;
+// the +Inf overflow bucket is implicit.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Stat copies the histogram into its snapshot form (zero value for a nil
+// receiver).
+func (h *Histogram) Stat() HistogramStat {
+	if h == nil {
+		return HistogramStat{}
+	}
+	st := HistogramStat{
+		Bounds:   append([]float64(nil), h.bounds...),
+		Counts:   make([]int64, len(h.counts)),
+		SumNanos: h.sum.Load(),
+		Count:    h.count.Load(),
+	}
+	for i := range h.counts {
+		st.Counts[i] = h.counts[i].Load()
+	}
+	return st
+}
+
+// HistogramStat is the snapshot form of a Histogram: cumulative-free bucket
+// counts aligned with Bounds (Counts has one extra element, the +Inf
+// bucket), plus the observation sum and count.
+type HistogramStat struct {
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"`
+	SumNanos int64     `json:"sumNanos"`
+	Count    int64     `json:"count"`
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) of the
+// recorded observations: the smallest bucket bound at which the cumulative
+// count reaches q·Count. It returns +Inf when the quantile lands in the
+// overflow bucket and 0 when the histogram is empty — the resolution an
+// SLO check needs ("p99 under 50ms") without storing raw samples.
+func (s HistogramStat) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if float64(target) < q*float64(s.Count) {
+		target++
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // Span is one completed stage interval.
 type Span struct {
 	// Name is the stage name (a resilience.Stage string, or SpanTotal).
@@ -196,11 +330,12 @@ type stageAgg struct {
 // *Observer, returning nil taps and no-op closures, so an unobserved run
 // costs only nil checks.
 type Observer struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	stages   map[string]*stageAgg
-	sink     Sink
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	stages     map[string]*stageAgg
+	sink       Sink
 
 	bddC    *BDDCounters
 	verifyC *VerifyCounters
@@ -210,10 +345,11 @@ type Observer struct {
 // New returns an Observer forwarding spans to sink (which may be nil).
 func New(sink Sink) *Observer {
 	return &Observer{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		stages:   make(map[string]*stageAgg),
-		sink:     sink,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		stages:     make(map[string]*stageAgg),
+		sink:       sink,
 	}
 }
 
@@ -255,6 +391,24 @@ func (o *Observer) gaugeLocked(name string) *Gauge {
 		o.gauges[name] = g
 	}
 	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// (DefaultBuckets when none) on first use; later calls return the existing
+// histogram regardless of bounds. A nil Observer returns a nil (no-op)
+// histogram.
+func (o *Observer) Histogram(name string, bounds ...float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		o.histograms[name] = h
+	}
+	return h
 }
 
 // BDD returns the BDD counter bundle under the canonical names. A nil
@@ -378,9 +532,12 @@ func (s StageStat) Duration() time.Duration { return time.Duration(s.Nanos) }
 // aggregate. It is the unit of export: WriteJSON and WritePrometheus render
 // it, and benchmark results embed it per run.
 type Snapshot struct {
-	Counters map[string]int64     `json:"counters"`
-	Gauges   map[string]int64     `json:"gauges"`
-	Stages   map[string]StageStat `json:"stages"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	// Histograms is omitted from JSON when no histogram was ever created,
+	// so pre-histogram consumers of the export schema see unchanged output.
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+	Stages     map[string]StageStat     `json:"stages"`
 }
 
 // Snapshot copies the current state. Counters touched concurrently during
@@ -404,6 +561,12 @@ func (o *Observer) Snapshot() Snapshot {
 	for name, g := range o.gauges {
 		snap.Gauges[name] = g.Load()
 	}
+	if len(o.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramStat, len(o.histograms))
+		for name, h := range o.histograms {
+			snap.Histograms[name] = h.Stat()
+		}
+	}
 	for name, agg := range o.stages {
 		snap.Stages[name] = StageStat{Count: agg.count, Nanos: agg.nanos}
 	}
@@ -415,6 +578,9 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
 // Gauge returns a gauge's snapshotted value (0 when absent).
 func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Histogram returns a histogram's snapshotted stat (zero value when absent).
+func (s Snapshot) Histogram(name string) HistogramStat { return s.Histograms[name] }
 
 // StageDuration returns the summed wall time of a stage's spans (0 when the
 // stage never ran).

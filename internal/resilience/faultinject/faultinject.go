@@ -32,6 +32,11 @@ const (
 	// Error makes the stage fail with an arbitrary error (Fault.Err, or
 	// ErrInjected when unset), exercising the hard-fault path.
 	Error
+	// Call runs the fault's Do callback and lets the stage proceed — a
+	// scripted side effect rather than a failure. The churn controller's
+	// epoch-race tests use it to offer a superseding link event in the
+	// window between a completed repair and its push.
+	Call
 )
 
 func (k Kind) String() string {
@@ -42,12 +47,15 @@ func (k Kind) String() string {
 		return "nodelimit"
 	case Error:
 		return "error"
+	case Call:
+		return "call"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
-// Kinds returns every fault kind, for matrix tests.
+// Kinds returns every *failure* kind, for matrix tests. Call is excluded:
+// it is a side-effect injection, meaningless to sweep without a scripted Do.
 func Kinds() []Kind { return []Kind{Cancel, NodeLimit, Error} }
 
 // ErrInjected is the default error of an Error-kind fault.
@@ -65,6 +73,9 @@ type Fault struct {
 	Times int
 	// Err overrides ErrInjected for Error-kind faults.
 	Err error
+	// Do is the Call-kind side effect. It runs outside the injector's lock,
+	// so it may call back into the system under test (e.g. Offer an event).
+	Do func()
 }
 
 // Injector implements resilience.Hook by replaying scripted faults. It is
@@ -95,8 +106,46 @@ func (in *Injector) BindCancel(cancel func()) *Injector {
 	return in
 }
 
-// At implements resilience.Hook.
+// At implements resilience.Hook. The firing fault is claimed under the
+// injector's lock, but its effect runs outside it, so Call-kind side
+// effects may re-enter the system under test (offering an event, say)
+// without deadlocking against a concurrent At.
 func (in *Injector) At(stage resilience.Stage) error {
+	f := in.claim(stage)
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case Cancel:
+		in.mu.Lock()
+		cancel := in.cancel
+		in.mu.Unlock()
+		if cancel == nil {
+			panic("faultinject: Cancel fault without BindCancel")
+		}
+		cancel()
+		return nil // the stage must discover the cancellation itself
+	case NodeLimit:
+		return bdd.ErrNodeLimit
+	case Error:
+		if f.Err != nil {
+			return f.Err
+		}
+		return ErrInjected
+	case Call:
+		if f.Do == nil {
+			panic("faultinject: Call fault without Do")
+		}
+		f.Do()
+		return nil // a side effect, not a failure: the stage proceeds
+	default:
+		panic(fmt.Sprintf("faultinject: unknown kind %v", f.Kind))
+	}
+}
+
+// claim records the visited stage and consumes the first matching fault's
+// firing budget, returning nil when nothing fires.
+func (in *Injector) claim(stage resilience.Stage) *Fault {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.visited = append(in.visited, stage)
@@ -106,23 +155,7 @@ func (in *Injector) At(stage resilience.Stage) error {
 			continue
 		}
 		in.fired[i]++
-		switch f.Kind {
-		case Cancel:
-			if in.cancel == nil {
-				panic("faultinject: Cancel fault without BindCancel")
-			}
-			in.cancel()
-			return nil // the stage must discover the cancellation itself
-		case NodeLimit:
-			return bdd.ErrNodeLimit
-		case Error:
-			if f.Err != nil {
-				return f.Err
-			}
-			return ErrInjected
-		default:
-			panic(fmt.Sprintf("faultinject: unknown kind %v", f.Kind))
-		}
+		return f
 	}
 	return nil
 }

@@ -129,6 +129,28 @@ const (
 	StageFinalVerify Stage = "final-verify"
 )
 
+// Churn-controller stages (internal/controller). They live here because
+// Stage is the fault-injection currency: the controller consults the same
+// Hook interface at these points, so one harness scripts faults across both
+// the pipeline and the control loop. They are deliberately NOT part of
+// FaultPoints() — the supervisor never visits them.
+const (
+	// StageCtlInbox is consulted on every event admission; an error there
+	// is treated as inbox overflow (backpressure rejection).
+	StageCtlInbox Stage = "ctl-inbox"
+	// StageCtlRepair is consulted before each per-destination repair
+	// attempt; an error fails the attempt with that error.
+	StageCtlRepair Stage = "ctl-repair"
+	// StageCtlEpoch is consulted between a completed repair and its push —
+	// the epoch-race window. A Call-kind fault injects a superseding event
+	// here; an error fails the reconcile step.
+	StageCtlEpoch Stage = "ctl-epoch"
+	// StageCtlPush is consulted before every southbound push attempt; an
+	// error becomes that attempt's failure (transient errors are retried
+	// by the pusher, everything else dead-letters the delta).
+	StageCtlPush Stage = "ctl-push"
+)
+
 // FaultPoints returns every stage at which the supervisor consults the
 // fault-injection hook, in pipeline order.
 func FaultPoints() []Stage {
@@ -137,6 +159,12 @@ func FaultPoints() []Stage {
 		StageVerifyReduced, StageRepairReduced, StageExpand,
 		StageVerify, StageRepair, StageFinalVerify,
 	}
+}
+
+// ControllerFaultPoints returns every stage at which the churn controller
+// consults the fault-injection hook, in event-lifecycle order.
+func ControllerFaultPoints() []Stage {
+	return []Stage{StageCtlInbox, StageCtlRepair, StageCtlEpoch, StageCtlPush}
 }
 
 // Hook observes (and may sabotage) the pipeline at each stage. A non-nil

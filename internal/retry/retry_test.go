@@ -1,0 +1,104 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayCeilings drives the jitter ceiling table: each attempt's delay
+// must fall in [0, min(cap, base·2^attempt)), and attempt growth must stop
+// at the cap.
+func TestDelayCeilings(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	ceilings := []time.Duration{
+		0: 10 * time.Millisecond,
+		1: 20 * time.Millisecond,
+		2: 40 * time.Millisecond,
+		3: 80 * time.Millisecond,
+		4: 80 * time.Millisecond, // capped
+		5: 80 * time.Millisecond,
+	}
+	b := New(base, cap, 42)
+	for attempt, ceil := range ceilings {
+		for trial := 0; trial < 200; trial++ {
+			d := b.Delay(attempt)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d trial %d: delay %v outside [0, %v)", attempt, trial, d, ceil)
+			}
+		}
+	}
+}
+
+// TestDelayDeterministic pins the property every fault-injection test relies
+// on: the same seed yields the same delay sequence, and different seeds
+// diverge.
+func TestDelayDeterministic(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		b := New(50*time.Millisecond, 2*time.Second, seed)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Delay(i)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical delay sequences")
+	}
+}
+
+// TestZeroSeedIsSeedOne locks the documented zero-value behavior.
+func TestZeroSeedIsSeedOne(t *testing.T) {
+	a, b := New(time.Millisecond, time.Second, 0), New(time.Millisecond, time.Second, 1)
+	for i := 0; i < 8; i++ {
+		if da, db := a.Delay(i), b.Delay(i); da != db {
+			t.Fatalf("attempt %d: seed-0 delay %v != seed-1 delay %v", i, da, db)
+		}
+	}
+}
+
+// TestDegenerateDurations: non-positive base or cap mean "retry
+// immediately", never a panic or a negative delay.
+func TestDegenerateDurations(t *testing.T) {
+	for _, b := range []*Backoff{
+		New(0, time.Second, 1),
+		New(time.Millisecond, 0, 1),
+		New(-time.Millisecond, -time.Second, 1),
+	} {
+		for attempt := 0; attempt < 4; attempt++ {
+			if d := b.Delay(attempt); d != 0 {
+				t.Fatalf("degenerate backoff returned %v, want 0", d)
+			}
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	cause := errors.New("stop")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, cause) {
+		t.Fatalf("Sleep under cancelled ctx = %v, want %v", err, cause)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v, want nil", err)
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("Sleep(1µs) = %v, want nil", err)
+	}
+}

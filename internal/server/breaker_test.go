@@ -3,6 +3,8 @@ package server
 import (
 	"testing"
 	"time"
+
+	"syrep/internal/retry"
 )
 
 // fakeClock is a manually advanced clock for deterministic breaker tests.
@@ -143,24 +145,25 @@ func TestBreakerHistoryBounded(t *testing.T) {
 	}
 }
 
-// TestBackoffFullJitter: delays are uniform in [0, min(cap, base*2^n)) and
-// reproducible from the seed.
+// TestBackoffFullJitter pins the server's retry schedule to the shared
+// helper's contract: delays uniform in [0, min(cap, base*2^n)) and
+// reproducible from the seed (the full table test lives in internal/retry).
 func TestBackoffFullJitter(t *testing.T) {
 	const base, cap = 10 * time.Millisecond, 80 * time.Millisecond
-	a := newBackoff(base, cap, 7)
+	a := retry.New(base, cap, 7)
 	ceil := []time.Duration{base, 2 * base, 4 * base, cap, cap, cap}
 	var delays []time.Duration
 	for attempt, c := range ceil {
-		d := a.delay(attempt)
+		d := a.Delay(attempt)
 		if d < 0 || d >= c {
-			t.Errorf("delay(%d) = %s, want in [0, %s)", attempt, d, c)
+			t.Errorf("Delay(%d) = %s, want in [0, %s)", attempt, d, c)
 		}
 		delays = append(delays, d)
 	}
 	// Same seed, same sequence.
-	b := newBackoff(base, cap, 7)
+	b := retry.New(base, cap, 7)
 	for attempt, want := range delays {
-		if got := b.delay(attempt); got != want {
+		if got := b.Delay(attempt); got != want {
 			t.Errorf("seeded replay diverged at attempt %d: %s != %s", attempt, got, want)
 		}
 	}

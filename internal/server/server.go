@@ -41,6 +41,7 @@ import (
 	"syrep/internal/network"
 	"syrep/internal/obs"
 	"syrep/internal/resilience"
+	"syrep/internal/retry"
 	"syrep/internal/routing"
 	"syrep/internal/verify"
 )
@@ -290,22 +291,9 @@ func (c Config) withDefaults() Config {
 		c.now = time.Now
 	}
 	if c.sleep == nil {
-		c.sleep = sleepCtx
+		c.sleep = retry.Sleep
 	}
 	return c
-}
-
-// sleepCtx sleeps for d or until ctx is cancelled, returning the
-// cancellation cause in the latter case.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return context.Cause(ctx)
-	}
 }
 
 // job is one accepted request travelling through the queue.
@@ -342,7 +330,7 @@ type Server struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 	breaker *Breaker
-	backoff *backoff
+	backoff *retry.Backoff
 
 	// baseCtx parents every request context; Shutdown cancels it with
 	// cause ErrDraining once the drain deadline passes.
@@ -368,7 +356,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		queue:      make(chan *job, cfg.QueueDepth),
 		breaker:    NewBreaker(cfg.Breaker),
-		backoff:    newBackoff(cfg.RetryBase, cfg.RetryCap, cfg.RetrySeed),
+		backoff:    retry.New(cfg.RetryBase, cfg.RetryCap, cfg.RetrySeed),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 		drainCh:    make(chan struct{}),
@@ -562,7 +550,7 @@ func (s *Server) execute(j *job) *Response {
 		}
 		s.retried.Inc()
 		last = resp
-		if err := s.cfg.sleep(s.baseCtx, s.backoff.delay(attempt)); err != nil {
+		if err := s.cfg.sleep(s.baseCtx, s.backoff.Delay(attempt)); err != nil {
 			resp.Err = errors.Join(err, resp.Err)
 			return resp
 		}
