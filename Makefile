@@ -9,7 +9,12 @@ FAULTSEEDS ?= 1,2,3,4,5,6,7,8
 # Epoch target for the churn gate (churn target).
 CHURN_EPOCHS ?= 1000
 
-.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn check
+# Seed budget for the poly-vs-brute differential verification gate
+# (verify-diff target): 60 seeds x 6 profiles x 3 sizes = 1080 instances,
+# each checked for k in 1..3 by both backends.
+VERIFY_DIFF_SEEDS ?= 60
+
+.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn verify-diff check
 
 build:
 	$(GO) build ./...
@@ -37,6 +42,7 @@ lint:
 fuzz-short:
 	$(GO) test ./internal/bdd -fuzz=FuzzMk -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bdd -fuzz=FuzzApplyGC -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/verify/poly -fuzz=FuzzPolyVerify -fuzztime=$(FUZZTIME)
 
 # Deterministic fault-injection sweep under the race detector: the full
 # matrix (every fault point x kind x strategy) plus a seed-driven sample,
@@ -77,4 +83,12 @@ churn:
 	SYREP_CHURN_EPOCHS=$(CHURN_EPOCHS) SYREP_CHURN_OUT=$(CURDIR)/BENCH_churn_slo.json \
 		$(GO) test -race -run TestChurnSimulation -count=1 -v ./internal/controller/
 
-check: build vet lint test race faults obs serve-test cache-test churn
+# Verification-backend differential gate under the race detector: the
+# poly checker against the brute-force oracle on randomized corrupted
+# multigraphs (topozoo + parallel-edge + bounce modes, seed-keyed
+# reproduction), plus a short run of the brute-oracle fuzz target.
+verify-diff:
+	SYREP_VERIFY_DIFF_SEEDS=$(VERIFY_DIFF_SEEDS) $(GO) test -race -run 'TestDifferential|TestPoly|TestFailingOrder|TestResilientCtxFirst' -count=1 ./internal/verify/ ./internal/verify/poly/
+	$(GO) test ./internal/verify/poly -fuzz=FuzzPolyVerify -fuzztime=$(FUZZTIME)
+
+check: build vet lint test race faults obs serve-test cache-test churn verify-diff

@@ -36,7 +36,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("syrep-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|warm|all")
+	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|warm|verify|all")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-instance timeout (paper: 20 min)")
 	maxNodes := fs.Int("max-nodes", 28, "largest generated instance")
 	seedsPerSize := fs.Int("seeds", 1, "generated instances per size")
@@ -46,6 +46,8 @@ func run(args []string, w io.Writer) error {
 		"observe every run and write the results with per-run metrics as JSON to this file")
 	coldwarmJSON := fs.String("coldwarm-json", "",
 		"write the cold-vs-warm comparison rows as JSON to this file (fig warm/all)")
+	verifyJSON := fs.String("verify-json", "",
+		"write the brute-vs-poly verification comparison rows as JSON to this file (fig verify/all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,7 +58,8 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "suite: %d instances, per-instance timeout %s\n\n", len(suite), *timeout)
 
-	h := &harness{timeout: *timeout, csvPath: *csvPath, metricsJSON: *metricsJSON, coldwarmJSON: *coldwarmJSON}
+	h := &harness{timeout: *timeout, csvPath: *csvPath, metricsJSON: *metricsJSON,
+		coldwarmJSON: *coldwarmJSON, verifyJSON: *verifyJSON}
 	ctx := context.Background()
 	if err := dispatch(ctx, w, h, suite, *fig); err != nil {
 		return err
@@ -80,11 +83,16 @@ func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Inst
 		return fig89(ctx, w, h, suite, fig == "8")
 	case "warm":
 		return figWarm(ctx, w, h, suite)
+	case "verify":
+		return figVerify(ctx, w, h)
 	case "all":
 		if err := fig5(ctx, w, suite); err != nil {
 			return err
 		}
 		if err := figWarm(ctx, w, h, suite); err != nil {
+			return err
+		}
+		if err := figVerify(ctx, w, h); err != nil {
 			return err
 		}
 		for _, k := range []int{2, 3} {
@@ -109,6 +117,7 @@ type harness struct {
 	csvPath      string
 	metricsJSON  string
 	coldwarmJSON string
+	verifyJSON   string
 	all          []benchmark.Result
 }
 
@@ -225,6 +234,29 @@ func figWarm(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Insta
 		return err
 	}
 	if err := benchmark.WriteColdWarmJSON(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// figVerify renders the brute-force-versus-polynomial verification backend
+// comparison on generated corrupted instances across k = 1..4.
+func figVerify(ctx context.Context, w io.Writer, h *harness) error {
+	fmt.Fprintln(w, "== Verification backends: brute-force oracle vs poly checker ==")
+	rows, err := benchmark.WriteVerifyBench(ctx, w, benchmark.VerifyBenchConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if h.verifyJSON == "" {
+		return nil
+	}
+	f, err := os.Create(h.verifyJSON)
+	if err != nil {
+		return err
+	}
+	if err := benchmark.WriteVerifyBenchJSON(f, rows); err != nil {
 		f.Close()
 		return err
 	}

@@ -93,6 +93,17 @@ func TestControllerPackageIsClean(t *testing.T) {
 	)
 }
 
+// TestVerifyPolyPackageIsClean pins the verification layer — the brute-force
+// oracle, the polynomial checker, and the vgen corruption generator — under
+// the full analyzer set. The poly checker's budgeted DFS must poll
+// cancellation (ctxpoll), and the parallel brute-force merge must keep its
+// deterministic report order (maporder) and end its spans on every path.
+func TestVerifyPolyPackageIsClean(t *testing.T) {
+	lintClean(t, analyzers,
+		"./internal/verify/...",
+	)
+}
+
 // TestLocksafePackagesAreClean runs only the lock-discipline analyzer over
 // every package in its scope (server, cache, bdd, obs), so a locksafe
 // regression is named directly even when the combined locks are skipped.
@@ -102,6 +113,21 @@ func TestLocksafePackagesAreClean(t *testing.T) {
 		"./internal/cache/...",
 		"./internal/bdd/...",
 		"./internal/obs/...",
+		"./internal/controller/...",
+		"./internal/verify/...",
+	)
+}
+
+// TestCtxpollPackagesAreClean runs only the cancellation-polling analyzer
+// over the long-running loops: the brute-force scenario sweep and the poly
+// checker's budgeted DFS, the supervisor ladder, the server drain, and the
+// controller's reconcile/pusher loops.
+func TestCtxpollPackagesAreClean(t *testing.T) {
+	lintClean(t, selectedByName(t, "ctxpoll"),
+		"./internal/verify/...",
+		"./internal/resilience/...",
+		"./internal/server/...",
+		"./internal/cache/...",
 		"./internal/controller/...",
 	)
 }
@@ -133,6 +159,7 @@ func TestSpanpairPackagesAreClean(t *testing.T) {
 		"./internal/resilience/...",
 		"./internal/server/...",
 		"./internal/controller/...",
+		"./internal/verify/...",
 		"./cmd/syrep",
 	)
 }

@@ -7,7 +7,7 @@
 //	syrep-serve [-addr host:port] [-workers N] [-queue N] [-retries N]
 //	            [-breaker-threshold N] [-breaker-cooldown D]
 //	            [-drain-timeout D] [-mem-limit MB] [-metrics-out file]
-//	            [-cache-entries N] [-cache-ttl D]
+//	            [-cache-entries N] [-cache-ttl D] [-verify-backend auto|brute|poly]
 //
 // Endpoints:
 //
@@ -41,6 +41,7 @@ import (
 	"syrep/internal/cache"
 	"syrep/internal/obs"
 	"syrep/internal/server"
+	"syrep/internal/verify/poly"
 )
 
 func main() {
@@ -72,18 +73,25 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		"synthesis cache entry time-to-live")
 	metricsOut := fs.String("metrics-out", "",
 		"write the final metrics snapshot here on shutdown (JSON when it ends in .json, Prometheus text otherwise)")
+	verifyBackend := fs.String("verify-backend", "auto",
+		"verification backend: auto (poly fast path with brute-force oracle fallback), brute, or poly")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := poly.Select(*verifyBackend)
+	if err != nil {
 		return err
 	}
 
 	ob := obs.New(nil)
 	cfg := server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		RetryMax:     *retries,
-		Breaker:      server.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
-		DrainTimeout: *drainTimeout,
-		Obs:          ob,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		RetryMax:      *retries,
+		Breaker:       server.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
+		DrainTimeout:  *drainTimeout,
+		Obs:           ob,
+		VerifyBackend: backend,
 	}
 	if *retries == 0 {
 		cfg.RetryMax = -1

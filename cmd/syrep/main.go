@@ -7,7 +7,7 @@
 //	syrep show       -topo <name|file.graphml>
 //	syrep reduce     -topo <...> [-dest <node>] [-rule sound|aggressive]
 //	syrep synthesize -topo <...> [-dest <node>] [-k N] [-strategy S] [-o table.json]
-//	syrep verify     -topo <...> -routing table.json [-k N]
+//	syrep verify     -topo <...> -routing table.json [-k N] [-backend auto|brute|poly]
 //	syrep repair     -topo <...> -routing table.json [-k N] [-o repaired.json]
 //	syrep analyze    -topo <...> -routing table.json [-max-k N]
 //
@@ -33,6 +33,7 @@ import (
 	"syrep/internal/routing"
 	"syrep/internal/topozoo"
 	"syrep/internal/verify"
+	"syrep/internal/verify/poly"
 )
 
 func main() {
@@ -282,8 +283,14 @@ func cmdVerify(args []string, w io.Writer) error {
 	topo := fs.String("topo", "", "topology name or .graphml file")
 	routingPath := fs.String("routing", "", "routing table JSON")
 	k := fs.Int("k", 2, "resilience level")
+	backendName := fs.String("backend", "auto",
+		"verification backend: auto (poly fast path, brute-force oracle fallback), brute, or poly")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	backend, err := poly.Select(*backendName)
+	if err != nil {
 		return err
 	}
 	net, err := loadTopology(*topo)
@@ -301,7 +308,7 @@ func cmdVerify(args []string, w io.Writer) error {
 	err = func() (e error) {
 		_, end := ob.StartStage(context.Background(), "verify")
 		defer end()
-		rep, e = verify.Check(context.Background(), r, *k,
+		rep, e = backend.Check(context.Background(), r, *k,
 			verify.Options{Counters: ob.Verify()})
 		return
 	}()

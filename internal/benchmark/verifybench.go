@@ -1,0 +1,185 @@
+package benchmark
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"syrep/internal/verify"
+	"syrep/internal/verify/poly"
+	"syrep/internal/verify/vgen"
+)
+
+// VerifyRow is one row of the brute-versus-poly verification comparison: the
+// same routing table checked for perfect k-resilience by both backends.
+type VerifyRow struct {
+	Instance  string        `json:"instance"`
+	Nodes     int           `json:"nodes"`
+	Edges     int           `json:"edges"`
+	K         int           `json:"k"`
+	Scenarios int           `json:"scenarios"`
+	Brute     time.Duration `json:"bruteNs"`
+	Poly      time.Duration `json:"polyNs"`
+	// Speedup is Brute/Poly; > 1 means the poly path won.
+	Speedup float64 `json:"speedup"`
+	// Applicable is false when the poly checker exceeded its visit budget
+	// and reported verify.ErrNotApplicable (Poly then times the failed
+	// attempt and Agree is vacuously true).
+	Applicable bool `json:"applicable"`
+	// Agree records verdict equality. Counterexample lists are not compared
+	// here — poly reports one minimal witness per source while brute
+	// enumerates every failing (scenario, source) pair; the differential
+	// suite in internal/verify/poly oracle-confirms each poly witness.
+	Agree     bool `json:"agree"`
+	Resilient bool `json:"resilient"`
+}
+
+// VerifyBenchConfig tunes the verification-backend sweep.
+type VerifyBenchConfig struct {
+	// MaxK sweeps k = 1..MaxK (default 4).
+	MaxK int
+	// Sizes lists the generated instance sizes in nodes (default 8, 12, 16).
+	Sizes []int
+	// Seed keys the vgen topologies and corruptions (default 1).
+	Seed int64
+}
+
+func (c VerifyBenchConfig) withDefaults() VerifyBenchConfig {
+	if c.MaxK <= 0 {
+		c.MaxK = 4
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{8, 12, 16}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// verifyBenchProfiles are the corruption shapes swept per size: an intact
+// heuristic table (the common fast "is it resilient?" query), a truncated
+// one (drops), a bounced one (loops), and a parallel-edge multigraph.
+var verifyBenchProfiles = []struct {
+	name string
+	cfg  vgen.Config
+}{
+	{"intact", vgen.Config{}},
+	{"truncate", vgen.Config{TruncateShare: 0.2}},
+	{"bounce", vgen.Config{BounceShare: 0.1}},
+	{"multigraph", vgen.Config{ParallelEdgeShare: 0.3, TruncateShare: 0.1}},
+}
+
+// VerifyBench checks every generated instance for k = 1..MaxK with both the
+// brute-force oracle and the polynomial checker, recording wall time, verdict
+// agreement, and poly applicability. Both backends run with identical
+// complete-report options so the comparison is verdict-for-verdict fair.
+func VerifyBench(ctx context.Context, cfg VerifyBenchConfig) ([]VerifyRow, error) {
+	cfg = cfg.withDefaults()
+	fast := poly.New()
+	var out []VerifyRow
+	for _, prof := range verifyBenchProfiles {
+		for _, nodes := range cfg.Sizes {
+			gen := prof.cfg
+			gen.Nodes = nodes
+			gen.Seed = cfg.Seed*1000 + int64(nodes)
+			r, err := vgen.Corrupted(gen)
+			if err != nil {
+				return nil, fmt.Errorf("vgen %s/%d: %w", prof.name, nodes, err)
+			}
+			net := r.Network()
+			for k := 1; k <= cfg.MaxK; k++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				row := VerifyRow{
+					Instance:  fmt.Sprintf("%s-n%d", prof.name, nodes),
+					Nodes:     net.NumNodes(),
+					Edges:     net.NumRealEdges(),
+					K:         k,
+					Scenarios: net.CountScenarios(k),
+				}
+
+				start := time.Now()
+				brep, err := verify.BruteForce{}.Check(ctx, r, k, verify.Options{})
+				row.Brute = time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("brute %s k=%d: %w", row.Instance, k, err)
+				}
+				row.Resilient = brep.Resilient
+
+				start = time.Now()
+				prep, err := fast.Check(ctx, r, k, verify.Options{})
+				row.Poly = time.Since(start)
+				switch {
+				case errors.Is(err, verify.ErrNotApplicable):
+					row.Applicable, row.Agree = false, true
+				case err != nil:
+					return nil, fmt.Errorf("poly %s k=%d: %w", row.Instance, k, err)
+				default:
+					row.Applicable = true
+					row.Agree = prep.Resilient == brep.Resilient
+				}
+
+				if row.Poly > 0 {
+					row.Speedup = float64(row.Brute) / float64(row.Poly)
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteVerifyBench renders the sweep as a text table with geometric-mean
+// speedups split at the k where scenario enumeration starts to hurt.
+func WriteVerifyBench(ctx context.Context, w io.Writer, cfg VerifyBenchConfig) ([]VerifyRow, error) {
+	rows, err := VerifyBench(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %6s %6s %3s %10s %12s %12s %9s %6s %6s\n",
+		"instance", "nodes", "edges", "k", "scenarios", "brute", "poly", "speedup", "appl", "agree"); err != nil {
+		return nil, err
+	}
+	logSum := map[bool]float64{}
+	n := map[bool]int{}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-16s %6d %6d %3d %10d %12s %12s %8.1fx %6t %6t\n",
+			r.Instance, r.Nodes, r.Edges, r.K, r.Scenarios,
+			r.Brute.Round(time.Microsecond), r.Poly.Round(time.Microsecond),
+			r.Speedup, r.Applicable, r.Agree); err != nil {
+			return nil, err
+		}
+		if r.Applicable && r.Speedup > 0 {
+			largeK := r.K >= 3
+			logSum[largeK] += math.Log(r.Speedup)
+			n[largeK]++
+		}
+	}
+	for _, largeK := range []bool{false, true} {
+		if n[largeK] == 0 {
+			continue
+		}
+		label := "k<=2"
+		if largeK {
+			label = "k>=3"
+		}
+		if _, err := fmt.Fprintf(w, "geomean poly speedup (%s, %d rows): %.1fx\n",
+			label, n[largeK], math.Exp(logSum[largeK]/float64(n[largeK]))); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// WriteVerifyBenchJSON emits the rows as one JSON array (the CI artifact).
+func WriteVerifyBenchJSON(w io.Writer, rows []VerifyRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

@@ -1,0 +1,57 @@
+package benchmark
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestVerifyBenchAgreesAndRenders(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := VerifyBenchConfig{MaxK: 2, Sizes: []int{8}}
+	rows, err := WriteVerifyBench(context.Background(), &buf, cfg)
+	if err != nil {
+		t.Fatalf("WriteVerifyBench: %v", err)
+	}
+	// 4 profiles x 1 size x k in 1..2.
+	if want := 4 * 2; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if !r.Agree {
+			t.Errorf("%s k=%d: backends disagree", r.Instance, r.K)
+		}
+		if r.Brute <= 0 || r.Poly <= 0 {
+			t.Errorf("%s k=%d: non-positive timing %v/%v", r.Instance, r.K, r.Brute, r.Poly)
+		}
+		if r.Scenarios <= 0 {
+			t.Errorf("%s k=%d: scenarios %d", r.Instance, r.K, r.Scenarios)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "instance") || !strings.Contains(out, "intact-n8") {
+		t.Errorf("table output missing expected content:\n%s", out)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := WriteVerifyBenchJSON(&jsonBuf, rows); err != nil {
+		t.Fatalf("WriteVerifyBenchJSON: %v", err)
+	}
+	var back []VerifyRow
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("round-trip lost rows: %d != %d", len(back), len(rows))
+	}
+}
+
+func TestVerifyBenchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := VerifyBench(ctx, VerifyBenchConfig{MaxK: 1, Sizes: []int{8}}); err == nil {
+		t.Fatal("cancelled context must surface an error")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"syrep/internal/retry"
 	"syrep/internal/routing"
 	"syrep/internal/server"
+	"syrep/internal/verify"
 )
 
 // Outcome is the terminal state of a settled event.
@@ -153,6 +154,11 @@ type Config struct {
 	// stages (resilience.ControllerFaultPoints) and passed through to the
 	// repair pipelines. Nil in production.
 	Hook resilience.Hook
+	// VerifyBackend is passed through to every repair pipeline (cold and
+	// warm-start), routing churn-reconciliation verification through an
+	// alternative backend such as the polynomial fast path. Nil means
+	// brute force.
+	VerifyBackend verify.Backend
 	// OnSettle, when non-nil, receives every settlement as it happens, on
 	// the goroutine that settled it. It must not call back into the
 	// controller.
@@ -738,10 +744,11 @@ func (c *Controller) repairDest(ctx context.Context, topo *network.Network, dest
 	rctx, cancel := context.WithTimeout(sctx, c.cfg.RepairTimeout)
 	defer cancel()
 	opts := resilience.Options{
-		Strategy: c.cfg.Strategy,
-		Timeout:  c.cfg.RepairTimeout,
-		Obs:      c.cfg.Obs,
-		Hook:     c.cfg.Hook,
+		Strategy:      c.cfg.Strategy,
+		Timeout:       c.cfg.RepairTimeout,
+		Obs:           c.cfg.Obs,
+		Hook:          c.cfg.Hook,
+		VerifyBackend: c.cfg.VerifyBackend,
 	}
 	if c.cfg.Cache != nil {
 		if r := c.warmOnce(rctx, topo, dest, opts); r != nil {

@@ -31,6 +31,10 @@ func goldenObserver() *obs.Observer {
 	o.Verify().Traces.Add(174)
 	o.Verify().Failing.Add(3)
 	o.Verify().Collected.Add(3)
+	o.Verify().BackendBrute.Add(2)
+	o.Verify().BackendPoly.Add(5)
+	o.Verify().PolyFallback.Add(1)
+	o.Verify().PolyVisits.Add(611)
 	o.Repair().Iterations.Add(2)
 	o.Repair().HolesPunched.Add(7)
 	h := o.Histogram("syrep_ctl_event_latency_seconds", 0.001, 0.01, 0.1, 1)

@@ -58,6 +58,14 @@ const (
 	VerifyFailing   = "syrep_verify_failing_total"
 	VerifyCollected = "syrep_verify_collected_total"
 
+	// Verification-backend routing (verify.Router): checks dispatched to
+	// each backend, fast-path fallbacks to the brute-force oracle, and the
+	// poly checker's search effort (DFS states visited).
+	VerifyBackendBrute = "syrep_verify_backend_brute_total"
+	VerifyBackendPoly  = "syrep_verify_backend_poly_total"
+	VerifyPolyFallback = "syrep_verify_poly_fallback_total"
+	VerifyPolyVisits   = "syrep_verify_poly_visits_total"
+
 	RepairIterations   = "syrep_repair_iterations_total"
 	RepairHolesPunched = "syrep_repair_holes_punched_total"
 
@@ -302,14 +310,22 @@ type BDDCounters struct {
 	PeakNodes      *Gauge
 }
 
-// VerifyCounters are the taps the brute-force verifier registers: scenarios
+// VerifyCounters are the taps the verification backends register: scenarios
 // examined, traces followed, failing deliveries reported, and (parallel
-// mode only) deliveries buffered by workers before the ordered merge.
+// mode only) deliveries buffered by workers before the ordered merge. The
+// backend-routing taps tick in verify.Router (which backend served each
+// check, and fast-path fallbacks to the oracle) and in the poly checker
+// (DFS states visited).
 type VerifyCounters struct {
 	Scenarios *Counter
 	Traces    *Counter
 	Failing   *Counter
 	Collected *Counter
+
+	BackendBrute *Counter
+	BackendPoly  *Counter
+	PolyFallback *Counter
+	PolyVisits   *Counter
 }
 
 // RepairCounters are the taps the repair engine registers: BDD solve
@@ -448,6 +464,11 @@ func (o *Observer) Verify() *VerifyCounters {
 			Traces:    o.counterLocked(VerifyTraces),
 			Failing:   o.counterLocked(VerifyFailing),
 			Collected: o.counterLocked(VerifyCollected),
+
+			BackendBrute: o.counterLocked(VerifyBackendBrute),
+			BackendPoly:  o.counterLocked(VerifyBackendPoly),
+			PolyFallback: o.counterLocked(VerifyPolyFallback),
+			PolyVisits:   o.counterLocked(VerifyPolyVisits),
 		}
 	}
 	return o.verifyC

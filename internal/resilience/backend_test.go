@@ -1,0 +1,89 @@
+package resilience_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"syrep/internal/papernet"
+	"syrep/internal/resilience"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+	"syrep/internal/verify/poly"
+)
+
+// countingBackend wraps a real backend and counts Check calls, proving the
+// supervisor routes its verification passes through Options.VerifyBackend.
+type countingBackend struct {
+	inner verify.Backend
+	calls atomic.Int64
+}
+
+func (c *countingBackend) Name() string { return "counting/" + c.inner.Name() }
+
+func (c *countingBackend) Check(ctx context.Context, r *routing.Routing, k int, opts verify.Options) (*verify.Report, error) {
+	c.calls.Add(1)
+	return c.inner.Check(ctx, r, k, opts)
+}
+
+// TestRepairUsesVerifyBackend: a repair run with a configured backend must
+// send its supervisor-level verification (the initial pass that prices the
+// damage) through it and still converge to a resilient routing. The repair
+// engine's inner convergence loop stays on the brute-force oracle by design
+// — it needs complete pruned failing lists, not just verdicts.
+func TestRepairUsesVerifyBackend(t *testing.T) {
+	n := papernet.Figure1()
+	broken := papernet.Figure1bRouting(n)
+	cb := &countingBackend{inner: verify.NewRouter(verify.RouterConfig{Fast: poly.New(), MinK: 1})}
+	r, err := resilience.Repair(ctx, broken.Clone(), 2, resilience.Options{VerifyBackend: cb})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if !verify.Resilient(r.Routing, 2) {
+		t.Fatal("repaired routing not 2-resilient")
+	}
+	if got := cb.calls.Load(); got < 1 {
+		t.Errorf("backend saw %d verification passes, want >= 1 (the initial pass)", got)
+	}
+}
+
+// TestSynthesizeUsesVerifyBackend covers the synthesis path, including the
+// final safety-net verification.
+func TestSynthesizeUsesVerifyBackend(t *testing.T) {
+	n := papernet.Figure1()
+	cb := &countingBackend{inner: verify.BruteForce{}}
+	r, _, err := resilience.Synthesize(ctx, n, 0, 2, resilience.Options{
+		Strategy:      resilience.Combined,
+		VerifyBackend: cb,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !verify.Resilient(r, 2) {
+		t.Fatal("routing not 2-resilient")
+	}
+	if got := cb.calls.Load(); got < 1 {
+		t.Error("backend never consulted during synthesis")
+	}
+}
+
+// TestRepairWithPolyRouterMatchesDefault: the same broken routing repaired
+// with and without the poly-routing backend must land on routings that are
+// both resilient — backend selection must not change the outcome quality.
+func TestRepairWithPolyRouterMatchesDefault(t *testing.T) {
+	n := papernet.Figure1()
+	broken := papernet.Figure1bRouting(n)
+	plain, err := resilience.Repair(ctx, broken.Clone(), 2, resilience.Options{})
+	if err != nil {
+		t.Fatalf("default repair: %v", err)
+	}
+	routed, err := resilience.Repair(ctx, broken.Clone(), 2, resilience.Options{
+		VerifyBackend: verify.NewRouter(verify.RouterConfig{Fast: poly.New(), MinK: 2}),
+	})
+	if err != nil {
+		t.Fatalf("poly-routed repair: %v", err)
+	}
+	if !verify.Resilient(plain.Routing, 2) || !verify.Resilient(routed.Routing, 2) {
+		t.Fatal("one of the repairs is not 2-resilient")
+	}
+}

@@ -343,6 +343,14 @@ type Options struct {
 	MaxAttempts int
 	// Hook is the fault-injection test hook; nil in production.
 	Hook Hook
+	// VerifyBackend routes the supervisor's verification passes (initial,
+	// reduced, warm-start, grace, and final) through an alternative
+	// verify.Backend — typically a verify.Router dispatching large-k checks
+	// to the polynomial fast path. Nil means the brute-force verify.Check,
+	// the historical behaviour. A backend whose Check fails with
+	// verify.ErrNotApplicable surfaces that error to the stage; wrap fast
+	// paths in a Router so the oracle absorbs bailouts.
+	VerifyBackend verify.Backend
 	// Obs, when non-nil, observes the run: every pipeline stage emits a
 	// wall-clock span (tagged with pprof goroutine labels, so CPU profiles
 	// attribute samples to stages), and the BDD engine, verifier, and repair

@@ -93,7 +93,7 @@ func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (out *
 	var vrep *verify.Report
 	if err == nil {
 		err = s.spanned(StageVerify, func() (e error) {
-			vrep, e = verify.Check(ctx, r, k, s.verifyOpts())
+			vrep, e = s.verifyCheck(ctx, r, s.verifyOpts())
 			return
 		})
 	}
@@ -202,6 +202,17 @@ func (s *run) verifyOpts() verify.Options {
 	return verify.Options{Prune: true, Counters: s.opts.Obs.Verify()}
 }
 
+// verifyCheck runs one verification pass through the configured backend
+// (Options.VerifyBackend), defaulting to the brute-force verify.Check. All
+// supervisor verification sites — initial, reduced, warm-start, grace, and
+// final — go through here, so backend selection applies uniformly.
+func (s *run) verifyCheck(ctx context.Context, r *routing.Routing, opts verify.Options) (*verify.Report, error) {
+	if b := s.opts.VerifyBackend; b != nil {
+		return b.Check(ctx, r, s.k, opts)
+	}
+	return verify.Check(ctx, r, s.k, opts)
+}
+
 // stageCtx derives a context bounded by the stage's share of the overall
 // timeout, with a *BudgetError cancellation cause so that a budget expiry
 // is attributable to its stage (context.Cause) rather than surfacing as a
@@ -308,7 +319,7 @@ func (s *run) fail(stage Stage, cause error, attempts int) error {
 		return p
 	}
 	gctx, cancel := context.WithTimeout(context.WithoutCancel(s.ctx), s.opts.GraceVerify)
-	vrep, err := verify.Check(gctx, r, s.k, s.verifyOpts())
+	vrep, err := s.verifyCheck(gctx, r, s.verifyOpts())
 	cancel()
 	if err != nil {
 		p.ResidualUnknown = true
@@ -412,7 +423,7 @@ func (s *run) reducedStages(rd *reduce.Reduction, h *routing.Routing) (*routing.
 	var vrep *verify.Report
 	if err == nil {
 		err = s.spanned(StageVerifyReduced, func() (e error) {
-			vrep, e = verify.Check(vctx, h, s.k, s.verifyOpts())
+			vrep, e = s.verifyCheck(vctx, h, s.verifyOpts())
 			return
 		})
 	}
@@ -482,7 +493,7 @@ func (s *run) finishOnOriginal(rd *reduce.Reduction, work *routing.Routing) (*ro
 	var vrep *verify.Report
 	if err == nil {
 		err = s.spanned(StageVerify, func() (e error) {
-			vrep, e = verify.Check(s.ctx, expanded, s.k, s.verifyOpts())
+			vrep, e = s.verifyCheck(s.ctx, expanded, s.verifyOpts())
 			return
 		})
 	}
@@ -564,7 +575,7 @@ func (s *run) finalVerify(r *routing.Routing) (*routing.Routing, error) {
 	var vrep *verify.Report
 	if err == nil {
 		err = s.spanned(StageFinalVerify, func() (e error) {
-			vrep, e = verify.Check(s.ctx, r, s.k,
+			vrep, e = s.verifyCheck(s.ctx, r,
 				verify.Options{StopAtFirst: true, Counters: s.opts.Obs.Verify()})
 			return
 		})

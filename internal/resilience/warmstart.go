@@ -86,7 +86,7 @@ func (s *run) warmStart(seed *routing.Routing) (*routing.Routing, error) {
 	var vrep *verify.Report
 	if err == nil {
 		err = s.spanned(StageVerify, func() (e error) {
-			vrep, e = verify.Check(s.ctx, seed, s.k, s.verifyOpts())
+			vrep, e = s.verifyCheck(s.ctx, seed, s.verifyOpts())
 			return
 		})
 	}

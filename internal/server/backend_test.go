@@ -1,0 +1,55 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syrep/internal/resilience"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+// countingBackend proves Config.VerifyBackend reaches the supervisor runs.
+type countingBackend struct {
+	calls atomic.Int64
+}
+
+func (c *countingBackend) Name() string { return "counting" }
+
+func (c *countingBackend) Check(ctx context.Context, r *routing.Routing, k int, opts verify.Options) (*verify.Report, error) {
+	c.calls.Add(1)
+	return verify.Check(ctx, r, k, opts)
+}
+
+// TestConfigVerifyBackendThreaded: a synthesize request on a server with a
+// configured backend must route at least one verification pass through it
+// (strategies with a final safety-net verify always run one).
+func TestConfigVerifyBackendThreaded(t *testing.T) {
+	cb := &countingBackend{}
+	s := New(Config{Workers: 1, VerifyBackend: cb, DrainTimeout: 2 * time.Second})
+	defer shutdownServer(t, s)
+
+	req := synthRequest()
+	req.Strategy = resilience.Combined
+	tkt, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := tkt.Wait(ctx)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if resp.Err != nil {
+		t.Fatalf("response error: %v", resp.Err)
+	}
+	if !resp.Resilient {
+		t.Error("synthesis did not settle resilient")
+	}
+	if cb.calls.Load() < 1 {
+		t.Error("configured VerifyBackend was never consulted")
+	}
+}

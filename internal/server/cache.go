@@ -126,11 +126,12 @@ func (s *Server) warmOnce(j *job, ent *cache.Entry) *Response {
 			return &Response{Err: err}
 		}
 		opts := resilience.Options{
-			Strategy: req.Strategy,
-			Timeout:  remaining,
-			Budgets:  req.Budgets,
-			Obs:      s.cfg.Obs,
-			Hook:     s.cfg.Hook,
+			Strategy:      req.Strategy,
+			Timeout:       remaining,
+			Budgets:       req.Budgets,
+			Obs:           s.cfg.Obs,
+			Hook:          s.cfg.Hook,
+			VerifyBackend: s.cfg.VerifyBackend,
 		}
 		r, rep, err := resilience.WarmStart(s.baseCtx, seed, req.K, opts)
 		if err != nil {

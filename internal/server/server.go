@@ -240,6 +240,10 @@ type Config struct {
 	// Hook is threaded into every supervisor run — the fault-injection
 	// test hook; nil in production.
 	Hook resilience.Hook
+	// VerifyBackend is threaded into every supervisor run and into
+	// degraded-mode residual verification (typically a verify.Router with
+	// the polynomial fast path). Nil means brute force everywhere.
+	VerifyBackend verify.Backend
 
 	// now and sleep are test seams; nil means real time.
 	now   func() time.Time
@@ -574,11 +578,12 @@ func (s *Server) fence(f func() *Response) (resp *Response) {
 func (s *Server) runOnce(req *Request, remaining time.Duration) *Response {
 	return s.fence(func() *Response {
 		opts := resilience.Options{
-			Strategy: req.Strategy,
-			Timeout:  remaining,
-			Budgets:  req.Budgets,
-			Obs:      s.cfg.Obs,
-			Hook:     s.cfg.Hook,
+			Strategy:      req.Strategy,
+			Timeout:       remaining,
+			Budgets:       req.Budgets,
+			Obs:           s.cfg.Obs,
+			Hook:          s.cfg.Hook,
+			VerifyBackend: s.cfg.VerifyBackend,
 		}
 		resp := &Response{}
 		switch {
@@ -648,7 +653,11 @@ func (s *Server) serveDegraded(req *Request, remaining time.Duration) *Response 
 		}
 		resp.Routing = r
 		vctx, cancel := context.WithTimeout(s.baseCtx, budget)
-		vrep, err := verify.Check(vctx, r, req.K, verify.Options{
+		backend := s.cfg.VerifyBackend
+		if backend == nil {
+			backend = verify.BruteForce{}
+		}
+		vrep, err := backend.Check(vctx, r, req.K, verify.Options{
 			Prune:    true,
 			Counters: s.cfg.Obs.Verify(),
 		})

@@ -1,0 +1,143 @@
+package verify
+
+// This file defines the verification-backend abstraction. The brute-force
+// checker in this package enumerates every |F| <= k failure scenario, which
+// is exact but exponential in k; the poly sub-package implements a
+// polynomial-time fast path that either returns the same verdict or reports
+// ErrNotApplicable. The Router composes the two: large-k / large-instance
+// checks go to the fast path, everything else (and every fast-path bailout)
+// to the oracle.
+
+import (
+	"context"
+	"errors"
+
+	"syrep/internal/routing"
+)
+
+// Backend is a perfect-k-resilience verification algorithm. Implementations
+// must agree with the brute-force oracle on the Resilient verdict and must
+// only report failing deliveries that the trace semantics confirm (source
+// still connected to the destination in G∖F, trace does not deliver); the
+// differential and fuzz suites enforce this. Backends differ in how much of
+// the Report beyond the verdict they fill: the brute-force checker
+// enumerates scenarios and reports every failing delivery (subject to
+// Options), while the poly checker reports Scenarios == 0 and at most one
+// counterexample per source.
+type Backend interface {
+	// Name identifies the backend ("brute-force", "poly", "router") in
+	// logs, flags, and metrics.
+	Name() string
+	// Check verifies perfect k-resilience of r, honouring Options and ctx
+	// the way verify.Check does.
+	Check(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error)
+}
+
+// ErrNotApplicable is returned by a fast-path backend that cannot decide the
+// instance within its polynomial work budget (or declines it structurally).
+// It is a routing signal, not a failure: the Router falls back to the oracle
+// and the verdict is still produced.
+var ErrNotApplicable = errors.New("verify: backend not applicable to this instance")
+
+// BruteForce is the Backend view of this package's exhaustive checker. The
+// zero value is ready to use.
+type BruteForce struct{}
+
+// Name returns "brute-force".
+func (BruteForce) Name() string { return "brute-force" }
+
+// Check runs the exhaustive scenario enumeration (verify.Check).
+func (BruteForce) Check(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	return Check(ctx, r, k, opts)
+}
+
+// Defaults of RouterConfig. MinK = 3 is where the C(m, k) scenario count
+// starts to dominate every other pipeline stage on Topology-Zoo-sized
+// networks; MinScenarios catches large-m instances whose k = 2 enumeration
+// is already bigger than a typical k = 3 run on a small network.
+const (
+	DefaultRouteMinK         = 3
+	DefaultRouteMinScenarios = 1 << 15
+)
+
+// RouterConfig tunes backend selection.
+type RouterConfig struct {
+	// Fast is the polynomial fast path (typically poly.New()). A nil Fast
+	// disables routing entirely: every check goes to the oracle.
+	Fast Backend
+	// Oracle is the exact fallback (default BruteForce{}).
+	Oracle Backend
+	// MinK routes a check to Fast when k >= MinK
+	// (default DefaultRouteMinK).
+	MinK int
+	// MinScenarios routes a check to Fast when the brute-force scenario
+	// count |{F : |F| <= k}| would reach this bound even below MinK
+	// (default DefaultRouteMinScenarios).
+	MinScenarios int
+}
+
+// Router is a Backend that dispatches between a polynomial fast path and
+// the exact oracle. Selection is by instance size: k at or above MinK, or a
+// scenario count at or above MinScenarios, goes to the fast path; a
+// fast-path ErrNotApplicable falls back to the oracle, so a Router check
+// never fails with ErrNotApplicable itself. Routing decisions and fallbacks
+// tick the BackendBrute/BackendPoly/PolyFallback counters of
+// Options.Counters.
+type Router struct {
+	cfg RouterConfig
+}
+
+// NewRouter builds a Router, applying config defaults.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Oracle == nil {
+		cfg.Oracle = BruteForce{}
+	}
+	if cfg.MinK <= 0 {
+		cfg.MinK = DefaultRouteMinK
+	}
+	if cfg.MinScenarios <= 0 {
+		cfg.MinScenarios = DefaultRouteMinScenarios
+	}
+	return &Router{cfg: cfg}
+}
+
+// Name returns "router".
+func (ro *Router) Name() string { return "router" }
+
+// UsesFast reports whether a check of r at k would be dispatched to the
+// fast path (before any not-applicable fallback).
+func (ro *Router) UsesFast(r *routing.Routing, k int) bool {
+	if ro.cfg.Fast == nil || k < 0 {
+		return false
+	}
+	if k >= ro.cfg.MinK {
+		return true
+	}
+	// k < MinK is small (MinK defaults to 3), so the binomial sum cannot
+	// overflow on any network an int can index.
+	return r.Network().CountScenarios(k) >= ro.cfg.MinScenarios
+}
+
+// Check dispatches to the selected backend, falling back to the oracle when
+// the fast path reports ErrNotApplicable.
+func (ro *Router) Check(ctx context.Context, r *routing.Routing, k int, opts Options) (*Report, error) {
+	c := opts.Counters
+	if c == nil {
+		c = noCounters
+	}
+	if !ro.UsesFast(r, k) {
+		c.BackendBrute.Inc()
+		return ro.cfg.Oracle.Check(ctx, r, k, opts)
+	}
+	c.BackendPoly.Inc()
+	rep, err := ro.cfg.Fast.Check(ctx, r, k, opts)
+	if err == nil {
+		return rep, nil
+	}
+	if !errors.Is(err, ErrNotApplicable) {
+		return nil, err
+	}
+	c.PolyFallback.Inc()
+	c.BackendBrute.Inc()
+	return ro.cfg.Oracle.Check(ctx, r, k, opts)
+}

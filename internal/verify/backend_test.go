@@ -1,0 +1,177 @@
+package verify_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+	"syrep/internal/verify/vgen"
+)
+
+// fakeBackend counts calls and returns a canned report or error.
+type fakeBackend struct {
+	name  string
+	calls int
+	rep   *verify.Report
+	err   error
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Check(ctx context.Context, r *routing.Routing, k int, opts verify.Options) (*verify.Report, error) {
+	f.calls++
+	if f.err != nil {
+		return nil, f.err
+	}
+	if f.rep != nil {
+		return f.rep, nil
+	}
+	return &verify.Report{K: k, Resilient: true}, nil
+}
+
+// TestRouterThresholds drives backend selection through the (k, instance
+// size) table. The 12-node fixture has well over 64 scenarios at k=2, so a
+// small MinScenarios redirects even low-k checks to the fast path.
+func TestRouterThresholds(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 12, Seed: 1})
+	scenariosK2 := r.Network().CountScenarios(2)
+	if scenariosK2 < 64 {
+		t.Fatalf("fixture too small: %d scenarios at k=2", scenariosK2)
+	}
+	for _, tc := range []struct {
+		name     string
+		cfg      verify.RouterConfig // Fast filled in per case
+		noFast   bool
+		k        int
+		wantFast bool
+	}{
+		{name: "below-min-k", k: 2, wantFast: false},
+		{name: "at-min-k", k: 3, wantFast: true},
+		{name: "above-min-k", k: 5, wantFast: true},
+		{name: "k-zero", k: 0, wantFast: false},
+		{name: "negative-k", k: -1, wantFast: false},
+		{name: "scenario-threshold", cfg: verify.RouterConfig{MinScenarios: 64}, k: 2, wantFast: true},
+		{name: "scenario-threshold-unmet", cfg: verify.RouterConfig{MinScenarios: scenariosK2 + 1}, k: 2, wantFast: false},
+		{name: "custom-min-k", cfg: verify.RouterConfig{MinK: 5}, k: 4, wantFast: false},
+		{name: "custom-min-k-met", cfg: verify.RouterConfig{MinK: 5}, k: 5, wantFast: true},
+		{name: "nil-fast", noFast: true, k: 5, wantFast: false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := &fakeBackend{name: "fast"}
+			oracle := &fakeBackend{name: "oracle"}
+			cfg := tc.cfg
+			if !tc.noFast {
+				cfg.Fast = fast
+			}
+			cfg.Oracle = oracle
+			ro := verify.NewRouter(cfg)
+			if got := ro.UsesFast(r, tc.k); got != tc.wantFast {
+				t.Fatalf("UsesFast(k=%d) = %v, want %v", tc.k, got, tc.wantFast)
+			}
+			if tc.k < 0 {
+				return // Check would reject negative k in the backend itself
+			}
+			if _, err := ro.Check(context.Background(), r, tc.k, verify.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			wantFastCalls, wantOracleCalls := 0, 1
+			if tc.wantFast {
+				wantFastCalls, wantOracleCalls = 1, 0
+			}
+			if fast.calls != wantFastCalls || oracle.calls != wantOracleCalls {
+				t.Errorf("calls: fast=%d oracle=%d, want fast=%d oracle=%d",
+					fast.calls, oracle.calls, wantFastCalls, wantOracleCalls)
+			}
+		})
+	}
+}
+
+// TestRouterForcedFallback: a fast path reporting ErrNotApplicable must be
+// retried on the oracle, tick the fallback counter, and surface the oracle's
+// report; a genuine fast-path error must propagate instead.
+func TestRouterForcedFallback(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 8, Seed: 2})
+	oracleRep := &verify.Report{K: 3, Resilient: false}
+
+	fast := &fakeBackend{name: "fast", err: verify.ErrNotApplicable}
+	oracle := &fakeBackend{name: "oracle", rep: oracleRep}
+	o := obs.New(nil)
+	ro := verify.NewRouter(verify.RouterConfig{Fast: fast, Oracle: oracle})
+	rep, err := ro.Check(context.Background(), r, 3, verify.Options{Counters: o.Verify()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != oracleRep {
+		t.Error("fallback did not surface the oracle report")
+	}
+	if fast.calls != 1 || oracle.calls != 1 {
+		t.Errorf("calls: fast=%d oracle=%d, want 1 and 1", fast.calls, oracle.calls)
+	}
+	snap := o.Snapshot()
+	if got := snap.Counter(obs.VerifyPolyFallback); got != 1 {
+		t.Errorf("fallback counter = %d, want 1", got)
+	}
+	if got := snap.Counter(obs.VerifyBackendPoly); got != 1 {
+		t.Errorf("poly backend counter = %d, want 1", got)
+	}
+	if got := snap.Counter(obs.VerifyBackendBrute); got != 1 {
+		t.Errorf("brute backend counter = %d, want 1 (the fallback)", got)
+	}
+
+	boom := errors.New("boom")
+	failing := &fakeBackend{name: "fast", err: boom}
+	oracle2 := &fakeBackend{name: "oracle"}
+	ro2 := verify.NewRouter(verify.RouterConfig{Fast: failing, Oracle: oracle2})
+	if _, err := ro2.Check(context.Background(), r, 3, verify.Options{}); !errors.Is(err, boom) {
+		t.Fatalf("genuine fast-path error was swallowed: %v", err)
+	}
+	if oracle2.calls != 0 {
+		t.Errorf("oracle ran %d times after a non-applicability error, want 0", oracle2.calls)
+	}
+}
+
+// TestRouterCountsBruteDispatch: small-k checks tick the brute counter once
+// and never touch the fast path.
+func TestRouterCountsBruteDispatch(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 8, Seed: 3})
+	fast := &fakeBackend{name: "fast"}
+	o := obs.New(nil)
+	ro := verify.NewRouter(verify.RouterConfig{Fast: fast})
+	if _, err := ro.Check(context.Background(), r, 1, verify.Options{Counters: o.Verify()}); err != nil {
+		t.Fatal(err)
+	}
+	if fast.calls != 0 {
+		t.Errorf("fast path ran %d times for k=1, want 0", fast.calls)
+	}
+	snap := o.Snapshot()
+	if got := snap.Counter(obs.VerifyBackendBrute); got != 1 {
+		t.Errorf("brute backend counter = %d, want 1", got)
+	}
+	if got := snap.Counter(obs.VerifyBackendPoly); got != 0 {
+		t.Errorf("poly backend counter = %d, want 0", got)
+	}
+}
+
+// TestBruteForceBackendDelegates: the Backend view of the exhaustive checker
+// returns exactly what verify.Check returns.
+func TestBruteForceBackendDelegates(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 8, Seed: 4, TruncateShare: 0.35})
+	direct, err := verify.Check(context.Background(), r, 1, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b verify.Backend = verify.BruteForce{}
+	viaBackend, err := b.Check(context.Background(), r, 1, verify.Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Resilient != viaBackend.Resilient || len(direct.Failing) != len(viaBackend.Failing) {
+		t.Errorf("backend report differs from direct Check: %+v vs %+v", viaBackend, direct)
+	}
+	if b.Name() != "brute-force" {
+		t.Errorf("Name() = %q", b.Name())
+	}
+}

@@ -3,40 +3,28 @@ package verify_test
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"reflect"
 	"runtime"
 	"testing"
 
-	"syrep/internal/heuristic"
 	"syrep/internal/network"
 	"syrep/internal/obs"
 	"syrep/internal/routing"
-	"syrep/internal/topozoo"
+	"syrep/internal/trace"
 	"syrep/internal/verify"
+	"syrep/internal/verify/vgen"
 )
 
-// corruptedRouting generates a Zoo-like multigraph, builds the heuristic
-// routing for it, and then deterministically sabotages a share of the
-// entries by truncating their priority lists to the first edge — packets
-// arriving there are dropped as soon as that edge fails, so verification
-// finds failing deliveries at every k >= 1.
+// corruptedRouting builds a seed-keyed sabotaged instance via the shared
+// vgen generator (see vgen.Config for reproduction): a Zoo-like multigraph
+// whose heuristic routing has a share of its priority lists truncated to the
+// first edge, so verification finds failing deliveries at every k >= 1.
 func corruptedRouting(t *testing.T, nodes int, seed int64, share float64) *routing.Routing {
 	t.Helper()
-	net := topozoo.Generate(topozoo.GenConfig{Nodes: nodes, Seed: seed})
-	r, err := heuristic.Generate(context.Background(), net, 0)
+	cfg := vgen.Config{Nodes: nodes, Seed: seed, TruncateShare: share}
+	r, err := vgen.Corrupted(cfg)
 	if err != nil {
-		t.Fatalf("heuristic.Generate: %v", err)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	for _, key := range r.Keys() {
-		if rng.Float64() >= share {
-			continue
-		}
-		prio, _ := r.Get(key.In, key.At)
-		if len(prio) > 1 {
-			r.MustSet(key.In, key.At, prio[:1])
-		}
+		t.Fatalf("reproduce: %v: %v", cfg, err)
 	}
 	return r
 }
@@ -44,14 +32,18 @@ func corruptedRouting(t *testing.T, nodes int, seed int64, share float64) *routi
 // TestDifferentialParallelVsSequential is the differential harness: on
 // randomized small multigraphs and k in {1, 2}, a parallel Check must
 // produce a report identical (deep-equal: Scenarios, Traces, Resilient, and
-// the failing set in order) to the sequential one, across the option
-// combinations for which the ordered merge guarantees equality.
+// the failing set in order) to the sequential one, across every option
+// combination — including Prune+MaxFailures, whose divergence was once
+// sanctioned and is now fixed by exempting pruned worker buffers from the
+// local cap.
 func TestDifferentialParallelVsSequential(t *testing.T) {
 	optionSets := []verify.Options{
 		{},
 		{Prune: true},
 		{MaxFailures: 3},
 		{MaxFailures: 1},
+		{Prune: true, MaxFailures: 3},
+		{Prune: true, MaxFailures: 1},
 	}
 	for _, nodes := range []int{8, 11, 14} {
 		for seed := int64(1); seed <= 4; seed++ {
@@ -76,6 +68,122 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 						}
 					})
 				}
+			}
+		}
+	}
+}
+
+// TestDifferentialMultigraphModes sweeps the extended corruption modes of
+// the shared generator — parallel-edge duplication and bounce (self-loop)
+// entries — through the parallel-vs-sequential property, printing the
+// reproducing config on mismatch.
+func TestDifferentialMultigraphModes(t *testing.T) {
+	modes := []vgen.Config{
+		{ParallelEdgeShare: 0.4, TruncateShare: 0.25},
+		{BounceShare: 0.25},
+		{ParallelEdgeShare: 0.3, BounceShare: 0.15, TruncateShare: 0.1},
+	}
+	for _, mode := range modes {
+		for _, nodes := range []int{9, 12} {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := mode
+				cfg.Nodes = nodes
+				cfg.Seed = seed
+				r, err := vgen.Corrupted(cfg)
+				if err != nil {
+					t.Fatalf("reproduce: %v: %v", cfg, err)
+				}
+				for _, base := range []verify.Options{{}, {Prune: true, MaxFailures: 2}} {
+					seqOpts, parOpts := base, base
+					parOpts.Parallel = true
+					seq, err := verify.Check(context.Background(), r, 2, seqOpts)
+					if err != nil {
+						t.Fatalf("reproduce: %v: %v", cfg, err)
+					}
+					par, err := verify.Check(context.Background(), r, 2, parOpts)
+					if err != nil {
+						t.Fatalf("reproduce: %v: %v", cfg, err)
+					}
+					if !reflect.DeepEqual(seq, par) {
+						t.Errorf("reproduce: %v prune=%v max=%d: parallel diverged:\nseq: %+v\npar: %+v",
+							cfg, base.Prune, base.MaxFailures, seq, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFailingOrderIsScenarioOrder pins the documented Report.Failing
+// ordering: scenario enumeration order (ForEachScenario), then ascending
+// source within a scenario. The expectation is recomputed from first
+// principles with the trace engine.
+func TestFailingOrderIsScenarioOrder(t *testing.T) {
+	r := corruptedRouting(t, 12, 5, 0.35)
+	n := r.Network()
+	var want []verify.FailingDelivery
+	n.ForEachScenario(2, func(F network.EdgeSet) bool {
+		for _, s := range n.Nodes() {
+			if s == r.Dest() || !n.ConnectedWithout(s, r.Dest(), F) {
+				continue
+			}
+			if res := trace.Run(r, F, s); res.Outcome != trace.Delivered {
+				want = append(want, verify.FailingDelivery{Source: s, Failed: F.Clone(), Outcome: res.Outcome})
+			}
+		}
+		return true
+	})
+	if len(want) == 0 {
+		t.Fatal("fixture too tame: no failing deliveries")
+	}
+	for _, parallel := range []bool{false, true} {
+		rep, err := verify.Check(context.Background(), r, 2, verify.Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Failing) != len(want) {
+			t.Fatalf("parallel=%v: %d failing deliveries, want %d", parallel, len(rep.Failing), len(want))
+		}
+		for i := range want {
+			got := rep.Failing[i]
+			if got.Source != want[i].Source || !got.Failed.Equal(want[i].Failed) || got.Outcome != want[i].Outcome {
+				t.Fatalf("parallel=%v: entry %d is (src %d, %v, %v), want (src %d, %v, %v)",
+					parallel, i, got.Source, got.Failed, got.Outcome,
+					want[i].Source, want[i].Failed, want[i].Outcome)
+			}
+		}
+	}
+}
+
+// TestResilientCtxFirstCounterexample is the regression test for the pinned
+// ResilientCtx/StopAtFirst ordering: whichever execution mode runs
+// underneath, the single reported counterexample must be the globally first
+// failing delivery in (scenario order, source order).
+func TestResilientCtxFirstCounterexample(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := corruptedRouting(t, 11, seed, 0.35)
+		full, err := verify.Check(context.Background(), r, 2, verify.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verify.ResilientCtx(context.Background(), r, 2) != full.Resilient {
+			t.Errorf("seed %d: ResilientCtx disagrees with full Check", seed)
+		}
+		if full.Resilient {
+			continue
+		}
+		for _, parallel := range []bool{false, true} {
+			rep, err := verify.Check(context.Background(), r, 2,
+				verify.Options{StopAtFirst: true, Parallel: parallel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Failing) != 1 {
+				t.Fatalf("seed %d parallel=%v: %d counterexamples, want 1", seed, parallel, len(rep.Failing))
+			}
+			if !reflect.DeepEqual(rep.Failing[0], full.Failing[0]) {
+				t.Errorf("seed %d parallel=%v: first counterexample is not the globally first failing delivery:\ngot:  %+v\nwant: %+v",
+					seed, parallel, rep.Failing[0], full.Failing[0])
 			}
 		}
 	}
@@ -217,22 +325,13 @@ func TestVerifyCountersMatchReport(t *testing.T) {
 	}
 }
 
-// A looping fixture (not just dropping): two entries pointing at each other
-// keeps the trace engine's loop detection inside the differential net too.
+// A looping fixture (not just dropping): bounce-corrupted entries keep the
+// trace engine's loop detection inside the differential net too.
 func TestDifferentialWithLoopingEntries(t *testing.T) {
-	net := topozoo.Generate(topozoo.GenConfig{Nodes: 10, Seed: 99})
-	r, err := heuristic.Generate(context.Background(), net, 0)
+	cfg := vgen.Config{Nodes: 10, Seed: 99, BounceShare: 0.3}
+	r, err := vgen.Corrupted(cfg)
 	if err != nil {
-		t.Fatal(err)
-	}
-	// Rewire one node's entries to bounce on its first incident edge.
-	var at network.NodeID = 3
-	for _, key := range r.Keys() {
-		if key.At != at {
-			continue
-		}
-		prio, _ := r.Get(key.In, key.At)
-		r.MustSet(key.In, key.At, prio[:1])
+		t.Fatalf("reproduce: %v: %v", cfg, err)
 	}
 	seq, err := verify.Check(context.Background(), r, 2, verify.Options{Prune: true})
 	if err != nil {
@@ -243,6 +342,6 @@ func TestDifferentialWithLoopingEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(seq, par) {
-		t.Errorf("looping fixture diverged:\nseq: %+v\npar: %+v", seq, par)
+		t.Errorf("reproduce: %v: looping fixture diverged:\nseq: %+v\npar: %+v", cfg, seq, par)
 	}
 }

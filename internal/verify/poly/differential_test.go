@@ -1,0 +1,195 @@
+package poly_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"syrep/internal/verify"
+	"syrep/internal/verify/poly"
+	"syrep/internal/verify/vgen"
+)
+
+// profiles are the corruption mixes the differential suite sweeps. Together
+// with the node sizes and seeds they span intact, dropping, looping,
+// parallel-edge, and saturated instances.
+var profiles = []struct {
+	name                  string
+	truncate, par, bounce float64
+}{
+	{"intact", 0, 0, 0},
+	{"truncate", 0.35, 0, 0},
+	{"bounce", 0, 0, 0.2},
+	{"multigraph", 0.2, 0.35, 0},
+	{"multibounce", 0.1, 0.3, 0.15},
+	{"saturated", 1.1, 0, 0},
+}
+
+// diffSeeds returns how many seeds per (profile, size) cell the suite runs.
+// The default keeps `go test ./...` snappy; `make verify-diff` raises it via
+// SYREP_VERIFY_DIFF_SEEDS so the full run covers >= 1000 distinct instances
+// (profiles × sizes × seeds).
+func diffSeeds(t *testing.T) int {
+	if env := os.Getenv("SYREP_VERIFY_DIFF_SEEDS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SYREP_VERIFY_DIFF_SEEDS=%q: %v", env, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 8
+}
+
+// TestDifferentialPolyVsBrute is the headline harness: on randomized
+// corrupted multigraphs, the poly backend must agree with the brute-force
+// oracle on the resilient/non-resilient verdict for every k in {1, 2, 3},
+// and every counterexample it reports must survive oracle confirmation
+// (budgeted scenario, source still connected, trace does not deliver). A
+// failure prints the vgen.Config literal that reproduces the instance.
+func TestDifferentialPolyVsBrute(t *testing.T) {
+	seeds := diffSeeds(t)
+	checker := poly.New()
+	instances, fallbacks := 0, 0
+	for _, prof := range profiles {
+		prof := prof
+		t.Run(prof.name, func(t *testing.T) {
+			for _, nodes := range []int{8, 11, 14} {
+				for seed := int64(1); seed <= int64(seeds); seed++ {
+					cfg := vgen.Config{
+						Nodes:             nodes,
+						Seed:              seed*1000 + int64(nodes),
+						TruncateShare:     prof.truncate,
+						ParallelEdgeShare: prof.par,
+						BounceShare:       prof.bounce,
+					}
+					r, err := vgen.Corrupted(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					instances++
+					for k := 1; k <= 3; k++ {
+						brute, err := verify.Check(context.Background(), r, k, verify.Options{Prune: true})
+						if err != nil {
+							t.Fatalf("reproduce: %v k=%d: brute: %v", cfg, k, err)
+						}
+						rep, err := checker.Check(context.Background(), r, k, verify.Options{})
+						if errors.Is(err, verify.ErrNotApplicable) {
+							fallbacks++
+							continue
+						}
+						if err != nil {
+							t.Fatalf("reproduce: %v k=%d: poly: %v", cfg, k, err)
+						}
+						if rep.Resilient != brute.Resilient {
+							t.Errorf("reproduce: %v k=%d: poly verdict %v, brute %v (%d oracle counterexamples)",
+								cfg, k, rep.Resilient, brute.Resilient, len(brute.Failing))
+							continue
+						}
+						checkReportShape(t, r, k, rep)
+						if t.Failed() {
+							t.Fatalf("reproduce: %v k=%d", cfg, k)
+						}
+					}
+				}
+			}
+		})
+	}
+	t.Logf("differential: %d instances × k∈{1,2,3}, %d poly fallbacks", instances, fallbacks)
+	if fallbacks > instances {
+		t.Errorf("poly fell back on %d of %d instance×k checks — fast path is not earning its keep",
+			fallbacks, instances*3)
+	}
+}
+
+// TestDifferentialPolyStrategies crosses the backends over the option
+// strategies callers actually use (StopAtFirst for supervisor gates,
+// MaxFailures for capped repair feeds): the verdict must match the oracle
+// under every strategy, and capped reports must respect their cap.
+func TestDifferentialPolyStrategies(t *testing.T) {
+	seeds := diffSeeds(t)
+	strategies := []struct {
+		name string
+		opts verify.Options
+	}{
+		{"plain", verify.Options{}},
+		{"stop-at-first", verify.Options{StopAtFirst: true}},
+		{"capped", verify.Options{MaxFailures: 2}},
+	}
+	checker := poly.New()
+	for _, nodes := range []int{8, 12} {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			cfg := vgen.Config{Nodes: nodes, Seed: seed, TruncateShare: 0.3, BounceShare: 0.1}
+			r := vgen.Must(cfg)
+			for k := 1; k <= 2; k++ {
+				oracle, err := verify.Check(context.Background(), r, k, verify.Options{StopAtFirst: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, st := range strategies {
+					rep, err := checker.Check(context.Background(), r, k, st.opts)
+					if errors.Is(err, verify.ErrNotApplicable) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("reproduce: %v k=%d %s: %v", cfg, k, st.name, err)
+					}
+					if rep.Resilient != oracle.Resilient {
+						t.Errorf("reproduce: %v k=%d %s: poly verdict %v, oracle %v",
+							cfg, k, st.name, rep.Resilient, oracle.Resilient)
+					}
+					if st.opts.StopAtFirst && len(rep.Failing) > 1 {
+						t.Errorf("reproduce: %v k=%d: StopAtFirst returned %d counterexamples",
+							cfg, k, len(rep.Failing))
+					}
+					if max := st.opts.MaxFailures; max > 0 && len(rep.Failing) > max {
+						t.Errorf("reproduce: %v k=%d: cap %d exceeded with %d counterexamples",
+							cfg, k, max, len(rep.Failing))
+					}
+					for _, f := range rep.Failing {
+						confirmDelivery(t, r, k, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRouterNeverNotApplicable: the composed Router must absorb
+// every poly bailout — including artificially starved ones — and still agree
+// with the oracle.
+func TestDifferentialRouterNeverNotApplicable(t *testing.T) {
+	starved := verify.NewRouter(verify.RouterConfig{
+		Fast: poly.NewWithOptions(poly.Options{MaxVisits: 3}),
+		MinK: 1,
+	})
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := vgen.Config{Nodes: 10, Seed: seed, TruncateShare: 0.35}
+		r := vgen.Must(cfg)
+		for k := 1; k <= 2; k++ {
+			oracle, err := verify.Check(context.Background(), r, k, verify.Options{Prune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := starved.Check(context.Background(), r, k, verify.Options{Prune: true})
+			if err != nil {
+				t.Fatalf("reproduce: %v k=%d: router: %v", cfg, k, err)
+			}
+			if rep.Resilient != oracle.Resilient {
+				t.Errorf("reproduce: %v k=%d: router verdict %v, oracle %v",
+					cfg, k, rep.Resilient, oracle.Resilient)
+			}
+		}
+	}
+}
+
+func ExampleSelect() {
+	b, _ := poly.Select("auto")
+	fmt.Println(b.Name())
+	// Output: router
+}

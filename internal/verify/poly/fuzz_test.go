@@ -1,0 +1,65 @@
+package poly_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/trace"
+	"syrep/internal/verify"
+	"syrep/internal/verify/poly"
+	"syrep/internal/verify/vgen"
+)
+
+// FuzzPolyVerify drives the poly backend against the brute-force oracle on
+// fuzzer-chosen corrupted multigraphs. The fuzzer picks topology size, seed,
+// the three corruption shares, and k; the property is verdict equality plus
+// oracle confirmation of every poly counterexample.
+func FuzzPolyVerify(f *testing.F) {
+	f.Add(uint8(8), int64(1), uint8(35), uint8(0), uint8(0), uint8(1))
+	f.Add(uint8(11), int64(7), uint8(20), uint8(30), uint8(10), uint8(2))
+	f.Add(uint8(14), int64(42), uint8(0), uint8(0), uint8(25), uint8(2))
+	f.Add(uint8(6), int64(99), uint8(100), uint8(0), uint8(0), uint8(3))
+	f.Add(uint8(4), int64(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, nodes uint8, seed int64, truncPct, parPct, bouncePct, kRaw uint8) {
+		cfg := vgen.Config{
+			// Small instances keep the oracle fast; topozoo clamps below 4.
+			Nodes:             int(nodes%13) + 4,
+			Seed:              seed,
+			TruncateShare:     float64(truncPct%101) / 100,
+			ParallelEdgeShare: float64(parPct%101) / 100,
+			BounceShare:       float64(bouncePct%101) / 100,
+		}
+		k := int(kRaw % 4)
+		r, err := vgen.Corrupted(cfg)
+		if err != nil {
+			t.Skip() // degenerate generator config, not a backend bug
+		}
+		brute, err := verify.Check(context.Background(), r, k, verify.Options{})
+		if err != nil {
+			t.Fatalf("reproduce: %v k=%d: brute: %v", cfg, k, err)
+		}
+		rep, err := poly.New().Check(context.Background(), r, k, verify.Options{})
+		if errors.Is(err, verify.ErrNotApplicable) {
+			return // sanctioned: the router would fall back to the oracle
+		}
+		if err != nil {
+			t.Fatalf("reproduce: %v k=%d: poly: %v", cfg, k, err)
+		}
+		if rep.Resilient != brute.Resilient {
+			t.Fatalf("reproduce: %v k=%d: poly verdict %v, brute %v (%d oracle counterexamples)",
+				cfg, k, rep.Resilient, brute.Resilient, len(brute.Failing))
+		}
+		for _, fd := range rep.Failing {
+			if fd.Failed.Len() > k {
+				t.Fatalf("reproduce: %v k=%d: counterexample uses %d failures", cfg, k, fd.Failed.Len())
+			}
+			if !r.Network().ConnectedWithout(fd.Source, r.Dest(), fd.Failed) {
+				t.Fatalf("reproduce: %v k=%d: counterexample source %d disconnected", cfg, k, fd.Source)
+			}
+			if res := trace.Run(r, fd.Failed, fd.Source); res.Outcome == trace.Delivered {
+				t.Fatalf("reproduce: %v k=%d: counterexample delivers on replay", cfg, k)
+			}
+		}
+	})
+}

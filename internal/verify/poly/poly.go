@@ -1,0 +1,293 @@
+// Package poly implements the polynomial-work fast path for perfect
+// k-resilience verification (cf. Bentert & Schmid, "Perfect Network
+// Resilience in Polynomial Time"). Instead of enumerating all C(m, k)
+// failure scenarios like the brute-force oracle, it runs one budgeted
+// decision-prefix DFS per source over forwarding states (in-edge, node):
+// at each state the priority list is split into a failed prefix and the
+// first surviving edge, and the search branches over where that split can
+// fall, carrying the set of edges *required failed* (F_req) and *required
+// alive* (A_req) along the path.
+//
+// Every leaf of the search is one of: the destination (that family of
+// scenarios delivers), a revisited on-path state (the trace loops), or an
+// exhausted priority list / missing entry (the trace drops or hits a hole).
+// For a non-delivering leaf, F_req is the minimum failure scenario of its
+// family; since connectivity is monotone decreasing in F, checking
+// source–dest connectivity under F_req alone decides whether any scenario of
+// the family is a genuine failing delivery, and replaying trace.Run under
+// F_req confirms the counterexample the way the oracle would.
+//
+// The search is exact whenever it completes: it finds a failing delivery iff
+// one exists with |F| <= k. What makes it polynomial is an explicit visit
+// budget; instances whose decision tree exceeds the budget return
+// verify.ErrNotApplicable and the Router falls back to the oracle, so the
+// verdict is never wrong, only occasionally deferred.
+package poly
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+	"syrep/internal/verify"
+)
+
+// DefaultVisitFactor scales the visit budget: a check may spend up to
+// VisitFactor × numStates × (k+1) state visits before declaring itself not
+// applicable. 64 is generous headroom over the typical near-linear search on
+// repaired or lightly corrupted tables while still bounding adversarial
+// instances to polynomial work.
+const DefaultVisitFactor = 64
+
+// ctxPollInterval is how many state visits pass between context polls.
+const ctxPollInterval = 256
+
+// Options tunes a Checker.
+type Options struct {
+	// VisitFactor overrides DefaultVisitFactor when > 0.
+	VisitFactor int
+	// MaxVisits pins the visit budget to an absolute value when > 0,
+	// ignoring VisitFactor. Mainly for tests that need a deterministic
+	// not-applicable bailout.
+	MaxVisits int64
+}
+
+// Checker is the polynomial backend. It implements verify.Backend; the zero
+// value is ready to use.
+type Checker struct {
+	opts Options
+}
+
+// New returns a Checker with default options.
+func New() *Checker { return &Checker{} }
+
+// NewWithOptions returns a Checker with explicit options.
+func NewWithOptions(opts Options) *Checker { return &Checker{opts: opts} }
+
+// Name returns "poly".
+func (c *Checker) Name() string { return "poly" }
+
+// Sentinel errors internal to the search. errBudget and errConfirm surface as
+// verify.ErrNotApplicable; errSourceDone/errAllDone are control flow.
+var (
+	errBudget     = errors.New("poly: visit budget exhausted")
+	errConfirm    = errors.New("poly: confirmation trace disagreed with search")
+	errSourceDone = errors.New("poly: source resolved")
+	errAllDone    = errors.New("poly: collection complete")
+)
+
+var noCounters = &obs.VerifyCounters{}
+
+// Check verifies perfect k-resilience of r. The report carries the verdict,
+// at most one oracle-confirmed counterexample per source (in ascending
+// source order, the first in deterministic search order for that source),
+// and Scenarios == 0 — the poly path never enumerates scenarios. Options
+// honoured: StopAtFirst, MaxFailures (both cut collection short once the
+// verdict is known), Counters. Prune and Parallel are accepted and ignored:
+// the per-source counterexamples are never mutually subsumed, and the search
+// is cheap enough sequentially.
+func (c *Checker) Check(ctx context.Context, r *routing.Routing, k int, opts verify.Options) (*verify.Report, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("verify/poly: negative resilience level %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	counters := opts.Counters
+	if counters == nil {
+		counters = noCounters
+	}
+	n := r.Network()
+	numStates := (n.NumRealEdges() + n.NumNodes()) * n.NumNodes()
+	factor := c.opts.VisitFactor
+	if factor <= 0 {
+		factor = DefaultVisitFactor
+	}
+	budget := int64(factor) * int64(numStates) * int64(k+1)
+	if c.opts.MaxVisits > 0 {
+		budget = c.opts.MaxVisits
+	}
+	maxFailing := opts.MaxFailures
+	if opts.StopAtFirst && (maxFailing == 0 || maxFailing > 1) {
+		maxFailing = 1
+	}
+	s := &search{
+		ctx:        ctx,
+		r:          r,
+		n:          n,
+		dest:       r.Dest(),
+		k:          k,
+		numNodes:   n.NumNodes(),
+		budget:     budget,
+		failed:     network.NewEdgeSet(n.NumRealEdges()),
+		alive:      network.NewEdgeSet(n.NumRealEdges()),
+		onPath:     make([]bool, numStates),
+		maxFailing: maxFailing,
+		rep:        &verify.Report{K: k, Resilient: true},
+	}
+	err := s.run()
+	counters.PolyVisits.Add(s.visits)
+	if err != nil {
+		if errors.Is(err, errBudget) || errors.Is(err, errConfirm) {
+			return nil, fmt.Errorf("%w: %v", verify.ErrNotApplicable, err)
+		}
+		return nil, err
+	}
+	s.rep.Traces = s.traces
+	counters.Traces.Add(int64(s.traces))
+	counters.Failing.Add(int64(len(s.rep.Failing)))
+	return s.rep, nil
+}
+
+// search carries the DFS state for one Check call.
+type search struct {
+	ctx      context.Context
+	r        *routing.Routing
+	n        *network.Network
+	dest     network.NodeID
+	k        int
+	numNodes int
+
+	// failed is F_req (failedCount tracks its size cheaply), alive is A_req;
+	// both are mutated along the path and undone on backtrack.
+	failed      network.EdgeSet
+	alive       network.EdgeSet
+	failedCount int
+	onPath      []bool
+
+	source     network.NodeID
+	visits     int64
+	budget     int64
+	traces     int
+	maxFailing int
+
+	rep *verify.Report
+}
+
+func (s *search) run() error {
+	for _, src := range s.n.Nodes() {
+		if src == s.dest {
+			continue
+		}
+		s.source = src
+		err := s.dfs(s.n.Loopback(src), src)
+		if err == nil || errors.Is(err, errSourceDone) {
+			continue
+		}
+		if errors.Is(err, errAllDone) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// dfs explores every scenario family consistent with the current
+// (failed, alive) constraints from forwarding state (in, at).
+func (s *search) dfs(in network.EdgeID, at network.NodeID) error {
+	s.visits++
+	if s.visits%ctxPollInterval == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if s.visits > s.budget {
+		return errBudget
+	}
+	if at == s.dest {
+		return nil
+	}
+	id := int(in)*s.numNodes + int(at)
+	if s.onPath[id] {
+		// The trace revisits an on-path state: every scenario of this
+		// family loops.
+		return s.candidate()
+	}
+	prio, ok := s.r.Get(in, at)
+	if !ok {
+		// Missing entry or hole: the packet is stuck as soon as any
+		// consistent scenario materialises.
+		return s.candidate()
+	}
+	s.onPath[id] = true
+	err := s.expand(at, prio)
+	s.onPath[id] = false
+	return err
+}
+
+// expand branches over where the failed prefix of prio ends. Edges already
+// constrained (in failed or alive) are deterministic: a failed edge is
+// skipped for free, an alive edge is taken unconditionally. An
+// unconstrained edge e first branches as the survivor (e joins alive, the
+// packet crosses it), then — when the failure budget allows — as one more
+// failure (e joins failed, the scan moves on). Exhausting the list means
+// the whole list can fail within budget: a drop candidate.
+func (s *search) expand(at network.NodeID, prio []network.EdgeID) error {
+	var added []network.EdgeID
+	var err error
+	exhausted := true
+	for _, e := range prio {
+		if s.failed.Has(e) {
+			continue
+		}
+		if s.alive.Has(e) {
+			err = s.dfs(e, s.n.Other(e, at))
+			exhausted = false
+			break
+		}
+		s.alive.Add(e)
+		err = s.dfs(e, s.n.Other(e, at))
+		s.alive.Remove(e)
+		if err != nil {
+			exhausted = false
+			break
+		}
+		if s.failedCount >= s.k {
+			// No budget to fail e as well, so every remaining consistent
+			// scenario takes it — already explored above.
+			exhausted = false
+			break
+		}
+		s.failed.Add(e)
+		s.failedCount++
+		added = append(added, e)
+	}
+	if err == nil && exhausted {
+		err = s.candidate()
+	}
+	for _, e := range added {
+		s.failed.Remove(e)
+		s.failedCount--
+	}
+	return err
+}
+
+// candidate handles a non-delivering leaf: the current F_req is the minimum
+// scenario of a family under which the trace from s.source loops, drops, or
+// hits a hole. Connectivity under F_req decides whether the family contains
+// a genuine failing delivery, and the confirmation trace packages it
+// exactly as the oracle would.
+func (s *search) candidate() error {
+	if !s.n.ConnectedWithout(s.source, s.dest, s.failed) {
+		// Disconnected sources are excused by Definition 4, and every
+		// superset scenario is disconnected too.
+		return nil
+	}
+	s.traces++
+	f, failing := verify.DeliveryFromTrace(s.r, s.failed, s.source)
+	if !failing {
+		// The replay delivered where the search predicted failure — a model
+		// inconsistency. Hand the instance to the oracle instead of
+		// guessing.
+		return errConfirm
+	}
+	s.rep.Resilient = false
+	s.rep.Failing = append(s.rep.Failing, f)
+	if s.maxFailing > 0 && len(s.rep.Failing) >= s.maxFailing {
+		return errAllDone
+	}
+	return errSourceDone
+}

@@ -1,0 +1,261 @@
+package poly_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/routing"
+	"syrep/internal/trace"
+	"syrep/internal/verify"
+	"syrep/internal/verify/poly"
+	"syrep/internal/verify/vgen"
+)
+
+// confirmDelivery re-checks a poly counterexample the way the oracle defines
+// one: |F| <= k, the source still connected to the destination in G∖F, and a
+// trace that does not deliver.
+func confirmDelivery(t *testing.T, r *routing.Routing, k int, f verify.FailingDelivery) {
+	t.Helper()
+	if got := f.Failed.Len(); got > k {
+		t.Errorf("counterexample scenario %v has %d failures, want <= %d", f.Failed, got, k)
+	}
+	if !r.Network().ConnectedWithout(f.Source, r.Dest(), f.Failed) {
+		t.Errorf("counterexample source %d is disconnected under %v — excused, not failing",
+			f.Source, f.Failed)
+	}
+	res := trace.Run(r, f.Failed, f.Source)
+	if res.Outcome == trace.Delivered {
+		t.Errorf("counterexample (source %d, %v) delivers on replay", f.Source, f.Failed)
+	}
+	if res.Outcome != f.Outcome {
+		t.Errorf("counterexample outcome %v, replay gives %v", f.Outcome, res.Outcome)
+	}
+}
+
+// checkReportShape enforces the documented poly report contract.
+func checkReportShape(t *testing.T, r *routing.Routing, k int, rep *verify.Report) {
+	t.Helper()
+	if rep.K != k {
+		t.Errorf("report K = %d, want %d", rep.K, k)
+	}
+	if rep.Scenarios != 0 {
+		t.Errorf("poly report Scenarios = %d, want 0 (no enumeration)", rep.Scenarios)
+	}
+	if rep.Resilient != (len(rep.Failing) == 0) {
+		t.Errorf("Resilient = %v with %d failing deliveries", rep.Resilient, len(rep.Failing))
+	}
+	for i, f := range rep.Failing {
+		confirmDelivery(t, r, k, f)
+		if i > 0 && f.Source <= rep.Failing[i-1].Source {
+			t.Errorf("counterexamples not in strictly ascending source order: %d then %d",
+				rep.Failing[i-1].Source, f.Source)
+		}
+	}
+}
+
+func TestPolyMatchesBruteOnFixtures(t *testing.T) {
+	configs := []vgen.Config{
+		{Nodes: 8, Seed: 1},                                              // intact heuristic routing
+		{Nodes: 8, Seed: 2, TruncateShare: 0.35},                         // dropping entries
+		{Nodes: 10, Seed: 3, BounceShare: 0.2},                           // looping entries
+		{Nodes: 12, Seed: 4, TruncateShare: 0.2, ParallelEdgeShare: 0.4}, // multigraph
+		{Nodes: 12, Seed: 5, TruncateShare: 1.1},                         // everything truncated
+	}
+	for _, cfg := range configs {
+		r := vgen.Must(cfg)
+		for k := 0; k <= 3; k++ {
+			brute, err := verify.Check(context.Background(), r, k, verify.Options{})
+			if err != nil {
+				t.Fatalf("%v k=%d: brute: %v", cfg, k, err)
+			}
+			rep, err := poly.New().Check(context.Background(), r, k, verify.Options{})
+			if errors.Is(err, verify.ErrNotApplicable) {
+				t.Fatalf("%v k=%d: poly not applicable on a trivial fixture", cfg, k)
+			}
+			if err != nil {
+				t.Fatalf("%v k=%d: poly: %v", cfg, k, err)
+			}
+			if rep.Resilient != brute.Resilient {
+				t.Errorf("%v k=%d: poly verdict %v, brute %v", cfg, k, rep.Resilient, brute.Resilient)
+			}
+			checkReportShape(t, r, k, rep)
+		}
+	}
+}
+
+func TestPolyStopAtFirstAndMaxFailures(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 14, Seed: 9, TruncateShare: 1.1})
+	full, err := poly.New().Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Resilient || len(full.Failing) < 3 {
+		t.Fatalf("fixture too tame: resilient=%v failing=%d", full.Resilient, len(full.Failing))
+	}
+	first, err := poly.New().Check(context.Background(), r, 2, verify.Options{StopAtFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Failing) != 1 {
+		t.Errorf("StopAtFirst collected %d counterexamples, want 1", len(first.Failing))
+	}
+	if len(first.Failing) == 1 && !reflectEqualDelivery(first.Failing[0], full.Failing[0]) {
+		t.Error("StopAtFirst counterexample differs from the first of the full run")
+	}
+	capped, err := poly.New().Check(context.Background(), r, 2, verify.Options{MaxFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Failing) != 2 {
+		t.Errorf("MaxFailures=2 collected %d counterexamples, want 2", len(capped.Failing))
+	}
+	if capped.Resilient {
+		t.Error("capped run must still report non-resilient")
+	}
+}
+
+func reflectEqualDelivery(a, b verify.FailingDelivery) bool {
+	if a.Source != b.Source || a.Outcome != b.Outcome || !a.Failed.Equal(b.Failed) {
+		return false
+	}
+	return true
+}
+
+func TestPolyBudgetExhaustionIsNotApplicable(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 14, Seed: 3, TruncateShare: 0.35})
+	c := poly.NewWithOptions(poly.Options{MaxVisits: 5})
+	_, err := c.Check(context.Background(), r, 2, verify.Options{})
+	if !errors.Is(err, verify.ErrNotApplicable) {
+		t.Fatalf("budget-starved check returned %v, want ErrNotApplicable", err)
+	}
+}
+
+func TestPolyContextCancellation(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 14, Seed: 3, TruncateShare: 0.35})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := poly.New().Check(ctx, r, 2, verify.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled check returned %v, want context.Canceled", err)
+	}
+}
+
+func TestPolyNegativeK(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 8, Seed: 1})
+	if _, err := poly.New().Check(context.Background(), r, -1, verify.Options{}); err == nil {
+		t.Fatal("negative k must be rejected")
+	}
+}
+
+func TestPolyCounters(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 12, Seed: 5, TruncateShare: 0.35})
+	o := obs.New(nil)
+	rep, err := poly.New().Check(context.Background(), r, 2, verify.Options{Counters: o.Verify()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Snapshot()
+	if got := snap.Counter(obs.VerifyPolyVisits); got <= 0 {
+		t.Errorf("poly visits counter = %d, want > 0", got)
+	}
+	if got := snap.Counter(obs.VerifyTraces); got != int64(rep.Traces) {
+		t.Errorf("traces counter %d != report %d", got, rep.Traces)
+	}
+	if got := snap.Counter(obs.VerifyFailing); got != int64(len(rep.Failing)) {
+		t.Errorf("failing counter %d != report %d", got, len(rep.Failing))
+	}
+}
+
+// TestPolyDeterministic: two runs over the same instance produce identical
+// reports — the search order is fixed, independent of map iteration.
+func TestPolyDeterministic(t *testing.T) {
+	r := vgen.Must(vgen.Config{Nodes: 14, Seed: 11, TruncateShare: 0.3, BounceShare: 0.1})
+	a, err := poly.New().Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := poly.New().Check(context.Background(), r, 2, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resilient != b.Resilient || len(a.Failing) != len(b.Failing) || a.Traces != b.Traces {
+		t.Fatalf("poly is not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Failing {
+		if !reflectEqualDelivery(a.Failing[i], b.Failing[i]) {
+			t.Errorf("counterexample %d differs between runs", i)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		want    string
+		wantErr bool
+	}{
+		{"", "router", false},
+		{"auto", "router", false},
+		{"brute", "brute-force", false},
+		{"poly", "poly", false},
+		{"quantum", "", true},
+	} {
+		b, err := poly.Select(tc.name)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Select(%q) accepted, want error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Select(%q): %v", tc.name, err)
+			continue
+		}
+		if b.Name() != tc.want {
+			t.Errorf("Select(%q).Name() = %q, want %q", tc.name, b.Name(), tc.want)
+		}
+	}
+}
+
+// TestPolyOnHandBuiltDiamond pins the search on a fully understood triangle
+// fixture with a bounce entry, covering both verdict branches across k.
+func TestPolyOnHandBuiltDiamond(t *testing.T) {
+	b := network.NewBuilder("diamond")
+	d := b.AddNode("d")
+	u := b.AddNode("u")
+	v := b.AddNode("v")
+	e1 := b.AddEdge(u, d)
+	e2 := b.AddEdge(u, v)
+	e3 := b.AddEdge(v, d)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routing.New(net, d)
+	// u bounces e2 arrivals straight back: failing e3 alone loops packets
+	// sourced at v between u and v even though v–u–d stays connected, so
+	// the fixture is 0-resilient but not 1-resilient.
+	r.MustSet(net.Loopback(u), u, []network.EdgeID{e1, e2})
+	r.MustSet(e2, u, []network.EdgeID{e2})
+	r.MustSet(net.Loopback(v), v, []network.EdgeID{e3, e2})
+	r.MustSet(e2, v, []network.EdgeID{e3, e2})
+	r.MustSet(e3, v, []network.EdgeID{e2})
+	r.MustSet(e1, u, []network.EdgeID{e2})
+
+	for k := 0; k <= 2; k++ {
+		brute, err := verify.Check(context.Background(), r, k, verify.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := poly.New().Check(context.Background(), r, k, verify.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Resilient != brute.Resilient {
+			t.Errorf("k=%d: poly %v, brute %v", k, rep.Resilient, brute.Resilient)
+		}
+		checkReportShape(t, r, k, rep)
+	}
+}

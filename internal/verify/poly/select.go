@@ -1,0 +1,26 @@
+package poly
+
+import (
+	"fmt"
+
+	"syrep/internal/verify"
+)
+
+// Select resolves a backend flag value ("auto", "brute", "poly") into a
+// verify.Backend. "auto" (and "") is the recommended Router: poly for
+// large-k / large-instance checks with brute-force as the oracle and
+// fallback. "brute" pins the exhaustive checker; "poly" pins the fast path
+// alone, whose checks can fail with verify.ErrNotApplicable — useful for
+// experiments, not for serving.
+func Select(name string) (verify.Backend, error) {
+	switch name {
+	case "", "auto":
+		return verify.NewRouter(verify.RouterConfig{Fast: New()}), nil
+	case "brute":
+		return verify.BruteForce{}, nil
+	case "poly":
+		return New(), nil
+	default:
+		return nil, fmt.Errorf("unknown verification backend %q (want auto, brute, or poly)", name)
+	}
+}

@@ -43,7 +43,10 @@ type Report struct {
 	Resilient bool
 	// Failing lists the failing deliveries found. When pruning is enabled,
 	// subsumed failures (same source, superset scenario, no new entries) are
-	// omitted per Section III-C.
+	// omitted per Section III-C. The ordering is pinned: deliveries appear
+	// in scenario enumeration order (ForEachScenario) and, within one
+	// scenario, in ascending source-node order — identically for sequential
+	// and parallel runs under every option combination.
 	Failing []FailingDelivery
 	// Scenarios is the number of failure scenarios examined.
 	Scenarios int
@@ -78,13 +81,15 @@ func (rep *Report) Suspicious() []routing.Key {
 type Options struct {
 	// MaxFailures caps the number of failing deliveries collected; 0 means
 	// collect all. Verification still determines resilience exactly — the
-	// cap only bounds the report size. Parallel runs additionally bound
-	// every worker's buffer to MaxFailures entries, so a capped parallel
-	// run holds at most GOMAXPROCS×MaxFailures deliveries in memory before
-	// the merge. Without Prune the merged report is identical to the
-	// sequential one; with Prune, cross-worker subsumption means a capped
-	// parallel report may fill the cap with different (possibly fewer)
-	// entries than the sequential report.
+	// cap only bounds the report size. Parallel runs without Prune
+	// additionally bound every worker's buffer to MaxFailures entries, so a
+	// capped parallel run holds at most GOMAXPROCS×MaxFailures deliveries
+	// in memory before the merge. With Prune the worker buffers are bounded
+	// by local subsumption instead of the cap: a worker cannot know which
+	// of its entries the global merge-order prune will keep, so shedding at
+	// the cap could drop an entry the sequential report contains. Either
+	// way the merged report — contents and order — is identical to the
+	// sequential one.
 	MaxFailures int
 	// Prune enables the subsumption rule of Section III-C: a failing
 	// delivery (v, F2) is dropped when an already-recorded (v, F1) with
@@ -98,9 +103,8 @@ type Options struct {
 	// workers cooperatively halt once any failing scenario is known, the
 	// merge selects the globally lowest-index failing delivery, and the
 	// Scenarios/Traces counts are restated to the exact sequential prefix.
-	// Every option combination produces reports identical to sequential (see
-	// the differential test), except that capped parallel runs with Prune may
-	// under-fill the cap — see MaxFailures.
+	// Every option combination produces reports identical to sequential —
+	// the differential suite locks this in.
 	StopAtFirst bool
 	// Counters, when non-nil, receives the verifier's counter stream:
 	// scenarios examined, traces followed, failing deliveries reported,
@@ -116,7 +120,9 @@ var noCounters = &obs.VerifyCounters{}
 
 // ResilientCtx reports whether r is perfectly k-resilient, honouring ctx:
 // a cancelled or expired context reports false. It is a convenience wrapper
-// around Check that stops at the first counterexample.
+// around Check that stops at the first counterexample — the first failing
+// delivery in (scenario enumeration order, source-node order), a pinned
+// ordering that sequential and parallel runs agree on.
 func ResilientCtx(ctx context.Context, r *routing.Routing, k int) bool {
 	rep, err := Check(ctx, r, k, Options{StopAtFirst: true})
 	return err == nil && rep.Resilient
@@ -234,6 +240,29 @@ func visitedNodes(n *network.Network, source network.NodeID, edges []network.Edg
 	return out
 }
 
+// DeliveryFromTrace runs the trace from source under failure scenario failed
+// and, when it does not deliver, packages the outcome as a FailingDelivery
+// (cloning failed, so the caller may keep mutating its scenario set). The
+// second result is false when the trace delivers — no failing delivery
+// exists for this (source, failed) pair. It is the confirmation primitive
+// for alternative backends: a counterexample built through it is by
+// construction one the brute-force oracle would also report, provided the
+// caller has checked that source remains connected to the destination in
+// G∖failed.
+func DeliveryFromTrace(r *routing.Routing, failed network.EdgeSet, source network.NodeID) (FailingDelivery, bool) {
+	res := trace.Run(r, failed, source)
+	if res.Outcome == trace.Delivered {
+		return FailingDelivery{}, false
+	}
+	return FailingDelivery{
+		Source:  source,
+		Failed:  failed.Clone(),
+		Outcome: res.Outcome,
+		Used:    res.Used,
+		Visited: visitedNodes(r.Network(), source, res.Edges),
+	}, true
+}
+
 func sameEntries(a, b []routing.Key) bool {
 	if len(a) != len(b) {
 		return false
@@ -340,14 +369,20 @@ func checkParallel(ctx context.Context, r *routing.Routing, k int, opts Options)
 						Visited: visitedNodes(n, s, res.Edges),
 					}
 					// Bound the worker-local buffer: apply the subsumption
-					// rule against this worker's own entries, then cap the
-					// buffer at MaxFailures. The merge applies the global
-					// rule again, so this only sheds deliveries that could
-					// never survive it (prune) or bounds memory (cap).
+					// rule against this worker's own entries, and — only
+					// without Prune — cap the buffer at MaxFailures. The
+					// merge applies the global rule again, so subsumption
+					// only sheds deliveries that could never survive it.
+					// The cap is safe without Prune (the first MaxFailures
+					// merged entries are a prefix of the workers' buffers)
+					// but not with it: the global merge-order prune may
+					// reject buffered entries, letting a delivery past a
+					// worker's cap into the sequential report, so pruned
+					// runs keep every non-subsumed entry instead.
 					if opts.Prune && locallySubsumed(p.failing, f) {
 						continue
 					}
-					if opts.MaxFailures > 0 && len(p.failing) >= opts.MaxFailures {
+					if !opts.Prune && opts.MaxFailures > 0 && len(p.failing) >= opts.MaxFailures {
 						continue
 					}
 					p.failing = append(p.failing, taggedDelivery{idx: idx, f: f})

@@ -1,0 +1,126 @@
+// Package vgen generates randomized corrupted routings for the verification
+// differential and fuzz suites. Starting from a deterministic Topology-Zoo-like
+// multigraph and its heuristic routing, it sabotages a configurable share of
+// the entries so that brute-force and polynomial backends have real failing
+// deliveries to disagree about. Everything is keyed by a single seed: a
+// failing instance is reproduced by re-running with the Config printed in the
+// test failure.
+package vgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"syrep/internal/heuristic"
+	"syrep/internal/network"
+	"syrep/internal/routing"
+	"syrep/internal/topozoo"
+)
+
+// Config selects one corrupted instance. The zero value of the corruption
+// shares leaves the heuristic routing intact (useful for resilient fixtures);
+// shares >= 1 corrupt every eligible entry.
+type Config struct {
+	// Nodes is the topology size (topozoo.GenConfig.Nodes).
+	Nodes int
+	// Seed keys both the topology and every corruption decision.
+	Seed int64
+	// TruncateShare is the probability that an entry's priority list is cut
+	// to its first edge — packets arriving there drop as soon as that edge
+	// fails, so verification finds failing deliveries at every k >= 1.
+	TruncateShare float64
+	// ParallelEdgeShare is the probability that a real edge is duplicated
+	// before routing generation, turning the simple zoo graph into a proper
+	// multigraph with parallel edges.
+	ParallelEdgeShare float64
+	// BounceShare is the probability that an entry with a real arrival edge
+	// is rewritten to forward straight back on it. The builder rejects
+	// self-loop edges (loop-backs are implicit), so this is the multigraph
+	// analogue of self-loop corruption: it manufactures 2-cycles that
+	// exercise the loop detection of every backend.
+	BounceShare float64
+}
+
+// String renders the config as a copy-pasteable Go literal, so a differential
+// mismatch can name the exact instance to reproduce.
+func (c Config) String() string {
+	return fmt.Sprintf("vgen.Config{Nodes: %d, Seed: %d, TruncateShare: %g, ParallelEdgeShare: %g, BounceShare: %g}",
+		c.Nodes, c.Seed, c.TruncateShare, c.ParallelEdgeShare, c.BounceShare)
+}
+
+// Corrupted builds the instance selected by cfg: generate the topology,
+// optionally duplicate edges, build the heuristic routing toward node 0, and
+// corrupt entries in the deterministic Keys() order.
+func Corrupted(cfg Config) (*routing.Routing, error) {
+	net := topozoo.Generate(topozoo.GenConfig{Nodes: cfg.Nodes, Seed: cfg.Seed})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.ParallelEdgeShare > 0 {
+		var err error
+		net, err = withParallelEdges(net, rng, cfg.ParallelEdgeShare)
+		if err != nil {
+			return nil, fmt.Errorf("vgen: %v: %w", cfg, err)
+		}
+	}
+	r, err := heuristic.Generate(context.Background(), net, 0)
+	if err != nil {
+		return nil, fmt.Errorf("vgen: %v: heuristic generate: %w", cfg, err)
+	}
+	corrupt(r, rng, cfg)
+	return r, nil
+}
+
+// Must is Corrupted for tests and benchmarks, panicking with the reproducing
+// config on error. Generation only fails on degenerate configs (e.g. Nodes
+// too small for the zoo generator), never randomly.
+func Must(cfg Config) *routing.Routing {
+	r, err := Corrupted(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// withParallelEdges rebuilds net with every original edge (same ids, same
+// order) plus a rng-selected share of duplicates appended after them, so
+// corruption decisions stay aligned with the single-graph instance of the
+// same seed.
+func withParallelEdges(net *network.Network, rng *rand.Rand, share float64) (*network.Network, error) {
+	b := network.NewBuilder(net.Name() + "+parallel")
+	for _, v := range net.Nodes() {
+		b.AddNode(net.NodeName(v))
+	}
+	dup := make([]network.EdgeID, 0, net.NumRealEdges())
+	for _, e := range net.RealEdges() {
+		u, v := net.Endpoints(e)
+		b.AddNamedEdge(net.EdgeName(e), u, v)
+		if rng.Float64() < share {
+			dup = append(dup, e)
+		}
+	}
+	for _, e := range dup {
+		u, v := net.Endpoints(e)
+		b.AddNamedEdge(net.EdgeName(e)+"'", u, v)
+	}
+	return b.Build()
+}
+
+// corrupt sabotages entries in Keys() order, drawing both decisions for every
+// key so the random sequence is independent of which corruptions apply.
+func corrupt(r *routing.Routing, rng *rand.Rand, cfg Config) {
+	realEdges := r.Network().NumRealEdges()
+	for _, key := range r.Keys() {
+		bounce := rng.Float64() < cfg.BounceShare
+		truncate := rng.Float64() < cfg.TruncateShare
+		if bounce && int(key.In) < realEdges {
+			r.MustSet(key.In, key.At, []network.EdgeID{key.In})
+			continue
+		}
+		if truncate {
+			prio, _ := r.Get(key.In, key.At)
+			if len(prio) > 1 {
+				r.MustSet(key.In, key.At, prio[:1])
+			}
+		}
+	}
+}
