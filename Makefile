@@ -14,7 +14,7 @@ CHURN_EPOCHS ?= 1000
 # each checked for k in 1..3 by both backends.
 VERIFY_DIFF_SEEDS ?= 60
 
-.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn verify-diff check
+.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn crash verify-diff check
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,17 @@ churn:
 	SYREP_CHURN_EPOCHS=$(CHURN_EPOCHS) SYREP_CHURN_OUT=$(CURDIR)/BENCH_churn_slo.json \
 		$(GO) test -race -run TestChurnSimulation -count=1 -v ./internal/controller/
 
+# Crash-recovery gate under the race detector: journal + crashfs units, the
+# controller recovery suite, and the full kill matrix — a process kill at
+# every journaled filesystem operation across three seeds, plus the
+# double-crash (kill during recovery) cells — each cell differentially
+# checked against a no-crash oracle. Writes the recovery-differential
+# summary to BENCH_crash_matrix.json.
+crash:
+	$(GO) test -race ./internal/journal/...
+	SYREP_CRASH_MATRIX=full SYREP_CRASH_OUT=$(CURDIR)/BENCH_crash_matrix.json \
+		$(GO) test -race -run 'TestCrash|TestRecover|TestPusherWatermark|TestJournalFailure|TestResyncPoison' -count=1 ./internal/controller/
+
 # Verification-backend differential gate under the race detector: the
 # poly checker against the brute-force oracle on randomized corrupted
 # multigraphs (topozoo + parallel-edge + bounce modes, seed-keyed
@@ -91,4 +102,4 @@ verify-diff:
 	SYREP_VERIFY_DIFF_SEEDS=$(VERIFY_DIFF_SEEDS) $(GO) test -race -run 'TestDifferential|TestPoly|TestFailingOrder|TestResilientCtxFirst' -count=1 ./internal/verify/ ./internal/verify/poly/
 	$(GO) test ./internal/verify/poly -fuzz=FuzzPolyVerify -fuzztime=$(FUZZTIME)
 
-check: build vet lint test race faults obs serve-test cache-test churn verify-diff
+check: build vet lint test race faults obs serve-test cache-test churn crash verify-diff

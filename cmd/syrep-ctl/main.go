@@ -20,8 +20,15 @@
 //
 // where <link> is a canonical edge key (list them with -links). Deltas go
 // to the REST sink at -sink, or to stdout as JSON lines when -sink is
-// empty. On EOF or SIGTERM the controller drains and a settlement summary
-// is printed; -out receives the final metrics snapshot.
+// empty. On EOF or SIGTERM the controller drains, any dead-lettered deltas
+// are flushed to stderr as JSON lines, and a settlement summary is printed;
+// -out receives the final metrics snapshot.
+//
+// With -journal-dir the controller journals every state transition to an
+// append-only, checksummed write-ahead log before it takes effect; -recover
+// replays that journal on startup so a restarted controller resumes exactly
+// where the crashed one stopped, and -journal-dump prints the journal's
+// records as JSON lines for inspection.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 
 	"syrep/internal/cache"
 	"syrep/internal/controller"
+	"syrep/internal/journal"
 	"syrep/internal/network"
 	"syrep/internal/obs"
 	"syrep/internal/server"
@@ -51,7 +59,7 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "syrep-ctl:", err)
 		os.Exit(1)
 	}
@@ -70,7 +78,7 @@ func (s *jsonSink) Push(_ context.Context, d controller.Delta) error {
 	return s.enc.Encode(d)
 }
 
-func run(ctx context.Context, args []string, in io.Reader, w io.Writer) error {
+func run(ctx context.Context, args []string, in io.Reader, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("syrep-ctl", flag.ContinueOnError)
 	sim := fs.Bool("sim", false, "run the seeded churn simulation instead of reading events")
 	seed := fs.Int64("seed", 42, "simulation seed")
@@ -83,8 +91,31 @@ func run(ctx context.Context, args []string, in io.Reader, w io.Writer) error {
 	sinkURL := fs.String("sink", "", "REST sink URL (empty: deltas to stdout as JSON lines)")
 	links := fs.Bool("links", false, "print the topology's canonical link keys and exit")
 	out := fs.String("out", "", "write the final metrics snapshot (sim: SLO artifact) JSON here")
+	journalDir := fs.String("journal-dir", "", "write-ahead journal directory for crash-safe controller state")
+	doRecover := fs.Bool("recover", false, "replay -journal-dir on startup and resume where the last run stopped")
+	journalDump := fs.Bool("journal-dump", false, "print the -journal-dir records as JSON lines and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *journalDump {
+		if *journalDir == "" {
+			return errors.New("-journal-dump requires -journal-dir")
+		}
+		fsys, err := journal.NewDirFS(*journalDir)
+		if err != nil {
+			return err
+		}
+		stats, err := controller.DumpJournal(fsys, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errW, "syrep-ctl: journal: snapshot=%v records=%d tornTail=%v\n",
+			stats.Snapshot, stats.Records, stats.TornTail)
+		return nil
+	}
+	if *doRecover && *journalDir == "" {
+		return errors.New("-recover requires -journal-dir")
 	}
 
 	if *sim {
@@ -118,10 +149,23 @@ func run(ctx context.Context, args []string, in io.Reader, w io.Writer) error {
 	}
 
 	ob := obs.New(nil)
+	var jrn *journal.Journal
+	if *journalDir != "" {
+		fsys, err := journal.NewDirFS(*journalDir)
+		if err != nil {
+			return err
+		}
+		jrn, err = journal.Open(fsys, journal.Options{Obs: ob})
+		if err != nil {
+			return err
+		}
+		defer jrn.Close()
+	}
+
 	var mu sync.Mutex
 	settled := map[string]int{}
 	settledTotal := 0
-	ctl, err := controller.New(controller.Config{
+	cfg := controller.Config{
 		Base:    base,
 		Dests:   dests,
 		K:       *k,
@@ -129,18 +173,31 @@ func run(ctx context.Context, args []string, in io.Reader, w io.Writer) error {
 		Cache:   cache.New(cache.Config{MaxEntries: 1024, Obs: ob}),
 		Breaker: server.BreakerConfig{Threshold: 5, Cooldown: 5 * time.Second},
 		Obs:     ob,
+		Journal: jrn,
 		OnSettle: func(s controller.Settlement) {
 			mu.Lock()
 			defer mu.Unlock()
 			settled[s.Outcome.String()]++
 			settledTotal++
 			if s.Err != nil {
-				fmt.Fprintf(os.Stderr, "syrep-ctl: %s: %v\n", s.Event, s.Err)
+				fmt.Fprintf(errW, "syrep-ctl: %s: %v\n", s.Event, s.Err)
 			}
 		},
-	})
-	if err != nil {
-		return err
+	}
+	var ctl *controller.Controller
+	var err2 error
+	if *doRecover {
+		var info controller.RecoveryInfo
+		ctl, info, err2 = controller.Recover(cfg)
+		if err2 == nil {
+			fmt.Fprintf(errW, "syrep-ctl: recovered epoch=%d down=%d records=%d tornTail=%v poisoned=%d cacheSeeded=%d\n",
+				info.Epoch, len(info.Down), info.Records, info.TornTail, len(info.Poisoned), info.CacheSeeded)
+		}
+	} else {
+		ctl, err2 = controller.New(cfg)
+	}
+	if err2 != nil {
+		return err2
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -170,18 +227,34 @@ func run(ctx context.Context, args []string, in io.Reader, w io.Writer) error {
 	}
 	cancel()
 	runErr := <-exit
+	flushDeadLetters(errW, ctl.DeadLetters())
 	if runErr != nil && !errors.Is(runErr, context.Canceled) {
 		return runErr
 	}
 
 	mu.Lock()
 	defer mu.Unlock()
-	fmt.Fprintf(os.Stderr, "syrep-ctl: epochs=%d settled=%v dead-letters=%d\n",
+	fmt.Fprintf(errW, "syrep-ctl: epochs=%d settled=%v dead-letters=%d\n",
 		ctl.Epoch(), settled, len(ctl.DeadLetters()))
 	if *out != "" {
 		return writeSnapshot(ob, *out)
 	}
 	return nil
+}
+
+// flushDeadLetters writes every dead-lettered delta as one JSON line so an
+// operator (or the process supervisor's log collector) can replay or triage
+// them after shutdown — the queue is in-memory and would otherwise vanish
+// with the process unless a journal was configured.
+func flushDeadLetters(w io.Writer, dls []controller.DeadLetter) {
+	enc := json.NewEncoder(w)
+	for _, dl := range dls {
+		_ = enc.Encode(struct {
+			DeadLetter controller.Delta `json:"deadLetter"`
+			Err        string           `json:"err"`
+			Attempts   int              `json:"attempts"`
+		}{dl.Delta, dl.Err.Error(), dl.Attempts})
+	}
 }
 
 // feedEvents parses "down <link>" / "up <link>" lines into offers, with

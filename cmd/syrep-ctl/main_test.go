@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +18,7 @@ func TestRunSimMode(t *testing.T) {
 	var buf bytes.Buffer
 	err := run(context.Background(),
 		[]string{"-sim", "-seed", "7", "-epochs", "10", "-nodes", "6", "-out", out},
-		strings.NewReader(""), &buf)
+		strings.NewReader(""), &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRunStreamMode(t *testing.T) {
 	// Find a real link first.
 	var linksBuf bytes.Buffer
 	if err := run(context.Background(), []string{"-links", "-nodes", "6"},
-		strings.NewReader(""), &linksBuf); err != nil {
+		strings.NewReader(""), &linksBuf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	links := strings.Fields(linksBuf.String())
@@ -64,7 +65,7 @@ func TestRunStreamMode(t *testing.T) {
 	var buf bytes.Buffer
 	err := run(context.Background(),
 		[]string{"-nodes", "6", "-dests", "s0", "-out", out},
-		strings.NewReader(events), &buf)
+		strings.NewReader(events), &buf, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestRunStreamMode(t *testing.T) {
 // TestRunBadEvent: a malformed event line fails fast with a parse error.
 func TestRunBadEvent(t *testing.T) {
 	err := run(context.Background(), []string{"-nodes", "6"},
-		strings.NewReader("sideways l1\n"), new(bytes.Buffer))
+		strings.NewReader("sideways l1\n"), new(bytes.Buffer), io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "bad event line") {
 		t.Fatalf("err = %v, want bad event line", err)
 	}
@@ -103,11 +104,98 @@ func TestRunBadEvent(t *testing.T) {
 // TestRunUnknownTopology: a bogus -topology name lists the embedded suite.
 func TestRunUnknownTopology(t *testing.T) {
 	err := run(context.Background(), []string{"-topology", "nope", "-links"},
-		strings.NewReader(""), new(bytes.Buffer))
+		strings.NewReader(""), new(bytes.Buffer), io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "unknown topology") {
 		t.Fatalf("err = %v, want unknown topology", err)
 	}
 	if !strings.Contains(err.Error(), "Abilene") {
 		t.Errorf("error does not list embedded topologies: %v", err)
+	}
+}
+
+// TestRunFlushesDeadLetters: deltas that dead-letter (here: an unreachable
+// REST sink) are flushed to stderr as JSON lines on shutdown.
+func TestRunFlushesDeadLetters(t *testing.T) {
+	var linksBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-links", "-nodes", "6"},
+		strings.NewReader(""), &linksBuf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	links := strings.Fields(linksBuf.String())
+
+	var errBuf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-nodes", "6", "-dests", "s0", "-sink", "http://127.0.0.1:1/unreachable"},
+		strings.NewReader("down "+links[0]+"\n"), io.Discard, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, raw := range strings.Split(errBuf.String(), "\n") {
+		if !strings.HasPrefix(raw, "{") {
+			continue // human-readable stderr lines interleave with the JSON
+		}
+		var line struct {
+			DeadLetter struct {
+				Dest string `json:"dest"`
+			} `json:"deadLetter"`
+			Err string `json:"err"`
+		}
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			t.Fatalf("bad dead-letter line %q: %v", raw, err)
+		}
+		if line.DeadLetter.Dest == "s0" && line.Err != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dead-letter JSON on stderr:\n%s", errBuf.String())
+	}
+}
+
+// TestRunJournalRecoverDump: a journaled run survives a restart via
+// -recover, and -journal-dump prints the surviving records.
+func TestRunJournalRecoverDump(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	var linksBuf bytes.Buffer
+	if err := run(context.Background(), []string{"-links", "-nodes", "6"},
+		strings.NewReader(""), &linksBuf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	links := strings.Fields(linksBuf.String())
+
+	if err := run(context.Background(),
+		[]string{"-nodes", "6", "-dests", "s0", "-journal-dir", dir},
+		strings.NewReader("down "+links[0]+"\n"), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var errBuf bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-nodes", "6", "-dests", "s0", "-journal-dir", dir, "-recover"},
+		strings.NewReader("up "+links[0]+"\n"), io.Discard, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "recovered epoch=1 down=1") {
+		t.Fatalf("recovery banner missing:\n%s", errBuf.String())
+	}
+
+	var dump bytes.Buffer
+	if err := run(context.Background(),
+		[]string{"-journal-dir", dir, "-journal-dump"},
+		strings.NewReader(""), &dump, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), `"record":"snapshot"`) {
+		t.Fatalf("dump has no snapshot record:\n%s", dump.String())
+	}
+}
+
+// TestRunRecoverRequiresJournalDir: the flag combination is validated.
+func TestRunRecoverRequiresJournalDir(t *testing.T) {
+	err := run(context.Background(), []string{"-recover"},
+		strings.NewReader(""), new(bytes.Buffer), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-journal-dir") {
+		t.Fatalf("err = %v, want -journal-dir requirement", err)
 	}
 }

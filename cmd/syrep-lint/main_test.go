@@ -104,6 +104,17 @@ func TestVerifyPolyPackageIsClean(t *testing.T) {
 	)
 }
 
+// TestJournalPackageIsClean pins the write-ahead journal and its crash
+// harness under the full analyzer set: the journal mutex serializes the
+// append path under the controller's own lock (locksafe), replay and
+// compaction loops must stay bounded (ctxpoll), and the crashfs fault seam
+// mixes atomics with the op counter (atomicfield).
+func TestJournalPackageIsClean(t *testing.T) {
+	lintClean(t, analyzers,
+		"./internal/journal/...",
+	)
+}
+
 // TestLocksafePackagesAreClean runs only the lock-discipline analyzer over
 // every package in its scope (server, cache, bdd, obs), so a locksafe
 // regression is named directly even when the combined locks are skipped.
@@ -115,6 +126,7 @@ func TestLocksafePackagesAreClean(t *testing.T) {
 		"./internal/obs/...",
 		"./internal/controller/...",
 		"./internal/verify/...",
+		"./internal/journal/...",
 	)
 }
 
@@ -129,6 +141,7 @@ func TestCtxpollPackagesAreClean(t *testing.T) {
 		"./internal/server/...",
 		"./internal/cache/...",
 		"./internal/controller/...",
+		"./internal/journal/...",
 	)
 }
 
@@ -160,6 +173,7 @@ func TestSpanpairPackagesAreClean(t *testing.T) {
 		"./internal/server/...",
 		"./internal/controller/...",
 		"./internal/verify/...",
+		"./internal/journal/...",
 		"./cmd/syrep",
 	)
 }

@@ -7,7 +7,8 @@
 //	syrep-serve [-addr host:port] [-workers N] [-queue N] [-retries N]
 //	            [-breaker-threshold N] [-breaker-cooldown D]
 //	            [-drain-timeout D] [-mem-limit MB] [-metrics-out file]
-//	            [-cache-entries N] [-cache-ttl D] [-verify-backend auto|brute|poly]
+//	            [-cache-entries N] [-cache-ttl D] [-cache-persist file]
+//	            [-verify-backend auto|brute|poly]
 //
 // Endpoints:
 //
@@ -39,8 +40,10 @@ import (
 	"time"
 
 	"syrep/internal/cache"
+	"syrep/internal/network"
 	"syrep/internal/obs"
 	"syrep/internal/server"
+	"syrep/internal/topozoo"
 	"syrep/internal/verify/poly"
 )
 
@@ -71,6 +74,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		"synthesis cache capacity in entries (0 disables the cache and the warm-start repair path)")
 	cacheTTL := fs.Duration("cache-ttl", 15*time.Minute,
 		"synthesis cache entry time-to-live")
+	cachePersist := fs.String("cache-persist", "",
+		"warm the synthesis cache from this file at startup and save it back on shutdown (requires -cache-entries > 0)")
 	metricsOut := fs.String("metrics-out", "",
 		"write the final metrics snapshot here on shutdown (JSON when it ends in .json, Prometheus text otherwise)")
 	verifyBackend := fs.String("verify-backend", "auto",
@@ -102,6 +107,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			TTL:        *cacheTTL,
 			Obs:        ob,
 		})
+	}
+	if *cachePersist != "" {
+		if cfg.Cache == nil {
+			return errors.New("-cache-persist requires -cache-entries > 0")
+		}
+		if err := loadCache(w, *cachePersist, cfg.Cache); err != nil {
+			return err
+		}
 	}
 	if *memLimit > 0 {
 		limit := uint64(*memLimit) << 20
@@ -145,7 +158,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	case err := <-serveErr:
 		// The listener died on its own; still drain the pool.
 		derr := s.Shutdown(context.Background())
-		return errors.Join(err, derr)
+		perr := saveCache(w, *cachePersist, cfg.Cache)
+		return errors.Join(err, derr, perr)
 	case <-ctx.Done():
 	}
 
@@ -162,7 +176,58 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if derr == nil {
 		fmt.Fprintln(w, "drained")
 	}
-	return errors.Join(herr, derr)
+	perr := saveCache(w, *cachePersist, cfg.Cache)
+	return errors.Join(herr, derr, perr)
+}
+
+// loadCache warms c from a prior Save snapshot. Entries are resolved against
+// the embedded topology suite; a missing file is a clean first boot, not an
+// error.
+func loadCache(w io.Writer, path string, c *cache.Cache) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	known := make(map[network.Fingerprint]*network.Network)
+	for _, inst := range topozoo.Embedded() {
+		known[inst.Net.Fingerprint()] = inst.Net
+	}
+	n, err := c.Load(f, func(fp network.Fingerprint) *network.Network { return known[fp] })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cache: restored %d entries from %s\n", n, path)
+	return nil
+}
+
+// saveCache writes the cache snapshot atomically (tmp + rename) so a crash
+// mid-save never clobbers the previous snapshot.
+func saveCache(w io.Writer, path string, c *cache.Cache) error {
+	if path == "" || c == nil {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := c.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache persist: %w", err)
+	}
+	fmt.Fprintf(w, "cache: saved %d entries to %s\n", n, path)
+	return nil
 }
 
 // cfgWorkers and cfgQueue mirror Config.withDefaults for the startup banner

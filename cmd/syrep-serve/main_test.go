@@ -156,3 +156,77 @@ func TestServeBannerReflectsDefaults(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 }
+
+// TestServeCachePersistence: a synthesis cached during one run is saved on
+// shutdown and warms the cache of the next run.
+func TestServeCachePersistence(t *testing.T) {
+	snapshot := filepath.Join(t.TempDir(), "cache.json")
+
+	boot := func(out *syncBuffer) (context.CancelFunc, chan error, string) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{
+				"-addr", "127.0.0.1:0",
+				"-workers", "2",
+				"-drain-timeout", "2s",
+				"-cache-persist", snapshot,
+			}, out)
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+				return cancel, done, m[1]
+			}
+			if time.Now().After(deadline) {
+				cancel()
+				t.Fatalf("no listen address announced; output so far:\n%s", out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	var first syncBuffer
+	cancel, done, addr := boot(&first)
+	body := `{"topology":"Abilene","dest":"NewYork","k":1}`
+	resp, err := http.Post("http://"+addr+"/v1/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/synthesize: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize = %d, want 200", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if !strings.Contains(first.String(), "cache: saved 1 entries") {
+		t.Fatalf("no cache save confirmation:\n%s", first.String())
+	}
+	if _, err := os.Stat(snapshot); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	var second syncBuffer
+	cancel, done, _ = boot(&second)
+	if !strings.Contains(second.String(), "cache: restored 1 entries") {
+		cancel()
+		t.Fatalf("no cache restore confirmation:\n%s", second.String())
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestServeCachePersistRequiresCache: persistence without a cache is a
+// configuration error, caught before binding a port.
+func TestServeCachePersistRequiresCache(t *testing.T) {
+	var out syncBuffer
+	err := run(context.Background(),
+		[]string{"-cache-entries", "0", "-cache-persist", "x.json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-cache-entries") {
+		t.Fatalf("err = %v, want -cache-entries requirement", err)
+	}
+}

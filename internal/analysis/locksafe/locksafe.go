@@ -51,6 +51,10 @@ var lockedPackages = map[string]bool{
 	// the reconcile loop, the pusher, and Offer callers; blocking under it
 	// would stall event admission.
 	"controller": true,
+	// The journal's mutex serializes the append/sync/rotate write path and
+	// is taken by the controller with its own lock held; a blocking call
+	// under it would freeze both the journal and the controller.
+	"journal": true,
 }
 
 // pairs maps an acquire method to its release.

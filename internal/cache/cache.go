@@ -257,7 +257,9 @@ func (c *Cache) Purge() int {
 // while still shedding the bulk of the footprint. A fraction ≥ 1 is a full
 // Purge.
 func (c *Cache) PurgeOldest(fraction float64) int {
-	if fraction <= 0 {
+	// NaN fails both range checks below and would make the drop count
+	// int(NaN) — a platform-dependent value; treat it as a no-op.
+	if math.IsNaN(fraction) || fraction <= 0 {
 		return 0
 	}
 	if fraction >= 1 {

@@ -3,6 +3,7 @@ package cache
 import (
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -388,5 +389,53 @@ func TestObsWiring(t *testing.T) {
 	}
 	if got := snap.Gauges[obs.CacheBytes]; got <= 0 {
 		t.Errorf("gauge %s = %d, want positive", obs.CacheBytes, got)
+	}
+}
+
+// TestPurgeOldestEdgeCases pins the eviction count for every degenerate
+// fraction — in particular NaN, which fails both range checks and would
+// otherwise become a platform-dependent int(NaN) drop count.
+func TestPurgeOldestEdgeCases(t *testing.T) {
+	fill := func(c *Cache, n int) {
+		names := []string{"a", "b"}
+		for i := 0; i < n; i++ {
+			names = append(names, string(rune('c'+i)))
+			net := ring(t, names...)
+			c.Put(keyFor(net, 2), entryFor(t, net, true))
+		}
+	}
+	cases := []struct {
+		name     string
+		entries  int
+		fraction float64
+		want     int
+	}{
+		{"nan", 4, math.NaN(), 0},
+		{"negative", 4, -0.5, 0},
+		{"zero", 4, 0, 0},
+		{"negative-zero", 4, math.Copysign(0, -1), 0},
+		{"tiny", 4, 1e-9, 1}, // ceil: any positive fraction evicts at least one
+		{"half", 4, 0.5, 2},
+		{"ceil", 3, 0.5, 2},
+		{"one", 4, 1, 4},
+		{"above-one", 4, 1.5, 4},
+		{"plus-inf", 4, math.Inf(1), 4},
+		{"minus-inf", 4, math.Inf(-1), 0},
+		{"empty-half", 0, 0.5, 0},
+		{"empty-one", 0, 1, 0},
+		{"empty-nan", 0, math.NaN(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{MaxEntries: 16})
+			fill(c, tc.entries)
+			if got := c.PurgeOldest(tc.fraction); got != tc.want {
+				t.Errorf("PurgeOldest(%v) on %d entries = %d, want %d",
+					tc.fraction, tc.entries, got, tc.want)
+			}
+			if want := tc.entries - tc.want; c.Len() != want {
+				t.Errorf("Len after purge = %d, want %d", c.Len(), want)
+			}
+		})
 	}
 }

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"syrep/internal/network"
+	"syrep/internal/routing"
+)
+
+// Cache persistence: Save renders the cached tables in a canonical wire
+// form (edge keys and node names, which survive topology renumbering) and
+// Load rebuilds them against resolved networks, so a restarted server
+// starts with a warm cache instead of re-synthesizing every table from
+// scratch. Entries whose topology the resolver no longer knows — or whose
+// rules no longer decode — are skipped, not fatal: a stale persisted entry
+// merely costs the cold synthesis it would have saved.
+
+// wireRule is one routing entry in canonical string form.
+type wireRule struct {
+	In   string   `json:"in"`
+	At   string   `json:"at"`
+	Prio []string `json:"prio"`
+}
+
+// wireEntry is one cache entry in wire form.
+type wireEntry struct {
+	Topo      network.Fingerprint `json:"topo"`
+	Dest      string              `json:"dest"`
+	K         int                 `json:"k"`
+	Strategy  string              `json:"strategy"`
+	Resilient bool                `json:"resilient"`
+	Residual  int                 `json:"residual,omitempty"`
+	Rules     []wireRule          `json:"rules"`
+}
+
+// wireSnapshot is the persisted file: entries ordered least recently used
+// first, so replaying them through Put restores the LRU order.
+type wireSnapshot struct {
+	Entries []wireEntry `json:"entries"`
+}
+
+// Save writes every live entry to w as JSON and returns how many were
+// written. Expired entries are dropped, not persisted.
+func (c *Cache) Save(w io.Writer) (int, error) {
+	snap := wireSnapshot{}
+	func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		now := c.cfg.Now()
+		// Walk back-to-front: least recently used first.
+		for el := c.ll.Back(); el != nil; el = el.Prev() {
+			it := el.Value.(*item)
+			if !it.expires.IsZero() && now.After(it.expires) {
+				continue
+			}
+			snap.Entries = append(snap.Entries, encodeEntry(it.key, it.e))
+		}
+	}()
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return 0, fmt.Errorf("cache: save: %w", err)
+	}
+	return len(snap.Entries), nil
+}
+
+// Load reads a Save snapshot from r and re-inserts every entry whose
+// topology resolve recognizes (resolve returns nil to skip a fingerprint).
+// It returns how many entries were restored. Undecodable rules skip their
+// entry; a malformed stream is an error.
+func (c *Cache) Load(r io.Reader, resolve func(network.Fingerprint) *network.Network) (int, error) {
+	var snap wireSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("cache: load: %w", err)
+	}
+	restored := 0
+	for _, we := range snap.Entries {
+		net := resolve(we.Topo)
+		if net == nil || net.Fingerprint() != we.Topo {
+			continue
+		}
+		rt, err := decodeRules(net, we.Dest, we.Rules)
+		if err != nil {
+			continue
+		}
+		c.Put(Key{Topo: we.Topo, Dest: we.Dest, K: we.K, Strategy: we.Strategy}, &Entry{
+			Net:       net,
+			Routing:   rt,
+			Resilient: we.Resilient,
+			Residual:  we.Residual,
+		})
+		restored++
+	}
+	return restored, nil
+}
+
+func encodeEntry(key Key, e *Entry) wireEntry {
+	net := e.Net
+	we := wireEntry{
+		Topo:      key.Topo,
+		Dest:      key.Dest,
+		K:         key.K,
+		Strategy:  key.Strategy,
+		Resilient: e.Resilient,
+		Residual:  e.Residual,
+	}
+	for _, k := range e.Routing.Keys() {
+		prio, ok := e.Routing.Get(k.In, k.At)
+		if !ok {
+			continue
+		}
+		rule := wireRule{
+			In:   net.EdgeKey(k.In),
+			At:   net.NodeName(k.At),
+			Prio: make([]string, len(prio)),
+		}
+		for i, out := range prio {
+			rule.Prio[i] = net.EdgeKey(out)
+		}
+		we.Rules = append(we.Rules, rule)
+	}
+	return we
+}
+
+func decodeRules(net *network.Network, dest string, rules []wireRule) (*routing.Routing, error) {
+	destID := net.NodeByName(dest)
+	if destID < 0 {
+		return nil, fmt.Errorf("cache: decode: destination %q not in topology", dest)
+	}
+	rt := routing.New(net, destID)
+	for _, rule := range rules {
+		in, ok := net.EdgeByKey(rule.In)
+		if !ok {
+			return nil, fmt.Errorf("cache: decode: unknown in-edge %q", rule.In)
+		}
+		at := net.NodeByName(rule.At)
+		if at < 0 {
+			return nil, fmt.Errorf("cache: decode: unknown node %q", rule.At)
+		}
+		prio := make([]network.EdgeID, len(rule.Prio))
+		for i, key := range rule.Prio {
+			out, ok := net.EdgeByKey(key)
+			if !ok {
+				return nil, fmt.Errorf("cache: decode: unknown out-edge %q", key)
+			}
+			prio[i] = out
+		}
+		if err := rt.Set(in, at, prio); err != nil {
+			return nil, fmt.Errorf("cache: decode: %w", err)
+		}
+	}
+	return rt, nil
+}

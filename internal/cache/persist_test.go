@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"syrep/internal/network"
+)
+
+// TestSaveLoadRoundTrip: a saved cache restores its entries — tables,
+// verdicts, and LRU order — against a resolver that knows the topology.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	old := ring(t, "a", "b", "c")
+	newer := ring(t, "a", "b", "c", "d")
+	c := New(Config{MaxEntries: 8})
+	c.Put(keyFor(old, 2), entryFor(t, old, true))
+	c.Put(keyFor(newer, 3), entryFor(t, newer, false))
+
+	var buf bytes.Buffer
+	saved, err := c.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 2 {
+		t.Fatalf("saved %d entries, want 2", saved)
+	}
+
+	known := map[network.Fingerprint]*network.Network{
+		old.Fingerprint():   old,
+		newer.Fingerprint(): newer,
+	}
+	resolve := func(fp network.Fingerprint) *network.Network { return known[fp] }
+
+	c2 := New(Config{MaxEntries: 8})
+	restored, err := c2.Load(bytes.NewReader(buf.Bytes()), resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 || c2.Len() != 2 {
+		t.Fatalf("restored %d entries (len %d), want 2", restored, c2.Len())
+	}
+	for _, net := range []*network.Network{old, newer} {
+		k := 2
+		if net == newer {
+			k = 3
+		}
+		e, ok := c2.Get(keyFor(net, k))
+		if !ok {
+			t.Fatalf("entry for %s/k=%d not restored", net.Fingerprint(), k)
+		}
+		if e.Routing.NumEntries() == 0 {
+			t.Error("restored routing is empty")
+		}
+		if want := net == old; e.Resilient != want {
+			t.Errorf("restored Resilient = %v, want %v", e.Resilient, want)
+		}
+	}
+}
+
+// TestLoadSkipsUnknownTopology: entries whose fingerprint the resolver does
+// not recognize are skipped without failing the load.
+func TestLoadSkipsUnknownTopology(t *testing.T) {
+	net := ring(t, "a", "b", "c")
+	c := New(Config{MaxEntries: 8})
+	c.Put(keyFor(net, 2), entryFor(t, net, true))
+	var buf bytes.Buffer
+	if _, err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(Config{MaxEntries: 8})
+	restored, err := c2.Load(bytes.NewReader(buf.Bytes()),
+		func(network.Fingerprint) *network.Network { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 || c2.Len() != 0 {
+		t.Fatalf("restored %d entries, want 0", restored)
+	}
+}
+
+// TestLoadRejectsGarbage: a malformed stream is an error, not a panic.
+func TestLoadRejectsGarbage(t *testing.T) {
+	c := New(Config{MaxEntries: 8})
+	if _, err := c.Load(strings.NewReader("not json"),
+		func(network.Fingerprint) *network.Network { return nil }); err == nil {
+		t.Fatal("garbage load did not error")
+	}
+}

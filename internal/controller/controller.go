@@ -33,6 +33,7 @@ import (
 
 	"syrep/internal/cache"
 	"syrep/internal/heuristic"
+	"syrep/internal/journal"
 	"syrep/internal/network"
 	"syrep/internal/obs"
 	"syrep/internal/resilience"
@@ -166,6 +167,17 @@ type Config struct {
 	// SnapshotW, when non-nil, receives the final obs snapshot as JSON,
 	// written exactly once when Run returns.
 	SnapshotW io.Writer
+	// Journal, when non-nil, write-ahead journals every accepted
+	// state-changing link event, computed delta, southbound ack, and
+	// dead-letter before it takes downstream effect, making the controller
+	// crash-recoverable (see Recover). The first journal failure latches:
+	// Run drains and returns it, because a controller that cannot persist
+	// its frontier must not keep absorbing events it would forget.
+	Journal *journal.Journal
+	// SnapshotEvery compacts the journal into a full-state snapshot after
+	// this many appended records (default 512). Only meaningful with
+	// Journal set.
+	SnapshotEvery int
 
 	// now is the test seam for time.
 	now func() time.Time
@@ -204,6 +216,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Strategy == 0 {
 		cfg.Strategy = resilience.Combined
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 512
 	}
 	if cfg.now == nil {
 		cfg.now = time.Now
@@ -262,6 +277,16 @@ type Controller struct {
 	floor      uint64
 	draining   bool
 
+	// Journal-side state (all under mu; populated only with cfg.Journal
+	// set). acked mirrors what the sink has acknowledged per destination —
+	// the recovery baseline — distinct from lastPushed, which is
+	// optimistic about in-flight deltas.
+	acked         map[string]map[string]TableEntry
+	ackedEpoch    map[string]uint64
+	ackedDegraded map[string]bool
+	walFatal      error
+	walAppends    int
+
 	flushOnce sync.Once
 }
 
@@ -295,6 +320,10 @@ func New(cfg Config) (*Controller, error) {
 		dirty:      make(map[string]bool),
 		lastPushed: make(map[string]map[string]TableEntry),
 		accts:      make(map[uint64]*epochAcct),
+
+		acked:         make(map[string]map[string]TableEntry),
+		ackedEpoch:    make(map[string]uint64),
+		ackedDegraded: make(map[string]bool),
 	}
 	c.push = newPusher(cfg.Sink, cfg.QueueCapacity, c.pushResolved)
 	c.push.backoff = retry.New(cfg.RetryBase, cfg.RetryCap, cfg.RetrySeed)
@@ -357,6 +386,10 @@ func (c *Controller) Run(ctx context.Context) error {
 			return c.shutdown(ctx, pushCancel, pusherExit)
 		case <-c.inbox.wake:
 			c.reconcile(ctx)
+			if err := c.journalErr(); err != nil {
+				_ = c.shutdown(ctx, pushCancel, pusherExit)
+				return fmt.Errorf("controller: journal failed: %w", err)
+			}
 		}
 	}
 }
@@ -365,7 +398,7 @@ func (c *Controller) Run(ctx context.Context) error {
 // destination is clean, checking ctx between passes so shutdown latency is
 // bounded by a single pass.
 func (c *Controller) reconcile(ctx context.Context) {
-	for ctx.Err() == nil {
+	for ctx.Err() == nil && c.journalErr() == nil {
 		batch := c.inbox.drain()
 		c.obs().Gauge(obs.CtlInboxDepth).Set(0)
 		if len(batch) == 0 && !c.hasDirty() {
@@ -373,6 +406,11 @@ func (c *Controller) reconcile(ctx context.Context) {
 		}
 		settlements, _ := c.applyBatch(batch)
 		c.fire(settlements)
+		if c.journalErr() != nil {
+			// The applied events never became durable; stop before any
+			// repair is computed against state a restart would forget.
+			return
+		}
 		for ctx.Err() == nil {
 			if c.repairPass(ctx) {
 				break
@@ -380,6 +418,7 @@ func (c *Controller) reconcile(ctx context.Context) {
 			// Stale pass: a superseding event landed mid-repair; the
 			// discarded tables are recomputed against the new epoch.
 		}
+		c.walMaybeSnapshot()
 	}
 }
 
@@ -425,6 +464,7 @@ func (c *Controller) applyBatch(batch []pendingEvent) ([]Settlement, bool) {
 		}
 		c.epoch++
 		c.obs().Gauge(obs.CtlEpoch).Set(int64(c.epoch))
+		c.walAppendLocked(walRecord{T: "event", Link: slot.ev.Link, Up: slot.ev.Up, Epoch: c.epoch})
 		for _, ev := range events {
 			c.pending = append(c.pending, trackedEvent{ev: ev, epoch: c.epoch})
 		}
@@ -432,6 +472,9 @@ func (c *Controller) applyBatch(batch []pendingEvent) ([]Settlement, bool) {
 			c.dirty[d] = true
 		}
 	}
+	// One fsync covers the whole batch; reconcile stops before repairing
+	// if it failed, so nothing downstream ever builds on a lost event.
+	c.walSyncLocked()
 	return immediate, c.epoch != before
 }
 
@@ -534,8 +577,21 @@ func (c *Controller) finishPass(epoch uint64, results map[string]repairResult) (
 		}
 		c.lastPushed[dest] = next
 		acct.outstanding++
+		c.walAppendLocked(walRecord{T: "delta", Delta: &delta})
 		jobs = append(jobs, pushJob{delta: delta})
 		c.obs().Counter(obs.CtlApplied).Inc()
+	}
+	// Deltas must be durable before the sink can see them — the invariant
+	// that keeps recovered epochs ≥ sink epochs. On journal failure the
+	// jobs are withheld and their events settle as errors; the run loop
+	// then surfaces the latched failure and drains.
+	c.walSyncLocked()
+	if c.walFatal != nil {
+		acct.merge(OutcomeError, fmt.Errorf("controller: journal failed: %w", c.walFatal))
+		for range jobs {
+			acct.outstanding--
+		}
+		jobs = nil
 	}
 	return jobs, c.settleLocked()
 }
@@ -570,21 +626,39 @@ func (c *Controller) resolveLocked(d Delta, err error) ([]Settlement, bool) {
 	}
 	resync := false
 	switch {
+	case errors.Is(err, errDuplicatePush):
+		// Below the recovered ack watermark: the sink already holds this
+		// state, so the skip settles as delivered without touching the
+		// acked baseline (nothing new was acknowledged).
 	case err != nil:
 		if a != nil {
 			a.merge(OutcomeError, err)
 		}
+		c.deadLocked(d, err, deadAttempts(err))
 		delete(c.lastPushed, d.Dest)
 		if !c.draining {
 			c.dirty[d.Dest] = true
 			resync = true
 		}
-	case d.Degraded:
-		if a != nil {
-			a.merge(OutcomeDegraded, nil)
+	default:
+		c.ackLocked(d)
+		if d.Degraded {
+			if a != nil {
+				a.merge(OutcomeDegraded, nil)
+			}
 		}
 	}
 	return c.settleLocked(), resync
+}
+
+// deadAttempts extracts the attempt count from a dead-letter error for the
+// journal record; non-dead-letter failures report zero.
+func deadAttempts(err error) int {
+	var dl *DeadLetterError
+	if errors.As(err, &dl) {
+		return dl.Attempts
+	}
+	return 0
 }
 
 // settleLocked advances the settlement floor: pass accounts drain in epoch

@@ -1,0 +1,485 @@
+package controller
+
+// The kill-matrix crash harness: a seeded churn script runs against a
+// controller whose journal lives on crashfs, the process is killed at every
+// journaled filesystem operation in turn, the controller is recovered, and
+// the finished run is compared against a no-crash oracle. The sink — the
+// network's switches — survives every crash, so the comparison proves the
+// recovered controller resumes idempotently: no acked delta is ever
+// re-pushed (the sink rejects per-destination epoch regressions), poisoned
+// destinations resync by snapshot, and the final tables converge to exactly
+// what an uninterrupted controller would have pushed.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"syrep/internal/journal"
+	"syrep/internal/journal/crashfs"
+	"syrep/internal/network"
+)
+
+// churnStep is one scripted link transition.
+type churnStep struct {
+	link string
+	up   bool
+}
+
+// churnScript builds the deterministic workload: nine transitions over five
+// links, never more than two down at once, ending with one link still down
+// so the final table is a genuine repair, not the base topology.
+func churnScript(links []string) []churnStep {
+	l := links
+	return []churnStep{
+		{l[0], false},
+		{l[1], false},
+		{l[0], true},
+		{l[2], false},
+		{l[1], true},
+		{l[3], false},
+		{l[2], true},
+		{l[4], false},
+		{l[3], true},
+	}
+}
+
+// oracleRun drives the script on a journal-free controller and returns its
+// final sink table and down set — the ground truth every crash run must
+// reproduce.
+func oracleRun(t *testing.T, base *network.Network, script []churnStep) (map[string]TableEntry, map[string]bool) {
+	t.Helper()
+	h := startCtl(t, func(cfg *Config) { cfg.Obs = nil })
+	for _, st := range script {
+		if err := h.ctl.Offer(Event{Link: st.link, Up: st.up}); err != nil {
+			t.Fatal(err)
+		}
+		h.wait(t, 1)
+	}
+	waitIdle(t, h.ctl)
+	down := make(map[string]bool)
+	h.ctl.mu.Lock()
+	for link := range h.ctl.down {
+		down[link] = true
+	}
+	h.ctl.mu.Unlock()
+	table := h.sink.Table("s0")
+	h.stop()
+	return table, down
+}
+
+// crashRun drives one scripted run over a crashfs-backed journal, surviving
+// every planned kill by recovering into a fresh controller life.
+type crashRun struct {
+	t      *testing.T
+	fs     *crashfs.FS
+	sink   *MemSink
+	base   *network.Network
+	script []churnStep
+	// kills[i] arms fs.KillAt before boot i (-1 = no kill). Ops are counted
+	// from the Reopen that preceded the boot, so a kill can land inside
+	// recovery itself — the double-crash case.
+	kills []int
+
+	intended map[string]bool
+	next     int
+	lives    int
+}
+
+// life is one controller incarnation between crashes.
+type life struct {
+	ctl    *Controller
+	j      *journal.Journal
+	settle chan Settlement
+	cancel context.CancelFunc
+	exit   chan error
+	exited bool
+}
+
+func (lf *life) stop(t *testing.T) {
+	lf.cancel()
+	if lf.exited {
+		return
+	}
+	select {
+	case <-lf.exit:
+		lf.exited = true
+	case <-time.After(30 * time.Second):
+		t.Fatal("controller life did not exit")
+	}
+}
+
+func newCrashRun(t *testing.T, seed int64, kills []int) *crashRun {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := base.EdgeKeys()
+	if len(links) < 5 {
+		t.Fatalf("SimNetwork(6) has %d links, need 5", len(links))
+	}
+	return &crashRun{
+		t:        t,
+		fs:       crashfs.New(seed),
+		sink:     NewMemSink(),
+		base:     base,
+		script:   churnScript(links),
+		kills:    kills,
+		intended: make(map[string]bool),
+	}
+}
+
+// boot opens the journal and builds a controller — New on the first life,
+// Recover afterwards. A nil error means the controller is running.
+func (cr *crashRun) boot(first bool) (*life, []string, error) {
+	j, err := journal.Open(cr.fs, journal.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	lf := &life{j: j, settle: make(chan Settlement, 4096)}
+	cfg := Config{
+		Base:          cr.base,
+		Dests:         []string{"s0"},
+		K:             1,
+		Sink:          cr.sink,
+		RepairTimeout: 2 * time.Second,
+		PushAttempts:  2,
+		RetryBase:     time.Millisecond,
+		RetryCap:      2 * time.Millisecond,
+		DrainGrace:    100 * time.Millisecond,
+		Journal:       j,
+		OnSettle:      func(s Settlement) { lf.settle <- s },
+	}
+	var recovered []string
+	if first {
+		lf.ctl, err = New(cfg)
+	} else {
+		var info RecoveryInfo
+		lf.ctl, info, err = Recover(cfg)
+		recovered = info.Down
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	lf.cancel = cancel
+	lf.exit = make(chan error, 1)
+	go func() { lf.exit <- lf.ctl.Run(ctx) }()
+	return lf, recovered, nil
+}
+
+// offerAndSettle submits one event and waits for its settlement. False
+// means the life died first (the event may or may not have applied — the
+// next life's corrective sync reconciles either way).
+func (cr *crashRun) offerAndSettle(lf *life, st churnStep) bool {
+	if err := lf.ctl.Offer(Event{Link: st.link, Up: st.up}); err != nil {
+		return false
+	}
+	for {
+		select {
+		case s := <-lf.settle:
+			if s.Event.Link == st.link {
+				return true
+			}
+		case <-lf.exit:
+			lf.exited = true
+			return false
+		case <-time.After(30 * time.Second):
+			cr.t.Fatal("settlement timed out")
+		}
+	}
+}
+
+// settleLife waits for the controller to go idle after the script, then
+// stops it cleanly. False means it crashed while settling.
+func (cr *crashRun) settleLife(lf *life) bool {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case <-lf.exit:
+			lf.exited = true
+			return false
+		default:
+		}
+		lf.ctl.mu.Lock()
+		idle := len(lf.ctl.dirty) == 0 && len(lf.ctl.accts) == 0 && lf.ctl.walFatal == nil
+		lf.ctl.mu.Unlock()
+		if idle {
+			lf.stop(cr.t)
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cr.t.Fatal("controller never settled")
+	return false
+}
+
+// drive runs the whole script to completion across as many lives as the
+// kill plan forces, returning the final life's controller (stopped).
+func (cr *crashRun) drive() *Controller {
+	boots := 0
+	for {
+		cr.lives++
+		if cr.lives > 60 {
+			cr.t.Fatal("crash run did not converge")
+		}
+		if boots < len(cr.kills) && cr.kills[boots] >= 0 {
+			cr.fs.KillAt(cr.kills[boots])
+		}
+		lf, recovered, err := cr.boot(boots == 0)
+		boots++
+		if err != nil {
+			if cr.fs.Killed() {
+				cr.fs.Reopen()
+				continue
+			}
+			cr.t.Fatalf("boot %d failed without a kill: %v", boots, err)
+		}
+		if cr.runLife(lf, recovered) {
+			return lf.ctl
+		}
+		// The life crashed: wait for Run to exit, then simulate the restart.
+		if !lf.exited {
+			select {
+			case <-lf.exit:
+				lf.exited = true
+			case <-time.After(30 * time.Second):
+				cr.t.Fatal("crashed life did not exit")
+			}
+		}
+		if !cr.fs.Killed() {
+			cr.t.Fatal("life died without a crashfs kill")
+		}
+		cr.fs.Reopen()
+	}
+}
+
+// runLife syncs the recovered state back to the intended link states, then
+// continues the script. True means the script finished and the life
+// settled cleanly.
+func (cr *crashRun) runLife(lf *life, recovered []string) bool {
+	recDown := make(map[string]bool, len(recovered))
+	for _, link := range recovered {
+		recDown[link] = true
+	}
+	// Corrective sync: the crash may have swallowed the in-flight event, or
+	// persisted it after the driver gave up on its settlement. Link state is
+	// external truth, so the driver re-asserts it; events that match the
+	// recovered state settle as no-ops.
+	for link, wantDown := range cr.intended {
+		if wantDown && !recDown[link] {
+			if !cr.offerAndSettle(lf, churnStep{link: link, up: false}) {
+				return false
+			}
+		}
+	}
+	for link := range recDown {
+		if !cr.intended[link] {
+			if !cr.offerAndSettle(lf, churnStep{link: link, up: true}) {
+				return false
+			}
+		}
+	}
+	for cr.next < len(cr.script) {
+		st := cr.script[cr.next]
+		if st.up {
+			delete(cr.intended, st.link)
+		} else {
+			cr.intended[st.link] = true
+		}
+		cr.next++
+		if !cr.offerAndSettle(lf, st) {
+			return false
+		}
+	}
+	return cr.settleLife(lf)
+}
+
+// verify compares the finished crash run against the oracle.
+func (cr *crashRun) verify(final *Controller, oracleTable map[string]TableEntry, oracleDown map[string]bool) {
+	t := cr.t
+	t.Helper()
+	final.mu.Lock()
+	down := make(map[string]bool, len(final.down))
+	for link := range final.down {
+		down[link] = true
+	}
+	final.mu.Unlock()
+	if !boolSetsEqual(down, oracleDown) {
+		t.Fatalf("final down set %v, oracle %v", down, oracleDown)
+	}
+	if err := checkConvergence(final, cr.sink, cr.base); err != nil {
+		t.Fatalf("crash run did not converge: %v", err)
+	}
+	if !tablesEqual(cr.sink.Table("s0"), oracleTable) {
+		t.Fatalf("final sink table diverged from oracle:\n got %v\nwant %v",
+			cr.sink.Table("s0"), oracleTable)
+	}
+	assertNoRepush(t, cr.sink)
+
+	// The journal must replay one more time: a fresh Recover over the
+	// cleanly-closed journal reconstructs the same frontier.
+	j, err := journal.Open(cr.fs, journal.Options{})
+	if err != nil {
+		t.Fatalf("post-run journal open: %v", err)
+	}
+	_, info, err := Recover(Config{
+		Base: cr.base, Dests: []string{"s0"}, K: 1, Sink: NewMemSink(), Journal: j,
+	})
+	if err != nil {
+		t.Fatalf("post-run Recover: %v", err)
+	}
+	recDown := make(map[string]bool, len(info.Down))
+	for _, link := range info.Down {
+		recDown[link] = true
+	}
+	if !boolSetsEqual(recDown, oracleDown) {
+		t.Fatalf("post-run recovered down set %v, oracle %v", info.Down, oracleDown)
+	}
+	if info.TornTail || len(info.Poisoned) != 0 {
+		t.Fatalf("clean close recovered dirty: %+v", info)
+	}
+}
+
+// assertNoRepush proves no acknowledged delta was pushed twice: per
+// destination, sink-accepted epochs never decrease, and an epoch repeats
+// only as an idempotent snapshot.
+func assertNoRepush(t *testing.T, sink *MemSink) {
+	t.Helper()
+	last := make(map[string]uint64)
+	lastSnap := make(map[string]bool)
+	for i, d := range sink.Pushes() {
+		if prev, ok := last[d.Dest]; ok {
+			if d.Epoch < prev {
+				t.Fatalf("push %d: epoch regression for %s: %d after %d", i, d.Dest, d.Epoch, prev)
+			}
+			if d.Epoch == prev && !(d.Snapshot || lastSnap[d.Dest]) {
+				t.Fatalf("push %d: patch delta re-pushed at epoch %d for %s", i, d.Epoch, d.Dest)
+			}
+		}
+		last[d.Dest] = d.Epoch
+		lastSnap[d.Dest] = d.Snapshot
+	}
+}
+
+func boolSetsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func tablesEqual(a, b map[string]TableEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		if bv, ok := b[k]; !ok || !av.equal(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// probeOps measures how many crashfs operations an uninterrupted scripted
+// run performs — the size of the kill matrix.
+func probeOps(t *testing.T) int {
+	cr := newCrashRun(t, 1, nil)
+	cr.drive()
+	return cr.fs.Ops()
+}
+
+// TestCrashMatrix kills the controller at every journaled filesystem
+// operation (stride-sampled unless SYREP_CRASH_MATRIX=full), recovers, and
+// requires the finished run to be indistinguishable from the oracle.
+func TestCrashMatrix(t *testing.T) {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleTable, oracleDown := oracleRun(t, base, churnScript(base.EdgeKeys()))
+
+	total := probeOps(t)
+	if total < 20 {
+		t.Fatalf("probe counted only %d ops; journaling is not reaching the fs", total)
+	}
+	stride := (total + 14) / 15
+	seeds := []int64{1}
+	if os.Getenv("SYREP_CRASH_MATRIX") == "full" {
+		stride = 1
+		seeds = []int64{1, 2, 3}
+	}
+	t.Logf("kill matrix: %d ops, stride %d, %d seeds", total, stride, len(seeds))
+	type cell struct {
+		Seed  int64 `json:"seed"`
+		Kill  int   `json:"kill"`
+		Lives int   `json:"lives"`
+	}
+	var cells []cell
+	for _, seed := range seeds {
+		for k := 0; k < total; k += stride {
+			k, seed := k, seed
+			t.Run(fmt.Sprintf("seed%d/kill%d", seed, k), func(t *testing.T) {
+				cr := newCrashRun(t, seed, []int{k})
+				final := cr.drive()
+				if cr.lives < 2 && cr.fs.Ops() > k {
+					t.Fatalf("kill at op %d never fired (%d lives)", k, cr.lives)
+				}
+				cr.verify(final, oracleTable, oracleDown)
+				cells = append(cells, cell{Seed: seed, Kill: k, Lives: cr.lives})
+			})
+		}
+	}
+	// The recovery-differential artifact: one row per matrix cell that
+	// matched the oracle, for the CI upload step.
+	if out := os.Getenv("SYREP_CRASH_OUT"); out != "" && !t.Failed() {
+		art := struct {
+			Ops    int     `json:"ops"`
+			Stride int     `json:"stride"`
+			Seeds  []int64 `json:"seeds"`
+			Cells  []cell  `json:"cells"`
+		}{Ops: total, Stride: stride, Seeds: seeds, Cells: cells}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recovery differential written to %s (%d cells)", out, len(cells))
+	}
+}
+
+// TestCrashDuringRecovery is the double-crash case: the first kill lands
+// mid-script, the second is armed before the recovery boot so it fires
+// inside Recover's replay, torn-tail repair, or sealing snapshot — and the
+// third recovery must still reconstruct a frontier equivalent to the
+// oracle.
+func TestCrashDuringRecovery(t *testing.T) {
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleTable, oracleDown := oracleRun(t, base, churnScript(base.EdgeKeys()))
+	total := probeOps(t)
+
+	firsts := []int{total / 3, total / 2, 2 * total / 3}
+	for _, first := range firsts {
+		for second := 0; second < 8; second++ {
+			first, second := first, second
+			t.Run(fmt.Sprintf("kill%d/then%d", first, second), func(t *testing.T) {
+				cr := newCrashRun(t, 7, []int{first, second})
+				final := cr.drive()
+				cr.verify(final, oracleTable, oracleDown)
+			})
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package controller
 
 import (
+	"fmt"
 	"sort"
 
+	"syrep/internal/network"
 	"syrep/internal/routing"
 )
 
@@ -127,6 +129,41 @@ func buildDelta(dest string, epoch uint64, degraded bool, prev map[string]TableE
 		Set:      set,
 		Del:      del,
 	}, next
+}
+
+// decodeTable resolves a wire-form table back into a routing on net — the
+// inverse of encodeTable, used by recovery to re-seed the warm cache from
+// journaled acked tables. An entry naming a node or edge absent from net
+// (e.g. a link that is down on the recovered topology) fails the decode;
+// callers treat that as "no seed", not an error.
+func decodeTable(net *network.Network, dest string, table map[string]TableEntry) (*routing.Routing, error) {
+	destID := net.NodeByName(dest)
+	if destID < 0 {
+		return nil, fmt.Errorf("controller: decode: destination %q not in topology", dest)
+	}
+	r := routing.New(net, destID)
+	for _, e := range table {
+		in, ok := net.EdgeByKey(e.In)
+		if !ok {
+			return nil, fmt.Errorf("controller: decode: unknown in-edge %q", e.In)
+		}
+		at := net.NodeByName(e.At)
+		if at < 0 {
+			return nil, fmt.Errorf("controller: decode: unknown node %q", e.At)
+		}
+		prio := make([]network.EdgeID, len(e.Prio))
+		for i, key := range e.Prio {
+			out, ok := net.EdgeByKey(key)
+			if !ok {
+				return nil, fmt.Errorf("controller: decode: unknown out-edge %q", key)
+			}
+			prio[i] = out
+		}
+		if err := r.Set(in, at, prio); err != nil {
+			return nil, fmt.Errorf("controller: decode: %w", err)
+		}
+	}
+	return r, nil
 }
 
 // applyDelta patches a wire-form table with a delta — the receiver-side

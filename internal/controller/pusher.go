@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,13 @@ func (e *DeadLetterError) Unwrap() error { return e.Err }
 // receiver missed state, so patching on top would corrupt its table. The
 // destination's next push is a full snapshot instead.
 var ErrResyncPending = errors.New("controller: destination awaiting snapshot resync")
+
+// errDuplicatePush skips a patch delta at or below the destination's ack
+// watermark: the sink acknowledged that epoch already (recorded in the
+// journal before a crash), so re-pushing would be a duplicate. The skip
+// settles as delivered. Snapshots are exempt — they are idempotent
+// wholesale replaces and legitimately repeat at the same epoch.
+var errDuplicatePush = errors.New("controller: delta already acknowledged, skipped")
 
 // DeadLetter is one entry of the pusher's bounded dead-letter queue, kept
 // for operator inspection after the failed delta was settled.
@@ -72,6 +80,10 @@ type pusher struct {
 	poisoned map[string]bool
 	dlq      []DeadLetter
 	dlqCap   int
+	// watermark is the highest sink-acknowledged epoch per destination,
+	// seeded by Recover and advanced on every delivery; patch deltas at or
+	// below it are duplicates and never contact the sink.
+	watermark map[string]uint64
 }
 
 // enqueue submits one job to the push queue. The single send site keeps the
@@ -80,12 +92,43 @@ func (p *pusher) enqueue(j pushJob) { p.queue <- j }
 
 func newPusher(sink Sink, queueCap int, onResult func(pushJob, error)) *pusher {
 	return &pusher{
-		sink:     sink,
-		queue:    make(chan pushJob, queueCap),
-		onResult: onResult,
-		poisoned: make(map[string]bool),
-		dlqCap:   128,
+		sink:      sink,
+		queue:     make(chan pushJob, queueCap),
+		onResult:  onResult,
+		poisoned:  make(map[string]bool),
+		dlqCap:    128,
+		watermark: make(map[string]uint64),
 	}
+}
+
+// seedRecovery restores the pusher's crash-surviving state: poisoned
+// destinations resync by snapshot, watermarks dedup already-acked epochs,
+// and the dead-letter queue returns for operator inspection.
+func (p *pusher) seedRecovery(poisoned []string, watermarks map[string]uint64, dlq []DeadLetter) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, dest := range poisoned {
+		p.poisoned[dest] = true
+	}
+	for dest, epoch := range watermarks {
+		p.watermark[dest] = epoch
+	}
+	p.dlq = append(p.dlq, dlq...)
+	if len(p.dlq) > p.dlqCap {
+		p.dlq = p.dlq[len(p.dlq)-p.dlqCap:]
+	}
+}
+
+// poisonedDests lists destinations awaiting snapshot resync, sorted.
+func (p *pusher) poisonedDests() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.poisoned))
+	for dest := range p.poisoned {
+		out = append(out, dest)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // run drains the queue until it is closed. When the drain context is force-
@@ -112,6 +155,11 @@ func (p *pusher) run(ctx context.Context) {
 
 func (p *pusher) process(ctx context.Context, j pushJob) {
 	d := j.delta
+	if !d.Snapshot && d.Epoch <= p.ackedEpoch(d.Dest) {
+		p.obs.Counter(obs.CtlDupSkips).Inc()
+		p.onResult(j, errDuplicatePush)
+		return
+	}
 	if p.awaitingResync(d.Dest) && !d.Snapshot {
 		p.fail(j, ErrResyncPending, 0)
 		return
@@ -138,7 +186,24 @@ func (p *pusher) process(ctx context.Context, j pushJob) {
 	}
 	p.obs.Counter(obs.CtlPushes).Inc()
 	p.clearPoison(d)
+	p.advanceWatermark(d)
 	p.onResult(j, nil)
+}
+
+// ackedEpoch reads the destination's ack watermark (0 when never acked).
+func (p *pusher) ackedEpoch(dest string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.watermark[dest]
+}
+
+// advanceWatermark records a delivery so later duplicates are skipped.
+func (p *pusher) advanceWatermark(d Delta) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d.Epoch > p.watermark[d.Dest] {
+		p.watermark[d.Dest] = d.Epoch
+	}
 }
 
 // attemptPush is one sink contact under the per-push timeout, with the

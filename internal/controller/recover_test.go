@@ -1,0 +1,435 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syrep/internal/cache"
+	"syrep/internal/journal"
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+)
+
+// openJournal opens (or reopens) a DirFS journal under dir.
+func openJournal(t *testing.T, dir string) *journal.Journal {
+	t.Helper()
+	fsys, err := journal.NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := journal.Open(fsys, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// startRecovered boots a harness from Recover instead of New, sharing the
+// sink of the crashed run.
+func startRecovered(t *testing.T, sink *MemSink, mod func(*Config)) (*harness, RecoveryInfo) {
+	t.Helper()
+	base, err := SimNetwork(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{
+		t:      t,
+		sink:   sink,
+		obs:    nil,
+		settle: make(chan Settlement, 4096),
+		links:  base.EdgeKeys(),
+	}
+	cfg := Config{
+		Base:          base,
+		Dests:         []string{"s0"},
+		K:             1,
+		Sink:          sink,
+		RepairTimeout: 2 * time.Second,
+		PushAttempts:  3,
+		RetryBase:     time.Millisecond,
+		RetryCap:      4 * time.Millisecond,
+		OnSettle:      func(s Settlement) { h.settle <- s },
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	ctl, info, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	h.ctl = ctl
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	h.exit = make(chan error, 1)
+	go func() { h.exit <- ctl.Run(ctx) }()
+	t.Cleanup(h.stop)
+	return h, info
+}
+
+// TestRecoverRoundTrip: a journaled controller settles one link-down, stops
+// cleanly, and Recover reconstructs the epoch, the down set, and the
+// acked baseline — then the recovered run's first reconcile pass recomputes
+// the table and, finding it identical to what the sink acknowledged,
+// pushes nothing.
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	h := startCtl(t, func(cfg *Config) { cfg.Journal = j })
+	link := h.links[0]
+	if err := h.ctl.Offer(Event{Link: link, Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	if s := h.wait(t, 1)[0]; s.Outcome != OutcomePushed {
+		t.Fatalf("settlement = %+v, want pushed", s)
+	}
+	h.stop()
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	pushesBefore := len(h.sink.Pushes())
+
+	j2 := openJournal(t, dir)
+	h2, info := startRecovered(t, h.sink, func(cfg *Config) { cfg.Journal = j2 })
+	if info.Epoch != 1 || len(info.Down) != 1 || info.Down[0] != link {
+		t.Fatalf("recovered info = %+v, want epoch 1 down [%s]", info, link)
+	}
+	if info.TornTail || len(info.Poisoned) != 0 {
+		t.Fatalf("clean shutdown recovered dirty: %+v", info)
+	}
+	if h2.ctl.Epoch() != 1 {
+		t.Fatalf("recovered epoch = %d, want 1", h2.ctl.Epoch())
+	}
+
+	// The recovery-marked dirty pass recomputes s0 and must find the acked
+	// baseline already current: no new push, no epoch regression.
+	waitIdle(t, h2.ctl)
+	if got := len(h2.sink.Pushes()); got != pushesBefore {
+		t.Fatalf("recovered pass re-pushed: %d pushes, want %d", got, pushesBefore)
+	}
+	if err := checkConvergence(h2.ctl, h2.sink, h2.ctl.cfg.Base); err != nil {
+		t.Fatal(err)
+	}
+
+	// The controller is live: restoring the link settles normally.
+	if err := h2.ctl.Offer(Event{Link: link, Up: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s := h2.wait(t, 1)[0]; s.Outcome != OutcomePushed {
+		t.Fatalf("post-recovery settlement = %+v, want pushed", s)
+	}
+	if h2.ctl.Epoch() != 2 {
+		t.Fatalf("post-recovery epoch = %d, want 2", h2.ctl.Epoch())
+	}
+}
+
+// waitIdle waits until the controller has no dirty destinations and no
+// open accounting (the recovery pass completed).
+func waitIdle(t *testing.T, ctl *Controller) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ctl.mu.Lock()
+		idle := len(ctl.dirty) == 0 && len(ctl.accts) == 0
+		ctl.mu.Unlock()
+		if idle {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("controller never went idle")
+}
+
+// TestRecoverSeedsCache: acked tables decode back into the warm cache.
+func TestRecoverSeedsCache(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	h := startCtl(t, func(cfg *Config) { cfg.Journal = j })
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	h.wait(t, 1)
+	h.stop()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cc := cache.New(cache.Config{})
+	j2 := openJournal(t, dir)
+	_, info, err := Recover(Config{
+		Base:  mustSim(t, 6),
+		Dests: []string{"s0"},
+		K:     1,
+		Sink:  h.sink,
+		Cache: cc,
+
+		Journal: j2,
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.CacheSeeded != 1 {
+		t.Fatalf("CacheSeeded = %d, want 1", info.CacheSeeded)
+	}
+}
+
+func mustSim(t *testing.T, n int) *network.Network {
+	t.Helper()
+	base, err := SimNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestRecoverTornTailPoisons: garbage appended to the journal's final
+// segment recovers as a torn tail, poisoning every destination so the next
+// push is a full snapshot.
+func TestRecoverTornTailPoisons(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	h := startCtl(t, func(cfg *Config) { cfg.Journal = j })
+	link := h.links[0]
+	if err := h.ctl.Offer(Event{Link: link, Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	h.wait(t, 1)
+	h.stop()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tearTail(t, dir)
+
+	j2 := openJournal(t, dir)
+	h2, info := startRecovered(t, h.sink, func(cfg *Config) { cfg.Journal = j2 })
+	if !info.TornTail {
+		t.Fatalf("torn tail not detected: %+v", info)
+	}
+	if len(info.Poisoned) != 1 || info.Poisoned[0] != "s0" {
+		t.Fatalf("poisoned = %v, want [s0]", info.Poisoned)
+	}
+
+	// The recovery pass must resync s0 with a full snapshot.
+	waitIdle(t, h2.ctl)
+	pushes := h2.sink.Pushes()
+	if len(pushes) == 0 {
+		t.Fatal("no resync push after torn-tail recovery")
+	}
+	last := pushes[len(pushes)-1]
+	if !last.Snapshot || last.Dest != "s0" {
+		t.Fatalf("final push = %+v, want snapshot for s0", last)
+	}
+	if err := checkConvergence(h2.ctl, h2.sink, h2.ctl.cfg.Base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tearTail appends garbage to the newest journal segment so replay finds a
+// broken frame at the tail.
+func tearTail(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := ""
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		t.Fatal("no segment to tear")
+	}
+	f, err := os.OpenFile(filepath.Join(dir, newest), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRestoresDeadLetters: a dead-lettered delta survives the
+// restart in the DLQ and its destination stays poisoned.
+func TestRecoverRestoresDeadLetters(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	perm := errors.New("permanent sink failure")
+	h := startCtl(t, func(cfg *Config) { cfg.Journal = j })
+	h.sink.FailNext = func(call int, d Delta) error { return perm }
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	s := h.wait(t, 1)[0]
+	if s.Outcome != OutcomeError {
+		t.Fatalf("settlement = %+v, want dead-letter error", s)
+	}
+	h.stop()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openJournal(t, dir)
+	base := mustSim(t, 6)
+	ctl, info, err := Recover(Config{
+		Base: base, Dests: []string{"s0"}, K: 1, Sink: h.sink,
+
+		Journal: j2,
+	})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.DeadLetters == 0 {
+		t.Fatal("dead letters not restored")
+	}
+	if len(info.Poisoned) != 1 || info.Poisoned[0] != "s0" {
+		t.Fatalf("poisoned = %v, want [s0]", info.Poisoned)
+	}
+	dls := ctl.DeadLetters()
+	if len(dls) == 0 || dls[0].Delta.Dest != "s0" {
+		t.Fatalf("restored DLQ = %+v", dls)
+	}
+}
+
+// TestPusherWatermarkDedup: a patch delta at or below the recovered ack
+// watermark settles as delivered without contacting the sink.
+func TestPusherWatermarkDedup(t *testing.T) {
+	sink := NewMemSink()
+	sink.FailNext = func(int, Delta) error {
+		t.Error("sink contacted for a duplicate delta")
+		return nil
+	}
+	results := make(chan error, 1)
+	p := newPusher(sink, 4, func(_ pushJob, err error) { results <- err })
+	p.obs = nil
+	p.seedRecovery(nil, map[string]uint64{"s0": 5}, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); p.run(ctx) }()
+
+	p.enqueue(pushJob{delta: Delta{Dest: "s0", Epoch: 5, Set: []TableEntry{{In: "x", At: "y"}}}})
+	select {
+	case err := <-results:
+		if !errors.Is(err, errDuplicatePush) {
+			t.Fatalf("duplicate resolved with %v, want errDuplicatePush", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("duplicate never resolved")
+	}
+	if len(sink.Pushes()) != 0 {
+		t.Fatalf("sink saw %d pushes, want 0", len(sink.Pushes()))
+	}
+	close(p.queue)
+	<-done
+}
+
+// TestJournalFailureStopsRun: a latched journal failure surfaces as Run's
+// return error instead of being silently ignored.
+func TestJournalFailureStopsRun(t *testing.T) {
+	dir := t.TempDir()
+	j := openJournal(t, dir)
+	h := startCtl(t, func(cfg *Config) { cfg.Journal = j })
+	// Close the journal out from under the controller: the next append
+	// latches and Run must exit with the journal error.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-h.exit:
+		h.exited = true
+		h.stopped = true
+		if err == nil || !strings.Contains(err.Error(), "journal") {
+			t.Fatalf("Run returned %v, want journal failure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not exit on journal failure")
+	}
+}
+
+// TestResyncPoisonRacesEpochAdvance: a destination is poisoned by a
+// dead-letter, and a superseding event lands in exactly the window between
+// the resync repair and its push (second ctl-epoch consult, Call fault).
+// The stale resync must be discarded — the sink must never see a snapshot
+// computed against the superseded epoch — and the poison must survive until
+// the snapshot for the *new* epoch is delivered.
+func TestResyncPoisonRacesEpochAdvance(t *testing.T) {
+	faultinject.LeakCheck(t)
+	boom := errors.New("sink rejected the delta")
+	var h *harness
+	var consults atomic.Int32
+	inj := faultinject.New(
+		faultinject.Fault{
+			Stage: resilience.StageCtlPush,
+			Kind:  faultinject.Error,
+			Err:   boom,
+			Times: 1,
+		},
+		faultinject.Fault{
+			Stage: resilience.StageCtlEpoch,
+			Kind:  faultinject.Call,
+			Times: 2,
+			Do: func() {
+				// Consult #1 is the original pass (whose push dead-letters);
+				// consult #2 is the resync pass — inject the epoch advance
+				// into its repair-to-push window.
+				if consults.Add(1) == 2 {
+					if err := h.ctl.Offer(Event{Link: h.links[1], Up: false}); err != nil {
+						t.Errorf("racing offer: %v", err)
+					}
+				}
+			},
+		},
+	)
+	h = startCtl(t, func(cfg *Config) { cfg.Hook = inj })
+
+	if err := h.ctl.Offer(Event{Link: h.links[0], Up: false}); err != nil {
+		t.Fatal(err)
+	}
+	settlements := h.wait(t, 2)
+	var dle *DeadLetterError
+	if s := settlements[0]; s.Outcome != OutcomeError || !errors.As(s.Err, &dle) {
+		t.Fatalf("first settlement = %+v, want dead-letter", s)
+	}
+	if s := settlements[1]; s.Outcome != OutcomePushed || s.Epoch != 2 {
+		t.Fatalf("racing settlement = %+v, want pushed at epoch 2", s)
+	}
+
+	waitIdle(t, h.ctl)
+	pushes := h.sink.Pushes()
+	if len(pushes) != 1 {
+		t.Fatalf("sink saw %d pushes, want exactly the epoch-2 resync snapshot: %+v", len(pushes), pushes)
+	}
+	if !pushes[0].Snapshot || pushes[0].Epoch != 2 {
+		t.Fatalf("resync push = dest %s epoch %d snapshot %v, want snapshot at epoch 2",
+			pushes[0].Dest, pushes[0].Epoch, pushes[0].Snapshot)
+	}
+	if got := h.ctl.push.poisonedDests(); len(got) != 0 {
+		t.Fatalf("destinations still poisoned after resync: %v", got)
+	}
+	snap := h.obs.Snapshot()
+	if snap.Counter(obs.CtlStale) == 0 {
+		t.Error("stale-pass discard not counted")
+	}
+	if snap.Counter(obs.CtlResyncs) != 1 {
+		t.Error("CtlResyncs not counted")
+	}
+	if err := checkConvergence(h.ctl, h.sink, h.ctl.cfg.Base); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"syrep/internal/journal"
+)
+
+// This file is the controller's write-ahead-journal integration. With
+// Config.Journal set, every state transition is journaled *before* it takes
+// downstream effect:
+//
+//   - an accepted state-changing link event (with the epoch it advanced to)
+//     is appended in applyBatch and synced before the repair pass runs;
+//   - a computed delta is appended in finishPass and synced before the
+//     pusher may contact the sink, so any delta the sink has ever seen is
+//     durable — the invariant that makes recovered epochs dominate sink
+//     epochs;
+//   - a southbound ack is appended after the sink accepted the delta (the
+//     sink is authoritative: a crash between ack and journal merely
+//     re-snapshots the destination on recovery);
+//   - a dead-letter is appended when the pusher gives up on a delta, so
+//     recovery re-poisons the destination.
+//
+// All appends happen under c.mu, which makes the periodic state snapshot
+// (also under c.mu) atomic with respect to the record stream: a record can
+// never fall between the snapshotted state and the snapshot record that
+// compacts it away.
+//
+// The first journal failure latches (the journal refuses further work and
+// the controller records walFatal): a controller that cannot persist its
+// frontier must stop rather than keep absorbing events it would forget.
+
+// walRecord is one journaled transition, JSON-framed so the journal dump is
+// operator-readable. T selects the arm; unused fields stay empty.
+type walRecord struct {
+	// T is "event", "delta", "ack", or "dead".
+	T string `json:"t"`
+	// Link and Up describe an applied state-changing event; Epoch is the
+	// epoch the event advanced the topology to.
+	Link string `json:"link,omitempty"`
+	Up   bool   `json:"up,omitempty"`
+	// Epoch doubles as the acked epoch for "ack" records.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Dest names the acked destination for "ack" records.
+	Dest string `json:"dest,omitempty"`
+	// Delta carries the full delta for "delta" and "dead" records.
+	Delta *Delta `json:"delta,omitempty"`
+	// Err and Attempts describe a "dead" record's failure.
+	Err      string `json:"err,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// walAcked is one destination's sink-acknowledged state inside a snapshot.
+type walAcked struct {
+	Epoch    uint64                `json:"epoch"`
+	Degraded bool                  `json:"degraded,omitempty"`
+	Table    map[string]TableEntry `json:"table"`
+}
+
+// walDeadLetter is a dead-letter queue entry in snapshot wire form (the
+// in-memory DeadLetter holds an error value, which JSON cannot round-trip).
+type walDeadLetter struct {
+	Delta    Delta  `json:"delta"`
+	Err      string `json:"err"`
+	Attempts int    `json:"attempts"`
+}
+
+// walSnap is the full-state snapshot record: everything Recover needs to
+// reconstruct the reconciliation frontier without the compacted records.
+type walSnap struct {
+	Epoch    uint64              `json:"epoch"`
+	Down     []string            `json:"down,omitempty"`
+	Acked    map[string]walAcked `json:"acked,omitempty"`
+	Poisoned []string            `json:"poisoned,omitempty"`
+	DLQ      []walDeadLetter     `json:"dlq,omitempty"`
+}
+
+// walLatchLocked records the first journal failure (c.mu held) and wakes
+// the run loop: a failure can latch on the pusher goroutine (ack and
+// dead-letter records), and with no further events arriving, Run would
+// otherwise block on the inbox forever without noticing it must stop.
+func (c *Controller) walLatchLocked(err error) {
+	if c.walFatal != nil {
+		return
+	}
+	c.walFatal = err
+	c.inbox.signal()
+}
+
+// walAppendLocked journals one record (c.mu held). Failures latch into
+// walFatal; the run loop surfaces it and Run returns the journal error.
+func (c *Controller) walAppendLocked(rec walRecord) {
+	if c.cfg.Journal == nil || c.walFatal != nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		c.walLatchLocked(fmt.Errorf("controller: journal encode: %w", err))
+		return
+	}
+	if err := c.cfg.Journal.Append(payload); err != nil {
+		c.walLatchLocked(err)
+		return
+	}
+	c.walAppends++
+}
+
+// walSyncLocked makes journaled records durable (c.mu held). Callers batch:
+// applyBatch syncs once per drained batch, finishPass once per pass.
+func (c *Controller) walSyncLocked() {
+	if c.cfg.Journal == nil || c.walFatal != nil {
+		return
+	}
+	if err := c.cfg.Journal.Sync(); err != nil {
+		c.walLatchLocked(err)
+	}
+}
+
+// journalErr returns the latched journal failure, nil while healthy.
+func (c *Controller) journalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.walFatal
+}
+
+// walStateLocked assembles the snapshot of the current frontier (c.mu
+// held). Pusher state is read under its own lock; the c.mu → p.mu order is
+// safe because no pusher path locks them nested the other way.
+func (c *Controller) walStateLocked() walSnap {
+	snap := walSnap{Epoch: c.epoch}
+	for link := range c.down {
+		snap.Down = append(snap.Down, link)
+	}
+	sort.Strings(snap.Down)
+	if len(c.acked) > 0 {
+		snap.Acked = make(map[string]walAcked, len(c.acked))
+		for dest, table := range c.acked {
+			snap.Acked[dest] = walAcked{
+				Epoch:    c.ackedEpoch[dest],
+				Degraded: c.ackedDegraded[dest],
+				Table:    table,
+			}
+		}
+	}
+	snap.Poisoned = c.push.poisonedDests()
+	for _, dl := range c.push.deadLetters() {
+		snap.DLQ = append(snap.DLQ, walDeadLetter{
+			Delta: dl.Delta, Err: dl.Err.Error(), Attempts: dl.Attempts,
+		})
+	}
+	return snap
+}
+
+// walMaybeSnapshot compacts the journal once enough records accumulated
+// since the last snapshot. Called between reconcile passes, off the hot
+// paths that hold no locks.
+func (c *Controller) walMaybeSnapshot() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Journal == nil || c.walFatal != nil || c.walAppends < c.cfg.SnapshotEvery {
+		return
+	}
+	c.walSnapshotLocked()
+}
+
+// walSnapshotLocked writes the state snapshot unconditionally (c.mu held).
+func (c *Controller) walSnapshotLocked() {
+	payload, err := json.Marshal(c.walStateLocked())
+	if err != nil {
+		c.walLatchLocked(fmt.Errorf("controller: journal snapshot encode: %w", err))
+		return
+	}
+	if err := c.cfg.Journal.Snapshot(payload); err != nil {
+		c.walLatchLocked(err)
+		return
+	}
+	c.walAppends = 0
+}
+
+// ackLocked folds a delivered delta into the sink-acknowledged state and
+// journals the ack (c.mu held). The fold mirrors the receiver exactly
+// (applyDelta), so the acked table IS what the sink holds.
+func (c *Controller) ackLocked(d Delta) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	c.acked[d.Dest] = applyDelta(c.acked[d.Dest], d)
+	c.ackedEpoch[d.Dest] = d.Epoch
+	c.ackedDegraded[d.Dest] = d.Degraded
+	c.walAppendLocked(walRecord{T: "ack", Dest: d.Dest, Epoch: d.Epoch})
+	c.walSyncLocked()
+}
+
+// deadLocked journals a dead-lettered delta (c.mu held).
+func (c *Controller) deadLocked(d Delta, cause error, attempts int) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	c.walAppendLocked(walRecord{T: "dead", Delta: &d, Err: cause.Error(), Attempts: attempts})
+	c.walSyncLocked()
+}
+
+// DumpJournal walks a journal directory read-only and renders each record
+// as one JSON line on w — the implementation behind syrep-ctl's
+// -journal-dump. Snapshot records are prefixed so the epoch baseline is
+// visible in the stream.
+func DumpJournal(fsys journal.FS, w io.Writer) (journal.ReplayStats, error) {
+	return journal.Walk(fsys, func(snapshot bool, payload []byte) error {
+		kind := []byte(`{"record":"wal","body":`)
+		if snapshot {
+			kind = []byte(`{"record":"snapshot","body":`)
+		}
+		if _, err := w.Write(kind); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		_, err := w.Write([]byte("}\n"))
+		return err
+	})
+}

@@ -1,0 +1,330 @@
+// Package crashfs is an in-memory journal.FS that injects the failures a
+// real disk exhibits around a process crash: torn writes, short writes,
+// fsync errors, and whole-process "kills" placed at exact operation
+// indices. The crash kill-matrix drives a journal-backed controller over
+// it, kills it at every journaled step, "reboots" with Reopen, and checks
+// recovery against a no-crash oracle.
+//
+// Durability model: every file carries stable bytes (survive a crash) and
+// a volatile suffix (written but not yet synced). Write appends to the
+// volatile suffix; Sync promotes it to stable; a kill freezes the store
+// and Reopen tears each volatile suffix at a seeded random prefix — so an
+// unsynced tail may fully survive, vanish, or tear mid-frame, which is
+// exactly the spread of outcomes the journal's replay must absorb. Rename
+// and Remove are atomic-with-directory-sync (matching DirFS, which fsyncs
+// the directory): a kill lands before or after them, never between.
+//
+// Faults beyond kills come from the shared faultinject currency: each
+// mutating operation consults the optional resilience.Hook at its jrn-*
+// stage, and a returned error becomes the operation's failure — short
+// writes persist a seeded prefix before failing, modelling a partial
+// write the journal must both latch on and replay past.
+package crashfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"syrep/internal/journal"
+	"syrep/internal/resilience"
+)
+
+// ErrKilled reports that the simulated process died: the scripted kill
+// fired, and every operation after it fails until Reopen "reboots".
+var ErrKilled = errors.New("crashfs: process killed")
+
+// errStale guards handles that survived a Reopen; the pre-crash process
+// cannot keep writing into the rebooted store.
+var errStale = errors.New("crashfs: stale handle from before reopen")
+
+// FS implements journal.FS in memory with scripted crash faults. Safe for
+// concurrent use; all scheduling decisions derive from the seed, so a
+// failing matrix cell reproduces from (seed, kill index) alone.
+type FS struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	files  map[string]*file
+	hook   resilience.Hook
+	ops    int // mutating operations observed so far
+	killAt int // ops index at which the kill fires; -1 = never
+	killed bool
+	gen    int // bumped by Reopen to invalidate surviving handles
+}
+
+type file struct {
+	stable   []byte
+	volatile []byte
+}
+
+// New builds an FS whose tears and kill coin-flips derive from seed.
+func New(seed int64) *FS {
+	return &FS{
+		rng:    rand.New(rand.NewSource(seed)),
+		files:  make(map[string]*file),
+		killAt: -1,
+	}
+}
+
+var _ journal.FS = (*FS)(nil)
+
+// SetHook installs the fault-injection hook consulted at the jrn-* stages.
+func (c *FS) SetHook(h resilience.Hook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
+}
+
+// KillAt schedules the process kill at the n-th mutating operation from
+// now (0 = the very next one); n < 0 cancels. The counter is absolute
+// since New or the last Reopen, so run a clean pass first, read Ops, and
+// sweep n over [0, Ops).
+func (c *FS) KillAt(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.killAt = n
+}
+
+// Ops returns the number of mutating operations since New or the last
+// Reopen — the width of the kill matrix.
+func (c *FS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Killed reports whether the scripted kill has fired.
+func (c *FS) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// Reopen simulates the reboot after a crash: every file's volatile suffix
+// is torn at a seeded random prefix and what survives becomes stable,
+// handles from before the crash go stale, and the operation counter and
+// kill schedule reset. It is also valid on a live FS (a hard power cut
+// without a preceding scripted kill).
+func (c *FS) Reopen() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Tear in sorted name order: the rng draws must not follow map
+	// iteration order, or a (seed, kill) cell stops reproducing.
+	names := make([]string, 0, len(c.files))
+	for name := range c.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := c.files[name]
+		if n := len(f.volatile); n > 0 {
+			keep := c.rng.Intn(n + 1)
+			f.stable = append(f.stable, f.volatile[:keep]...)
+		}
+		f.volatile = nil
+	}
+	c.killed = false
+	c.killAt = -1
+	c.ops = 0
+	c.gen++
+}
+
+// step accounts one mutating operation: it fails if the process is dead,
+// fires the scheduled kill when the counter hits killAt, and otherwise
+// consults the fault hook. The caller applies the operation only on nil.
+func (c *FS) step(stage resilience.Stage) error {
+	if c.killed {
+		return ErrKilled
+	}
+	op := c.ops
+	c.ops++
+	if c.killAt >= 0 && op >= c.killAt {
+		c.killed = true
+		return ErrKilled
+	}
+	if c.hook != nil {
+		// The hook may re-enter the FS from its Do callback; run it
+		// unlocked like faultinject runs Call effects.
+		hook := c.hook
+		c.mu.Unlock()
+		err := hook.At(stage)
+		c.mu.Lock()
+		if c.killed {
+			return ErrKilled
+		}
+		return err
+	}
+	return nil
+}
+
+type handle struct {
+	fs   *FS
+	f    *file
+	gen  int
+	open bool
+}
+
+// OpenAppend implements journal.FS. Opening is not a mutating operation —
+// creation only becomes durable once bytes are synced, which the
+// volatile/stable model already captures.
+func (c *FS) OpenAppend(name string) (journal.File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return nil, ErrKilled
+	}
+	f, ok := c.files[name]
+	if !ok {
+		f = &file{}
+		c.files[name] = f
+	}
+	return &handle{fs: c, f: f, gen: c.gen, open: true}, nil
+}
+
+func (h *handle) check() error {
+	if h.fs.killed {
+		return ErrKilled
+	}
+	if h.gen != h.fs.gen {
+		return errStale
+	}
+	if !h.open {
+		return errors.New("crashfs: write on closed handle")
+	}
+	return nil
+}
+
+// Write appends to the file's volatile suffix. A kill here still records
+// the bytes as volatile first — an in-flight write may partially survive
+// the crash, like any other unsynced data. A hook-injected error turns
+// into a short write: a seeded prefix persists, the rest is dropped.
+func (h *handle) Write(p []byte) (int, error) {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := h.check(); err != nil {
+		if errors.Is(err, ErrKilled) && h.gen == c.gen {
+			h.f.volatile = append(h.f.volatile, p...)
+		}
+		return 0, err
+	}
+	if err := c.step(resilience.StageJrnWrite); err != nil {
+		if errors.Is(err, ErrKilled) {
+			h.f.volatile = append(h.f.volatile, p...)
+			return 0, err
+		}
+		short := 0
+		if len(p) > 0 {
+			short = c.rng.Intn(len(p))
+		}
+		h.f.volatile = append(h.f.volatile, p[:short]...)
+		return short, fmt.Errorf("crashfs: short write (%d of %d bytes): %w", short, len(p), err)
+	}
+	h.f.volatile = append(h.f.volatile, p...)
+	return len(p), nil
+}
+
+// Sync promotes the volatile suffix to stable. A kill or injected fsync
+// error leaves it volatile — exactly the window the journal's latch and
+// the recovery tear exist for.
+func (h *handle) Sync() error {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := h.check(); err != nil {
+		return err
+	}
+	if err := c.step(resilience.StageJrnSync); err != nil {
+		return err
+	}
+	h.f.stable = append(h.f.stable, h.f.volatile...)
+	h.f.volatile = nil
+	return nil
+}
+
+// Close implements journal.File. Closing is free: it neither syncs nor
+// mutates durable state.
+func (h *handle) Close() error {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return ErrKilled
+	}
+	h.open = false
+	return nil
+}
+
+// ReadFile implements journal.FS. Reads see the live content — stable
+// plus volatile — because a running process reads its own unsynced
+// writes; only a crash discards them.
+func (c *FS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return nil, ErrKilled
+	}
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: %s: file does not exist", name)
+	}
+	out := make([]byte, 0, len(f.stable)+len(f.volatile))
+	out = append(out, f.stable...)
+	return append(out, f.volatile...), nil
+}
+
+// List implements journal.FS.
+func (c *FS) List() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		return nil, ErrKilled
+	}
+	names := make([]string, 0, len(c.files))
+	for name := range c.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements journal.FS. Like DirFS it is directory-synced: a kill
+// lands before or after the removal (seeded coin), never half-way.
+func (c *FS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[name]; !ok && !c.killed {
+		return fmt.Errorf("crashfs: remove %s: file does not exist", name)
+	}
+	if err := c.step(resilience.StageJrnRemove); err != nil {
+		if errors.Is(err, ErrKilled) && c.rng.Intn(2) == 0 {
+			delete(c.files, name)
+		}
+		return err
+	}
+	delete(c.files, name)
+	return nil
+}
+
+// Rename implements journal.FS. Atomic with directory sync, like DirFS: a
+// kill leaves either the old name or the new, never a tear.
+func (c *FS) Rename(oldname, newname string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[oldname]
+	if !ok && !c.killed {
+		return fmt.Errorf("crashfs: rename %s: file does not exist", oldname)
+	}
+	if err := c.step(resilience.StageJrnRename); err != nil {
+		if errors.Is(err, ErrKilled) && ok && c.rng.Intn(2) == 0 {
+			delete(c.files, oldname)
+			c.files[newname] = f
+		}
+		return err
+	}
+	delete(c.files, oldname)
+	c.files[newname] = f
+	return nil
+}

@@ -1,0 +1,110 @@
+package journal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the journal's view of one open segment or snapshot file: append
+// writes, durability via Sync, and Close. Writers never seek — the journal
+// is strictly append-only.
+type File interface {
+	io.Writer
+	// Sync makes every byte written so far durable. A crash after a
+	// successful Sync must preserve them; a crash before it may lose or
+	// tear any suffix written since the previous Sync.
+	Sync() error
+	Close() error
+}
+
+// FS is the journal's filesystem seam: a flat directory of named files.
+// DirFS backs it with the os for production; crashfs backs it with an
+// in-memory store that injects torn writes, fsync errors, and process
+// kills for the crash matrix.
+type FS interface {
+	// OpenAppend opens name for appending, creating it empty if absent.
+	OpenAppend(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// List returns the base names of every file in the directory.
+	List() ([]string, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname. A crash around a
+	// Rename leaves either the old state or the new state, never a tear —
+	// the property the snapshot write relies on.
+	Rename(oldname, newname string) error
+}
+
+// DirFS is the production FS: a single os directory. Renames are followed
+// by a directory fsync so the new name is durable, matching the atomicity
+// the snapshot protocol assumes.
+type DirFS struct{ dir string }
+
+// NewDirFS creates dir if needed and returns an FS rooted there.
+func NewDirFS(dir string) (DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return DirFS{}, err
+	}
+	return DirFS{dir: dir}, nil
+}
+
+// Dir returns the root directory.
+func (d DirFS) Dir() string { return d.dir }
+
+// OpenAppend implements FS.
+func (d DirFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (d DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+// List implements FS.
+func (d DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove implements FS.
+func (d DirFS) Remove(name string) error {
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+// Rename implements FS.
+func (d DirFS) Rename(oldname, newname string) error {
+	if err := os.Rename(filepath.Join(d.dir, oldname), filepath.Join(d.dir, newname)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+// syncDir fsyncs the directory so renames and removals are durable, not
+// just the file contents they point at.
+func (d DirFS) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,653 @@
+// Package journal is an append-only, CRC-checksummed write-ahead log with
+// segment rotation, fsync batching, and snapshot+compaction, behind a
+// pluggable FS seam.
+//
+// The churn controller journals every accepted link event, computed delta,
+// southbound ack, and dead-letter here before the change takes effect, so a
+// process crash loses at most the unsynced tail — and recovery replays
+// snapshot+tail to resume pushes idempotently instead of cold-resynthesizing
+// every destination.
+//
+// On-disk layout (one flat directory):
+//
+//	wal-<seq>.seg    length-prefixed records: u32le length, u32le CRC-32C
+//	                 over (length ‖ payload), then the payload
+//	snap-<seq>.snap  one framed record holding a full state snapshot
+//
+// Sequence numbers are shared between segments and snapshots and strictly
+// increase, so recovery is: load the highest intact snapshot, then replay
+// every segment with a higher sequence in order. A crash tears only the
+// tail of whatever segment was being written — usually the highest, but a
+// crash *during a previous recovery* can leave the tear in an older
+// segment with empty segments after it (Open creates the next active
+// segment before Replay repairs the tear). Replay therefore truncates
+// every torn tail and reports it, and treats a complete record appearing
+// anywhere after the first tear as corruption — that is damage no crash
+// ordering can explain.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"syrep/internal/obs"
+)
+
+// frame layout: 4-byte little-endian payload length, 4-byte little-endian
+// CRC-32C over the length bytes followed by the payload. Checksumming the
+// length too means a corrupted length never masquerades as a short record.
+const frameHeader = 8
+
+// maxRecord bounds a single record so a corrupted length field cannot
+// demand an absurd allocation during replay.
+const maxRecord = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports journal damage that torn-tail truncation cannot
+// explain: a broken frame that is not at the tail of the final segment, or
+// no intact snapshot where one is referenced.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// ErrReplayed rejects Replay after the journal has started appending; the
+// replay-then-append order is what makes recovery exact.
+var ErrReplayed = errors.New("journal: Replay must run before the first Append")
+
+// Options tunes a journal. The zero value gets serviceable defaults.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes (default 1 MiB).
+	SegmentBytes int64
+	// SyncEvery, when positive, fsyncs automatically after every N appends.
+	// Zero means the owner batches durability explicitly via Sync — the
+	// controller syncs once per event batch and once per repair pass.
+	SyncEvery int
+	// Obs, when non-nil, receives the syrep_journal_* counters.
+	Obs *obs.Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// ReplayStats summarizes one Replay.
+type ReplayStats struct {
+	// Snapshot tells whether a snapshot seeded the replay.
+	Snapshot bool
+	// Records counts tail records delivered after the snapshot.
+	Records int
+	// TornTail tells whether the final segment ended in a broken frame
+	// (short header, short payload, or CRC mismatch); the records before
+	// the tear were delivered, the tear discarded.
+	TornTail bool
+}
+
+// Journal is a single-writer write-ahead log. Append/Sync/Snapshot are
+// goroutine-safe (the controller journals from both its reconcile and
+// pusher goroutines); Replay must happen first, once.
+type Journal struct {
+	fsys FS
+	opts Options
+
+	mu       sync.Mutex
+	seq      uint64 // sequence of the active segment
+	cur      File
+	curBytes int64
+	dirty    bool // bytes written since the last successful Sync
+	unsynced int  // appends since the last successful Sync
+	appended bool // latches once Append runs; Replay then errors
+	failed   error
+
+	appends, syncs, rotations *obs.Counter
+	snapshots, compacted      *obs.Counter
+	recoveredRecs, tornTails  *obs.Counter
+	snapshotsLoaded, badSnaps *obs.Counter
+}
+
+// Open scans the directory, removes stale temporary files, and opens a
+// fresh segment after the highest existing sequence. Existing segments and
+// snapshots are left for Replay.
+func Open(fsys FS, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	j := &Journal{
+		fsys:            fsys,
+		opts:            opts,
+		appends:         opts.Obs.Counter(obs.JournalAppends),
+		syncs:           opts.Obs.Counter(obs.JournalSyncs),
+		rotations:       opts.Obs.Counter(obs.JournalRotations),
+		snapshots:       opts.Obs.Counter(obs.JournalSnapshots),
+		compacted:       opts.Obs.Counter(obs.JournalCompactedFiles),
+		recoveredRecs:   opts.Obs.Counter(obs.JournalRecoveredRecords),
+		tornTails:       opts.Obs.Counter(obs.JournalTornTails),
+		snapshotsLoaded: opts.Obs.Counter(obs.JournalSnapshotsLoaded),
+		badSnaps:        opts.Obs.Counter(obs.JournalBadSnapshots),
+	}
+	names, err := fsys.List()
+	if err != nil {
+		return nil, fmt.Errorf("journal: list: %w", err)
+	}
+	maxSeq := uint64(0)
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			// A snapshot that crashed before its rename; it was never
+			// referenced, so it is garbage.
+			_ = fsys.Remove(name)
+			continue
+		}
+		if seq, _, ok := parseName(name); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	j.seq = maxSeq + 1
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// parseName decodes wal-<seq>.seg / snap-<seq>.snap names; foreign files
+// report !ok and are ignored.
+func parseName(name string) (seq uint64, snapshot bool, ok bool) {
+	var prefix, suffix string
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+		prefix, suffix = "wal-", ".seg"
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		prefix, suffix, snapshot = "snap-", ".snap", true
+	default:
+		return 0, false, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	seq, err := strconv.ParseUint(body, 16, 64)
+	if err != nil {
+		return 0, false, false
+	}
+	return seq, snapshot, true
+}
+
+func segmentName(seq uint64) string  { return fmt.Sprintf("wal-%016x.seg", seq) }
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+func (j *Journal) openSegmentLocked() error {
+	f, err := j.fsys.OpenAppend(segmentName(j.seq))
+	if err != nil {
+		return fmt.Errorf("journal: open segment %d: %w", j.seq, err)
+	}
+	j.cur = f
+	j.curBytes = 0
+	j.dirty = false
+	j.unsynced = 0
+	return nil
+}
+
+// frame renders one record: header (length, CRC) then payload.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	crc := crc32.Update(0, crcTable, buf[0:4])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(buf[4:8], crc)
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// parseFrame decodes the record starting at data[off]. ok is false at a
+// clean end of data or at any tear (short header, short payload, bad CRC,
+// oversized length) — the caller decides whether that tear is tolerable.
+func parseFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+frameHeader > len(data) {
+		return nil, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	if n > maxRecord || off+frameHeader+n > len(data) {
+		return nil, off, false
+	}
+	want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	crc := crc32.Update(0, crcTable, data[off:off+4])
+	crc = crc32.Update(crc, crcTable, data[off+frameHeader:off+frameHeader+n])
+	if crc != want {
+		return nil, off, false
+	}
+	return data[off+frameHeader : off+frameHeader+n], off + frameHeader + n, true
+}
+
+// Append journals one record. The bytes are buffered in the OS until the
+// next Sync (or auto-sync when Options.SyncEvery is set); a crash before
+// that may lose or tear them, which replay detects and truncates. Any
+// failure latches: the journal refuses further work with the same error,
+// because a half-written journal must not keep absorbing state the owner
+// believes durable.
+func (j *Journal) Append(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
+	j.appended = true
+	buf := frame(payload)
+	n, err := j.cur.Write(buf)
+	j.curBytes += int64(n)
+	if err != nil {
+		return j.fail(fmt.Errorf("journal: append: %w", err))
+	}
+	j.dirty = true
+	j.unsynced++
+	j.appends.Inc()
+	if j.opts.SyncEvery > 0 && j.unsynced >= j.opts.SyncEvery {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if j.curBytes >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync makes every appended record durable. It is a no-op when nothing was
+// appended since the last Sync, so callers batch freely: append N records,
+// sync once.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	if err := j.cur.Sync(); err != nil {
+		return j.fail(fmt.Errorf("journal: sync: %w", err))
+	}
+	j.dirty = false
+	j.unsynced = 0
+	j.syncs.Inc()
+	return nil
+}
+
+// rotateLocked seals the active segment (sync + close) and opens the next
+// one. Sealing before moving on is what confines torn tails to the final
+// segment.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.cur.Close(); err != nil {
+		return j.fail(fmt.Errorf("journal: rotate close: %w", err))
+	}
+	j.seq++
+	if err := j.openSegmentLocked(); err != nil {
+		return j.fail(err)
+	}
+	j.rotations.Inc()
+	return nil
+}
+
+// fail latches the first error; all later operations return it.
+func (j *Journal) fail(err error) error {
+	if j.failed == nil {
+		j.failed = err
+	}
+	return j.failed
+}
+
+// Err returns the latched failure, nil while the journal is healthy.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
+// Replay loads the persisted state: the highest intact snapshot (if any) is
+// delivered first with snapshot=true, then every tail record in append
+// order. It must run before the first Append. A torn tail on the final
+// segment is truncated and reported in the stats; a broken frame anywhere
+// else fails with ErrCorrupt.
+func (j *Journal) Replay(fn func(snapshot bool, payload []byte) error) (ReplayStats, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var stats ReplayStats
+	if j.failed != nil {
+		return stats, j.failed
+	}
+	if j.appended {
+		return stats, ErrReplayed
+	}
+	files, err := scan(j.fsys, j.seq)
+	if err != nil {
+		return stats, err
+	}
+	snapSeq, snapPayload, skipped, err := bestSnapshot(j.fsys, files.snaps)
+	if err != nil {
+		return stats, err
+	}
+	j.badSnaps.Add(int64(skipped))
+	if snapPayload != nil {
+		stats.Snapshot = true
+		j.snapshotsLoaded.Inc()
+		if err := fn(true, snapPayload); err != nil {
+			return stats, err
+		}
+	}
+	live := files.segs[:0]
+	for _, seq := range files.segs {
+		if seq > snapSeq {
+			live = append(live, seq)
+		}
+	}
+	parsed := make([]segParse, 0, len(live))
+	for _, seq := range live {
+		data, err := j.fsys.ReadFile(segmentName(seq))
+		if err != nil {
+			return stats, fmt.Errorf("journal: read segment %d: %w", seq, err)
+		}
+		ps := segParse{seq: seq, data: data}
+		ps.recs, ps.valid, ps.torn = parseSegment(data)
+		parsed = append(parsed, ps)
+	}
+	if err := checkTears(parsed); err != nil {
+		return stats, err
+	}
+	for _, ps := range parsed {
+		for _, rec := range ps.recs {
+			if err := fn(false, rec); err != nil {
+				return stats, err
+			}
+			stats.Records++
+		}
+		if ps.torn {
+			stats.TornTail = true
+			j.tornTails.Inc()
+			// Rewrite the segment to its valid prefix. Without this the
+			// tear would survive on disk, and the *next* restart — which
+			// writes newer segments after it — would see a broken frame
+			// inside a sealed segment and refuse to replay.
+			if err := j.repairTornLocked(segmentName(ps.seq), ps.data[:ps.valid]); err != nil {
+				return stats, err
+			}
+		}
+	}
+	j.recoveredRecs.Add(int64(stats.Records))
+	return stats, nil
+}
+
+// segParse is one live segment's decoded content during replay.
+type segParse struct {
+	seq   uint64
+	data  []byte
+	recs  [][]byte
+	valid int
+	torn  bool
+}
+
+// checkTears enforces the corruption rule: a broken frame is a legal crash
+// artifact only while no record exists beyond it. The common case is a tear
+// in the final segment (the crash interrupted the last append). A tear in
+// an earlier segment is still legal when every later segment holds zero
+// records — that happens when a crash interrupts recovery itself, after
+// Open created a fresh (empty) active segment but before Replay repaired
+// the previous tear. Any complete record past a tear means data in the
+// middle of the stream was lost: ErrCorrupt.
+func checkTears(parsed []segParse) error {
+	firstTear := -1
+	for i, ps := range parsed {
+		if firstTear >= 0 && len(ps.recs) > 0 {
+			return fmt.Errorf("%w: segment %d holds records beyond the tear in segment %d",
+				ErrCorrupt, ps.seq, parsed[firstTear].seq)
+		}
+		if ps.torn && firstTear < 0 {
+			firstTear = i
+		}
+	}
+	return nil
+}
+
+// repairTornLocked truncates a torn segment to its valid prefix via the
+// same tmp-write + atomic-rename protocol as snapshots, so a crash during
+// the repair itself leaves either the torn original (repaired again on the
+// next restart) or the clean replacement.
+func (j *Journal) repairTornLocked(name string, valid []byte) error {
+	tmp := name + ".tmp"
+	f, err := j.fsys.OpenAppend(tmp)
+	if err != nil {
+		return j.fail(fmt.Errorf("journal: repair open: %w", err))
+	}
+	if len(valid) > 0 {
+		if _, err := f.Write(valid); err != nil {
+			f.Close()
+			return j.fail(fmt.Errorf("journal: repair write: %w", err))
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return j.fail(fmt.Errorf("journal: repair sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return j.fail(fmt.Errorf("journal: repair close: %w", err))
+	}
+	if err := j.fsys.Rename(tmp, name); err != nil {
+		return j.fail(fmt.Errorf("journal: repair rename: %w", err))
+	}
+	return nil
+}
+
+// parseSegment decodes a segment's frames; valid is the byte offset of the
+// first broken frame (== len(data) when clean), torn reports trailing
+// bytes that do not form an intact record.
+func parseSegment(data []byte) (recs [][]byte, valid int, torn bool) {
+	for off := 0; off < len(data); {
+		payload, next, ok := parseFrame(data, off)
+		if !ok {
+			return recs, off, true
+		}
+		recs = append(recs, payload)
+		off = next
+	}
+	return recs, len(data), false
+}
+
+// dirFiles is the parsed directory listing relevant to a journal.
+type dirFiles struct {
+	segs  []uint64 // ascending, excluding the active segment
+	snaps []uint64 // ascending
+}
+
+func scan(fsys FS, activeSeq uint64) (dirFiles, error) {
+	names, err := fsys.List()
+	if err != nil {
+		return dirFiles{}, fmt.Errorf("journal: list: %w", err)
+	}
+	var files dirFiles
+	for _, name := range names {
+		seq, snap, ok := parseName(name)
+		if !ok {
+			continue
+		}
+		if snap {
+			files.snaps = append(files.snaps, seq)
+		} else if seq != activeSeq {
+			files.segs = append(files.segs, seq)
+		}
+	}
+	sort.Slice(files.segs, func(a, b int) bool { return files.segs[a] < files.segs[b] })
+	sort.Slice(files.snaps, func(a, b int) bool { return files.snaps[a] < files.snaps[b] })
+	return files, nil
+}
+
+// bestSnapshot returns the payload of the highest intact snapshot and how
+// many newer-but-broken snapshots were skipped on the way down. No snapshot
+// at all returns seq 0 and a nil payload.
+func bestSnapshot(fsys FS, snaps []uint64) (seq uint64, payload []byte, skipped int, err error) {
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := fsys.ReadFile(snapshotName(snaps[i]))
+		if err != nil {
+			return 0, nil, skipped, fmt.Errorf("journal: read snapshot %d: %w", snaps[i], err)
+		}
+		rec, _, ok := parseFrame(data, 0)
+		if !ok {
+			// The rename made it durable but the content is damaged —
+			// fall back to the previous snapshot, whose tail segments are
+			// still present until compaction confirms a newer one.
+			skipped++
+			continue
+		}
+		return snaps[i], rec, skipped, nil
+	}
+	return 0, nil, skipped, nil
+}
+
+// Snapshot persists a full-state snapshot and compacts: the active segment
+// is sealed, the snapshot is written to a temporary file, synced, and
+// renamed into place, and only then are the superseded segments and
+// snapshots removed. A crash at any point leaves a recoverable directory —
+// either the old snapshot plus all segments, or the new snapshot.
+func (j *Journal) Snapshot(state []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
+	j.appended = true
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.cur.Close(); err != nil {
+		return j.fail(fmt.Errorf("journal: snapshot close: %w", err))
+	}
+	sealed := j.seq
+	snapSeq := j.seq + 1
+	name := snapshotName(snapSeq)
+	tmp := name + ".tmp"
+	f, err := j.fsys.OpenAppend(tmp)
+	if err != nil {
+		return j.fail(fmt.Errorf("journal: snapshot open: %w", err))
+	}
+	if _, err := f.Write(frame(state)); err != nil {
+		f.Close()
+		return j.fail(fmt.Errorf("journal: snapshot write: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return j.fail(fmt.Errorf("journal: snapshot sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return j.fail(fmt.Errorf("journal: snapshot close: %w", err))
+	}
+	if err := j.fsys.Rename(tmp, name); err != nil {
+		return j.fail(fmt.Errorf("journal: snapshot rename: %w", err))
+	}
+	j.snapshots.Inc()
+	// Compaction: everything at or below the sealed segment, and every
+	// older snapshot, is now redundant. Removal failures are tolerable —
+	// recovery ignores superseded files — but still latch, because an FS
+	// that fails removals is an FS about to fail appends.
+	files, err := scan(j.fsys, 0)
+	if err != nil {
+		return j.fail(err)
+	}
+	for _, seq := range files.segs {
+		if seq <= sealed {
+			if err := j.fsys.Remove(segmentName(seq)); err != nil {
+				return j.fail(fmt.Errorf("journal: compact: %w", err))
+			}
+			j.compacted.Inc()
+		}
+	}
+	for _, seq := range files.snaps {
+		if seq < snapSeq {
+			if err := j.fsys.Remove(snapshotName(seq)); err != nil {
+				return j.fail(fmt.Errorf("journal: compact: %w", err))
+			}
+			j.compacted.Inc()
+		}
+	}
+	j.seq = snapSeq + 1
+	if err := j.openSegmentLocked(); err != nil {
+		return j.fail(err)
+	}
+	return nil
+}
+
+// Close seals the journal: outstanding appends are synced and the active
+// segment closed. The journal is unusable afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	err := j.cur.Close()
+	j.fail(errors.New("journal: closed"))
+	return err
+}
+
+// Walk reads a journal directory without opening it for writing — the
+// inspection path behind `syrep-ctl -journal-dump`. It visits the highest
+// intact snapshot (snapshot=true), then every tail record in order, and
+// returns the same stats as Replay.
+func Walk(fsys FS, fn func(snapshot bool, payload []byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	files, err := scan(fsys, ^uint64(0))
+	if err != nil {
+		return stats, err
+	}
+	snapSeq, snapPayload, _, err := bestSnapshot(fsys, files.snaps)
+	if err != nil {
+		return stats, err
+	}
+	if snapPayload != nil {
+		stats.Snapshot = true
+		if err := fn(true, snapPayload); err != nil {
+			return stats, err
+		}
+	}
+	live := files.segs[:0]
+	for _, seq := range files.segs {
+		if seq > snapSeq {
+			live = append(live, seq)
+		}
+	}
+	parsed := make([]segParse, 0, len(live))
+	for _, seq := range live {
+		data, err := fsys.ReadFile(segmentName(seq))
+		if err != nil {
+			return stats, fmt.Errorf("journal: read segment %d: %w", seq, err)
+		}
+		ps := segParse{seq: seq, data: data}
+		ps.recs, ps.valid, ps.torn = parseSegment(data)
+		parsed = append(parsed, ps)
+	}
+	if err := checkTears(parsed); err != nil {
+		return stats, err
+	}
+	for _, ps := range parsed {
+		for _, rec := range ps.recs {
+			if err := fn(false, rec); err != nil {
+				return stats, err
+			}
+			stats.Records++
+		}
+		if ps.torn {
+			stats.TornTail = true
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,388 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"syrep/internal/obs"
+)
+
+func openDir(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	fsys, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatalf("NewDirFS: %v", err)
+	}
+	j, err := Open(fsys, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func replayAll(t *testing.T, j *Journal) (snap []byte, recs [][]byte, stats ReplayStats) {
+	t.Helper()
+	stats, err := j.Replay(func(snapshot bool, payload []byte) error {
+		cp := append([]byte(nil), payload...)
+		if snapshot {
+			snap = cp
+		} else {
+			recs = append(recs, cp)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return snap, recs, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openDir(t, dir, Options{})
+	want := [][]byte{[]byte("one"), []byte(""), []byte("three\x00binary")}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := openDir(t, dir, Options{})
+	snap, recs, stats := replayAll(t, j2)
+	if snap != nil || stats.Snapshot {
+		t.Fatalf("unexpected snapshot: %q", snap)
+	}
+	if stats.TornTail {
+		t.Fatal("unexpected torn tail")
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range want {
+		if string(recs[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestReplayAfterAppendRejected(t *testing.T) {
+	j := openDir(t, t.TempDir(), Options{})
+	if err := j.Append([]byte("x")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := j.Replay(func(bool, []byte) error { return nil }); !errors.Is(err, ErrReplayed) {
+		t.Fatalf("Replay after Append = %v, want ErrReplayed", err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j := openDir(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Tear the tail: chop the last 3 bytes of the only segment.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ob := obs.New(nil)
+	j2 := openDir(t, dir, Options{Obs: ob})
+	_, recs, stats := replayAll(t, j2)
+	if !stats.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (tail truncated)", len(recs))
+	}
+	var buf strings.Builder
+	if err := ob.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), obs.JournalTornTails) {
+		t.Fatalf("export missing %s: %s", obs.JournalTornTails, buf.String())
+	}
+}
+
+func TestCorruptSealedSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every record seals its own segment.
+	j := openDir(t, dir, Options{SegmentBytes: 1})
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Flip a payload byte in the first (sealed) segment.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openDir(t, dir, Options{})
+	_, err = j2.Replay(func(bool, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over corrupt sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotationSealsSegments(t *testing.T) {
+	dir := t.TempDir()
+	ob := obs.New(nil)
+	j := openDir(t, dir, Options{SegmentBytes: 32, Obs: ob})
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) < 3 {
+		t.Fatalf("expected multiple segments, got %d files", len(ents))
+	}
+	j2 := openDir(t, dir, Options{})
+	_, recs, stats := replayAll(t, j2)
+	if len(recs) != 10 || stats.TornTail {
+		t.Fatalf("replayed %d records (torn=%v), want 10 clean", len(recs), stats.TornTail)
+	}
+}
+
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	j := openDir(t, dir, Options{SegmentBytes: 32})
+	for i := 0; i < 6; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Snapshot([]byte("STATE")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := j.Append([]byte("post-0")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Everything before the snapshot must be gone.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		seq, snap, ok := parseName(e.Name())
+		if !ok {
+			t.Fatalf("foreign file after compaction: %s", e.Name())
+		}
+		if !snap && seq < 2 {
+			t.Fatalf("pre-snapshot segment survived compaction: %s", e.Name())
+		}
+	}
+
+	j2 := openDir(t, dir, Options{})
+	snap, recs, stats := replayAll(t, j2)
+	if string(snap) != "STATE" || !stats.Snapshot {
+		t.Fatalf("snapshot = %q, want STATE", snap)
+	}
+	if len(recs) != 1 || string(recs[0]) != "post-0" {
+		t.Fatalf("tail records = %q, want [post-0]", recs)
+	}
+}
+
+func TestBadSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	j := openDir(t, dir, Options{})
+	if err := j.Snapshot([]byte("OLD")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := j.Append([]byte("tail-after-old")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Forge a newer snapshot with garbage content (rename landed, bytes bad).
+	bogus := filepath.Join(dir, snapshotName(99))
+	if err := os.WriteFile(bogus, []byte("not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openDir(t, dir, Options{})
+	snap, recs, _ := replayAll(t, j2)
+	if string(snap) != "OLD" {
+		t.Fatalf("snapshot = %q, want fallback to OLD", snap)
+	}
+	// The tail segment outranks the OLD snapshot but not the bogus one; it
+	// sits between, and with the bogus snapshot skipped it must replay.
+	if len(recs) != 1 || string(recs[0]) != "tail-after-old" {
+		t.Fatalf("tail records = %q, want [tail-after-old]", recs)
+	}
+}
+
+func TestStaleTmpRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, snapshotName(7)+".tmp")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openDir(t, dir, Options{})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp survived Open: %v", err)
+	}
+}
+
+func TestSyncEveryBatches(t *testing.T) {
+	dir := t.TempDir()
+	ob := obs.New(nil)
+	j := openDir(t, dir, Options{SyncEvery: 3, Obs: ob})
+	for i := 0; i < 7; i++ {
+		if err := j.Append([]byte("x")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// 7 appends with SyncEvery=3 → auto-syncs at 3 and 6.
+	if got := ob.Counter(obs.JournalSyncs).Load(); got != 2 {
+		t.Fatalf("auto-syncs = %d, want 2", got)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := ob.Counter(obs.JournalSyncs).Load(); got != 3 {
+		t.Fatalf("syncs after explicit = %d, want 3", got)
+	}
+	// Clean journal: another Sync is a dirty-flag no-op.
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := ob.Counter(obs.JournalSyncs).Load(); got != 3 {
+		t.Fatalf("no-op sync ticked the counter: %d", got)
+	}
+}
+
+// errFile / errFS force a sync failure to check the latch.
+type errFile struct {
+	File
+	syncErr error
+}
+
+func (f errFile) Sync() error { return f.syncErr }
+
+type errFS struct {
+	FS
+	syncErr error
+}
+
+func (e errFS) OpenAppend(name string) (File, error) {
+	f, err := e.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return errFile{File: f, syncErr: e.syncErr}, nil
+}
+
+func TestSyncErrorLatches(t *testing.T) {
+	inner, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	j, err := Open(errFS{FS: inner, syncErr: boom}, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := j.Append([]byte("x")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want wrapped %v", err, boom)
+	}
+	// Latched: every later operation reports the same failure.
+	if err := j.Append([]byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("Append after failure = %v, want latched %v", err, boom)
+	}
+	if err := j.Snapshot([]byte("s")); !errors.Is(err, boom) {
+		t.Fatalf("Snapshot after failure = %v, want latched %v", err, boom)
+	}
+	if err := j.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want latched %v", err, boom)
+	}
+}
+
+func TestWalkMatchesReplay(t *testing.T) {
+	dir := t.TempDir()
+	j := openDir(t, dir, Options{SegmentBytes: 32})
+	if err := j.Snapshot([]byte("SNAP")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("w-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fsys, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	var recs []string
+	stats, err := Walk(fsys, func(snapshot bool, payload []byte) error {
+		if snapshot {
+			snap = append([]byte(nil), payload...)
+		} else {
+			recs = append(recs, string(payload))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if string(snap) != "SNAP" || !stats.Snapshot {
+		t.Fatalf("Walk snapshot = %q, want SNAP", snap)
+	}
+	if len(recs) != 5 || stats.Records != 5 {
+		t.Fatalf("Walk records = %v (stats %d), want 5", recs, stats.Records)
+	}
+}
+
+func TestReplayEmptyJournal(t *testing.T) {
+	j := openDir(t, t.TempDir(), Options{})
+	snap, recs, stats := replayAll(t, j)
+	if snap != nil || len(recs) != 0 || stats.Snapshot || stats.TornTail || stats.Records != 0 {
+		t.Fatalf("empty replay = snap %q recs %v stats %+v", snap, recs, stats)
+	}
+}

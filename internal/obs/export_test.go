@@ -37,6 +37,16 @@ func goldenObserver() *obs.Observer {
 	o.Verify().PolyVisits.Add(611)
 	o.Repair().Iterations.Add(2)
 	o.Repair().HolesPunched.Add(7)
+	o.Counter(obs.CtlDupSkips).Add(4)
+	o.Counter(obs.JournalAppends).Add(321)
+	o.Counter(obs.JournalSyncs).Add(107)
+	o.Counter(obs.JournalRotations).Add(2)
+	o.Counter(obs.JournalSnapshots).Add(6)
+	o.Counter(obs.JournalCompactedFiles).Add(9)
+	o.Counter(obs.JournalRecoveredRecords).Add(58)
+	o.Counter(obs.JournalTornTails).Add(1)
+	o.Counter(obs.JournalSnapshotsLoaded).Add(1)
+	o.Counter(obs.JournalBadSnapshots).Add(1)
 	h := o.Histogram("syrep_ctl_event_latency_seconds", 0.001, 0.01, 0.1, 1)
 	h.Observe(500 * time.Microsecond)
 	h.Observe(500 * time.Microsecond)

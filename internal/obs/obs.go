@@ -101,6 +101,21 @@ const (
 	CtlEpoch        = "syrep_ctl_epoch"
 	CtlInboxDepth   = "syrep_ctl_inbox_depth"
 	CtlEventLatency = "syrep_ctl_event_latency_seconds"
+	CtlDupSkips     = "syrep_ctl_duplicate_push_skips_total"
+
+	// Write-ahead journal (internal/journal) and controller recovery.
+	// Append/sync/rotation/snapshot counters size the write path;
+	// recovered-records and torn-tails are the replay-side story a crash
+	// postmortem reads first.
+	JournalAppends          = "syrep_journal_appends_total"
+	JournalSyncs            = "syrep_journal_syncs_total"
+	JournalRotations        = "syrep_journal_rotations_total"
+	JournalSnapshots        = "syrep_journal_snapshots_total"
+	JournalCompactedFiles   = "syrep_journal_compacted_files_total"
+	JournalRecoveredRecords = "syrep_journal_recovered_records_total"
+	JournalTornTails        = "syrep_journal_torn_tail_total"
+	JournalSnapshotsLoaded  = "syrep_journal_snapshots_loaded_total"
+	JournalBadSnapshots     = "syrep_journal_bad_snapshots_total"
 )
 
 // SpanTotal is the span name of the Synthesize/Repair entry points; stage

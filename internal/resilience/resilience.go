@@ -151,6 +151,24 @@ const (
 	StageCtlPush Stage = "ctl-push"
 )
 
+// Journal stages (internal/journal, via its crashfs test FS). Like the
+// ctl-* stages they share the Stage currency so one faultinject plan can
+// script filesystem faults alongside pipeline and controller faults. The
+// crash-matrix harness consults these around every journaled filesystem
+// operation; an Error-kind fault becomes that operation's failure, and the
+// harness's own kill machinery uses the visit stream to place process
+// "kills" at exact operation indices.
+const (
+	// StageJrnWrite is consulted on every segment or snapshot write.
+	StageJrnWrite Stage = "jrn-write"
+	// StageJrnSync is consulted on every file fsync.
+	StageJrnSync Stage = "jrn-sync"
+	// StageJrnRename is consulted on every rename (snapshot publication).
+	StageJrnRename Stage = "jrn-rename"
+	// StageJrnRemove is consulted on every removal (compaction).
+	StageJrnRemove Stage = "jrn-remove"
+)
+
 // FaultPoints returns every stage at which the supervisor consults the
 // fault-injection hook, in pipeline order.
 func FaultPoints() []Stage {
@@ -165,6 +183,12 @@ func FaultPoints() []Stage {
 // consults the fault-injection hook, in event-lifecycle order.
 func ControllerFaultPoints() []Stage {
 	return []Stage{StageCtlInbox, StageCtlRepair, StageCtlEpoch, StageCtlPush}
+}
+
+// JournalFaultPoints returns every stage at which the journal's crashfs
+// consults the fault-injection hook, in write-path order.
+func JournalFaultPoints() []Stage {
+	return []Stage{StageJrnWrite, StageJrnSync, StageJrnRename, StageJrnRemove}
 }
 
 // Hook observes (and may sabotage) the pipeline at each stage. A non-nil
