@@ -14,7 +14,7 @@ CHURN_EPOCHS ?= 1000
 # each checked for k in 1..3 by both backends.
 VERIFY_DIFF_SEEDS ?= 60
 
-.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn crash verify-diff check
+.PHONY: build test race vet lint fuzz-short faults obs serve-test cache-test churn crash verify-diff batch check
 
 build:
 	$(GO) build ./...
@@ -102,4 +102,14 @@ verify-diff:
 	SYREP_VERIFY_DIFF_SEEDS=$(VERIFY_DIFF_SEEDS) $(GO) test -race -run 'TestDifferential|TestPoly|TestFailingOrder|TestResilientCtxFirst' -count=1 ./internal/verify/ ./internal/verify/poly/
 	$(GO) test ./internal/verify/poly -fuzz=FuzzPolyVerify -fuzztime=$(FUZZTIME)
 
-check: build vet lint test race faults obs serve-test cache-test churn crash verify-diff
+# All-destinations batch gate under the race detector: the batch
+# differential suite (SynthesizeAll destination-for-destination equal to N
+# sequential runs), manager-pool determinism, singleflight leader-abort
+# re-election, the Submit burst accounting regression, and the NDJSON
+# endpoint — then the batch-vs-sequential benchmark, writing the comparison
+# rows to BENCH_all_dests.json.
+batch:
+	$(GO) test -race -run 'TestSynthesizeAll|TestShared|TestPool|TestReset|TestSingleflight|TestSubmitBurst|TestHTTPSynthesizeAll' ./internal/resilience/ ./internal/reduce/ ./internal/bdd/ ./internal/cache/ ./internal/server/
+	$(GO) run ./cmd/syrep-bench -fig alldests -alldests-json $(CURDIR)/BENCH_all_dests.json
+
+check: build vet lint test race faults obs serve-test cache-test churn crash verify-diff batch

@@ -36,7 +36,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("syrep-bench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|warm|verify|all")
+	fig := fs.String("fig", "all", "figure to regenerate: 5|7a|7b|7c|7d|8|9|warm|verify|alldests|all")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-instance timeout (paper: 20 min)")
 	maxNodes := fs.Int("max-nodes", 28, "largest generated instance")
 	seedsPerSize := fs.Int("seeds", 1, "generated instances per size")
@@ -48,6 +48,8 @@ func run(args []string, w io.Writer) error {
 		"write the cold-vs-warm comparison rows as JSON to this file (fig warm/all)")
 	verifyJSON := fs.String("verify-json", "",
 		"write the brute-vs-poly verification comparison rows as JSON to this file (fig verify/all)")
+	alldestsJSON := fs.String("alldests-json", "",
+		"write the batch-vs-sequential all-destinations rows as JSON to this file (fig alldests/all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +61,7 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "suite: %d instances, per-instance timeout %s\n\n", len(suite), *timeout)
 
 	h := &harness{timeout: *timeout, csvPath: *csvPath, metricsJSON: *metricsJSON,
-		coldwarmJSON: *coldwarmJSON, verifyJSON: *verifyJSON}
+		coldwarmJSON: *coldwarmJSON, verifyJSON: *verifyJSON, alldestsJSON: *alldestsJSON}
 	ctx := context.Background()
 	if err := dispatch(ctx, w, h, suite, *fig); err != nil {
 		return err
@@ -85,6 +87,8 @@ func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Inst
 		return figWarm(ctx, w, h, suite)
 	case "verify":
 		return figVerify(ctx, w, h)
+	case "alldests":
+		return figAllDests(ctx, w, h)
 	case "all":
 		if err := fig5(ctx, w, suite); err != nil {
 			return err
@@ -93,6 +97,9 @@ func dispatch(ctx context.Context, w io.Writer, h *harness, suite []topozoo.Inst
 			return err
 		}
 		if err := figVerify(ctx, w, h); err != nil {
+			return err
+		}
+		if err := figAllDests(ctx, w, h); err != nil {
 			return err
 		}
 		for _, k := range []int{2, 3} {
@@ -118,6 +125,7 @@ type harness struct {
 	metricsJSON  string
 	coldwarmJSON string
 	verifyJSON   string
+	alldestsJSON string
 	all          []benchmark.Result
 }
 
@@ -257,6 +265,29 @@ func figVerify(ctx context.Context, w io.Writer, h *harness) error {
 		return err
 	}
 	if err := benchmark.WriteVerifyBenchJSON(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// figAllDests renders the all-destinations batch-versus-sequential
+// comparison on embedded topologies, with the differential cross-check.
+func figAllDests(ctx context.Context, w io.Writer, h *harness) error {
+	fmt.Fprintln(w, "== All destinations: batch fan-out vs N sequential runs ==")
+	rows, err := benchmark.WriteAllDestsBench(ctx, w, benchmark.AllDestsConfig{Timeout: h.timeout})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if h.alldestsJSON == "" {
+		return nil
+	}
+	f, err := os.Create(h.alldestsJSON)
+	if err != nil {
+		return err
+	}
+	if err := benchmark.WriteAllDestsBenchJSON(f, rows); err != nil {
 		f.Close()
 		return err
 	}

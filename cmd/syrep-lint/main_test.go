@@ -186,3 +186,20 @@ func selectedByName(t *testing.T, names string) []*analysis.Analyzer {
 	}
 	return sel
 }
+
+// TestBatchPackagesAreClean pins every layer the all-destinations batch
+// touches: the fan-out workers poll cancellation between destinations
+// (ctxpoll), the batch lock serializes OnResult without wrapping blocking
+// sends (locksafe), the NDJSON stream's lines channel follows the
+// close-after-wait protocol (chansafe), the pooled-manager encode path must
+// not leak map iteration order into results (maporder), and the shared
+// reduce stage runs under the supervisor's spans (spanpair).
+func TestBatchPackagesAreClean(t *testing.T) {
+	lintClean(t, analyzers,
+		"./internal/resilience",
+		"./internal/reduce",
+		"./internal/bdd",
+		"./cmd/syrep",
+		"./cmd/syrep-bench",
+	)
+}

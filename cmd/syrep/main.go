@@ -7,6 +7,7 @@
 //	syrep show       -topo <name|file.graphml>
 //	syrep reduce     -topo <...> [-dest <node>] [-rule sound|aggressive]
 //	syrep synthesize -topo <...> [-dest <node>] [-k N] [-strategy S] [-o table.json]
+//	syrep synthesize-all -topo <...> [-dests a,b,...] [-k N] [-strategy S] [-workers N] [-o tables.json]
 //	syrep verify     -topo <...> -routing table.json [-k N] [-backend auto|brute|poly]
 //	syrep repair     -topo <...> -routing table.json [-k N] [-o repaired.json]
 //	syrep analyze    -topo <...> -routing table.json [-max-k N]
@@ -56,6 +57,8 @@ func run(args []string, w io.Writer) error {
 		return cmdReduce(args[1:], w)
 	case "synthesize":
 		return cmdSynthesize(args[1:], w)
+	case "synthesize-all":
+		return cmdSynthesizeAll(args[1:], w)
 	case "verify":
 		return cmdVerify(args[1:], w)
 	case "repair":
@@ -68,7 +71,7 @@ func run(args []string, w io.Writer) error {
 }
 
 func usageError() error {
-	return fmt.Errorf("usage: syrep <list|show|reduce|synthesize|verify|repair|analyze> [flags]")
+	return fmt.Errorf("usage: syrep <list|show|reduce|synthesize|synthesize-all|verify|repair|analyze> [flags]")
 }
 
 // obsFlags carries the shared observability flags of the synthesize, verify,
@@ -276,6 +279,85 @@ func cmdSynthesize(args []string, w io.Writer) error {
 			rep.NodesRemoved, rep.ReducedRepairUsed, rep.ExpansionRepairUsed)
 	}
 	return emitRouting(w, r, *out)
+}
+
+func cmdSynthesizeAll(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("synthesize-all", flag.ContinueOnError)
+	topo := fs.String("topo", "", "topology name or .graphml file")
+	k := fs.Int("k", 2, "resilience level")
+	strategy := fs.String("strategy", "combined", "baseline|heuristic|reduction|combined")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-destination timeout")
+	workers := fs.Int("workers", 0, "concurrently synthesized destinations (default: GOMAXPROCS)")
+	destsFlag := fs.String("dests", "", "comma-separated destination nodes (default: every node)")
+	out := fs.String("o", "", "write all tables to this file as a destination→routing JSON object")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := loadTopology(*topo)
+	if err != nil {
+		return err
+	}
+	s, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	var dests []network.NodeID
+	if *destsFlag != "" {
+		for _, name := range strings.Split(*destsFlag, ",") {
+			d, err := resolveDest(net, strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			dests = append(dests, d)
+		}
+	}
+	ob := of.observer()
+	results, rep, err := core.SynthesizeAll(context.Background(), net, *k, core.BatchOptions{
+		Run:     core.Options{Strategy: s, Timeout: *timeout, Obs: ob},
+		Dests:   dests,
+		Workers: *workers,
+		Obs:     ob,
+		OnResult: func(res core.DestResult) {
+			switch {
+			case res.Err != nil:
+				fmt.Fprintf(w, "  %-12s FAILED: %v\n", res.Name, res.Err)
+			case res.Report != nil && res.Report.Degraded():
+				fmt.Fprintf(w, "  %-12s ok (degraded)\n", res.Name)
+			default:
+				fmt.Fprintf(w, "  %-12s ok\n", res.Name)
+			}
+		},
+	})
+	if ferr := of.flush(ob, w); ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "synthesised %d-resilient routings for %d/%d destinations in %s (strategy %s; %d cache hits, %d manager reuses)\n",
+		*k, rep.Resilient+rep.Degraded, rep.Dests, rep.Elapsed.Round(time.Millisecond), s,
+		rep.CacheHits, rep.Pool.Reuses)
+	if *out != "" {
+		tables := make(map[string]*routing.Routing, len(results))
+		for _, res := range results {
+			if res.Routing != nil {
+				tables[res.Name] = res.Routing
+			}
+		}
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "routings written to %s\n", *out)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d destinations failed", rep.Failed, rep.Dests)
+	}
+	return nil
 }
 
 func cmdVerify(args []string, w io.Writer) error {

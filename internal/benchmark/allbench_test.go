@@ -1,0 +1,75 @@
+package benchmark
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllDestsBench runs the batch-versus-sequential comparison on one
+// small topology and checks the row is internally consistent: every
+// destination solved by both paths, the differential cross-check green,
+// and both timings populated.
+func TestAllDestsBench(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rows, err := AllDestsBench(ctx, AllDestsConfig{Topologies: []string{"Abilene"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Instance != "Abilene" || r.K != 1 || r.Strategy != "combined" {
+		t.Errorf("row identity = %+v", r)
+	}
+	if r.Dests != r.Nodes || r.Resilient != r.Dests {
+		t.Errorf("solved %d of %d destinations, want all", r.Resilient, r.Dests)
+	}
+	if !r.Differential {
+		t.Error("batch routings differ from sequential routings")
+	}
+	if r.Batch <= 0 || r.Sequential <= 0 || r.Speedup <= 0 {
+		t.Errorf("timings not populated: %+v", r)
+	}
+}
+
+// TestWriteAllDestsBench checks the table renderer and the JSON artifact
+// round-trip.
+func TestWriteAllDestsBench(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var table bytes.Buffer
+	rows, err := WriteAllDestsBench(ctx, &table, AllDestsConfig{Topologies: []string{"Abilene"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"instance", "sequential", "batch", "speedup", "Abilene"} {
+		if !strings.Contains(table.String(), col) {
+			t.Errorf("table lacks %q:\n%s", col, table.String())
+		}
+	}
+	var artifact bytes.Buffer
+	if err := WriteAllDestsBenchJSON(&artifact, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []AllDestsRow
+	if err := json.Unmarshal(artifact.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(back) != len(rows) || back[0].Instance != rows[0].Instance {
+		t.Errorf("artifact round-trip mismatch: %+v vs %+v", back, rows)
+	}
+}
+
+// TestAllDestsBenchUnknownTopology pins the input-error path.
+func TestAllDestsBenchUnknownTopology(t *testing.T) {
+	_, err := AllDestsBench(context.Background(), AllDestsConfig{Topologies: []string{"Atlantis"}})
+	if err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -304,30 +304,52 @@ var errFlightAborted = errors.New("cache: singleflight leader aborted")
 // Waiters also unblock on ctx cancellation with the context's error; the
 // leader always runs fn to completion regardless of its own ctx (fn is
 // expected to carry its own deadline).
+//
+// A flight whose leader dies without a usable result does not poison its
+// waiters: when the leader panics out of fn, or fails with a cancellation
+// that was the *leader's* (the waiter's own ctx is still live), each waiter
+// re-elects — the first to wake becomes the new leader and runs fn itself,
+// the rest wait on the new flight. A batch fanning N destinations through
+// Do therefore never loses N-1 requests to one aborted leader.
 func (c *Cache) Do(ctx context.Context, key Key, fn func() (any, error)) (v any, shared bool, err error) {
-	c.mu.Lock()
-	if f, ok := c.flights[key]; ok {
-		c.mu.Unlock()
-		c.dedups.Inc()
-		select {
-		case <-f.done:
-			return f.v, true, f.err
-		case <-ctx.Done():
-			return nil, true, context.Cause(ctx)
-		}
-	}
-	f := &flight{done: make(chan struct{}), err: errFlightAborted}
-	c.flights[key] = f
-	c.mu.Unlock()
-
-	defer func() {
+	for {
 		c.mu.Lock()
-		delete(c.flights, key)
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			c.dedups.Inc()
+			select {
+			case <-f.done:
+				if leaderAborted(f.err) && ctx.Err() == nil {
+					continue // re-elect: this waiter may become leader
+				}
+				return f.v, true, f.err
+			case <-ctx.Done():
+				return nil, true, context.Cause(ctx)
+			}
+		}
+		f := &flight{done: make(chan struct{}), err: errFlightAborted}
+		c.flights[key] = f
 		c.mu.Unlock()
-		close(f.done)
-	}()
-	f.v, f.err = fn()
-	return f.v, false, f.err
+
+		defer func() {
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.v, f.err = fn()
+		return f.v, false, f.err
+	}
+}
+
+// leaderAborted classifies flight errors that say nothing about the work
+// itself, only about the leader that was running it: a panic unwound through
+// fn (errFlightAborted) or the leader's own context expiring. Such a result
+// must not be shared with waiters whose contexts are still live.
+func leaderAborted(err error) bool {
+	return errors.Is(err, errFlightAborted) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // NoteWarmHit records a repair request served by the warm-start fast path.

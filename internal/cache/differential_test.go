@@ -1,4 +1,4 @@
-package cache
+package cache_test
 
 import (
 	"context"
@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"syrep/internal/cache"
 	"syrep/internal/network"
 	"syrep/internal/resilience"
 	"syrep/internal/topozoo"
@@ -91,9 +92,9 @@ func TestWarmColdDifferential(t *testing.T) {
 			if brep.WarmStart {
 				t.Fatalf("seed %d: cold synthesis reported WarmStart", seed)
 			}
-			c := New(Config{})
-			c.Put(Key{Topo: net.Fingerprint(), Dest: destName, K: k, Strategy: "combined"},
-				&Entry{Net: net, Routing: base, Resilient: true})
+			c := cache.New(cache.Config{})
+			c.Put(cache.Key{Topo: net.Fingerprint(), Dest: destName, K: k, Strategy: "combined"},
+				&cache.Entry{Net: net, Routing: base, Resilient: true})
 
 			drop := pickDrop(rng, net, m)
 			if drop == nil {
@@ -109,7 +110,7 @@ func TestWarmColdDifferential(t *testing.T) {
 			if !ok || diff != m {
 				t.Fatalf("seed %d m=%d: Nearest ok=%v diff=%d", seed, m, ok, diff)
 			}
-			seedRouting, err := Adapt(ent, mod, k)
+			seedRouting, err := cache.Adapt(ent, mod, k)
 			if err != nil {
 				t.Fatalf("seed %d m=%d: Adapt: %v", seed, m, err)
 			}
@@ -185,8 +186,8 @@ func TestAdaptSeedShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &Entry{Net: net, Routing: base, Resilient: true}
-	seed, err := Adapt(e, mod, 2)
+	e := &cache.Entry{Net: net, Routing: base, Resilient: true}
+	seed, err := cache.Adapt(e, mod, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

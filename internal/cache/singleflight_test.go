@@ -1,0 +1,229 @@
+package cache
+
+// Regression tests for the singleflight leader-abort path: N waiters parked
+// on a flight whose leader dies without a usable result (cancelled, or
+// panicked out of fn) must re-elect a leader and finish the work, not all
+// fail permanently. The all-destinations batch leans on this: it funnels
+// every destination through Do, so one aborted leader poisoning its waiters
+// would silently fail a whole slice of the batch.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightLeaderCancelledWaitersReelect: the leader's own context is
+// cancelled mid-flight (its fn returns context.Canceled); waiters with live
+// contexts must re-elect and obtain a real result instead of inheriting the
+// leader's cancellation.
+func TestSingleflightLeaderCancelledWaitersReelect(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var fnCalls atomic.Int64
+
+	var leaderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = c.Do(leaderCtx, key, func() (any, error) {
+			fnCalls.Add(1)
+			close(started)
+			<-leaderCtx.Done() // the leader's budget dies under it
+			return nil, leaderCtx.Err()
+		})
+	}()
+	<-started
+
+	const waiters = 5
+	results := make([]any, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Do(context.Background(), key, func() (any, error) {
+				fnCalls.Add(1)
+				return "recovered", nil
+			})
+		}(i)
+	}
+	// Park all waiters on the doomed flight before killing its leader.
+	for c.Stats().Dedups < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Errorf("leader err = %v, want its own context.Canceled", leaderErr)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Errorf("waiter %d inherited the leader's abort: %v", i, errs[i])
+		}
+		if results[i] != "recovered" {
+			t.Errorf("waiter %d got %v, want the re-elected leader's result", i, results[i])
+		}
+	}
+	// 1 doomed leader + at least 1 re-elected leader; waiters that wake
+	// after the recovery flight already finished may each run once more,
+	// but nobody runs twice.
+	if n := fnCalls.Load(); n < 2 || n > 1+waiters {
+		t.Errorf("fn ran %d times, want between 2 and %d", n, 1+waiters)
+	}
+}
+
+// TestSingleflightLeaderPanicWaitersReelect: a leader that panics out of fn
+// leaves the flight marked aborted; waiters re-elect rather than failing
+// with errFlightAborted.
+func TestSingleflightLeaderPanicWaitersReelect(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }() // the panic propagates to the leader
+		_, _, _ = c.Do(context.Background(), key, func() (any, error) {
+			close(started)
+			<-release
+			panic("leader dies")
+		})
+	}()
+	<-started
+
+	const waiters = 3
+	results := make([]any, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Do(context.Background(), key, func() (any, error) {
+				return "recovered", nil
+			})
+		}(i)
+	}
+	for c.Stats().Dedups < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < waiters; i++ {
+		if errors.Is(errs[i], errFlightAborted) {
+			t.Errorf("waiter %d failed with errFlightAborted; it should have re-elected", i)
+		}
+		if errs[i] != nil || results[i] != "recovered" {
+			t.Errorf("waiter %d: v=%v err=%v, want recovered/nil", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestSingleflightAbortedWaiterOwnCancellation: a waiter whose own context
+// is already dead when the leader aborts must fail with its cancellation,
+// not loop re-electing.
+func TestSingleflightAbortedWaiterOwnCancellation(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }()
+		_, _, _ = c.Do(context.Background(), key, func() (any, error) {
+			close(started)
+			<-release
+			panic("leader dies")
+		})
+	}()
+	<-started
+
+	wctx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(wctx, key, func() (any, error) {
+			t.Error("dead waiter must not become leader")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	for c.Stats().Dedups < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelWaiter()
+	close(release)
+	wg.Wait()
+
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Errorf("dead waiter err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSingleflightLeaderWorkErrorStillShared: a genuine work error (not a
+// leader abort) is still shared with every waiter — re-election must not
+// turn failure dedup into a retry storm.
+func TestSingleflightLeaderWorkErrorStillShared(t *testing.T) {
+	c := New(Config{})
+	key := Key{Topo: "fp", Dest: "a", K: 2, Strategy: "combined"}
+	boom := errors.New("unsolvable")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.Do(context.Background(), key, func() (any, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+
+	const waiters = 3
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Do(context.Background(), key, func() (any, error) {
+				calls.Add(1)
+				return nil, boom
+			})
+		}(i)
+	}
+	for c.Stats().Dedups < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1 (typed failures are shared, not retried)", n)
+	}
+	for i := 0; i < waiters; i++ {
+		if !errors.Is(errs[i], boom) {
+			t.Errorf("waiter %d err = %v, want the shared work error", i, errs[i])
+		}
+	}
+}

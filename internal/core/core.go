@@ -67,3 +67,25 @@ func Synthesize(ctx context.Context, net *network.Network, dest network.NodeID, 
 func Repair(ctx context.Context, r *routing.Routing, k int, opts Options) (*repair.Outcome, error) {
 	return resilience.Repair(ctx, r, k, opts)
 }
+
+// BatchOptions configures SynthesizeAll.
+type BatchOptions = resilience.BatchOptions
+
+// DestResult is one destination's outcome within a batch.
+type DestResult = resilience.DestResult
+
+// BatchReport summarises a SynthesizeAll run.
+type BatchReport = resilience.BatchReport
+
+// SharedResources bundles the destination-independent state a batch shares
+// across its per-destination runs.
+type SharedResources = resilience.SharedResources
+
+// SynthesizeAll synthesizes a routing for every requested destination of
+// net (all nodes by default), fanning out across a bounded worker pool
+// while sharing the destination-independent reduction work and a warm BDD
+// manager pool. Per-destination failures land in their DestResult and never
+// fail the batch.
+func SynthesizeAll(ctx context.Context, net *network.Network, k int, opts BatchOptions) ([]DestResult, *BatchReport, error) {
+	return resilience.SynthesizeAll(ctx, net, k, opts)
+}

@@ -72,6 +72,25 @@ type Options struct {
 	// bdd.Manager.Observe). Nil means unobserved — the engine's hot paths
 	// then cost one nil check per op.
 	Counters *obs.BDDCounters
+	// Pool, when non-nil, supplies the solve's Manager instead of a fresh
+	// NewWithConfig and takes it back (Reset) when the solve ends, so batch
+	// runs reuse warm arenas across destinations. A pooled Manager is
+	// indistinguishable from a fresh one (see bdd.Manager.Reset), so results
+	// do not depend on whether a Pool is set.
+	Pool *bdd.ManagerPool
+}
+
+// manager checks a Manager out of o.Pool — or builds a throwaway one — and
+// returns it with its release func. The release is safe on every exit path,
+// including panics unwinding through Protect: Put resets the Manager before
+// shelving it.
+func (o Options) manager() (*bdd.Manager, func()) {
+	if o.Pool != nil {
+		m := o.Pool.Get()
+		m.SetNodeLimit(o.NodeLimit)
+		return m, func() { o.Pool.Put(m) }
+	}
+	return bdd.NewWithConfig(bdd.Config{NodeLimit: o.NodeLimit}), func() {}
 }
 
 func (o Options) withDefaults() Options {
@@ -145,8 +164,10 @@ func Solve(ctx context.Context, r *routing.Routing, k int, opts Options) (*Solut
 		return nil, fmt.Errorf("encode: negative resilience level %d", k)
 	}
 	opts = opts.withDefaults()
+	m, release := opts.manager()
+	defer release()
 	s := &solver{
-		m:      bdd.NewWithConfig(bdd.Config{NodeLimit: opts.NodeLimit}),
+		m:      m,
 		net:    r.Network(),
 		r:      r,
 		k:      k,
@@ -579,8 +600,10 @@ func Enumerate(ctx context.Context, r *routing.Routing, k int, opts Options, max
 		return nil, fmt.Errorf("encode: negative resilience level %d", k)
 	}
 	opts = opts.withDefaults()
+	m, release := opts.manager()
+	defer release()
 	s := &solver{
-		m:      bdd.NewWithConfig(bdd.Config{NodeLimit: opts.NodeLimit}),
+		m:      m,
 		net:    r.Network(),
 		r:      r,
 		k:      k,

@@ -116,6 +116,20 @@ const (
 	JournalTornTails        = "syrep_journal_torn_tail_total"
 	JournalSnapshotsLoaded  = "syrep_journal_snapshots_loaded_total"
 	JournalBadSnapshots     = "syrep_journal_bad_snapshots_total"
+
+	// All-destinations batch synthesis (resilience.SynthesizeAll and the
+	// /v1/synthesize-all endpoint). Runs counts batches; Dests counts
+	// per-destination completions split into resilient/degraded/failed;
+	// CacheHits and Dedups count destinations served from the cross-request
+	// cache; Inflight gauges destinations currently being solved.
+	BatchRuns      = "syrep_batch_runs_total"
+	BatchDests     = "syrep_batch_dests_total"
+	BatchResilient = "syrep_batch_resilient_total"
+	BatchDegraded  = "syrep_batch_degraded_total"
+	BatchFailed    = "syrep_batch_failed_total"
+	BatchCacheHits = "syrep_batch_cache_hits_total"
+	BatchDedups    = "syrep_batch_dedups_total"
+	BatchInflight  = "syrep_batch_inflight"
 )
 
 // SpanTotal is the span name of the Synthesize/Repair entry points; stage

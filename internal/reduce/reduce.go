@@ -91,6 +91,21 @@ func Apply(ctx context.Context, net *network.Network, dest network.NodeID, rule 
 	if rule != Sound && rule != Aggressive {
 		return nil, fmt.Errorf("reduce: unknown rule %v", rule)
 	}
+	return apply(ctx, net, dest, rule, nil)
+}
+
+// apply is the contraction fixpoint. cands lists the nodes each sweep visits
+// in order; nil means every node. Restricting the sweep is sound because a
+// node's degree in the live segment graph never changes while it is alive
+// (each merge swaps one incident segment for another at the endpoints), so
+// only nodes of original degree 2 can ever become eligible — see Shared.
+func apply(ctx context.Context, net *network.Network, dest network.NodeID, rule Rule, cands []network.NodeID) (*Reduction, error) {
+	if cands == nil {
+		cands = make([]network.NodeID, net.NumNodes())
+		for i := range cands {
+			cands[i] = network.NodeID(i)
+		}
+	}
 	// Live segment graph, initialised with one segment per original edge.
 	segs := make([]segment, 0, net.NumRealEdges())
 	alive := make([]bool, 0, net.NumRealEdges())
@@ -166,7 +181,7 @@ func Apply(ctx context.Context, net *network.Network, dest network.NodeID, rule 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for w := network.NodeID(0); int(w) < net.NumNodes(); w++ {
+		for _, w := range cands {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,65 @@
+package reduce
+
+import (
+	"context"
+	"fmt"
+
+	"syrep/internal/network"
+)
+
+// Shared precomputes the destination-independent part of chain reduction so
+// a batch run over all destinations does not redo it N times.
+//
+// Almost everything about the contraction is destination-independent: the
+// rules only ever remove nodes of degree 2 *in the live segment graph*, and
+// that degree is invariant while a node stays alive — every merge removes
+// one segment incident to an endpoint and adds the merged replacement, and
+// the contracted node itself drops to degree 0. A node whose original degree
+// is not 2 therefore never becomes eligible, for any destination. The
+// candidate sweep list (original-degree-2 nodes, in id order) is computed
+// once per network; ForDest replays the exact fixpoint of Apply restricted
+// to that list, so its Reduction is identical to Apply's for every
+// destination — the differential test in shared_test.go pins this.
+type Shared struct {
+	net   *network.Network
+	rule  Rule
+	cands []network.NodeID
+}
+
+// NewShared precomputes the candidate set for contracting net under rule.
+func NewShared(net *network.Network, rule Rule) (*Shared, error) {
+	if rule != Sound && rule != Aggressive {
+		return nil, fmt.Errorf("reduce: unknown rule %v", rule)
+	}
+	// Count segment-graph degrees exactly as apply initialises them: one
+	// increment per real-edge endpoint (a self-loop counts twice).
+	deg := make([]int, net.NumNodes())
+	for _, e := range net.RealEdges() {
+		u, v := net.Endpoints(e)
+		deg[u]++
+		deg[v]++
+	}
+	var cands []network.NodeID
+	for v, d := range deg {
+		if d == 2 {
+			cands = append(cands, network.NodeID(v))
+		}
+	}
+	return &Shared{net: net, rule: rule, cands: cands}, nil
+}
+
+// Network returns the network the candidates were computed for.
+func (s *Shared) Network() *network.Network { return s.net }
+
+// Rule returns the contraction rule the candidates were computed for.
+func (s *Shared) Rule() Rule { return s.rule }
+
+// NumCandidates returns how many nodes can ever be contracted (for any
+// destination).
+func (s *Shared) NumCandidates() int { return len(s.cands) }
+
+// ForDest contracts the network for one destination, reusing the shared
+// candidate set. The result is identical to Apply(ctx, net, dest, rule).
+func (s *Shared) ForDest(ctx context.Context, dest network.NodeID) (*Reduction, error) {
+	return apply(ctx, s.net, dest, s.rule, s.cands)
+}

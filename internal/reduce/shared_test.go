@@ -1,0 +1,108 @@
+package reduce
+
+// In-package differential test: Shared.ForDest must reproduce Apply
+// byte-for-byte, including the unexported provenance (segments, node maps,
+// removal order) that Expand depends on.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"syrep/internal/network"
+	"syrep/internal/topozoo"
+)
+
+func sameReduction(t *testing.T, a, b *Reduction, what string) {
+	t.Helper()
+	if a.Reduced.Fingerprint() != b.Reduced.Fingerprint() {
+		t.Fatalf("%s: reduced networks differ", what)
+	}
+	if a.DestReduced != b.DestReduced {
+		t.Fatalf("%s: DestReduced %d vs %d", what, a.DestReduced, b.DestReduced)
+	}
+	if !reflect.DeepEqual(a.segs, b.segs) {
+		t.Fatalf("%s: segment provenance differs", what)
+	}
+	if !reflect.DeepEqual(a.toReduced, b.toReduced) {
+		t.Fatalf("%s: toReduced differs", what)
+	}
+	if !reflect.DeepEqual(a.toOriginal, b.toOriginal) {
+		t.Fatalf("%s: toOriginal differs", what)
+	}
+	if !reflect.DeepEqual(a.removed, b.removed) {
+		t.Fatalf("%s: removal order differs", what)
+	}
+}
+
+// TestSharedForDestMatchesApply sweeps every embedded topology, both rules,
+// every destination.
+func TestSharedForDestMatchesApply(t *testing.T) {
+	ctx := context.Background()
+	for _, inst := range topozoo.Embedded() {
+		for _, rule := range []Rule{Sound, Aggressive} {
+			sh, err := NewShared(inst.Net, rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for dest := network.NodeID(0); int(dest) < inst.Net.NumNodes(); dest++ {
+				want, err := Apply(ctx, inst.Net, dest, rule)
+				if err != nil {
+					t.Fatalf("%s/%v dest %d: Apply: %v", inst.Name, rule, dest, err)
+				}
+				got, err := sh.ForDest(ctx, dest)
+				if err != nil {
+					t.Fatalf("%s/%v dest %d: ForDest: %v", inst.Name, rule, dest, err)
+				}
+				sameReduction(t, want, got, inst.Name+"/"+rule.String())
+			}
+		}
+	}
+}
+
+// TestSharedCandidatesAreDegree2 checks the precomputed candidate set is
+// exactly the degree-2 nodes, and that Apply never removes anything outside
+// it (the invariant the restriction rests on).
+func TestSharedCandidatesAreDegree2(t *testing.T) {
+	ctx := context.Background()
+	for _, inst := range topozoo.Embedded() {
+		sh, err := NewShared(inst.Net, Aggressive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inCands := make(map[network.NodeID]bool, len(sh.cands))
+		for _, v := range sh.cands {
+			inCands[v] = true
+		}
+		for dest := network.NodeID(0); int(dest) < inst.Net.NumNodes(); dest++ {
+			rd, err := Apply(ctx, inst.Net, dest, Aggressive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range rd.RemovedNodes() {
+				if !inCands[w] {
+					t.Fatalf("%s dest %d: Apply removed %s, which is not a shared candidate",
+						inst.Name, dest, inst.Net.NodeName(w))
+				}
+			}
+		}
+	}
+}
+
+func TestNewSharedUnknownRule(t *testing.T) {
+	if _, err := NewShared(topozoo.Embedded()[0].Net, Rule(9)); err == nil {
+		t.Fatal("want error for unknown rule")
+	}
+}
+
+func TestSharedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sh, err := NewShared(topozoo.Embedded()[0].Net, Sound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.ForDest(ctx, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

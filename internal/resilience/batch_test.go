@@ -1,0 +1,252 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"syrep/internal/bdd"
+	"syrep/internal/cache"
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/papernet"
+	"syrep/internal/resilience"
+	"syrep/internal/resilience/faultinject"
+)
+
+// diffBatchVsSequential runs SynthesizeAll on net and checks each
+// destination's routing is deep-equal to an independent single-destination
+// run. The batch shares the reduce stage and a manager pool; the sequential
+// baseline shares nothing — equality proves sharing is invisible.
+func diffBatchVsSequential(t *testing.T, net *network.Network, k int, strat resilience.Strategy) {
+	t.Helper()
+	results, rep, err := resilience.SynthesizeAll(ctx, net, k, resilience.BatchOptions{
+		Run:     resilience.Options{Strategy: strat},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatalf("SynthesizeAll: %v", err)
+	}
+	if len(results) != net.NumNodes() {
+		t.Fatalf("got %d results, want %d", len(results), net.NumNodes())
+	}
+	if rep.Resilient != len(results) || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want all resilient", rep)
+	}
+	for _, res := range results {
+		want, _, werr := resilience.Synthesize(ctx, net, res.Dest, k,
+			resilience.Options{Strategy: strat})
+		if werr != nil {
+			t.Fatalf("dest %s: sequential run failed: %v", res.Name, werr)
+		}
+		if res.Err != nil {
+			t.Fatalf("dest %s: batch failed where sequential succeeded: %v", res.Name, res.Err)
+		}
+		if !res.Routing.Equal(want) {
+			t.Errorf("dest %s: batch routing differs from sequential", res.Name)
+		}
+	}
+}
+
+// TestSynthesizeAllDifferential: every strategy at k=1 on the paper's
+// Figure 1 network, plus k=2 for the heuristic-bearing strategies. (Full
+// BDD synthesis at k=2 — Baseline/ReductionOnly — takes tens of seconds
+// even on 5 nodes, and the k=2 sharing paths are already exercised by
+// Combined, which threads both the shared reduce stage and the pool.)
+func TestSynthesizeAllDifferential(t *testing.T) {
+	net := papernet.Figure1()
+	cases := []struct {
+		strat resilience.Strategy
+		k     int
+	}{
+		{resilience.Baseline, 1},
+		{resilience.HeuristicOnly, 1},
+		{resilience.ReductionOnly, 1},
+		{resilience.Combined, 1},
+		{resilience.HeuristicOnly, 2},
+		{resilience.Combined, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%v-k%d", tc.strat, tc.k), func(t *testing.T) {
+			t.Parallel()
+			diffBatchVsSequential(t, net, tc.k, tc.strat)
+		})
+	}
+}
+
+// TestSynthesizeAllDifferentialZoo: the Combined pipeline on a real
+// TopologyZoo topology whose chains give the shared reduce stage real work.
+func TestSynthesizeAllDifferentialZoo(t *testing.T) {
+	diffBatchVsSequential(t, zooInstance(t, "Abilene").Net, 1, resilience.Combined)
+}
+
+// TestSynthesizeAllStreamsAndPools: results stream via OnResult exactly once
+// per destination, the batch counters add up, and the shared manager pool
+// actually recycles arenas across destinations.
+func TestSynthesizeAllStreamsAndPools(t *testing.T) {
+	inst := zooInstance(t, "Abilene")
+	o := obs.New(nil)
+	var streamed atomic.Int64
+	results, rep, err := resilience.SynthesizeAll(ctx, inst.Net, 1, resilience.BatchOptions{
+		Workers:  2,
+		Obs:      o,
+		OnResult: func(resilience.DestResult) { streamed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(streamed.Load()) != len(results) {
+		t.Errorf("streamed %d results, returned %d", streamed.Load(), len(results))
+	}
+	if rep.Pool.Gets == 0 || rep.Pool.Reuses == 0 {
+		t.Errorf("pool stats %+v: batch did not recycle managers", rep.Pool)
+	}
+	snap := o.Snapshot()
+	if snap.Counter(obs.BatchRuns) != 1 {
+		t.Errorf("%s = %d, want 1", obs.BatchRuns, snap.Counter(obs.BatchRuns))
+	}
+	if got := snap.Counter(obs.BatchDests); got != int64(len(results)) {
+		t.Errorf("%s = %d, want %d", obs.BatchDests, got, len(results))
+	}
+	if got := snap.Counter(obs.BatchResilient); got != int64(rep.Resilient) {
+		t.Errorf("%s = %d, want %d", obs.BatchResilient, got, rep.Resilient)
+	}
+	if snap.Gauge(obs.BatchInflight) != 0 {
+		t.Errorf("%s = %d after the batch, want 0", obs.BatchInflight, snap.Gauge(obs.BatchInflight))
+	}
+}
+
+// TestSynthesizeAllCancellation: cancelling mid-batch returns the results
+// that landed, a cancellation error, and leaks no goroutines (LeakCheck
+// via t.Cleanup).
+func TestSynthesizeAllCancellation(t *testing.T) {
+	faultinject.LeakCheck(t)
+	inst := zooInstance(t, "Abilene")
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var landed atomic.Int64
+	results, rep, err := resilience.SynthesizeAll(cctx, inst.Net, 1, resilience.BatchOptions{
+		Workers: 1, // serialize so the cancel point is deterministic
+		OnResult: func(resilience.DestResult) {
+			if landed.Add(1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) == 0 || len(results) >= inst.Net.NumNodes() {
+		t.Fatalf("got %d results, want a strict mid-batch subset", len(results))
+	}
+	if rep.Attempted != len(results) {
+		t.Errorf("Attempted = %d, want %d", rep.Attempted, len(results))
+	}
+	for _, res := range results {
+		if res.Err == nil && !res.Resilient {
+			t.Errorf("dest %s: landed result neither resilient nor failed", res.Name)
+		}
+	}
+}
+
+// TestSynthesizeAllBatchFanoutFault: a fault injected at the batch-fanout
+// stage poisons exactly one destination — that destination reports the typed
+// error, every other destination succeeds, and the batch itself does not
+// fail.
+func TestSynthesizeAllBatchFanoutFault(t *testing.T) {
+	inst := zooInstance(t, "Abilene")
+	sentinel := errors.New("injected batch poison")
+	for _, f := range []faultinject.Fault{
+		{Stage: resilience.StageBatchFanout, Kind: faultinject.Error, Err: sentinel, Times: 1},
+		{Stage: resilience.StageBatchFanout, Kind: faultinject.NodeLimit, Times: 1},
+	} {
+		f := f
+		t.Run(f.Kind.String(), func(t *testing.T) {
+			inj := faultinject.New(f)
+			results, rep, err := resilience.SynthesizeAll(ctx, inst.Net, 1, resilience.BatchOptions{
+				Run:     resilience.Options{Hook: inj},
+				Workers: 2,
+			})
+			if err != nil {
+				t.Fatalf("a poisoned destination must not fail the batch: %v", err)
+			}
+			if len(results) != inst.Net.NumNodes() {
+				t.Fatalf("got %d results, want %d", len(results), inst.Net.NumNodes())
+			}
+			var failed []resilience.DestResult
+			for _, res := range results {
+				if res.Err != nil {
+					failed = append(failed, res)
+				}
+			}
+			if len(failed) != 1 {
+				t.Fatalf("%d destinations failed, want exactly 1", len(failed))
+			}
+			switch f.Kind {
+			case faultinject.Error:
+				if !errors.Is(failed[0].Err, sentinel) {
+					t.Errorf("poisoned dest error = %v, want the injected sentinel", failed[0].Err)
+				}
+			case faultinject.NodeLimit:
+				if !errors.Is(failed[0].Err, bdd.ErrNodeLimit) {
+					t.Errorf("poisoned dest error = %v, want bdd.ErrNodeLimit", failed[0].Err)
+				}
+			}
+			if rep.Failed != 1 || rep.Resilient != len(results)-1 {
+				t.Errorf("report = %+v, want 1 failed / %d resilient", rep, len(results)-1)
+			}
+			if inj.Fired(0) != 1 {
+				t.Errorf("injected fault fired %d times, want 1", inj.Fired(0))
+			}
+		})
+	}
+}
+
+// TestSynthesizeAllCache: a second batch over the same network is served
+// entirely from the cache.
+func TestSynthesizeAllCache(t *testing.T) {
+	inst := zooInstance(t, "Abilene")
+	c := cache.New(cache.Config{})
+	opts := resilience.BatchOptions{Workers: 2, Cache: c}
+	first, rep1, err := resilience.SynthesizeAll(ctx, inst.Net, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.CacheHits != 0 {
+		t.Fatalf("cold batch reported %d cache hits", rep1.CacheHits)
+	}
+	second, rep2, err := resilience.SynthesizeAll(ctx, inst.Net, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CacheHits != len(second) {
+		t.Errorf("warm batch: %d cache hits, want %d", rep2.CacheHits, len(second))
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Errorf("dest %s: warm batch result not served from cache", second[i].Name)
+		}
+		if !second[i].Routing.Equal(first[i].Routing) {
+			t.Errorf("dest %s: cached routing differs from the cold run", second[i].Name)
+		}
+	}
+}
+
+// TestSynthesizeAllValidation pins the input-error paths.
+func TestSynthesizeAllValidation(t *testing.T) {
+	inst := zooInstance(t, "Abilene")
+	if _, _, err := resilience.SynthesizeAll(ctx, nil, 1, resilience.BatchOptions{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, _, err := resilience.SynthesizeAll(ctx, inst.Net, -1, resilience.BatchOptions{}); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, _, err := resilience.SynthesizeAll(ctx, inst.Net, 1, resilience.BatchOptions{
+		Dests: []network.NodeID{network.NodeID(inst.Net.NumNodes())},
+	}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}

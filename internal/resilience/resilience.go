@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"time"
 
+	"syrep/internal/bdd"
 	"syrep/internal/encode"
+	"syrep/internal/network"
 	"syrep/internal/obs"
 	"syrep/internal/reduce"
 	"syrep/internal/repair"
@@ -127,6 +129,12 @@ const (
 	// StageFinalVerify is the independent safety-net verification of the
 	// produced routing.
 	StageFinalVerify Stage = "final-verify"
+
+	// StageBatchFanout wraps one destination's whole pipeline inside a
+	// SynthesizeAll batch; a fault injected here poisons exactly that
+	// destination, which must surface as its per-destination typed error and
+	// never fail the batch.
+	StageBatchFanout Stage = "batch-fanout"
 )
 
 // Churn-controller stages (internal/controller). They live here because
@@ -177,6 +185,12 @@ func FaultPoints() []Stage {
 		StageVerifyReduced, StageRepairReduced, StageExpand,
 		StageVerify, StageRepair, StageFinalVerify,
 	}
+}
+
+// BatchFaultPoints returns every stage at which SynthesizeAll consults the
+// fault-injection hook, beyond the per-destination pipeline's own points.
+func BatchFaultPoints() []Stage {
+	return []Stage{StageBatchFanout}
 }
 
 // ControllerFaultPoints returns every stage at which the churn controller
@@ -382,6 +396,48 @@ type Options struct {
 	// an obs.SpanTotal span. Nil means unobserved; the instrumented hot
 	// paths then cost a nil check each.
 	Obs *obs.Observer
+	// Shared carries destination-independent state reused across the runs of
+	// a batch (see SynthesizeAll): precomputed reduction candidates and a
+	// BDD manager pool. Nil means run standalone. Sharing never changes a
+	// run's result — the shared reduce is differentially pinned equal to the
+	// standalone one, and pooled managers are pinned indistinguishable from
+	// fresh ones.
+	Shared *SharedResources
+}
+
+// SharedResources bundles the destination-independent state a batch of
+// synthesis runs over one network can share. Build it once with
+// NewSharedResources and set it on every run's Options.Shared.
+type SharedResources struct {
+	// Reduce holds the precomputed chain-contraction candidate set; the
+	// supervisor uses it instead of reduce.Apply when the run's network and
+	// rule match.
+	Reduce *reduce.Shared
+	// Pool recycles BDD managers across solves so N destinations reuse warm
+	// arenas instead of allocating N times.
+	Pool *bdd.ManagerPool
+}
+
+// NewSharedResources precomputes shared state for synthesizing many
+// destinations on net. rule must match the Options.Reduction of the runs
+// that will use it (zero means the default, reduce.Aggressive); nodeLimit
+// seeds the pool's managers and is re-tuned per solve (0 = the encode
+// default).
+func NewSharedResources(net *network.Network, rule reduce.Rule, nodeLimit int) (*SharedResources, error) {
+	if rule == 0 {
+		rule = reduce.Aggressive
+	}
+	if nodeLimit == 0 {
+		nodeLimit = encode.DefaultNodeLimit
+	}
+	sh, err := reduce.NewShared(net, rule)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedResources{
+		Reduce: sh,
+		Pool:   bdd.NewManagerPool(bdd.Config{NodeLimit: nodeLimit}),
+	}, nil
 }
 
 func (o Options) withDefaults() Options {
@@ -396,6 +452,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxAttempts == 0 {
 		o.MaxAttempts = 3
+	}
+	if o.Shared != nil && o.Shared.Pool != nil && o.Encode.Pool == nil {
+		// Thread the batch's manager pool into every encode solve of the run
+		// (ladder retries, warm-start fills) — each solve checks a manager
+		// out and releases it, so concurrent runs never share one.
+		o.Encode.Pool = o.Shared.Pool
 	}
 	o.Budgets = o.Budgets.withDefaults()
 	return o

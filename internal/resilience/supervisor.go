@@ -359,6 +359,11 @@ func (s *run) reduceStage() (*reduce.Reduction, error) {
 	var rd *reduce.Reduction
 	if err == nil {
 		err = s.spanned(StageReduce, func() (e error) {
+			if sh := s.opts.Shared; sh != nil && sh.Reduce != nil &&
+				sh.Reduce.Network() == s.net && sh.Reduce.Rule() == s.opts.Reduction {
+				rd, e = sh.Reduce.ForDest(rctx, s.dest)
+				return
+			}
 			rd, e = reduce.Apply(rctx, s.net, s.dest, s.opts.Reduction)
 			return
 		})

@@ -1,0 +1,256 @@
+package server
+
+// POST /v1/synthesize-all: the all-destinations batch endpoint. The handler
+// builds the batch-scoped shared resources (destination-independent
+// reduction candidates, warm BDD manager pool) once, then funnels every
+// destination through the server's normal admission path as its own
+// request, so per-destination load shedding, retries, the breaker, and the
+// synthesis cache all apply exactly as they would to N individual submits.
+// The response is NDJSON: one line per destination the moment it settles
+// (completion order), then a final summary line. A destination that fails —
+// pipeline error or queue-full shedding — is its own "error"/"rejected"
+// line; it never fails the batch or the stream.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"syrep/internal/network"
+	"syrep/internal/obs"
+	"syrep/internal/resilience"
+	"syrep/internal/routing"
+)
+
+// apiBatchLine is one NDJSON line of POST /v1/synthesize-all: a
+// per-destination result while Dest is set, the batch summary when Status
+// is "done".
+type apiBatchLine struct {
+	Dest string `json:"dest,omitempty"`
+	// Status is ok|partial|degraded|error|rejected per destination, "done"
+	// on the final summary line.
+	Status          string `json:"status"`
+	Resilient       bool   `json:"resilient,omitempty"`
+	Residual        int    `json:"residual,omitempty"`
+	ResidualUnknown bool   `json:"residualUnknown,omitempty"`
+	Retries         int    `json:"retries,omitempty"`
+	Degraded        bool   `json:"degraded,omitempty"`
+	Cached          bool   `json:"cached,omitempty"`
+	Deduped         bool   `json:"deduped,omitempty"`
+	// RetryAfterSec accompanies Status "rejected": retry this destination
+	// after that many seconds (the rest of the batch proceeds).
+	RetryAfterSec int    `json:"retryAfterSec,omitempty"`
+	Error         string `json:"error,omitempty"`
+	// Routing is included per destination only when the request set
+	// "routings": true (tables dominate the payload on large topologies).
+	Routing   *routing.Routing `json:"routing,omitempty"`
+	ElapsedMs int64            `json:"elapsedMs,omitempty"`
+
+	// Summary-line tallies.
+	Dests     int `json:"dests,omitempty"`
+	Ok        int `json:"ok,omitempty"`
+	DegradedN int `json:"degradedCount,omitempty"`
+	Failed    int `json:"failed,omitempty"`
+	Rejected  int `json:"rejected,omitempty"`
+	CacheHits int `json:"cacheHits,omitempty"`
+	Dedups    int `json:"dedups,omitempty"`
+}
+
+// handleSynthesizeAll streams one synthesis per destination as NDJSON.
+func (s *Server) handleSynthesizeAll(w http.ResponseWriter, r *http.Request) {
+	start := s.cfg.now()
+	var api apiRequest
+	if err := json.NewDecoder(r.Body).Decode(&api); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), 0)
+		return
+	}
+	base, err := buildRequest(KindSynthesize, &api)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	dests, err := resolveDests(base.Net, api.Dests)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	shared, err := resilience.NewSharedResources(base.Net, 0, 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err, 0)
+		return
+	}
+	workers := api.Workers
+	if workers <= 0 || workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+	if workers > len(dests) {
+		workers = len(dests)
+	}
+
+	s.cfg.Obs.Counter(obs.BatchRuns).Inc()
+	cDests := s.cfg.Obs.Counter(obs.BatchDests)
+	cResilient := s.cfg.Obs.Counter(obs.BatchResilient)
+	cDegraded := s.cfg.Obs.Counter(obs.BatchDegraded)
+	cFailed := s.cfg.Obs.Counter(obs.BatchFailed)
+	cCacheHits := s.cfg.Obs.Counter(obs.BatchCacheHits)
+	cDedups := s.cfg.Obs.Counter(obs.BatchDedups)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Workers settle destinations concurrently; the handler goroutine owns
+	// the stream and writes lines in completion order.
+	lines := make(chan apiBatchLine)
+	var wg sync.WaitGroup
+	var next int
+	var nextMu sync.Mutex
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				nextMu.Lock()
+				i := next
+				next++
+				nextMu.Unlock()
+				if i >= len(dests) || r.Context().Err() != nil {
+					return
+				}
+				emitLine(r.Context(), lines, s.batchOne(r, base, shared, dests[i], api.IncludeRoutings))
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+
+	sum := apiBatchLine{Status: "done", Dests: len(dests)}
+	for line := range lines {
+		cDests.Inc()
+		switch line.Status {
+		case "rejected":
+			sum.Rejected++
+		case "error":
+			sum.Failed++
+			cFailed.Inc()
+		case "degraded":
+			sum.DegradedN++
+			cDegraded.Inc()
+		default:
+			sum.Ok++
+			cResilient.Inc()
+		}
+		if line.Cached {
+			sum.CacheHits++
+			cCacheHits.Inc()
+		}
+		if line.Deduped {
+			sum.Dedups++
+			cDedups.Inc()
+		}
+		// The stream is committed; an encode failure means the client hung
+		// up and the remaining workers drain into a dead pipe harmlessly.
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sum.ElapsedMs = s.cfg.now().Sub(start).Milliseconds()
+	_ = enc.Encode(sum)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// emitLine hands one result line to the stream owner, giving up when the
+// request is canceled so a batch worker never blocks on a handler that has
+// already gone away.
+func emitLine(ctx context.Context, lines chan<- apiBatchLine, line apiBatchLine) {
+	select {
+	case lines <- line:
+	case <-ctx.Done():
+	}
+}
+
+// batchOne settles one destination through the server's admission path.
+func (s *Server) batchOne(r *http.Request, base *Request, shared *resilience.SharedResources, dest network.NodeID, includeRouting bool) apiBatchLine {
+	start := s.cfg.now()
+	req := &Request{
+		Kind:     KindSynthesize,
+		Net:      base.Net,
+		Dest:     dest,
+		K:        base.K,
+		Strategy: base.Strategy,
+		Timeout:  base.Timeout,
+		Budgets:  base.Budgets,
+		Shared:   shared,
+	}
+	line := apiBatchLine{Dest: base.Net.NodeName(dest), Status: "ok"}
+	resp, err := s.Do(r.Context(), req)
+	if err != nil {
+		var rej *Rejection
+		if errors.As(err, &rej) {
+			line.Status = "rejected"
+			line.Error = err.Error()
+			secs := int(rej.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			line.RetryAfterSec = secs
+			return line
+		}
+		line.Status = "error"
+		line.Error = err.Error()
+		return line
+	}
+	line.Resilient = resp.Resilient
+	line.Residual = resp.Residual
+	line.ResidualUnknown = resp.ResidualUnknown
+	line.Retries = resp.Retries
+	line.Degraded = resp.Degraded
+	line.Cached = resp.Cached
+	line.Deduped = resp.Deduped
+	switch {
+	case resp.Degraded:
+		line.Status = "degraded"
+	case resp.Partial && resp.Routing != nil:
+		line.Status = "partial"
+		line.Error = resp.Err.Error()
+	case resp.Err != nil:
+		line.Status = "error"
+		line.Error = resp.Err.Error()
+	}
+	if includeRouting && line.Status != "error" {
+		line.Routing = resp.Routing
+	}
+	line.ElapsedMs = s.cfg.now().Sub(start).Milliseconds()
+	return line
+}
+
+// resolveDests maps requested destination names onto node IDs (every node
+// when names is empty).
+func resolveDests(net *network.Network, names []string) ([]network.NodeID, error) {
+	if len(names) == 0 {
+		all := make([]network.NodeID, net.NumNodes())
+		for i := range all {
+			all[i] = network.NodeID(i)
+		}
+		return all, nil
+	}
+	dests := make([]network.NodeID, 0, len(names))
+	for _, name := range names {
+		d := net.NodeByName(name)
+		if d == network.NoNode {
+			return nil, fmt.Errorf("unknown destination node %q", name)
+		}
+		dests = append(dests, d)
+	}
+	return dests, nil
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"syrep/internal/cache"
+	"syrep/internal/obs"
+	"syrep/internal/resilience/faultinject"
+)
+
+// postNDJSON posts body to url and decodes the NDJSON stream into lines.
+func postNDJSON(t *testing.T, url, body string) (*http.Response, []apiBatchLine) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var lines []apiBatchLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line apiBatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decoding NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return resp, lines
+}
+
+// TestHTTPSynthesizeAll: the batch endpoint streams one line per
+// destination plus a summary, every destination of the diamond is
+// resilient, and the batch counters tick on /metrics.
+func TestHTTPSynthesizeAll(t *testing.T) {
+	faultinject.LeakCheck(t)
+	o := obs.New(nil)
+	_, ts := httpServer(t, Config{Workers: 2, Obs: o})
+
+	body := fmt.Sprintf(`{"links":%s,"k":1,"routings":true}`, diamondLinks)
+	resp, lines := postNDJSON(t, ts.URL+"/v1/synthesize-all", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	if len(lines) != 5 { // 4 destinations + summary
+		t.Fatalf("got %d lines, want 5: %+v", len(lines), lines)
+	}
+	seen := map[string]bool{}
+	for _, line := range lines[:4] {
+		if line.Status != "ok" || !line.Resilient {
+			t.Errorf("dest %s: status=%s resilient=%v, want ok/true", line.Dest, line.Status, line.Resilient)
+		}
+		if line.Routing == nil {
+			t.Errorf("dest %s: no routing despite routings:true", line.Dest)
+		}
+		seen[line.Dest] = true
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if !seen[name] {
+			t.Errorf("no line for destination %q", name)
+		}
+	}
+	sum := lines[4]
+	if sum.Status != "done" || sum.Dests != 4 || sum.Ok != 4 || sum.Failed != 0 || sum.Rejected != 0 {
+		t.Errorf("summary = %+v, want done/4 dests/4 ok", sum)
+	}
+
+	snap := o.Snapshot()
+	if snap.Counter(obs.BatchRuns) != 1 {
+		t.Errorf("%s = %d, want 1", obs.BatchRuns, snap.Counter(obs.BatchRuns))
+	}
+	if snap.Counter(obs.BatchDests) != 4 {
+		t.Errorf("%s = %d, want 4", obs.BatchDests, snap.Counter(obs.BatchDests))
+	}
+}
+
+// TestHTTPSynthesizeAllDests: an explicit destination subset, without
+// routings, served through the synthesis cache — a second batch is all
+// cache hits.
+func TestHTTPSynthesizeAllDests(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{Workers: 2, Obs: obs.New(nil), Cache: cache.New(cache.Config{})})
+
+	body := fmt.Sprintf(`{"links":%s,"k":1,"dests":["d","a"]}`, diamondLinks)
+	_, lines := postNDJSON(t, ts.URL+"/v1/synthesize-all", body)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for _, line := range lines[:2] {
+		if line.Routing != nil {
+			t.Errorf("dest %s: routing included without routings:true", line.Dest)
+		}
+	}
+	if sum := lines[2]; sum.Dests != 2 || sum.Ok != 2 {
+		t.Errorf("summary = %+v, want 2 dests ok", sum)
+	}
+
+	_, warm := postNDJSON(t, ts.URL+"/v1/synthesize-all", body)
+	if sum := warm[2]; sum.CacheHits != 2 {
+		t.Errorf("warm summary = %+v, want 2 cache hits", sum)
+	}
+	for _, line := range warm[:2] {
+		if !line.Cached {
+			t.Errorf("warm dest %s: not served from cache", line.Dest)
+		}
+	}
+}
+
+// TestHTTPSynthesizeAllBadRequest pins the 400 paths: bad topology, unknown
+// destination name.
+func TestHTTPSynthesizeAllBadRequest(t *testing.T) {
+	faultinject.LeakCheck(t)
+	_, ts := httpServer(t, Config{Workers: 1, Obs: obs.New(nil)})
+
+	for name, body := range map[string]string{
+		"missing topology": `{"k":1}`,
+		"unknown dest":     fmt.Sprintf(`{"links":%s,"dests":["nope"]}`, diamondLinks),
+	} {
+		resp, err := http.Post(ts.URL+"/v1/synthesize-all", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPSynthesizeAllSheds: with a held worker and a tiny queue, shed
+// destinations come back as per-destination "rejected" lines with a
+// positive Retry-After — the batch itself still streams to its summary.
+func TestHTTPSynthesizeAllSheds(t *testing.T) {
+	faultinject.LeakCheck(t)
+	gate := newGateHook()
+	s, ts := httpServer(t, Config{Workers: 1, QueueDepth: 1, Obs: obs.New(nil), Hook: gate})
+
+	// Park the worker and fill the depth-1 queue so batch submissions shed.
+	held, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-gate.entered
+	queued, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	body := fmt.Sprintf(`{"links":%s,"k":1,"workers":1}`, diamondLinks)
+	respCh := make(chan []apiBatchLine, 1)
+	go func() {
+		_, lines := postNDJSON(t, ts.URL+"/v1/synthesize-all", body)
+		respCh <- lines
+	}()
+	lines := <-respCh
+	close(gate.release)
+	wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := held.Wait(wctx); err != nil {
+		t.Fatalf("Wait(held): %v", err)
+	}
+	if _, err := queued.Wait(wctx); err != nil {
+		t.Fatalf("Wait(queued): %v", err)
+	}
+
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	sum := lines[4]
+	if sum.Status != "done" || sum.Rejected != 4 {
+		t.Fatalf("summary = %+v, want 4 rejected", sum)
+	}
+	for _, line := range lines[:4] {
+		if line.Status != "rejected" {
+			t.Errorf("dest %s: status = %s, want rejected", line.Dest, line.Status)
+		}
+		if line.RetryAfterSec < 1 {
+			t.Errorf("dest %s: RetryAfterSec = %d, want >= 1", line.Dest, line.RetryAfterSec)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+// burst_test.go pins Submit's load-shed accounting under a concurrent
+// admission burst — the regression that motivated the pending counter. The
+// old code read len(s.queue) after dropping the lock, so a worker dequeuing
+// between the send and the read shore peaks off the high-water mark; with
+// the queue full it could report a peak below QueueDepth even though the
+// queue demonstrably filled. The pending counter makes the burst exact:
+// with the single worker held, stacking cap(queue) jobs must read a peak of
+// exactly cap(queue), every shed request must carry a positive Retry-After,
+// and accepted + rejected must account for every submission.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"syrep/internal/obs"
+	"syrep/internal/resilience/faultinject"
+)
+
+// TestSubmitBurstAccounting: 32 concurrent submitters against a held
+// worker and a depth-4 queue. Exactly 4 are admitted, every rejection is a
+// retryable queue-full with Retry-After > 0, and the high-water mark reads
+// exactly 4 — not less (the shorn-peak bug) and not more (the counter
+// never exceeds capacity).
+func TestSubmitBurstAccounting(t *testing.T) {
+	faultinject.LeakCheck(t)
+	const depth = 4
+	o := obs.New(nil)
+	gate := newGateHook()
+	s := New(Config{
+		Workers:      1,
+		QueueDepth:   depth,
+		Obs:          o,
+		Hook:         gate,
+		DrainTimeout: 2 * time.Second,
+	})
+	defer shutdownServer(t, s)
+
+	// Park the worker on a request so the burst sees a stable queue.
+	held, err := s.Submit(synthRequest())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-gate.entered
+
+	const burst = 32
+	var (
+		mu       sync.Mutex
+		tickets  []*Ticket
+		rejected []error
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tkt, err := s.Submit(synthRequest())
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rejected = append(rejected, err)
+				return
+			}
+			tickets = append(tickets, tkt)
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if len(tickets) != depth {
+		t.Fatalf("burst admitted %d requests, want exactly QueueDepth=%d", len(tickets), depth)
+	}
+	if len(rejected) != burst-depth {
+		t.Fatalf("burst shed %d requests, want %d", len(rejected), burst-depth)
+	}
+	for _, err := range rejected {
+		var rej *Rejection
+		if !errors.As(err, &rej) {
+			t.Fatalf("shed error %v is not a *Rejection", err)
+		}
+		if !errors.Is(rej.Reason, ErrQueueFull) {
+			t.Errorf("rejection reason = %v, want ErrQueueFull", rej.Reason)
+		}
+		if rej.RetryAfter <= 0 {
+			t.Errorf("rejection Retry-After = %v, want > 0", rej.RetryAfter)
+		}
+	}
+	if hw := o.Snapshot().Gauge(MetricQueueHighWater); hw != depth {
+		t.Errorf("high water after burst = %d, want exactly %d", hw, depth)
+	}
+	if ql := s.QueueLen(); ql != depth {
+		t.Errorf("QueueLen after burst = %d, want %d", ql, depth)
+	}
+
+	snap := o.Snapshot()
+	// held + the admitted burst; every submission is accounted somewhere.
+	if got := snap.Counter(MetricAccepted); got != depth+1 {
+		t.Errorf("accepted = %d, want %d", got, depth+1)
+	}
+	if got := snap.Counter(MetricRejected); got != burst-depth {
+		t.Errorf("rejected = %d, want %d", got, burst-depth)
+	}
+
+	close(gate.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := held.Wait(ctx); err != nil {
+		t.Fatalf("Wait(held): %v", err)
+	}
+	for i, tkt := range tickets {
+		if _, err := tkt.Wait(ctx); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+
+	snap = o.Snapshot()
+	if hw := snap.Gauge(MetricQueueHighWater); hw != depth {
+		t.Errorf("high water after drain = %d, want %d (the mark must not regress)", hw, depth)
+	}
+	if d := snap.Gauge(MetricQueueDepth); d != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", d)
+	}
+	if ql := s.QueueLen(); ql != 0 {
+		t.Errorf("QueueLen after drain = %d, want 0", ql)
+	}
+}
+
+// TestSubmitBurstRepeated re-runs admission bursts against live workers so
+// the race detector sees Submit's increment racing worker decrements, and
+// checks the admission arithmetic never drifts: at every quiescent point
+// accepted - responses == pending == 0.
+func TestSubmitBurstRepeated(t *testing.T) {
+	faultinject.LeakCheck(t)
+	o := obs.New(nil)
+	s := New(Config{
+		Workers:      2,
+		QueueDepth:   4,
+		Obs:          o,
+		DrainTimeout: 2 * time.Second,
+	})
+	defer shutdownServer(t, s)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var admitted atomic.Int64
+	for round := 0; round < 4; round++ {
+		var wg sync.WaitGroup
+		var tickets sync.Map
+		for i := 0; i < 12; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tkt, err := s.Submit(synthRequest())
+				if err != nil {
+					var rej *Rejection
+					if !errors.As(err, &rej) || rej.RetryAfter <= 0 {
+						t.Errorf("bad rejection under burst: %v", err)
+					}
+					return
+				}
+				admitted.Add(1)
+				tickets.Store(i, tkt)
+			}(i)
+		}
+		wg.Wait()
+		tickets.Range(func(_, v any) bool {
+			_, err := v.(*Ticket).Wait(ctx)
+			if err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			return true
+		})
+		if ql := s.QueueLen(); ql != 0 {
+			t.Fatalf("round %d: QueueLen = %d at quiescence, want 0", round, ql)
+		}
+	}
+	snap := o.Snapshot()
+	if acc := snap.Counter(MetricAccepted); acc != admitted.Load() {
+		t.Errorf("accepted counter %d != admissions observed %d", acc, admitted.Load())
+	}
+	if hw := snap.Gauge(MetricQueueHighWater); hw < 1 || hw > 4 {
+		t.Errorf("high water = %d, want within [1, QueueDepth=4]", hw)
+	}
+}

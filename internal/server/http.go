@@ -36,6 +36,18 @@ type apiRequest struct {
 	// dynamic repair: the server warm-starts from the nearest cached table
 	// for the submitted topology, falling back to cold synthesis.
 	Routing json.RawMessage `json:"routing,omitempty"`
+
+	// The remaining fields apply to /v1/synthesize-all only.
+
+	// Dests selects the batch destinations by node name (default: every
+	// node of the topology).
+	Dests []string `json:"dests,omitempty"`
+	// Workers bounds the batch's concurrently running destinations
+	// (default and cap: the server's worker count).
+	Workers int `json:"workers,omitempty"`
+	// IncludeRoutings asks for the synthesized table on each per-
+	// destination line (off by default: tables dominate the payload).
+	IncludeRoutings bool `json:"routings,omitempty"`
 }
 
 // apiResponse is the JSON reply of the submit endpoints.
@@ -63,17 +75,19 @@ type apiResponse struct {
 
 // Handler returns the service's HTTP interface:
 //
-//	POST /v1/synthesize  submit a synthesis request
-//	POST /v1/repair      submit a repair request
-//	GET  /v1/topologies  list embedded topology names
-//	GET  /healthz        liveness (200 while the process serves)
-//	GET  /readyz         readiness (breaker closed, queue below high water)
-//	GET  /metrics        Prometheus exposition of the configured observer
+//	POST /v1/synthesize      submit a synthesis request
+//	POST /v1/synthesize-all  batch-synthesize every destination (NDJSON stream)
+//	POST /v1/repair          submit a repair request
+//	GET  /v1/topologies      list embedded topology names
+//	GET  /healthz            liveness (200 while the process serves)
+//	GET  /readyz             readiness (breaker closed, queue below high water)
+//	GET  /metrics            Prometheus exposition of the configured observer
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmit(w, r, KindSynthesize)
 	})
+	mux.HandleFunc("POST /v1/synthesize-all", s.handleSynthesizeAll)
 	mux.HandleFunc("POST /v1/repair", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmit(w, r, KindRepair)
 	})

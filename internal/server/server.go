@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"syrep/internal/cache"
@@ -141,6 +142,11 @@ type Request struct {
 	Timeout time.Duration
 	// Budgets optionally overrides the supervisor's per-stage budget split.
 	Budgets resilience.Budgets
+	// Shared, when non-nil, supplies batch-scoped resources (the
+	// destination-independent reduction candidates and a warm BDD manager
+	// pool) to this request's pipeline run. The all-destinations handler
+	// sets it so N requests over one topology don't pay N full encodings.
+	Shared *resilience.SharedResources
 }
 
 // Response is the single reply every accepted request receives.
@@ -345,6 +351,15 @@ type Server struct {
 	draining bool
 	drainCh  chan struct{}
 
+	// pending counts admitted-but-unstarted jobs. It, not len(queue), is
+	// the load-shed accounting: incremented under mu before the enqueue and
+	// decremented by the worker on dequeue, so the post-increment value is
+	// the exact admission peak (channel length read outside the lock can
+	// miss peaks that a worker has already begun to drain). The invariant
+	// pending >= channel occupancy, enforced by that ordering, also means
+	// the admission check pending < cap guarantees the send cannot block.
+	pending atomic.Int64
+
 	flushOnce sync.Once
 
 	accepted, rejected, responses, retried, degraded, panics *obs.Counter
@@ -388,8 +403,9 @@ func New(cfg Config) *Server {
 // Breaker exposes the circuit breaker for readiness checks and tests.
 func (s *Server) Breaker() *Breaker { return s.breaker }
 
-// QueueLen returns the number of queued-but-unstarted requests.
-func (s *Server) QueueLen() int { return len(s.queue) }
+// QueueLen returns the number of admitted-but-unstarted requests, from the
+// same accounting that drives the queue gauges and load shedding.
+func (s *Server) QueueLen() int { return int(s.pending.Load()) }
 
 // Draining returns a channel closed when Shutdown begins.
 func (s *Server) Draining() <-chan struct{} { return s.drainCh }
@@ -453,26 +469,37 @@ func (s *Server) Submit(req *Request) (*Ticket, error) {
 		deadline: s.cfg.now().Add(s.timeout(req)),
 		done:     make(chan *Response, 1),
 	}
+	depth, rej := s.admit()
+	if rej != nil {
+		s.rejected.Inc()
+		return nil, rej
+	}
+	// admit reserved a slot: every reserved-but-unsent job (ours included)
+	// is counted in pending, so occupancy <= pending - 1 < cap and this
+	// send cannot block.
+	s.queue <- j
+	s.accepted.Inc()
+	s.queueDepth.Set(depth)
+	// The mark only rises at admission: workers shrink the queue.
+	s.queueHighWater.SetMax(depth)
+	return &Ticket{done: j.done}, nil
+}
+
+// admit checks drain state and reserves one queue slot, returning the
+// post-reservation pending depth. The check and the increment share the
+// mutex so concurrent submitters cannot over-admit: pending never exceeds
+// cap(queue), which is exactly what keeps Submit's post-admit send
+// non-blocking.
+func (s *Server) admit() (int64, *Rejection) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
-		s.rejected.Inc()
-		return nil, &Rejection{Reason: ErrDraining, RetryAfter: s.cfg.RetryAfterHint}
+		return 0, &Rejection{Reason: ErrDraining, RetryAfter: s.cfg.RetryAfterHint}
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-		s.accepted.Inc()
-		depth := int64(len(s.queue))
-		s.queueDepth.Set(depth)
-		// The mark only rises at admission: workers shrink the queue.
-		s.queueHighWater.SetMax(depth)
-		return &Ticket{done: j.done}, nil
-	default:
-		s.mu.Unlock()
-		s.rejected.Inc()
-		return nil, &Rejection{Reason: ErrQueueFull, RetryAfter: s.cfg.RetryAfterHint}
+	if s.pending.Load() >= int64(cap(s.queue)) {
+		return 0, &Rejection{Reason: ErrQueueFull, RetryAfter: s.cfg.RetryAfterHint}
 	}
+	return s.pending.Add(1), nil
 }
 
 // Do submits req and waits for its response. The returned error is an
@@ -491,7 +518,7 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.queueDepth.Set(int64(len(s.queue)))
+		s.queueDepth.Set(s.pending.Add(-1))
 		var resp *Response
 		if s.isDraining() {
 			resp = &Response{Err: &Rejection{Reason: ErrDraining, RetryAfter: s.cfg.RetryAfterHint}}
@@ -584,6 +611,7 @@ func (s *Server) runOnce(req *Request, remaining time.Duration) *Response {
 			Obs:           s.cfg.Obs,
 			Hook:          s.cfg.Hook,
 			VerifyBackend: s.cfg.VerifyBackend,
+			Shared:        req.Shared,
 		}
 		resp := &Response{}
 		switch {
